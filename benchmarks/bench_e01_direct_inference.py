@@ -1,0 +1,17 @@
+"""E1 — direct inference on the hepatitis KB (Example 5.8)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e01_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E1"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e01_direct_inference_latency(benchmark, engine):
+    kb = paper_kbs.hepatitis_full()
+    result = benchmark(engine.degree_of_belief, "Hep(Eric)", kb)
+    assert result.approximately(0.8)

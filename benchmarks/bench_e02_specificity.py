@@ -1,0 +1,17 @@
+"""E2 — specificity: Tweety the (yellow) penguin (Examples 5.10, 5.19)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e02_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E2"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e02_specificity_latency(benchmark, engine):
+    kb = paper_kbs.tweety_yellow()
+    result = benchmark(engine.degree_of_belief, "Fly(Tweety)", kb)
+    assert result.approximately(0.0)

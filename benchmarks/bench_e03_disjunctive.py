@@ -1,0 +1,16 @@
+"""E3 — disjunctive reference classes: Tay-Sachs and the spurious class (Examples 5.11, 5.22)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e03_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E3"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e03_tay_sachs_latency(benchmark, engine):
+    result = benchmark(engine.degree_of_belief, "TS(Eric)", paper_kbs.tay_sachs())
+    assert result.approximately(0.02)

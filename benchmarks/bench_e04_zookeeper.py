@@ -1,0 +1,17 @@
+"""E4 — open defaults over pairs: elephants and zookeepers (Example 5.12)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e04_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E4"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e04_pairwise_default_latency(benchmark, engine):
+    kb = paper_kbs.elephant_zookeeper()
+    result = benchmark(engine.degree_of_belief, "Likes(Clyde, Eric)", kb)
+    assert result.approximately(1.0)

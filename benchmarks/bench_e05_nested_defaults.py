@@ -1,0 +1,19 @@
+"""E5 — quantified and nested defaults (Examples 5.13, 5.14)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e05_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E5"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e05_nested_default_latency(benchmark, engine):
+    kb = paper_kbs.bed_late()
+    result = benchmark(
+        engine.degree_of_belief, "%(RisesLate(Alice, y) | Day(y); y) ~=[1] 1", kb
+    )
+    assert result.approximately(1.0)

@@ -1,0 +1,17 @@
+"""E6 — irrelevance and the most specific statistics (Example 5.18)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e06_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E6"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e06_irrelevant_facts_latency(benchmark, engine):
+    kb = paper_kbs.hepatitis_full().conjoin("Fever(Eric)", "Tall(Eric)")
+    result = benchmark(engine.degree_of_belief, "Hep(Eric)", kb)
+    assert result.approximately(1.0)

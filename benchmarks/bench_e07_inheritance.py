@@ -1,0 +1,17 @@
+"""E7 — exceptional-subclass inheritance and the drowning problem (Examples 5.20, 5.21, 5.15)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e07_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E7"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e07_taxonomy_latency(benchmark, engine):
+    kb = paper_kbs.swimming_taxonomy()
+    result = benchmark(engine.degree_of_belief, "Swims(Opus)", kb)
+    assert result.approximately(0.9)

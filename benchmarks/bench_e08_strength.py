@@ -1,0 +1,17 @@
+"""E8 — the strength rule on a chain of reference classes (Theorem 5.23, Example 5.24)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e08_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E8"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e08_strength_latency(benchmark, engine):
+    kb = paper_kbs.chirping_magpie()
+    result = benchmark(engine.degree_of_belief, "Chirps(Tweety)", kb)
+    assert result.within(0.7, 0.8)

@@ -1,0 +1,17 @@
+"""E9 — Goodwin's moody magpies: too-specific information is combined (Example 5.25)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e09_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E9"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e09_maxent_combination_latency(benchmark, engine):
+    kb = paper_kbs.moody_magpie()
+    result = benchmark(engine.degree_of_belief, "Chirps(Tweety)", kb)
+    assert result.value is not None and result.value < 0.9

@@ -1,0 +1,18 @@
+"""E10 — the Nixon diamond and Dempster combination (Theorem 5.26, Section 5.3)."""
+
+from conftest import assert_rows_pass
+
+from repro.evidence import dempster_combine
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e10_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E10"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e10_combination_latency(benchmark, engine):
+    kb = paper_kbs.nixon_diamond(0.8, 0.8)
+    result = benchmark(engine.degree_of_belief, "Pacifist(Nixon)", kb)
+    assert result.approximately(dempster_combine([0.8, 0.8]), tolerance=1e-6)

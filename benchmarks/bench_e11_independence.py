@@ -1,0 +1,18 @@
+"""E11 — independence across disjoint subvocabularies (Theorem 5.27, Example 5.28)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.logic import parse
+from repro.workloads import paper_kbs
+
+
+def test_e11_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E11"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e11_independence_latency(benchmark, engine):
+    kb = paper_kbs.hepatitis_and_age()
+    result = benchmark(engine.degree_of_belief, parse("Hep(Eric) and Over60(Eric)"), kb)
+    assert result.approximately(0.32, tolerance=1e-3)

@@ -1,0 +1,17 @@
+"""E12 — maximum entropy on the black-birds KB (Example 5.29)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e12_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E12"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e12_maxent_latency(benchmark, engine):
+    kb = paper_kbs.black_birds().with_vocabulary_of("Black(Clyde)")
+    result = benchmark(engine.degree_of_belief, "Black(Clyde)", kb)
+    assert result.approximately(0.47, tolerance=0.005)

@@ -1,0 +1,17 @@
+"""E13 — the lottery paradox and the unique-names bias (Section 5.5)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e13_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E13"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e13_lottery_latency(benchmark, small_domain_engine):
+    kb = paper_kbs.lottery(5)
+    result = benchmark(small_domain_engine.degree_of_belief, "Winner(C)", kb)
+    assert result.approximately(0.2, tolerance=1e-3)

@@ -1,0 +1,19 @@
+"""E14 — the Section 6 max-entropy example and the GMP90 embedding (Theorem 6.1)."""
+
+from conftest import assert_rows_pass
+
+from repro.defaults import DefaultRule, MaxEntDefaultReasoner, RuleSet
+from repro.experiments import run_experiment
+
+
+def test_e14_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E14"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e14_gmp90_embedding_latency(benchmark):
+    rules = RuleSet.parse("Bird -> Fly", "Penguin -> not Fly", "Penguin -> Bird", "Bird -> Warm")
+    reasoner = MaxEntDefaultReasoner(rules, shared_tolerance=True)
+    query = DefaultRule.parse("Penguin -> Warm")
+    outcome = benchmark(reasoner.me_plausible, query)
+    assert outcome.accepted

@@ -1,0 +1,17 @@
+"""E15 — representation dependence of induced degrees of belief (Section 7.2)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.workloads import paper_kbs
+
+
+def test_e15_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E15"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e15_refined_vocabulary_latency(benchmark, engine):
+    kb = paper_kbs.flying_birds_refined()
+    result = benchmark(engine.degree_of_belief, "Bird(Opus)", kb)
+    assert result.approximately(2.0 / 3.0, tolerance=1e-3)

@@ -1,0 +1,18 @@
+"""E16 — KLM properties of |~rw and the reference-class baselines (Theorem 5.3, Section 2.3)."""
+
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.reference_class import BaselineComparison
+from repro.workloads import paper_kbs
+
+
+def test_e16_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E16"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e16_baseline_comparison_latency(benchmark):
+    comparison = BaselineComparison()
+    row = benchmark(comparison.compare, "Heart(Fred)", paper_kbs.fred_heart_disease())
+    assert row.reichenbach.vacuous and not row.random_worlds.value is None

@@ -1,0 +1,33 @@
+"""E17 — convergence of the exact finite counts Pr^tau_N to the limits (Section 4.2).
+
+This regenerates the "convergence figure": the series of exact probabilities
+for growing N at fixed tolerance, for three representative knowledge bases.
+"""
+
+import pytest
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.logic import ToleranceVector, Vocabulary, parse
+from repro.workloads import paper_kbs
+from repro.worlds import probability_at
+
+
+def test_e17_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E17"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+@pytest.mark.parametrize("domain_size", [10, 20, 30])
+def test_e17_counting_latency(benchmark, domain_size):
+    kb = paper_kbs.hepatitis_simple()
+    vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([parse("Hep(Eric)")]))
+    probability = benchmark(
+        probability_at,
+        parse("Hep(Eric)"),
+        kb.formula,
+        vocabulary,
+        domain_size,
+        ToleranceVector.uniform(0.02),
+    )
+    assert 0.7 <= float(probability) <= 0.85

@@ -1,0 +1,46 @@
+"""E18 — scaling of the computation paths (Section 7.4).
+
+Sweeps domain size for the exact counter and predicate count for the
+max-entropy solver; the benchmark timings themselves are the result.
+"""
+
+import pytest
+from conftest import assert_rows_pass
+
+from repro.experiments import run_experiment
+from repro.logic import ToleranceVector, Vocabulary, parse
+from repro.maxent import solve_knowledge_base
+from repro.workloads import generators, paper_kbs
+from repro.worlds import probability_at
+
+
+def test_e18_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E18"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+@pytest.mark.parametrize("num_predicates", [2, 4, 6])
+def test_e18_maxent_scaling(benchmark, num_predicates):
+    kb = generators.random_unary_kb(num_predicates, num_statistics=num_predicates, seed=11)
+    solution = benchmark(
+        solve_knowledge_base, kb.formula, kb.vocabulary, ToleranceVector.uniform(0.02)
+    )
+    assert solution.converged
+
+
+@pytest.mark.parametrize("domain_size", [20, 30, 40])
+def test_e18_counting_scaling(benchmark, domain_size):
+    kb = paper_kbs.black_birds().with_vocabulary_of("Black(Clyde)")
+    probability = benchmark.pedantic(
+        probability_at,
+        args=(
+            parse("Black(Clyde)"),
+            kb.formula,
+            kb.vocabulary,
+            domain_size,
+            ToleranceVector.uniform(0.1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.35 <= float(probability) <= 0.6

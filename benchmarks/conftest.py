@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it times
+the underlying computation with pytest-benchmark and asserts that the measured
+values still match the paper's predictions (so a performance run doubles as a
+reproduction run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RandomWorlds
+
+
+@pytest.fixture(scope="session")
+def engine() -> RandomWorlds:
+    """A shared engine with the default tolerance ladder."""
+    return RandomWorlds()
+
+
+@pytest.fixture(scope="session")
+def small_domain_engine() -> RandomWorlds:
+    """An engine restricted to small domains for counting-heavy benchmarks."""
+    return RandomWorlds(domain_sizes=(8, 12, 16, 20))
+
+
+def assert_rows_pass(rows) -> None:
+    """Fail with a readable message when any reproduction row mismatches."""
+    failures = [row for row in rows if not row.ok]
+    assert not failures, "reproduction mismatches: " + "; ".join(
+        f"{row.label}: paper={row.paper_value} measured={row.measured}" for row in failures
+    )

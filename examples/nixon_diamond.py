@@ -1,0 +1,62 @@
+"""The Nixon diamond: combining evidence from competing reference classes.
+
+Nixon is both a Quaker and a Republican.  Reference-class systems give up when
+the two classes disagree; random worlds combines them by Dempster's rule
+(Theorem 5.26).  The script sweeps the class statistics, shows the special
+cases the paper highlights (a neutral class, two agreeing classes, conflicting
+defaults with and without declared priorities), and contrasts the answer with
+the reference-class baselines.
+"""
+
+from __future__ import annotations
+
+from repro.core import KnowledgeBase, RandomWorlds
+from repro.evidence import dempster_combine
+from repro.reference_class import BaselineComparison
+from repro.workloads import paper_kbs
+
+
+def sweep() -> None:
+    engine = RandomWorlds()
+    print("Sweep of the class statistics (alpha for Quakers, beta for Republicans)")
+    print(f"  {'alpha':>6} {'beta':>6} {'random worlds':>14} {'delta(alpha,beta)':>18}")
+    for alpha, beta in [(0.8, 0.8), (0.8, 0.5), (0.7, 0.4), (0.9, 0.2), (0.6, 0.6)]:
+        kb = paper_kbs.nixon_diamond(alpha, beta)
+        result = engine.degree_of_belief("Pacifist(Nixon)", kb)
+        print(f"  {alpha:>6} {beta:>6} {result.value:>14.4f} {dempster_combine([alpha, beta]):>18.4f}")
+
+
+def conflicting_defaults() -> None:
+    engine = RandomWorlds()
+    print()
+    print("Conflicting defaults (Quakers are typically pacifists, Republicans typically not)")
+    independent = engine.degree_of_belief("Pacifist(Nixon)", paper_kbs.nixon_diamond(1.0, 0.0))
+    print(
+        "  independent default strengths: "
+        + ("limit does not exist" if not independent.exists or independent.value is None else f"{independent.value:.3f}")
+    )
+    shared = engine.degree_of_belief(
+        "Pacifist(Nixon)", paper_kbs.nixon_diamond(1.0, 0.0, shared_tolerance=True)
+    )
+    print(f"  defaults declared equally strong: Pr = {shared.value:.3f}")
+
+
+def versus_reference_classes() -> None:
+    print()
+    print("Fred has high cholesterol (15% risk) and smokes heavily (9% risk)")
+    comparison = BaselineComparison()
+    row = comparison.compare("Heart(Fred)", paper_kbs.fred_heart_disease())
+    print(f"  Reichenbach reference class : {row.reichenbach.interval}  (vacuous: {row.reichenbach.vacuous})")
+    print(f"  Kyburg (with strength rule) : {row.kyburg.interval}  (vacuous: {row.kyburg.vacuous})")
+    print(f"  random worlds               : {row.random_worlds.value:.4f}  [{row.random_worlds.method}]")
+    print("  (two pieces of evidence against heart disease combine to below both inputs)")
+
+
+def main() -> None:
+    sweep()
+    conflicting_defaults()
+    versus_reference_classes()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail; this setup.py lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` use the legacy develop path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — a reproduction of the random-worlds method for inducing degrees of belief.
+
+The package implements the system described in Bacchus, Grove, Halpern and
+Koller, "From Statistical Knowledge Bases to Degrees of Belief": a statistical
+first-order language, the random-worlds semantics (all finite models equally
+likely, degrees of belief as limiting conditional probabilities), the
+maximum-entropy computation for unary knowledge bases, the closed-form theorem
+machinery (direct inference, specificity, strength, evidence combination,
+independence), plus the baselines the paper discusses (reference-class
+reasoning, epsilon-semantics, System-Z, GMP90 maximum-entropy defaults).
+
+Quickstart::
+
+    from repro import RandomWorlds, KnowledgeBase, parse
+
+    kb = KnowledgeBase.from_strings(
+        "%(Hep(x) | Jaun(x); x) ~= 0.8",
+        "Jaun(Eric)",
+    )
+    engine = RandomWorlds()
+    result = engine.degree_of_belief(parse("Hep(Eric)"), kb)
+    assert abs(result.value - 0.8) < 1e-6
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .logic import parse, parse_many  # noqa: F401
+
+__all__ = ["parse", "parse_many", "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily expose the heavyweight top-level classes.
+
+    Importing :mod:`repro` stays cheap; ``repro.RandomWorlds`` and
+    ``repro.KnowledgeBase`` trigger the core import on first access.
+    """
+    if name in {"RandomWorlds", "KnowledgeBase", "BeliefResult"}:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,25 @@
+"""The random-worlds core: knowledge bases, the engine, and the closed-form theorems."""
+
+from .combination import combination_inference
+from .defaults import DefaultConclusion, DefaultReasoner
+from .direct_inference import DirectInferenceMatch, direct_inference, find_matches
+from .engine import RandomWorlds, RandomWorldsError
+from .entailment import GroundContext, class_relation, entails_membership, kb_entails_ground
+from .independence import independence_inference, split_independent
+from .knowledge_base import KnowledgeBase, StatisticalAssertion
+from .properties import (
+    check_and,
+    check_cautious_monotonicity,
+    check_conditioning_invariance,
+    check_cut,
+    check_left_logical_equivalence,
+    check_or,
+    check_rational_monotonicity,
+    check_reflexivity,
+    check_right_weakening,
+)
+from .result import BeliefResult, PropertyCheckResult
+from .specificity import specificity_inference
+from .strength import strength_inference
+
+__all__ = [name for name in dir() if not name.startswith("_")]

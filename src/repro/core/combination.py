@@ -1,0 +1,150 @@
+"""Combining competing reference classes — Theorem 5.26.
+
+When the KB provides statistics ``||P(x) | psi_i(x)||_x ~= alpha_i`` for
+several classes that all contain the query individual but whose pairwise
+intersections are negligible (the paper's formulation: exactly one common
+member), the random-worlds degree of belief in ``P(c)`` is Dempster's
+combination ``delta(alpha_1, ..., alpha_m)`` of the individual statistics.
+The Nixon diamond is the canonical instance.
+
+When the statistics are conflicting certainties (some exactly 1 and some
+exactly 0, i.e. conflicting defaults), the limit exists only if the defaults
+share the same tolerance index, in which case the answer is 1/2; otherwise the
+limit's value depends on how the tolerances shrink and the degree of belief is
+undefined (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..evidence.dempster import ConflictingCertainties, dempster_combine
+from ..logic.substitution import constants_of, free_vars, symbols_of
+from ..logic.syntax import And, Atom, Const, ExistsExactly, Formula, Var, conj
+from ..worlds.unary import UnsupportedFormula
+from .entailment import entails_membership
+from .knowledge_base import KnowledgeBase, StatisticalAssertion
+from .result import BeliefResult
+from .specificity import SUBJECT_VARIABLE, _unary_atom_table, relevant_statistics
+
+
+def _pairwise_overlap_declared(
+    classes: List[Formula], knowledge_base: KnowledgeBase
+) -> bool:
+    """Check that every pair of classes has an ``exists! x (psi_i and psi_j)`` conjunct.
+
+    The check is syntactic but insensitive to the order of the two classes and
+    to the bound-variable name.
+    """
+    declared: Set[frozenset] = set()
+    for sentence in knowledge_base.sentences:
+        if isinstance(sentence, ExistsExactly) and sentence.count == 1:
+            body = sentence.body
+            operands = body.operands if isinstance(body, And) else (body,)
+            normalised = frozenset(
+                _normalise_class(part, sentence.variable) for part in operands
+            )
+            declared.add(normalised)
+    for i, class_a in enumerate(classes):
+        for class_b in classes[i + 1 :]:
+            target: Set[Formula] = set()
+            for part in (class_a, class_b):
+                operands = part.operands if isinstance(part, And) else (part,)
+                target.update(operands)
+            if frozenset(target) not in declared:
+                return False
+    return True
+
+
+def _normalise_class(formula: Formula, variable: str) -> Formula:
+    from ..logic.substitution import substitute
+    from ..logic.syntax import Var
+
+    if variable == SUBJECT_VARIABLE:
+        return formula
+    return substitute(formula, {variable: Var(SUBJECT_VARIABLE)})
+
+
+def combination_inference(
+    query: Formula,
+    knowledge_base: KnowledgeBase,
+    assume_small_overlap: bool = False,
+) -> Optional[BeliefResult]:
+    """Apply Theorem 5.26; return ``None`` when its conditions cannot be established.
+
+    ``assume_small_overlap`` skips the syntactic check for the pairwise
+    ``exists!`` conjuncts — the generalised form of the theorem only requires
+    the overlaps to be vanishingly small relative to the classes.
+    """
+    if free_vars(query):
+        return None
+    if not isinstance(query, Atom) or len(query.args) != 1:
+        return None
+    argument = query.args[0]
+    if not isinstance(argument, Const):
+        return None
+    constant = argument.name
+    predicate = query.predicate
+
+    query_class = Atom(predicate, (Var(SUBJECT_VARIABLE),))
+    relevant = relevant_statistics(query_class, knowledge_base)
+    if len(relevant) < 2:
+        return None
+
+    try:
+        table = _unary_atom_table(knowledge_base)
+    except Exception:
+        return None
+
+    classes: List[Formula] = []
+    values: List[float] = []
+    indices: List[Optional[int]] = []
+    for candidate in relevant:
+        if not candidate.statistic.is_point:
+            return None
+        reference_class = candidate.reference_class
+        # P and c must not appear in the class description.
+        if predicate in symbols_of(reference_class) or constant in constants_of(reference_class):
+            return None
+        if not entails_membership(knowledge_base, reference_class, constant, table):
+            return None
+        classes.append(reference_class)
+        values.append(candidate.statistic.value)
+        indices.append(candidate.statistic.low_index)
+
+    if not assume_small_overlap and not _pairwise_overlap_declared(classes, knowledge_base):
+        return None
+
+    has_one = any(abs(v - 1.0) < 1e-15 for v in values)
+    has_zero = any(abs(v) < 1e-15 for v in values)
+    if has_one and has_zero:
+        distinct_indices = {index for index in indices if index is not None}
+        if len(distinct_indices) <= 1:
+            # Conflicting defaults of equal declared strength: the limit is 1/2.
+            return BeliefResult(
+                value=0.5,
+                exists=True,
+                method="combination",
+                diagnostics={"classes": [repr(c) for c in classes], "values": values},
+                note="Theorem 5.26 with conflicting defaults of equal strength",
+            )
+        return BeliefResult(
+            value=None,
+            interval=(0.0, 1.0),
+            exists=False,
+            method="combination",
+            diagnostics={"classes": [repr(c) for c in classes], "values": values},
+            note=(
+                "conflicting defaults with independent tolerances: the limiting degree of "
+                "belief does not exist (its value depends on the relative default strengths)"
+            ),
+        )
+
+    value = dempster_combine(values)
+    return BeliefResult(
+        value=value,
+        exists=True,
+        method="combination",
+        diagnostics={"classes": [repr(c) for c in classes], "values": values},
+        note="Theorem 5.26 (Dempster combination of competing reference classes)",
+    )

@@ -1,0 +1,93 @@
+"""The default-conclusion relation |~rw and helpers built on it (Section 5.1).
+
+``KB |~rw phi`` holds when ``Pr_infinity(phi | KB) = 1``.  Proposition 5.2
+licenses adding such conclusions back into the KB without changing any degree
+of belief (the strengthened Cut / Cautious Monotonicity), which is both a
+reasoning pattern of its own (Example 5.14 chains nested defaults this way)
+and a practical preprocessing step before applying the closed-form theorems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.parser import parse
+from ..logic.syntax import Formula, Not
+from .knowledge_base import KnowledgeBase
+from .result import BeliefResult
+
+
+DEFAULT_CERTAINTY_SLACK = 1e-4
+
+
+@dataclass(frozen=True)
+class DefaultConclusion:
+    """One established default conclusion with its supporting result."""
+
+    conclusion: Formula
+    result: BeliefResult
+
+
+class DefaultReasoner:
+    """A thin wrapper exposing random worlds as a default reasoning system."""
+
+    def __init__(self, engine, certainty_slack: float = DEFAULT_CERTAINTY_SLACK):
+        self._engine = engine
+        self._slack = certainty_slack
+
+    # -- the |~rw relation ----------------------------------------------------
+
+    def concludes(self, knowledge_base: KnowledgeBase | Formula | str, conclusion: Formula | str) -> bool:
+        """``KB |~rw conclusion`` — the conclusion gets limiting degree of belief 1."""
+        result = self._engine.degree_of_belief(conclusion, knowledge_base)
+        return result.value is not None and result.value >= 1.0 - self._slack
+
+    def rejects(self, knowledge_base: KnowledgeBase | Formula | str, conclusion: Formula | str) -> bool:
+        """``KB |~rw not conclusion`` — the conclusion gets limiting degree of belief 0."""
+        result = self._engine.degree_of_belief(conclusion, knowledge_base)
+        return result.value is not None and result.value <= self._slack
+
+    def undecided(self, knowledge_base: KnowledgeBase | Formula | str, conclusion: Formula | str) -> bool:
+        """Neither concluded nor rejected by default."""
+        result = self._engine.degree_of_belief(conclusion, knowledge_base)
+        if result.value is None:
+            return True
+        return self._slack < result.value < 1.0 - self._slack
+
+    # -- Cut / Cautious Monotonicity in action --------------------------------
+
+    def extend_with_conclusions(
+        self,
+        knowledge_base: KnowledgeBase,
+        candidates: Iterable[Formula | str],
+    ) -> Tuple[KnowledgeBase, List[DefaultConclusion]]:
+        """Add every candidate that follows by default to the KB (Proposition 5.2).
+
+        Returns the extended KB and the list of conclusions actually added.
+        Candidates that do not follow by default are skipped silently — adding
+        them would change the degrees of belief, which Proposition 5.2 does not
+        license.
+        """
+        established: List[DefaultConclusion] = []
+        current = knowledge_base
+        for candidate in candidates:
+            formula = parse(candidate) if isinstance(candidate, str) else candidate
+            result = self._engine.degree_of_belief(formula, current)
+            if result.value is not None and result.value >= 1.0 - self._slack:
+                current = current.conjoin(formula)
+                established.append(DefaultConclusion(formula, result))
+        return current, established
+
+    def conclusions_about(
+        self,
+        knowledge_base: KnowledgeBase,
+        candidates: Sequence[Formula | str],
+    ) -> List[Tuple[Formula, Optional[float]]]:
+        """Degrees of belief for a list of candidate conclusions (reporting helper)."""
+        report: List[Tuple[Formula, Optional[float]]] = []
+        for candidate in candidates:
+            formula = parse(candidate) if isinstance(candidate, str) else candidate
+            result = self._engine.degree_of_belief(formula, knowledge_base)
+            report.append((formula, result.value))
+        return report

@@ -1,0 +1,313 @@
+"""The random-worlds engine: dispatching queries to the best computation path.
+
+``RandomWorlds.degree_of_belief`` accepts a closed query and a knowledge base
+and returns a :class:`BeliefResult`.  The automatic method order is:
+
+1. **independence** (Theorem 5.27) — split conjunctive queries across disjoint
+   subvocabularies and recurse;
+2. **analytic theorems** — direct inference (5.6), minimal-reference-class
+   specificity (5.16), the strength rule (5.23), and evidence combination
+   (5.26); these return instantly and carry the matched statistic in their
+   diagnostics;
+3. **maximum entropy** (Section 6) — for unary knowledge bases;
+4. **exact counting** — the definitional double limit over exact finite
+   counts; always available for unary vocabularies and for tiny non-unary
+   problems.
+
+Each path either produces an answer or reports that it does not apply; the
+engine records which path produced the value so experiments can compare them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Union
+
+from ..logic.parser import parse
+from ..logic.substitution import free_vars
+from ..logic.syntax import Formula
+from ..logic.tolerance import ToleranceVector, default_sequence
+from ..logic.vocabulary import Vocabulary
+from ..maxent.beliefs import degree_of_belief_maxent
+from ..maxent.solver import MaxEntInfeasible
+from ..worlds.counting import InconsistentKnowledgeBase
+from ..worlds.degrees import degree_of_belief_by_counting
+from ..worlds.enumeration import EnumerationTooLarge, world_space_size
+from ..worlds.unary import UnsupportedFormula
+from .combination import combination_inference
+from .direct_inference import direct_inference
+from .independence import independence_inference
+from .knowledge_base import KnowledgeBase
+from .result import BeliefResult
+from .specificity import specificity_inference
+from .strength import strength_inference
+
+
+QueryLike = Union[Formula, str]
+KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
+
+AUTO_METHODS = ("independence", "analytic", "maxent", "counting")
+BRUTE_FORCE_WORLD_LIMIT = 300_000
+# Upper bound on the number of isomorphism classes the unary counter may visit
+# per (domain size, tolerance) pair; larger domain sizes are skipped so a query
+# over a many-predicate vocabulary degrades gracefully instead of hanging.
+UNARY_CLASS_LIMIT = 250_000
+
+
+class RandomWorldsError(RuntimeError):
+    """Raised when no computation path can handle a query."""
+
+
+class RandomWorlds:
+    """Compute degrees of belief with the random-worlds method.
+
+    Parameters
+    ----------
+    tolerances:
+        The shrinking tolerance sequence used by the semantic engines (max
+        entropy, counting).  Defaults to the library-wide sequence.
+    domain_sizes:
+        The domain sizes used by the exact counting engine.
+    counting_fallback:
+        Whether to fall back to exact counting when everything else fails.
+    assume_small_overlap:
+        Passed through to the evidence-combination engine (Theorem 5.26): when
+        True, competing reference classes are assumed to overlap negligibly
+        even without explicit ``exists!`` conjuncts.
+    """
+
+    def __init__(
+        self,
+        tolerances: Optional[Iterable[ToleranceVector]] = None,
+        domain_sizes: Sequence[int] = (8, 12, 16, 24, 32),
+        counting_fallback: bool = True,
+        assume_small_overlap: bool = False,
+    ):
+        self._tolerances = tuple(tolerances) if tolerances is not None else tuple(default_sequence())
+        self._domain_sizes = tuple(domain_sizes)
+        self._counting_fallback = counting_fallback
+        self._assume_small_overlap = assume_small_overlap
+
+    # -- normalisation ---------------------------------------------------------
+
+    @staticmethod
+    def _as_query(query: QueryLike) -> Formula:
+        formula = parse(query) if isinstance(query, str) else query
+        if free_vars(formula):
+            raise ValueError(f"queries must be closed sentences; {formula!r} has free variables")
+        return formula
+
+    @staticmethod
+    def _as_knowledge_base(knowledge_base: KnowledgeBaseLike) -> KnowledgeBase:
+        if isinstance(knowledge_base, KnowledgeBase):
+            return knowledge_base
+        if isinstance(knowledge_base, str):
+            return KnowledgeBase.from_strings(knowledge_base)
+        return KnowledgeBase.from_formula(knowledge_base)
+
+    def _joint_vocabulary(self, query: Formula, knowledge_base: KnowledgeBase) -> Vocabulary:
+        return knowledge_base.vocabulary.merge(Vocabulary.from_formulas([query]))
+
+    # -- public API ------------------------------------------------------------
+
+    def degree_of_belief(
+        self,
+        query: QueryLike,
+        knowledge_base: KnowledgeBaseLike,
+        method: str = "auto",
+    ) -> BeliefResult:
+        """``Pr_infinity(query | KB)`` with the requested computation method."""
+        query_formula = self._as_query(query)
+        kb = self._as_knowledge_base(knowledge_base)
+
+        if method == "auto":
+            return self._auto(query_formula, kb)
+        if method == "independence":
+            result = self._independence(query_formula, kb)
+        elif method == "analytic":
+            result = self._analytic(query_formula, kb)
+        elif method == "maxent":
+            result = self._maxent(query_formula, kb)
+        elif method == "counting":
+            result = self._counting(query_formula, kb)
+        else:
+            raise ValueError(f"unknown method {method!r}; expected one of {('auto',) + AUTO_METHODS}")
+        if result is None:
+            raise RandomWorldsError(f"method {method!r} does not apply to this query")
+        return result
+
+    def conditional(self, query: QueryLike, knowledge_base: KnowledgeBaseLike, evidence: QueryLike) -> BeliefResult:
+        """Degree of belief in ``query`` given the KB extended with ``evidence``."""
+        kb = self._as_knowledge_base(knowledge_base)
+        extra = self._as_query(evidence)
+        return self.degree_of_belief(query, kb.conjoin(extra))
+
+    def entails_by_default(self, knowledge_base: KnowledgeBaseLike, query: QueryLike, slack: float = 1e-4) -> bool:
+        """``KB |~rw query``: the query receives limiting degree of belief 1."""
+        result = self.degree_of_belief(query, knowledge_base)
+        return result.value is not None and result.value >= 1.0 - slack
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _auto(self, query: Formula, kb: KnowledgeBase) -> BeliefResult:
+        independent = self._independence(query, kb)
+        if independent is not None and independent.value is not None:
+            return independent
+
+        analytic = self._analytic(query, kb)
+        if analytic is not None and analytic.is_point:
+            return analytic
+
+        semantic: Optional[BeliefResult] = None
+        maxent = self._maxent(query, kb)
+        if maxent is not None and maxent.value is not None:
+            semantic = maxent
+        elif self._counting_fallback:
+            semantic = self._counting(query, kb)
+
+        if analytic is not None and analytic.interval is not None:
+            low, high = analytic.interval
+            if semantic is not None and semantic.value is not None and low - 1e-6 <= semantic.value <= high + 1e-6:
+                return BeliefResult(
+                    value=semantic.value,
+                    interval=analytic.interval,
+                    exists=semantic.exists,
+                    method=f"{semantic.method}+{analytic.method}",
+                    diagnostics={"analytic": analytic.diagnostics, "semantic": semantic.diagnostics},
+                    note=analytic.note,
+                )
+            if semantic is None or semantic.value is None:
+                return analytic
+
+        if semantic is not None:
+            return semantic
+        if analytic is not None:
+            return analytic
+        raise RandomWorldsError(
+            "no computation path applies: the query/KB are outside the analytic patterns, "
+            "the vocabulary is not unary, and brute-force enumeration would be too large"
+        )
+
+    # -- individual paths --------------------------------------------------------
+
+    def _independence(self, query: Formula, kb: KnowledgeBase) -> Optional[BeliefResult]:
+        def solve(sub_query: Formula, sub_kb: KnowledgeBase) -> Optional[BeliefResult]:
+            try:
+                return self._auto(sub_query, sub_kb)
+            except RandomWorldsError:
+                return None
+
+        return independence_inference(query, kb, solve)
+
+    def _analytic(self, query: Formula, kb: KnowledgeBase) -> Optional[BeliefResult]:
+        candidates = []
+        for inference in (
+            direct_inference,
+            specificity_inference,
+            strength_inference,
+        ):
+            result = inference(query, kb)
+            if result is not None:
+                candidates.append(result)
+        combo = combination_inference(query, kb, assume_small_overlap=self._assume_small_overlap)
+        if combo is not None:
+            candidates.append(combo)
+        if not candidates:
+            return None
+        # Prefer point answers, then the tightest interval.
+        points = [c for c in candidates if c.is_point and c.value is not None]
+        if points:
+            return points[0]
+        with_intervals = [c for c in candidates if c.interval is not None]
+        if with_intervals:
+            return min(with_intervals, key=lambda c: c.interval[1] - c.interval[0])
+        return candidates[0]
+
+    def _maxent(self, query: Formula, kb: KnowledgeBase) -> Optional[BeliefResult]:
+        vocabulary = self._joint_vocabulary(query, kb)
+        if not vocabulary.is_unary:
+            return None
+        try:
+            belief = degree_of_belief_maxent(query, kb.formula, vocabulary, tolerances=self._tolerances)
+        except (UnsupportedFormula, MaxEntInfeasible):
+            return None
+        if belief.value is None:
+            return None
+        return BeliefResult(
+            value=belief.value,
+            exists=belief.exists,
+            method="maxent",
+            diagnostics={
+                "per_tolerance": belief.per_tolerance,
+                "atom_probabilities": belief.solution.probabilities if belief.solution else None,
+            },
+            note=belief.note or "maximum entropy over atom proportions (Section 6)",
+        )
+
+    def _counting(self, query: Formula, kb: KnowledgeBase) -> Optional[BeliefResult]:
+        vocabulary = self._joint_vocabulary(query, kb)
+        prefer_unary = vocabulary.is_unary
+        if not prefer_unary:
+            # Refuse hopeless brute-force enumerations up front.
+            if world_space_size(vocabulary, min(self._domain_sizes)) > BRUTE_FORCE_WORLD_LIMIT:
+                return None
+            domain_sizes: Sequence[int] = tuple(n for n in self._domain_sizes if world_space_size(vocabulary, n) <= BRUTE_FORCE_WORLD_LIMIT)
+            if not domain_sizes:
+                return None
+        else:
+            domain_sizes = tuple(
+                n for n in self._domain_sizes if _unary_class_count(vocabulary, n) <= UNARY_CLASS_LIMIT
+            )
+            if not domain_sizes:
+                return None
+        try:
+            report = degree_of_belief_by_counting(
+                query,
+                kb.formula,
+                vocabulary,
+                domain_sizes=domain_sizes,
+                tolerances=self._tolerances,
+                prefer_unary=prefer_unary,
+            )
+        except (InconsistentKnowledgeBase, EnumerationTooLarge, UnsupportedFormula):
+            return None
+        if report.value is None:
+            return BeliefResult(
+                value=None,
+                exists=False,
+                method="counting",
+                diagnostics={"note": report.limit.note},
+                note="the finite counts do not converge",
+            )
+        return BeliefResult(
+            value=report.value,
+            exists=report.exists,
+            method="counting",
+            diagnostics={
+                "curves": [
+                    {
+                        "tolerance": curve.tolerance.max_tolerance,
+                        "points": [(n, float(p)) for n, p in curve.defined_points()],
+                    }
+                    for curve in report.curves
+                ],
+                "note": report.limit.note,
+            },
+            note="exact world counting with limit extrapolation (Definition 4.3)",
+        )
+
+
+def _unary_class_count(vocabulary: Vocabulary, domain_size: int) -> int:
+    """Number of isomorphism classes the unary counter would visit for one (N, tau) pair.
+
+    Used to skip domain sizes whose exact count would be prohibitively slow for
+    vocabularies with many unary predicates (the method is exponential in the
+    number of predicates, as the paper notes in Section 7.4).
+    """
+    num_atoms = 1 << len(vocabulary.unary_predicates)
+    compositions = math.comb(domain_size + num_atoms - 1, num_atoms - 1)
+    num_constants = len(vocabulary.constants)
+    # Placements grow like Bell(m) * A^m; for the small m used in practice the
+    # simple bound m^m * A^m is adequate.
+    placements = max(1, (max(num_constants, 1) ** num_constants)) * (num_atoms**num_constants)
+    return compositions * placements

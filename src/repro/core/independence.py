@@ -1,0 +1,132 @@
+"""Independence across disjoint subvocabularies — Theorem 5.27.
+
+If the knowledge base and query split into parts that share no predicate or
+function symbols (they may share constants — the theorem is stated for a
+single shared constant c), the degree of belief of the conjunction is the
+product of the degrees of belief of the parts.  Example 5.28 uses this to
+conclude Pr(Hep(Eric) and Over60(Eric)) = 0.8 * 0.4 = 0.32.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..logic.substitution import constants_of, predicates_of, functions_of
+from ..logic.syntax import Formula, TRUE, conj, conjuncts
+from .knowledge_base import KnowledgeBase
+from .result import BeliefResult
+
+
+SubQuerySolver = Callable[[Formula, KnowledgeBase], Optional[BeliefResult]]
+
+
+def _relational_symbols(formula: Formula) -> Set[str]:
+    """Predicate and function symbols of a formula (constants deliberately excluded)."""
+    return set(predicates_of(formula)) | set(functions_of(formula))
+
+
+def _components(parts: Sequence[Formula]) -> List[List[int]]:
+    """Connected components of formulas under the shared-relational-symbol relation."""
+    symbol_sets = [_relational_symbols(part) for part in parts]
+    parent = list(range(len(parts)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for i in range(len(parts)):
+        for j in range(i + 1, len(parts)):
+            if symbol_sets[i] & symbol_sets[j]:
+                union(i, j)
+
+    groups: Dict[int, List[int]] = {}
+    for i in range(len(parts)):
+        groups.setdefault(find(i), []).append(i)
+    return list(groups.values())
+
+
+def split_independent(
+    query: Formula, knowledge_base: KnowledgeBase
+) -> Optional[List[Tuple[Formula, KnowledgeBase]]]:
+    """Split (query, KB) into independent (sub-query, sub-KB) pairs, or ``None``.
+
+    The split succeeds when the conjuncts of the query fall into at least two
+    different components of the shared-symbol graph built over all query and
+    KB conjuncts together.  Each sub-KB consists of the KB conjuncts in the
+    same component as the corresponding sub-query; KB conjuncts in components
+    containing no query conjunct are irrelevant to the product and dropped
+    (they factor out of numerator and denominator alike).
+    """
+    query_parts = list(conjuncts(query))
+    if len(query_parts) < 2:
+        return None
+    kb_parts = list(knowledge_base.sentences)
+    all_parts = query_parts + kb_parts
+    components = _components(all_parts)
+
+    query_component_of: Dict[int, int] = {}
+    for component_index, members in enumerate(components):
+        for member in members:
+            if member < len(query_parts):
+                query_component_of[member] = component_index
+    used_components = set(query_component_of.values())
+    if len(used_components) < 2:
+        return None
+
+    pairs: List[Tuple[Formula, KnowledgeBase]] = []
+    for component_index, members in enumerate(components):
+        if component_index not in used_components:
+            continue
+        sub_query = conj(*[query_parts[m] for m in members if m < len(query_parts)])
+        sub_kb_parts = [all_parts[m] for m in members if m >= len(query_parts)]
+        pairs.append((sub_query, KnowledgeBase(sub_kb_parts)))
+    return pairs
+
+
+def independence_inference(
+    query: Formula,
+    knowledge_base: KnowledgeBase,
+    solve: SubQuerySolver,
+) -> Optional[BeliefResult]:
+    """Apply Theorem 5.27 by solving each independent part with ``solve``."""
+    pairs = split_independent(query, knowledge_base)
+    if pairs is None:
+        return None
+    product = 1.0
+    interval_low, interval_high = 1.0, 1.0
+    sub_results = []
+    for sub_query, sub_kb in pairs:
+        result = solve(sub_query, sub_kb)
+        if result is None or result.value is None and result.interval is None:
+            return None
+        sub_results.append((repr(sub_query), result))
+        if result.value is not None:
+            product *= result.value
+            interval_low *= result.value
+            interval_high *= result.value
+        elif result.interval is not None:
+            interval_low *= result.interval[0]
+            interval_high *= result.interval[1]
+            product = None  # type: ignore[assignment]
+        if not result.exists:
+            return BeliefResult(
+                value=None,
+                exists=False,
+                method="independence",
+                diagnostics={"parts": [(q, r.value) for q, r in sub_results]},
+                note="a factor's degree of belief does not exist",
+            )
+    point = all(r.value is not None for _, r in sub_results)
+    return BeliefResult(
+        value=product if point else None,
+        interval=(interval_low, interval_high),
+        exists=True,
+        method="independence",
+        diagnostics={"parts": [(q, r.value if r.value is not None else r.interval) for q, r in sub_results]},
+        note="Theorem 5.27 (independence of disjoint subvocabularies)",
+    )

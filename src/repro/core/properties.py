@@ -1,0 +1,194 @@
+"""Numeric checkers for the KLM-style properties of |~rw (Theorems 5.3 and 5.5).
+
+The paper proves that random worlds satisfies Left Logical Equivalence, Right
+Weakening, Reflexivity, Cut, Cautious Monotonicity, And, Or, and a weakened
+Rational Monotonicity.  These checkers evaluate a *concrete instance* of each
+property with the engine and report whether it held, which is how the
+experiment suite and the property-based tests exercise Theorem 5.3 on
+generated knowledge bases (a numeric check cannot prove the theorem, but a
+single counterexample would refute the implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..logic.syntax import Formula, Not, conj, disj
+from .knowledge_base import KnowledgeBase
+from .result import BeliefResult, PropertyCheckResult
+
+
+CERTAINTY = 1.0 - 1e-4
+
+
+def _belief(engine, query: Formula, knowledge_base: KnowledgeBase) -> Optional[float]:
+    result: BeliefResult = engine.degree_of_belief(query, knowledge_base)
+    return result.value
+
+
+def _is_certain(value: Optional[float]) -> bool:
+    return value is not None and value >= CERTAINTY
+
+
+def check_reflexivity(engine, knowledge_base: KnowledgeBase) -> PropertyCheckResult:
+    """``KB |~ KB``."""
+    value = _belief(engine, knowledge_base.formula, knowledge_base)
+    return PropertyCheckResult("Reflexivity", _is_certain(value), {"value": value})
+
+
+def check_left_logical_equivalence(
+    engine, kb_a: KnowledgeBase, kb_b: KnowledgeBase, query: Formula
+) -> PropertyCheckResult:
+    """Logically equivalent KBs give the same degree of belief.
+
+    The caller is responsible for ``kb_a`` and ``kb_b`` being logically
+    equivalent; the checker only compares the numeric outputs.
+    """
+    value_a = _belief(engine, query, kb_a)
+    value_b = _belief(engine, query, kb_b)
+    if value_a is None and value_b is None:
+        holds = True
+    elif value_a is None or value_b is None:
+        holds = False
+    else:
+        holds = abs(value_a - value_b) <= 5e-3
+    return PropertyCheckResult(
+        "Left Logical Equivalence", holds, {"value_a": value_a, "value_b": value_b}
+    )
+
+
+def check_right_weakening(
+    engine, knowledge_base: KnowledgeBase, phi: Formula, weaker: Formula
+) -> PropertyCheckResult:
+    """If ``phi => weaker`` is valid and ``KB |~ phi`` then ``KB |~ weaker``.
+
+    The caller guarantees the validity of the implication (typically ``weaker``
+    is ``phi or something``).
+    """
+    value_phi = _belief(engine, phi, knowledge_base)
+    if not _is_certain(value_phi):
+        return PropertyCheckResult(
+            "Right Weakening", True, {"vacuous": True, "value_phi": value_phi}
+        )
+    value_weaker = _belief(engine, weaker, knowledge_base)
+    return PropertyCheckResult(
+        "Right Weakening",
+        _is_certain(value_weaker),
+        {"value_phi": value_phi, "value_weaker": value_weaker},
+    )
+
+
+def check_and(
+    engine, knowledge_base: KnowledgeBase, phi: Formula, psi: Formula
+) -> PropertyCheckResult:
+    """If ``KB |~ phi`` and ``KB |~ psi`` then ``KB |~ phi and psi``."""
+    value_phi = _belief(engine, phi, knowledge_base)
+    value_psi = _belief(engine, psi, knowledge_base)
+    if not (_is_certain(value_phi) and _is_certain(value_psi)):
+        return PropertyCheckResult("And", True, {"vacuous": True})
+    value_both = _belief(engine, conj(phi, psi), knowledge_base)
+    return PropertyCheckResult(
+        "And", _is_certain(value_both), {"phi": value_phi, "psi": value_psi, "both": value_both}
+    )
+
+
+def check_or(
+    engine, kb_a: KnowledgeBase, kb_b: KnowledgeBase, phi: Formula
+) -> PropertyCheckResult:
+    """If ``KB |~ phi`` and ``KB' |~ phi`` then ``KB or KB' |~ phi``."""
+    value_a = _belief(engine, phi, kb_a)
+    value_b = _belief(engine, phi, kb_b)
+    if not (_is_certain(value_a) and _is_certain(value_b)):
+        return PropertyCheckResult("Or", True, {"vacuous": True})
+    disjunctive = KnowledgeBase([disj(kb_a.formula, kb_b.formula)])
+    value_or = _belief(engine, phi, disjunctive)
+    return PropertyCheckResult(
+        "Or", _is_certain(value_or), {"kb_a": value_a, "kb_b": value_b, "kb_or": value_or}
+    )
+
+
+def check_cut(
+    engine, knowledge_base: KnowledgeBase, theta: Formula, phi: Formula
+) -> PropertyCheckResult:
+    """If ``KB |~ theta`` and ``KB and theta |~ phi`` then ``KB |~ phi``."""
+    value_theta = _belief(engine, theta, knowledge_base)
+    if not _is_certain(value_theta):
+        return PropertyCheckResult("Cut", True, {"vacuous": True, "theta": value_theta})
+    extended = knowledge_base.conjoin(theta)
+    value_phi_extended = _belief(engine, phi, extended)
+    if not _is_certain(value_phi_extended):
+        return PropertyCheckResult(
+            "Cut", True, {"vacuous": True, "phi_given_extended": value_phi_extended}
+        )
+    value_phi = _belief(engine, phi, knowledge_base)
+    return PropertyCheckResult(
+        "Cut",
+        _is_certain(value_phi),
+        {"theta": value_theta, "phi_extended": value_phi_extended, "phi": value_phi},
+    )
+
+
+def check_cautious_monotonicity(
+    engine, knowledge_base: KnowledgeBase, theta: Formula, phi: Formula
+) -> PropertyCheckResult:
+    """If ``KB |~ theta`` and ``KB |~ phi`` then ``KB and theta |~ phi``."""
+    value_theta = _belief(engine, theta, knowledge_base)
+    value_phi = _belief(engine, phi, knowledge_base)
+    if not (_is_certain(value_theta) and _is_certain(value_phi)):
+        return PropertyCheckResult(
+            "Cautious Monotonicity", True, {"vacuous": True, "theta": value_theta, "phi": value_phi}
+        )
+    extended = knowledge_base.conjoin(theta)
+    value_phi_extended = _belief(engine, phi, extended)
+    return PropertyCheckResult(
+        "Cautious Monotonicity",
+        _is_certain(value_phi_extended),
+        {"theta": value_theta, "phi": value_phi, "phi_extended": value_phi_extended},
+    )
+
+
+def check_conditioning_invariance(
+    engine, knowledge_base: KnowledgeBase, theta: Formula, phi: Formula
+) -> PropertyCheckResult:
+    """Proposition 5.2: if ``KB |~ theta`` then Pr(phi | KB) = Pr(phi | KB and theta)."""
+    value_theta = _belief(engine, theta, knowledge_base)
+    if not _is_certain(value_theta):
+        return PropertyCheckResult(
+            "Conditioning invariance", True, {"vacuous": True, "theta": value_theta}
+        )
+    value_phi = _belief(engine, phi, knowledge_base)
+    value_phi_extended = _belief(engine, phi, knowledge_base.conjoin(theta))
+    if value_phi is None and value_phi_extended is None:
+        holds = True
+    elif value_phi is None or value_phi_extended is None:
+        holds = False
+    else:
+        holds = abs(value_phi - value_phi_extended) <= 5e-3
+    return PropertyCheckResult(
+        "Conditioning invariance",
+        holds,
+        {"phi": value_phi, "phi_extended": value_phi_extended},
+    )
+
+
+def check_rational_monotonicity(
+    engine, knowledge_base: KnowledgeBase, theta: Formula, phi: Formula
+) -> PropertyCheckResult:
+    """Theorem 5.5: if ``KB |~ phi``, not ``KB |~ not theta``, and the limit for
+    ``KB and theta`` exists, then ``KB and theta |~ phi``."""
+    value_phi = _belief(engine, phi, knowledge_base)
+    value_not_theta = _belief(engine, Not(theta), knowledge_base)
+    if not _is_certain(value_phi) or _is_certain(value_not_theta):
+        return PropertyCheckResult("Rational Monotonicity", True, {"vacuous": True})
+    extended = knowledge_base.conjoin(theta)
+    result: BeliefResult = engine.degree_of_belief(phi, extended)
+    if result.value is None or not result.exists:
+        # The theorem only claims the conclusion when the limit exists.
+        return PropertyCheckResult(
+            "Rational Monotonicity", True, {"vacuous": True, "limit_missing": True}
+        )
+    return PropertyCheckResult(
+        "Rational Monotonicity",
+        _is_certain(result.value),
+        {"phi": value_phi, "not_theta": value_not_theta, "phi_extended": result.value},
+    )

@@ -1,0 +1,82 @@
+"""Result types returned by the random-worlds engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BeliefResult:
+    """The outcome of a degree-of-belief computation.
+
+    Attributes
+    ----------
+    value:
+        The degree of belief ``Pr_infinity(query | KB)``, or ``None`` when the
+        limit does not exist or could not be determined.
+    interval:
+        When a theorem pins the answer to an interval rather than a point
+        (e.g. Theorem 5.6 with interval statistics), the interval ``[low, high]``.
+        Point answers carry the degenerate interval ``(value, value)``.
+    exists:
+        Whether the double limit of Definition 4.3 exists according to the
+        evidence gathered (non-existence is meaningful: see the Nixon diamond
+        with conflicting defaults, Section 5.3).
+    method:
+        Which computation path produced the answer (``"direct-inference"``,
+        ``"specificity"``, ``"strength"``, ``"combination"``,
+        ``"independence"``, ``"maxent"``, ``"counting"``).
+    diagnostics:
+        Free-form details: matched statistics, per-tolerance values, counting
+        curves, solver output, and so on.
+    """
+
+    value: Optional[float]
+    interval: Optional[Tuple[float, float]] = None
+    exists: bool = True
+    method: str = "unknown"
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.interval is None and self.value is not None:
+            object.__setattr__(self, "interval", (self.value, self.value))
+
+    @property
+    def is_point(self) -> bool:
+        """True when the answer is a single number rather than a proper interval."""
+        if self.interval is None:
+            return self.value is not None
+        low, high = self.interval
+        return abs(high - low) < 1e-9
+
+    def approximately(self, target: float, tolerance: float = 1e-3) -> bool:
+        """True when the computed value is within ``tolerance`` of ``target``."""
+        return self.value is not None and abs(self.value - target) <= tolerance
+
+    def within(self, low: float, high: float, slack: float = 1e-6) -> bool:
+        """True when the computed value lies inside ``[low, high]``."""
+        return self.value is not None and low - slack <= self.value <= high + slack
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            shown = "undefined"
+        else:
+            shown = f"{self.value:.6g}"
+        extra = ""
+        if self.interval is not None and not self.is_point:
+            extra = f", interval=[{self.interval[0]:.4g}, {self.interval[1]:.4g}]"
+        return f"BeliefResult({shown}{extra}, method={self.method!r}, exists={self.exists})"
+
+
+@dataclass(frozen=True)
+class PropertyCheckResult:
+    """Outcome of checking one KLM-style property instance (Section 3.2 / 5.1)."""
+
+    name: str
+    holds: bool
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds

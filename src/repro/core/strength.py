@@ -1,0 +1,126 @@
+"""The strength rule on chains of reference classes — Theorem 5.23.
+
+When the reference classes with statistics for the query property form a
+chain ``psi_1 subset psi_2 subset ... subset psi_m`` with the query individual
+known to belong to ``psi_1``, and one of the intervals ``[alpha_j, beta_j]``
+is strictly nested inside all the others, the degree of belief lies in that
+tightest interval.  This captures Kyburg's strength rule for chains
+(Example 5.24: the magpie Tweety chirps with probability in [0.7, 0.8], taken
+from the better-measured superclass of birds).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..logic.substitution import abstract_constant, constants_of, free_vars, symbols_of
+from ..logic.syntax import Formula
+from ..worlds.unary import AtomTable
+from .entailment import class_relation, entails_membership
+from .knowledge_base import KnowledgeBase
+from .result import BeliefResult
+from .specificity import (
+    ReferenceClassStatistic,
+    SUBJECT_VARIABLE,
+    _symbols_condition_holds,
+    _unary_atom_table,
+    relevant_statistics,
+)
+
+
+def _forms_chain(
+    classes: List[ReferenceClassStatistic],
+    knowledge_base: KnowledgeBase,
+    table: AtomTable,
+) -> Optional[List[ReferenceClassStatistic]]:
+    """Order the classes into a subset chain, or return ``None`` if impossible."""
+    ordered = list(classes)
+
+    def is_subset(a: ReferenceClassStatistic, b: ReferenceClassStatistic) -> bool:
+        return class_relation(a.reference_class, b.reference_class, knowledge_base, table) in (
+            "subset",
+            "equal",
+        )
+
+    # Simple selection sort by the subset relation; verify totality as we go.
+    chain: List[ReferenceClassStatistic] = []
+    remaining = ordered[:]
+    while remaining:
+        smallest = None
+        for candidate in remaining:
+            if all(is_subset(candidate, other) for other in remaining if other is not candidate):
+                smallest = candidate
+                break
+        if smallest is None:
+            return None
+        chain.append(smallest)
+        remaining.remove(smallest)
+    return chain
+
+
+def strength_inference(query: Formula, knowledge_base: KnowledgeBase) -> Optional[BeliefResult]:
+    """Apply Theorem 5.23; return ``None`` when its conditions cannot be established."""
+    if free_vars(query):
+        return None
+    query_constants = sorted(constants_of(query))
+    if len(query_constants) != 1:
+        return None
+    constant = query_constants[0]
+    query_class = abstract_constant(query, constant, SUBJECT_VARIABLE)
+
+    relevant = relevant_statistics(query_class, knowledge_base)
+    if len(relevant) < 2:
+        return None
+    if any(constants_of(r.reference_class) for r in relevant):
+        return None
+    if not _symbols_condition_holds(query_class, relevant, knowledge_base, constant):
+        return None
+
+    try:
+        table = _unary_atom_table(knowledge_base)
+    except Exception:
+        return None
+
+    chain = _forms_chain(relevant, knowledge_base, table)
+    if chain is None:
+        return None
+
+    # The individual must belong to the most specific class of the chain.
+    if not entails_membership(knowledge_base, chain[0].reference_class, constant, table):
+        return None
+
+    # Find a tightest interval strictly nested in every other interval.
+    tightest: Optional[ReferenceClassStatistic] = None
+    for candidate in chain:
+        low, high = candidate.interval
+        nested = True
+        for other in chain:
+            if other is candidate:
+                continue
+            other_low, other_high = other.interval
+            if not (other_low <= low and high <= other_high):
+                nested = False
+                break
+        if nested:
+            if tightest is None or (candidate.interval[1] - candidate.interval[0]) < (
+                tightest.interval[1] - tightest.interval[0]
+            ):
+                tightest = candidate
+    if tightest is None:
+        return None
+    # Degenerate case: if the tightest interval belongs to the most specific
+    # class, plain specificity already covers it; still a valid answer.
+    low, high = tightest.interval
+    is_point = abs(high - low) < 1e-12
+    return BeliefResult(
+        value=(low + high) / 2.0 if is_point else None,
+        interval=(low, high),
+        exists=True,
+        method="strength",
+        diagnostics={
+            "chain": [repr(c.reference_class) for c in chain],
+            "chosen_class": repr(tightest.reference_class),
+            "intervals": [c.interval for c in chain],
+        },
+        note="Theorem 5.23 (strength rule on a chain of reference classes)",
+    )

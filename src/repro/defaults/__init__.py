@@ -1,0 +1,39 @@
+"""Default-reasoning systems: the baselines of Sections 3 and 6.
+
+* :mod:`repro.defaults.propositional` — propositional evaluation substrate;
+* :mod:`repro.defaults.rules` — default rules and rule sets, plus their
+  statistical (random-worlds) reading;
+* :mod:`repro.defaults.epsilon` — ε-consistency and p-entailment;
+* :mod:`repro.defaults.system_z` — System-Z ranking and entailment;
+* :mod:`repro.defaults.maxent_defaults` — the GMP90 maximum-entropy
+  consequence relation realised through the Theorem 6.1 embedding.
+"""
+
+from .epsilon import (
+    ConsistencyResult,
+    epsilon_consistent,
+    is_tolerated,
+    p_entailment_closure,
+    p_entails,
+    tolerance_partition,
+)
+from .maxent_defaults import (
+    MaxEntDefaultReasoner,
+    MEPlausibleResult,
+    me_plausible_consequence,
+)
+from .propositional import (
+    NotPropositional,
+    assignments_over,
+    entails,
+    evaluate_prop,
+    is_satisfiable,
+    models_of,
+    parse_prop,
+    prop,
+    variables_of,
+)
+from .rules import DefaultRule, RuleSet, ground_at, lift_to_unary
+from .system_z import InconsistentRuleSet, ZRanking, z_entails, z_ranking
+
+__all__ = [name for name in dir() if not name.startswith("_")]

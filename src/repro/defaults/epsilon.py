@@ -1,0 +1,104 @@
+"""ε-semantics: ε-consistency and p-entailment (Adams; Goldszmidt & Pearl).
+
+A probability distribution ε-satisfies a rule ``B -> C`` when ``P(C|B) >= 1-ε``.
+A rule set is ε-consistent when for every ε there is a distribution
+ε-satisfying all rules, and it ε-entails ``B -> C`` when every family of
+distributions ε-satisfying the rules forces ``P(C|B) -> 1``.
+
+Both notions have purely qualitative characterisations (Adams 1975; Goldszmidt
+and Pearl 1991) used here:
+
+* a rule ``r`` is *tolerated* by a rule set R (under hard constraints) when
+  there is a truth assignment verifying ``r`` (antecedent and consequent both
+  true) while satisfying the material counterpart of every rule in R and all
+  hard constraints;
+* R is ε-consistent iff R can be exhausted by repeatedly removing rules
+  tolerated by the remainder (this also yields the Z-partition);
+* R p-entails ``B -> C`` iff ``R + (B -> not C)`` is ε-inconsistent.
+
+This is the baseline the paper calls "the core of probabilistic default
+reasoning": sound but too weak to do inheritance (Section 6), which is exactly
+the contrast the experiments reproduce against random worlds and against the
+maximum-entropy extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.syntax import Formula, Not, conj
+from .propositional import is_satisfiable
+from .rules import DefaultRule, RuleSet
+
+
+@dataclass(frozen=True)
+class ConsistencyResult:
+    """The outcome of the ε-consistency test: the tolerance partition or a core of bad rules."""
+
+    consistent: bool
+    partition: Tuple[Tuple[DefaultRule, ...], ...]
+    untolerated: Tuple[DefaultRule, ...]
+
+
+def is_tolerated(
+    rule: DefaultRule,
+    rules: Sequence[DefaultRule],
+    hard_constraints: Sequence[Formula] = (),
+) -> bool:
+    """Is ``rule`` tolerated by ``rules`` under the hard constraints?
+
+    That is, can the rule be *verified* (antecedent and consequent both true)
+    in some world that falsifies no rule of ``rules``?
+    """
+    requirements: List[Formula] = [rule.antecedent, rule.consequent]
+    requirements.extend(r.material for r in rules)
+    requirements.extend(hard_constraints)
+    return is_satisfiable(requirements)
+
+
+def tolerance_partition(rule_set: RuleSet) -> ConsistencyResult:
+    """Compute the tolerance (Z-)partition of a rule set.
+
+    Layer 0 contains rules tolerated by the whole set, layer 1 the rules
+    tolerated once layer 0 is removed, and so on.  The rule set is
+    ε-consistent exactly when every rule lands in some layer.
+    """
+    remaining: List[DefaultRule] = list(rule_set.rules)
+    hard = rule_set.hard_constraints
+    layers: List[Tuple[DefaultRule, ...]] = []
+    while remaining:
+        tolerated_now = [
+            rule for rule in remaining if is_tolerated(rule, remaining, hard)
+        ]
+        if not tolerated_now:
+            return ConsistencyResult(False, tuple(layers), tuple(remaining))
+        layers.append(tuple(tolerated_now))
+        remaining = [rule for rule in remaining if rule not in tolerated_now]
+    return ConsistencyResult(True, tuple(layers), ())
+
+
+def epsilon_consistent(rule_set: RuleSet) -> bool:
+    """True when the rule set is ε-consistent (p-consistent)."""
+    return tolerance_partition(rule_set).consistent
+
+
+def p_entails(rule_set: RuleSet, query: DefaultRule) -> bool:
+    """Does the rule set p-entail (ε-entail) the query rule?
+
+    Uses the Goldszmidt–Pearl characterisation: ``R`` p-entails ``B -> C`` iff
+    ``R`` together with the rule ``B -> not C`` is ε-inconsistent.  (For an
+    ε-inconsistent ``R`` everything is trivially entailed.)
+    """
+    if not epsilon_consistent(rule_set):
+        return True
+    negated = DefaultRule(query.antecedent, Not(query.consequent), label="negated-query")
+    extended = rule_set.add(negated)
+    return not epsilon_consistent(extended)
+
+
+def p_entailment_closure(
+    rule_set: RuleSet, queries: Sequence[DefaultRule]
+) -> List[Tuple[DefaultRule, bool]]:
+    """Evaluate p-entailment for a batch of candidate rules (reporting helper)."""
+    return [(query, p_entails(rule_set, query)) for query in queries]

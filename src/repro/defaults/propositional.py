@@ -1,0 +1,145 @@
+"""A small propositional layer used by the default-reasoning baselines.
+
+The propositional systems the paper compares against (ε-semantics, System-Z,
+the GMP90 maximum-entropy approach) work over a finite set of propositional
+variables.  Rather than introducing a second formula type, propositional
+formulas are represented as L≈ formulas whose atoms are 0-ary (``Atom("b", ())``);
+this module provides evaluation over truth assignments, satisfiability and
+entailment by enumeration (the rule sets in question use a handful of
+variables, so enumeration is exact and fast).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.parser import parse
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+
+
+Assignment = Dict[str, bool]
+
+
+class NotPropositional(ValueError):
+    """Raised when a formula is outside the propositional fragment."""
+
+
+def prop(name: str) -> Atom:
+    """A propositional variable (a 0-ary atom)."""
+    return Atom(name, ())
+
+
+def parse_prop(text: str) -> Formula:
+    """Parse a propositional formula; bare capitalised identifiers become variables."""
+    return parse(text)
+
+
+def variables_of(formula: Formula) -> FrozenSet[str]:
+    """The propositional variables occurring in a formula."""
+    found: Set[str] = set()
+    _collect(formula, found)
+    return frozenset(found)
+
+
+def _collect(formula: Formula, found: Set[str]) -> None:
+    if isinstance(formula, (Top, Bottom)):
+        return
+    if isinstance(formula, Atom):
+        if formula.args:
+            raise NotPropositional(f"{formula!r} is not a propositional atom")
+        found.add(formula.predicate)
+        return
+    if isinstance(formula, Not):
+        _collect(formula.operand, found)
+        return
+    if isinstance(formula, (And, Or)):
+        for operand in formula.operands:
+            _collect(operand, found)
+        return
+    if isinstance(formula, Implies):
+        _collect(formula.antecedent, found)
+        _collect(formula.consequent, found)
+        return
+    if isinstance(formula, Iff):
+        _collect(formula.left, found)
+        _collect(formula.right, found)
+        return
+    raise NotPropositional(f"{formula!r} is outside the propositional fragment")
+
+
+def evaluate_prop(formula: Formula, assignment: Assignment) -> bool:
+    """Truth value of a propositional formula under a truth assignment."""
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        return assignment[formula.predicate]
+    if isinstance(formula, Not):
+        return not evaluate_prop(formula.operand, assignment)
+    if isinstance(formula, And):
+        return all(evaluate_prop(o, assignment) for o in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate_prop(o, assignment) for o in formula.operands)
+    if isinstance(formula, Implies):
+        return (not evaluate_prop(formula.antecedent, assignment)) or evaluate_prop(
+            formula.consequent, assignment
+        )
+    if isinstance(formula, Iff):
+        return evaluate_prop(formula.left, assignment) == evaluate_prop(formula.right, assignment)
+    raise NotPropositional(f"{formula!r} is outside the propositional fragment")
+
+
+def assignments_over(variables: Iterable[str]) -> Iterable[Assignment]:
+    """Every truth assignment over a set of variables."""
+    names = sorted(set(variables))
+    for bits in itertools.product((False, True), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def models_of(formulas: Sequence[Formula], variables: Iterable[str] | None = None) -> List[Assignment]:
+    """All truth assignments satisfying every formula."""
+    if variables is None:
+        collected: Set[str] = set()
+        for formula in formulas:
+            collected |= variables_of(formula)
+        variables = collected
+    satisfying = []
+    for assignment in assignments_over(variables):
+        if all(evaluate_prop(formula, assignment) for formula in formulas):
+            satisfying.append(assignment)
+    return satisfying
+
+
+def is_satisfiable(formulas: Sequence[Formula]) -> bool:
+    """True when the formulas have a common model."""
+    collected: Set[str] = set()
+    for formula in formulas:
+        collected |= variables_of(formula)
+    for assignment in assignments_over(collected):
+        if all(evaluate_prop(formula, assignment) for formula in formulas):
+            return True
+    return False
+
+
+def entails(premises: Sequence[Formula], conclusion: Formula) -> bool:
+    """Classical propositional entailment by enumeration."""
+    collected: Set[str] = set(variables_of(conclusion))
+    for formula in premises:
+        collected |= variables_of(formula)
+    for assignment in assignments_over(collected):
+        if all(evaluate_prop(formula, assignment) for formula in premises):
+            if not evaluate_prop(conclusion, assignment):
+                return False
+    return True

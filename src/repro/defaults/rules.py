@@ -1,0 +1,169 @@
+"""Default rules ``A -> B`` ("A's are typically B's") and rule sets.
+
+These are the objects manipulated by the propositional default-reasoning
+baselines (Section 3): ε-semantics / p-entailment, System-Z, and the GMP90
+maximum-entropy consequence relation.  The random-worlds reading of the same
+rule is the statistical assertion ``||B(x) | A(x)||_x ~= 1`` (Section 4.3);
+:meth:`DefaultRule.as_statistic` performs that conversion, which is the bridge
+used by Theorem 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..logic.builder import statistic
+from ..logic.parser import parse
+from ..logic.syntax import Atom, Formula, Implies, Var, conj
+from .propositional import NotPropositional, variables_of
+
+
+@dataclass(frozen=True)
+class DefaultRule:
+    """A default rule ``antecedent -> consequent`` over propositional formulas."""
+
+    antecedent: Formula
+    consequent: Formula
+    label: str = ""
+
+    @classmethod
+    def parse(cls, text: str, label: str = "") -> "DefaultRule":
+        """Parse ``"Bird -> Fly"`` style rule text (a single ``->`` at the top level)."""
+        formula = parse(text)
+        if not isinstance(formula, Implies):
+            raise ValueError(f"a default rule needs the form 'A -> B', got {text!r}")
+        return cls(formula.antecedent, formula.consequent, label or text)
+
+    @property
+    def material(self) -> Formula:
+        """The material implication corresponding to the rule."""
+        return Implies(self.antecedent, self.consequent)
+
+    def variables(self) -> FrozenSet[str]:
+        return variables_of(self.antecedent) | variables_of(self.consequent)
+
+    def as_statistic(self, variable: str = "x", index: int = 1) -> Formula:
+        """The random-worlds reading ``||conseq(x) | ante(x)||_x ~=_index 1``.
+
+        Propositional variables become unary predicates applied to ``variable``
+        (the translation used in Theorem 6.1).
+        """
+        subject = Var(variable)
+        antecedent = _lift(self.antecedent, subject)
+        consequent = _lift(self.consequent, subject)
+        return statistic(consequent, over=subject, value=1, given=antecedent, index=index)
+
+    def __repr__(self) -> str:
+        return f"{self.antecedent!r} => {self.consequent!r}"
+
+
+def _lift(formula: Formula, subject: Var) -> Formula:
+    """Replace 0-ary atoms with unary atoms applied to ``subject``."""
+    from ..logic.syntax import And, Bottom, Iff, Not, Or, Top
+
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        if formula.args:
+            raise NotPropositional(f"{formula!r} is not propositional")
+        return Atom(formula.predicate, (subject,))
+    if isinstance(formula, Not):
+        return Not(_lift(formula.operand, subject))
+    if isinstance(formula, And):
+        return And(tuple(_lift(o, subject) for o in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_lift(o, subject) for o in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(_lift(formula.antecedent, subject), _lift(formula.consequent, subject))
+    if isinstance(formula, Iff):
+        return Iff(_lift(formula.left, subject), _lift(formula.right, subject))
+    raise NotPropositional(f"{formula!r} is outside the propositional fragment")
+
+
+def lift_to_unary(formula: Formula, variable: str = "x") -> Formula:
+    """Public wrapper around the propositional-to-unary lifting."""
+    return _lift(formula, Var(variable))
+
+
+def ground_at(formula: Formula, constant: str) -> Formula:
+    """Propositional context formula applied to a named individual.
+
+    ``Penguin and Yellow`` grounded at ``Tweety`` gives
+    ``Penguin(Tweety) and Yellow(Tweety)`` (Theorem 6.1 grounds the rule
+    antecedent at an arbitrary constant).
+    """
+    from ..logic.substitution import substitute
+    from ..logic.syntax import Const
+
+    lifted = lift_to_unary(formula, "x")
+    return substitute(lifted, {"x": Const(constant)})
+
+
+class RuleSet:
+    """A finite set of default rules plus optional hard (strict) constraints."""
+
+    def __init__(
+        self,
+        rules: Iterable[DefaultRule] = (),
+        hard_constraints: Iterable[Formula] = (),
+    ):
+        self._rules: Tuple[DefaultRule, ...] = tuple(rules)
+        self._hard: Tuple[Formula, ...] = tuple(hard_constraints)
+
+    @classmethod
+    def parse(cls, *texts: str, hard: Sequence[str] = ()) -> "RuleSet":
+        """Parse rules from ``"A -> B"`` strings and hard constraints from formulas."""
+        return cls(
+            [DefaultRule.parse(text) for text in texts],
+            [parse(text) for text in hard],
+        )
+
+    @property
+    def rules(self) -> Tuple[DefaultRule, ...]:
+        return self._rules
+
+    @property
+    def hard_constraints(self) -> Tuple[Formula, ...]:
+        return self._hard
+
+    def variables(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for rule in self._rules:
+            names |= rule.variables()
+        for constraint in self._hard:
+            names |= variables_of(constraint)
+        return frozenset(names)
+
+    def add(self, rule: DefaultRule) -> "RuleSet":
+        return RuleSet(self._rules + (rule,), self._hard)
+
+    def with_hard_constraint(self, constraint: Formula) -> "RuleSet":
+        return RuleSet(self._rules, self._hard + (constraint,))
+
+    def materials(self) -> Tuple[Formula, ...]:
+        """The material implications of all rules."""
+        return tuple(rule.material for rule in self._rules)
+
+    def as_statistics(self, variable: str = "x", shared_index: Optional[int] = 1) -> Tuple[Formula, ...]:
+        """The random-worlds statistical reading of every rule (Theorem 6.1).
+
+        ``shared_index`` uses the same approximate-equality connective for all
+        rules (the GMP90 setting); pass ``None`` to give rule *i* the index
+        ``i + 1`` (independent tolerances, the random-worlds default).
+        """
+        statistics = []
+        for position, rule in enumerate(self._rules):
+            index = shared_index if shared_index is not None else position + 1
+            statistics.append(rule.as_statistic(variable, index))
+        return tuple(statistics)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        body = "; ".join(repr(rule) for rule in self._rules)
+        return f"RuleSet({body})"

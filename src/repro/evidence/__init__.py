@@ -1,0 +1,12 @@
+"""Evidence combination (Dempster's rule) as derived from random worlds (Theorem 5.26)."""
+
+from .dempster import (
+    CombinationResult,
+    ConflictingCertainties,
+    EvidenceSource,
+    combine_sources,
+    dempster_combine,
+    dempster_odds_form,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,103 @@
+"""Dempster's rule of combination for independent pieces of evidence.
+
+Theorem 5.26 shows that, for essentially disjoint competing reference classes,
+the random-worlds degree of belief equals the value given by Dempster's rule
+applied to the per-class statistics:
+
+    delta(a_1, ..., a_m) = prod a_i / (prod a_i + prod (1 - a_i))
+
+The function is undefined when some ``a_i`` are 1 while others are 0 — this is
+exactly the conflicting-defaults situation in which the random-worlds limit
+fails to exist (the Nixon diamond with two defaults of unknown relative
+strength, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class ConflictingCertainties(ValueError):
+    """Raised when evidence mixes certainty-for (1.0) with certainty-against (0.0)."""
+
+
+def dempster_combine(values: Sequence[float]) -> float:
+    """Combine evidence weights with Dempster's rule.
+
+    Parameters
+    ----------
+    values:
+        The per-source probabilities ``a_i`` in ``[0, 1]``.  At least one value
+        is required.
+
+    Raises
+    ------
+    ConflictingCertainties
+        If some values are exactly 1 while others are exactly 0 (the
+        combination — and the corresponding random-worlds limit — is
+        undefined).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("at least one evidence value is required")
+    for value in values:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"evidence values must lie in [0, 1], got {value}")
+    has_one = any(abs(v - 1.0) < 1e-15 for v in values)
+    has_zero = any(abs(v) < 1e-15 for v in values)
+    if has_one and has_zero:
+        raise ConflictingCertainties(
+            "evidence mixes certainty for and against; the combination is undefined"
+        )
+    product_for = 1.0
+    product_against = 1.0
+    for value in values:
+        product_for *= value
+        product_against *= 1.0 - value
+    return product_for / (product_for + product_against)
+
+
+@dataclass(frozen=True)
+class EvidenceSource:
+    """One piece of evidence: a reference class together with its statistic."""
+
+    label: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError("evidence weights lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CombinationResult:
+    """The result of combining several evidence sources."""
+
+    sources: Tuple[EvidenceSource, ...]
+    value: Optional[float]
+    defined: bool
+    note: str = ""
+
+
+def combine_sources(sources: Iterable[EvidenceSource]) -> CombinationResult:
+    """Combine named evidence sources, reporting undefined combinations gracefully."""
+    source_tuple = tuple(sources)
+    try:
+        value = dempster_combine([s.weight for s in source_tuple])
+    except ConflictingCertainties as error:
+        return CombinationResult(source_tuple, None, False, str(error))
+    return CombinationResult(source_tuple, value, True)
+
+
+def dempster_odds_form(values: Sequence[float]) -> float:
+    """The same combination computed in odds space (used as a cross-check in tests).
+
+    ``delta`` multiplies odds: ``odds(delta) = prod odds(a_i)``.
+    """
+    odds = 1.0
+    for value in values:
+        if value >= 1.0:
+            return 1.0
+        odds *= value / (1.0 - value)
+    return odds / (1.0 + odds)

@@ -1,0 +1,14 @@
+"""The experiment harness: paper-vs-measured reproduction of every worked example."""
+
+from .registry import (
+    Experiment,
+    ExperimentResult,
+    ExperimentRow,
+    all_experiments,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+from .report import format_markdown, format_table, summary_line
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,170 @@
+"""The experiment registry: machinery for paper-vs-measured reproduction rows.
+
+Every worked example / theorem of the paper with a quantitative (or crisp
+qualitative) prediction is registered as an :class:`Experiment`.  Running an
+experiment produces :class:`ExperimentRow` objects pairing the paper-stated
+outcome with the value measured by this implementation, plus a pass/fail flag.
+The benchmark suite and ``EXPERIMENTS.md`` are generated from these rows, so
+the reproduction claims live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One paper-vs-measured comparison."""
+
+    label: str
+    paper_value: str
+    measured: str
+    ok: bool
+    method: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "paper": self.paper_value,
+            "measured": self.measured,
+            "ok": self.ok,
+            "method": self.method,
+        }
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata plus the function that produces its rows."""
+
+    experiment_id: str
+    title: str
+    section: str
+    run: Callable[[], List[ExperimentRow]]
+    slow: bool = False
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of running one experiment."""
+
+    experiment: Experiment
+    rows: Tuple[ExperimentRow, ...]
+    elapsed_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str,
+    title: str,
+    section: str,
+    slow: bool = False,
+) -> Callable[[Callable[[], List[ExperimentRow]]], Callable[[], List[ExperimentRow]]]:
+    """Decorator registering an experiment function under an identifier (e.g. ``"E1"``)."""
+
+    def decorator(function: Callable[[], List[ExperimentRow]]) -> Callable[[], List[ExperimentRow]]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"experiment {experiment_id!r} is already registered")
+        _REGISTRY[experiment_id] = Experiment(experiment_id, title, section, function, slow)
+        return function
+
+    return decorator
+
+
+def all_experiments(include_slow: bool = True) -> List[Experiment]:
+    """Every registered experiment, in identifier order."""
+    _ensure_definitions_loaded()
+    experiments = sorted(_REGISTRY.values(), key=_sort_key)
+    if include_slow:
+        return experiments
+    return [e for e in experiments if not e.slow]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by identifier."""
+    _ensure_definitions_loaded()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run a single experiment and time it."""
+    experiment = get_experiment(experiment_id)
+    start = time.perf_counter()
+    rows = experiment.run()
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(experiment, tuple(rows), elapsed)
+
+
+def run_all(include_slow: bool = False) -> List[ExperimentResult]:
+    """Run every registered experiment (optionally including the slow ones)."""
+    results = []
+    for experiment in all_experiments(include_slow=include_slow):
+        results.append(run_experiment(experiment.experiment_id))
+    return results
+
+
+def _sort_key(experiment: Experiment) -> Tuple[int, str]:
+    identifier = experiment.experiment_id
+    digits = "".join(ch for ch in identifier if ch.isdigit())
+    return (int(digits) if digits else 0, identifier)
+
+
+def _ensure_definitions_loaded() -> None:
+    # Imported lazily to avoid a circular import at package load time.
+    from . import definitions  # noqa: F401
+
+
+# -- row construction helpers --------------------------------------------------
+
+
+def numeric_row(
+    label: str,
+    paper_value: float,
+    measured: Optional[float],
+    tolerance: float = 0.02,
+    method: str = "",
+) -> ExperimentRow:
+    """A row comparing a numeric prediction with a measured value."""
+    if measured is None:
+        return ExperimentRow(label, f"{paper_value:g}", "undefined", False, method)
+    ok = abs(measured - paper_value) <= tolerance
+    return ExperimentRow(label, f"{paper_value:g}", f"{measured:.4f}", ok, method)
+
+
+def interval_row(
+    label: str,
+    low: float,
+    high: float,
+    measured: Optional[Tuple[float, float]],
+    tolerance: float = 1e-6,
+    method: str = "",
+) -> ExperimentRow:
+    """A row comparing an interval prediction with a measured interval."""
+    paper = f"[{low:g}, {high:g}]"
+    if measured is None:
+        return ExperimentRow(label, paper, "undefined", False, method)
+    ok = abs(measured[0] - low) <= tolerance and abs(measured[1] - high) <= tolerance
+    return ExperimentRow(label, paper, f"[{measured[0]:.4f}, {measured[1]:.4f}]", ok, method)
+
+
+def boolean_row(label: str, expected: bool, measured: bool, method: str = "") -> ExperimentRow:
+    """A row for qualitative (holds / does not hold) predictions."""
+    return ExperimentRow(label, str(expected), str(measured), expected == measured, method)
+
+
+def qualitative_row(
+    label: str, paper_value: str, measured: str, ok: bool, method: str = ""
+) -> ExperimentRow:
+    """A free-form qualitative row."""
+    return ExperimentRow(label, paper_value, measured, ok, method)

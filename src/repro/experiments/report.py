@@ -1,0 +1,62 @@
+"""Formatting experiment results as text tables and Markdown.
+
+``format_markdown`` produces the per-experiment sections recorded in
+EXPERIMENTS.md; ``format_table`` produces the console output used by the
+benchmark harness and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .registry import ExperimentResult, ExperimentRow
+
+
+def format_table(result: ExperimentResult) -> str:
+    """A plain-text table for one experiment result."""
+    header = f"{result.experiment.experiment_id}: {result.experiment.title} ({result.experiment.section})"
+    lines = [header, "-" * len(header)]
+    label_width = max((len(row.label) for row in result.rows), default=10)
+    paper_width = max((len(row.paper_value) for row in result.rows), default=6)
+    measured_width = max((len(row.measured) for row in result.rows), default=8)
+    for row in result.rows:
+        status = "ok" if row.ok else "MISMATCH"
+        lines.append(
+            f"  {row.label:<{label_width}}  paper: {row.paper_value:<{paper_width}}  "
+            f"measured: {row.measured:<{measured_width}}  [{status}]"
+            + (f"  ({row.method})" if row.method else "")
+        )
+    lines.append(f"  -> {'PASSED' if result.passed else 'FAILED'} in {result.elapsed_seconds:.2f}s")
+    return "\n".join(lines)
+
+
+def format_markdown(results: Sequence[ExperimentResult]) -> str:
+    """A Markdown report covering several experiments (the body of EXPERIMENTS.md)."""
+    lines: List[str] = []
+    for result in results:
+        lines.append(
+            f"### {result.experiment.experiment_id} — {result.experiment.title}"
+        )
+        lines.append("")
+        lines.append(f"*Paper source: {result.experiment.section}.*")
+        lines.append("")
+        lines.append("| Quantity | Paper | Measured | Method | Status |")
+        lines.append("|---|---|---|---|---|")
+        for row in result.rows:
+            status = "✅" if row.ok else "❌"
+            lines.append(
+                f"| {row.label} | {row.paper_value} | {row.measured} | {row.method} | {status} |"
+            )
+        lines.append("")
+        lines.append(
+            f"Outcome: **{'reproduced' if result.passed else 'mismatch'}** "
+            f"({result.elapsed_seconds:.2f}s)."
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def summary_line(results: Sequence[ExperimentResult]) -> str:
+    """A one-line pass/fail summary over several experiments."""
+    passed = sum(1 for result in results if result.passed)
+    return f"{passed}/{len(results)} experiments reproduced"

@@ -1,0 +1,50 @@
+"""Command-line runner for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments.runner              # fast experiments
+    python -m repro.experiments.runner --all        # include slow ones (E17, E18)
+    python -m repro.experiments.runner E1 E10       # specific experiments
+    python -m repro.experiments.runner --markdown   # emit the EXPERIMENTS.md body
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .registry import ExperimentResult, all_experiments, run_experiment
+from .report import format_markdown, format_table, summary_line
+
+
+def run(experiment_ids: List[str] | None, include_slow: bool) -> List[ExperimentResult]:
+    """Run the selected experiments (all registered ones when ``experiment_ids`` is empty)."""
+    if experiment_ids:
+        return [run_experiment(identifier) for identifier in experiment_ids]
+    return [
+        run_experiment(experiment.experiment_id)
+        for experiment in all_experiments(include_slow=include_slow)
+    ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the random-worlds reproduction experiments")
+    parser.add_argument("experiments", nargs="*", help="experiment identifiers (default: all fast ones)")
+    parser.add_argument("--all", action="store_true", help="include the slow experiments")
+    parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of text tables")
+    arguments = parser.parse_args(argv)
+
+    results = run(arguments.experiments or None, include_slow=arguments.all)
+    if arguments.markdown:
+        print(format_markdown(results))
+    else:
+        for result in results:
+            print(format_table(result))
+            print()
+        print(summary_line(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The statistical first-order language L≈ and its finite-model semantics.
+
+Public surface:
+
+* :mod:`repro.logic.syntax` — immutable formula and proportion-expression AST;
+* :mod:`repro.logic.builder` — Pythonic construction helpers;
+* :mod:`repro.logic.parser` — textual parser (``parse``/``parse_many``);
+* :mod:`repro.logic.semantics` — finite worlds and model checking;
+* :mod:`repro.logic.vocabulary` — signatures;
+* :mod:`repro.logic.tolerance` — tolerance vectors for approximate equality;
+* :mod:`repro.logic.transforms` — L≈ → L= translation and simplification.
+"""
+
+from .builder import (
+    const,
+    constants,
+    default_rule,
+    equals,
+    exists,
+    exists_exactly,
+    exists_unique,
+    forall,
+    function,
+    iff,
+    implies,
+    neg,
+    predicate,
+    predicates,
+    proportion,
+    statistic,
+    statistic_between,
+    var,
+    variables,
+)
+from .parser import ParseError, parse, parse_many
+from .semantics import (
+    SemanticsError,
+    World,
+    evaluate,
+    evaluate_term,
+    exact_proportion,
+    proportion_value,
+    satisfies,
+)
+from .substitution import (
+    abstract_constant,
+    constants_of,
+    free_vars,
+    instantiate,
+    is_closed,
+    predicates_of,
+    substitute,
+    symbols_of,
+    tolerance_indices,
+)
+from .syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    FALSE,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    TRUE,
+    Term,
+    Top,
+    Var,
+    conj,
+    conjuncts,
+    disj,
+    iter_proportion_exprs,
+    iter_subformulas,
+    number,
+)
+from .tolerance import ToleranceVector, default_sequence, shrinking_sequence
+from .transforms import approximate_to_exact, negation_normal_form, simplify
+from .vocabulary import Vocabulary, VocabularyError
+
+__all__ = [name for name in dir() if not name.startswith("_")]

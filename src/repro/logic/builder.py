@@ -1,0 +1,310 @@
+"""A small Python DSL for constructing L≈ formulas.
+
+The builder mirrors the notation used in the paper::
+
+    from repro.logic import builder as b
+
+    Bird, Fly, Penguin = b.predicates("Bird Fly Penguin")
+    x = b.var("x")
+    Tweety = b.const("Tweety")
+
+    kb_fly = b.conj(
+        b.statistic(Fly(x), given=Bird(x), over=x, value=1, index=1),
+        b.statistic(Fly(x), given=Penguin(x), over=x, value=0, index=2),
+        b.forall(x, b.implies(Penguin(x), Bird(x))),
+    )
+
+Statistics such as ``||Fly(x) | Bird(x)||_x ~=_1 1`` are the paper's encoding
+of the default rule "birds typically fly" (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence, Tuple, Union
+
+from .syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    FALSE,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Proportion,
+    ProportionExpr,
+    TRUE,
+    Term,
+    Var,
+    conj,
+    disj,
+    number,
+)
+
+__all__ = [
+    "var",
+    "variables",
+    "const",
+    "constants",
+    "Predicate",
+    "predicate",
+    "predicates",
+    "Function",
+    "function",
+    "forall",
+    "exists",
+    "exists_unique",
+    "exists_exactly",
+    "implies",
+    "iff",
+    "neg",
+    "conj",
+    "disj",
+    "equals",
+    "proportion",
+    "approx_eq",
+    "approx_leq",
+    "exact_compare",
+    "statistic",
+    "statistic_between",
+    "default_rule",
+    "TRUE",
+    "FALSE",
+]
+
+
+TermLike = Union[Term, str]
+VarLike = Union[Var, str]
+
+
+def var(name: str) -> Var:
+    """A variable term."""
+    return Var(name)
+
+
+def variables(names: str | Iterable[str]) -> Tuple[Var, ...]:
+    """Several variables at once: ``x, y = variables("x y")``."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Var(name) for name in names)
+
+
+def const(name: str) -> Const:
+    """A constant term."""
+    return Const(name)
+
+
+def constants(names: str | Iterable[str]) -> Tuple[Const, ...]:
+    """Several constants at once: ``Eric, Tom = constants("Eric Tom")``."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Const(name) for name in names)
+
+
+def _as_term(value: TermLike) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        # Lower-case identifiers are read as variables, capitalised ones as constants,
+        # mirroring the convention used throughout the paper's examples.
+        return Var(value) if value[:1].islower() else Const(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+class Predicate:
+    """A predicate symbol; calling it builds an atomic formula."""
+
+    def __init__(self, name: str, arity: int = 1):
+        self.name = name
+        self.arity = arity
+
+    def __call__(self, *args: TermLike) -> Atom:
+        if len(args) != self.arity:
+            raise ValueError(
+                f"predicate {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return Atom(self.name, tuple(_as_term(a) for a in args))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r}, arity={self.arity})"
+
+
+class Function:
+    """A function symbol; calling it builds a function-application term."""
+
+    def __init__(self, name: str, arity: int = 1):
+        self.name = name
+        self.arity = arity
+
+    def __call__(self, *args: TermLike) -> FuncApp:
+        if len(args) != self.arity:
+            raise ValueError(
+                f"function {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return FuncApp(self.name, tuple(_as_term(a) for a in args))
+
+    def __repr__(self) -> str:
+        return f"Function({self.name!r}, arity={self.arity})"
+
+
+def predicate(name: str, arity: int = 1) -> Predicate:
+    """A single predicate symbol."""
+    return Predicate(name, arity)
+
+
+def predicates(names: str | Iterable[str], arity: int = 1) -> Tuple[Predicate, ...]:
+    """Several predicate symbols of the same arity."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Predicate(name, arity) for name in names)
+
+
+def function(name: str, arity: int = 1) -> Function:
+    """A single function symbol."""
+    return Function(name, arity)
+
+
+# -- connectives and quantifiers --------------------------------------------
+
+
+def neg(formula: Formula) -> Not:
+    """Negation."""
+    return Not(formula)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Implies:
+    """Material implication."""
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Iff:
+    """Material biconditional."""
+    return Iff(left, right)
+
+
+def equals(left: TermLike, right: TermLike) -> Equals:
+    """Equality between terms."""
+    return Equals(_as_term(left), _as_term(right))
+
+
+def _var_name(value: VarLike) -> str:
+    return value.name if isinstance(value, Var) else value
+
+
+def forall(variable: VarLike, body: Formula) -> Forall:
+    """Universal quantification."""
+    return Forall(_var_name(variable), body)
+
+
+def exists(variable: VarLike, body: Formula) -> Exists:
+    """Existential quantification."""
+    return Exists(_var_name(variable), body)
+
+
+def exists_unique(variable: VarLike, body: Formula) -> ExistsExactly:
+    """``∃!`` — there is exactly one element satisfying the body."""
+    return ExistsExactly(1, _var_name(variable), body)
+
+
+def exists_exactly(count: int, variable: VarLike, body: Formula) -> ExistsExactly:
+    """``∃=n`` — exactly ``count`` elements satisfy the body."""
+    return ExistsExactly(count, _var_name(variable), body)
+
+
+# -- proportions and statistics ----------------------------------------------
+
+
+def _var_names(over: VarLike | Sequence[VarLike]) -> Tuple[str, ...]:
+    if isinstance(over, (Var, str)):
+        return (_var_name(over),)
+    return tuple(_var_name(v) for v in over)
+
+
+def proportion(
+    formula: Formula,
+    over: VarLike | Sequence[VarLike],
+    given: Formula | None = None,
+) -> ProportionExpr:
+    """``||formula||_over`` or ``||formula | given||_over``."""
+    variables_ = _var_names(over)
+    if given is None:
+        return Proportion(formula, variables_)
+    return CondProportion(formula, given, variables_)
+
+
+def approx_eq(left: ProportionExpr | float, right: ProportionExpr | float, index: int = 1) -> ApproxEq:
+    """``left ~=_index right``."""
+    return ApproxEq(_as_expr(left), _as_expr(right), index)
+
+
+def approx_leq(left: ProportionExpr | float, right: ProportionExpr | float, index: int = 1) -> ApproxLeq:
+    """``left <~_index right``."""
+    return ApproxLeq(_as_expr(left), _as_expr(right), index)
+
+
+def exact_compare(left: ProportionExpr | float, right: ProportionExpr | float, op: str = "==") -> ExactCompare:
+    """An exact comparison between proportion expressions."""
+    return ExactCompare(_as_expr(left), _as_expr(right), op)
+
+
+def _as_expr(value: ProportionExpr | float | int | Fraction) -> ProportionExpr:
+    if isinstance(value, ProportionExpr):
+        return value
+    return number(value)
+
+
+def statistic(
+    formula: Formula,
+    over: VarLike | Sequence[VarLike],
+    value: float | Fraction,
+    given: Formula | None = None,
+    index: int = 1,
+) -> ApproxEq:
+    """``||formula | given||_over ~=_index value`` — a statistical assertion."""
+    return ApproxEq(proportion(formula, over, given), number(value), index)
+
+
+def statistic_between(
+    formula: Formula,
+    over: VarLike | Sequence[VarLike],
+    low: float | Fraction,
+    high: float | Fraction,
+    given: Formula | None = None,
+    low_index: int = 1,
+    high_index: int = 2,
+) -> Formula:
+    """``low <~ ||formula | given||_over <~ high`` — an interval statistic."""
+    expr = proportion(formula, over, given)
+    return conj(
+        ApproxLeq(number(low), expr, low_index),
+        ApproxLeq(expr, number(high), high_index),
+    )
+
+
+def default_rule(
+    antecedent: Formula,
+    consequent: Formula,
+    over: VarLike | Sequence[VarLike],
+    index: int = 1,
+    positive: bool = True,
+) -> ApproxEq:
+    """The statistical reading of a default rule (Section 4.3).
+
+    ``default_rule(Bird(x), Fly(x), over=x)`` is ``||Fly(x)|Bird(x)||_x ~= 1``
+    ("birds typically fly"); with ``positive=False`` the target proportion is 0
+    ("penguins typically do not fly").
+    """
+    target = 1 if positive else 0
+    return statistic(consequent, over, target, given=antecedent, index=index)

@@ -1,0 +1,385 @@
+"""A recursive-descent parser for a textual form of L≈.
+
+The concrete syntax mirrors the paper closely while remaining ASCII:
+
+* atoms: ``Bird(x)``, ``Likes(Clyde, Fred)``, ``Winner(c)``; identifiers that
+  start with a lower-case letter are variables, others are constants;
+* connectives: ``not``, ``and``, ``or``, ``->``, ``<->``, ``true``, ``false``;
+* equality: ``Ray = Drew``;
+* quantifiers: ``forall x. ...``, ``exists x. ...``, ``exists! x. ...``
+  and ``exists[5] x. ...`` (exactly five); a quantifier's scope extends as far
+  to the right as possible — use parentheses to limit it;
+* proportion expressions: ``%(Fly(x) | Bird(x); x)`` is the conditional
+  proportion ``||Fly(x) | Bird(x)||_x``, ``%(Bird(x); x)`` the unconditional
+  one; proportions may be added and multiplied and compared with
+  ``~=`` / ``~=[i]`` (approximately equal, tolerance index ``i``),
+  ``<~`` / ``<~[i]`` (approximately at most), and the exact operators
+  ``==``, ``<=``, ``>=``, ``<``, ``>``.
+
+Examples::
+
+    %(Hep(x) | Jaun(x); x) ~=[1] 0.8
+    forall x. (Penguin(x) -> Bird(x))
+    exists! x. (Quaker(x) and Republican(x))
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from .syntax import (
+    Atom,
+    ApproxEq,
+    ApproxLeq,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    FALSE,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    TRUE,
+    Term,
+    Var,
+    conj,
+    disj,
+)
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed formula."""
+
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d+|\d+/\d+|\d+"),
+    ("ARROW", r"->"),
+    ("DARROW", r"<->"),
+    ("APPROX_EQ", r"~="),
+    ("APPROX_LEQ", r"<~"),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQEQ", r"=="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("EQ", r"="),
+    ("PROP_OPEN", r"%\("),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("DOT", r"\."),
+    ("BANG", r"!"),
+    ("BAR", r"\|"),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_'-]*"),
+    ("WS", r"\s+"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"and", "or", "not", "forall", "exists", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _MASTER_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at position {position}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and value in _KEYWORDS:
+                kind = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[_Token], text: str):
+        self._tokens = list(tokens)
+        self._text = text
+        self._index = 0
+
+    # -- token utilities -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.text if token else "end of input"
+            raise ParseError(f"expected {kind} but found {found!r}")
+        return self._advance()
+
+    def _match(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- formulas ------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._implication()
+        while self._match("DARROW"):
+            right = self._implication()
+            left = Iff(left, right)
+        return left
+
+    def _implication(self) -> Formula:
+        left = self._disjunction()
+        if self._match("ARROW"):
+            right = self._implication()
+            return Implies(left, right)
+        return left
+
+    def _disjunction(self) -> Formula:
+        operands = [self._conjunction()]
+        while self._match("OR"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return disj(*operands)
+
+    def _conjunction(self) -> Formula:
+        operands = [self._unary()]
+        while self._match("AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return conj(*operands)
+
+    def _unary(self) -> Formula:
+        if self._match("NOT"):
+            return Not(self._unary())
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if token.kind == "FORALL":
+            return self._quantified(universal=True)
+        if token.kind == "EXISTS":
+            return self._quantified(universal=False)
+        return self._atomic()
+
+    def _quantified(self, universal: bool) -> Formula:
+        self._advance()
+        count: Optional[int] = None
+        unique = False
+        if not universal:
+            if self._match("BANG"):
+                unique = True
+            elif self._match("LBRACKET"):
+                number_token = self._expect("NUMBER")
+                count = int(number_token.text)
+                self._expect("RBRACKET")
+        variable = self._expect("IDENT").text
+        self._expect("DOT")
+        body = self._iff()
+        if universal:
+            return Forall(variable, body)
+        if unique:
+            return ExistsExactly(1, variable, body)
+        if count is not None:
+            return ExistsExactly(count, variable, body)
+        return Exists(variable, body)
+
+    def _atomic(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if token.kind in ("NUMBER", "PROP_OPEN"):
+            return self._comparison()
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._iff()
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "TRUE":
+            self._advance()
+            return TRUE
+        if token.kind == "FALSE":
+            self._advance()
+            return FALSE
+        if token.kind == "IDENT":
+            return self._atom_or_equality()
+        raise ParseError(f"unexpected token {token.text!r} at position {token.position}")
+
+    def _atom_or_equality(self) -> Formula:
+        term = self._term()
+        if self._match("EQ"):
+            right = self._term()
+            return Equals(term, right)
+        if isinstance(term, FuncApp):
+            return Atom(term.name, term.args)
+        if isinstance(term, Const):
+            # A bare capitalised identifier with no arguments and no equality is
+            # read as a propositional (0-ary) atom.
+            return Atom(term.name, ())
+        raise ParseError(f"a bare variable {term!r} is not a formula")
+
+    def _term(self) -> Term:
+        token = self._expect("IDENT")
+        name = token.text
+        if self._match("LPAREN"):
+            args: List[Term] = []
+            if not self._match("RPAREN"):
+                args.append(self._term())
+                while self._match("COMMA"):
+                    args.append(self._term())
+                self._expect("RPAREN")
+            return FuncApp(name, tuple(args))
+        if name[:1].islower():
+            return Var(name)
+        return Const(name)
+
+    # -- proportion expressions and comparisons ------------------------------
+
+    def _comparison(self) -> Formula:
+        left = self._prop_sum()
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a comparison operator after a proportion expression")
+        if token.kind == "APPROX_EQ":
+            self._advance()
+            index = self._tolerance_index()
+            right = self._prop_sum()
+            return ApproxEq(left, right, index)
+        if token.kind == "APPROX_LEQ":
+            self._advance()
+            index = self._tolerance_index()
+            right = self._prop_sum()
+            return ApproxLeq(left, right, index)
+        exact_ops = {"EQEQ": "==", "LE": "<=", "GE": ">=", "LT": "<", "GT": ">"}
+        if token.kind in exact_ops:
+            self._advance()
+            right = self._prop_sum()
+            return ExactCompare(left, right, exact_ops[token.kind])
+        raise ParseError(
+            f"expected a comparison operator but found {token.text!r} at position {token.position}"
+        )
+
+    def _tolerance_index(self) -> int:
+        if self._match("LBRACKET"):
+            number_token = self._expect("NUMBER")
+            self._expect("RBRACKET")
+            return int(number_token.text)
+        return 1
+
+    def _prop_sum(self) -> ProportionExpr:
+        left = self._prop_product()
+        while self._match("PLUS"):
+            right = self._prop_product()
+            left = Sum(left, right)
+        return left
+
+    def _prop_product(self) -> ProportionExpr:
+        left = self._prop_primary()
+        while self._match("STAR"):
+            right = self._prop_primary()
+            left = Product(left, right)
+        return left
+
+    def _prop_primary(self) -> ProportionExpr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in proportion expression")
+        if token.kind == "NUMBER":
+            self._advance()
+            return Number(_parse_number(token.text))
+        if token.kind == "PROP_OPEN":
+            return self._proportion()
+        raise ParseError(
+            f"expected a number or %(...) proportion but found {token.text!r}"
+        )
+
+    def _proportion(self) -> ProportionExpr:
+        self._expect("PROP_OPEN")
+        formula = self._iff()
+        condition: Optional[Formula] = None
+        if self._match("BAR"):
+            condition = self._iff()
+        self._expect("SEMI")
+        variables = [self._expect("IDENT").text]
+        while self._match("COMMA"):
+            variables.append(self._expect("IDENT").text)
+        self._expect("RPAREN")
+        if condition is None:
+            return Proportion(formula, tuple(variables))
+        return CondProportion(formula, condition, tuple(variables))
+
+
+def _parse_number(text: str) -> Fraction:
+    if "/" in text:
+        numerator, denominator = text.split("/")
+        return Fraction(int(numerator), int(denominator))
+    return Fraction(text).limit_denominator(10**12)
+
+
+def parse(text: str) -> Formula:
+    """Parse a single L≈ sentence from text."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        leftover = parser._peek()
+        raise ParseError(
+            f"unexpected trailing input {leftover.text!r} at position {leftover.position}"
+        )
+    return formula
+
+
+def parse_many(text: str) -> List[Formula]:
+    """Parse several formulas separated by newlines (blank lines and ``#`` comments ignored)."""
+    formulas: List[Formula] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        formulas.append(parse(stripped))
+    return formulas

@@ -1,0 +1,351 @@
+"""Finite-model semantics for the statistical language L≈.
+
+A *world* is a finite first-order model over the domain ``{0, ..., N-1}``
+(Section 4.1).  This module implements full model checking: Boolean
+connectives, quantifiers, equality, counting quantifiers, proportion
+expressions over arbitrary tuples of variables, conditional proportions with
+the measure-zero convention of the paper, and approximate comparisons
+relative to a tolerance vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    Term,
+    Top,
+    Var,
+)
+from .tolerance import ToleranceVector
+from .vocabulary import Vocabulary
+
+
+class SemanticsError(ValueError):
+    """Raised when a formula cannot be evaluated in a world."""
+
+
+@dataclass(frozen=True)
+class World:
+    """A finite first-order model with domain ``{0, ..., domain_size - 1}``.
+
+    Attributes
+    ----------
+    domain_size:
+        The number of domain elements N.
+    relations:
+        For each predicate name, the set of tuples of domain elements in the
+        relation.  Unary predicates use 1-tuples.
+    functions:
+        For each function name, a total map from argument tuples to a domain
+        element.
+    constants:
+        The denotation of each constant symbol.
+    """
+
+    domain_size: int
+    relations: Mapping[str, frozenset] = field(default_factory=dict)
+    functions: Mapping[str, Mapping[Tuple[int, ...], int]] = field(default_factory=dict)
+    constants: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.domain_size <= 0:
+            raise SemanticsError("worlds must have a non-empty domain")
+        object.__setattr__(
+            self,
+            "relations",
+            {name: frozenset(tuple(t) for t in tuples) for name, tuples in dict(self.relations).items()},
+        )
+        object.__setattr__(
+            self,
+            "functions",
+            {name: dict(table) for name, table in dict(self.functions).items()},
+        )
+        object.__setattr__(self, "constants", dict(self.constants))
+        for name, value in self.constants.items():
+            if not 0 <= value < self.domain_size:
+                raise SemanticsError(f"constant {name!r} denotes {value}, outside the domain")
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def from_unary(
+        cls,
+        memberships: Mapping[str, Iterable[int]],
+        domain_size: int,
+        constants: Mapping[str, int] | None = None,
+    ) -> "World":
+        """Build a world over unary predicates from element-membership sets."""
+        relations = {
+            name: frozenset((element,) for element in elements)
+            for name, elements in memberships.items()
+        }
+        return cls(domain_size=domain_size, relations=relations, constants=constants or {})
+
+    @property
+    def domain(self) -> range:
+        return range(self.domain_size)
+
+    def holds(self, predicate: str, *elements: int) -> bool:
+        """True when the predicate holds of the given domain elements."""
+        return tuple(elements) in self.relations.get(predicate, frozenset())
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+Valuation = Dict[str, int]
+
+
+def evaluate_term(term: Term, world: World, valuation: Mapping[str, int]) -> int:
+    """The domain element denoted by ``term`` under the valuation."""
+    if isinstance(term, Var):
+        if term.name not in valuation:
+            raise SemanticsError(f"unbound variable {term.name!r}")
+        return valuation[term.name]
+    if isinstance(term, Const):
+        if term.name not in world.constants:
+            raise SemanticsError(f"constant {term.name!r} has no denotation in this world")
+        return world.constants[term.name]
+    if isinstance(term, FuncApp):
+        args = tuple(evaluate_term(a, world, valuation) for a in term.args)
+        table = world.functions.get(term.name)
+        if table is None or args not in table:
+            raise SemanticsError(f"function {term.name!r} undefined on {args}")
+        return table[args]
+    raise SemanticsError(f"unknown term {term!r}")
+
+
+def evaluate(
+    formula: Formula,
+    world: World,
+    tolerance: ToleranceVector | None = None,
+    valuation: Mapping[str, int] | None = None,
+) -> bool:
+    """Truth value of ``formula`` in ``world`` under ``tolerance`` and ``valuation``."""
+    tolerance = tolerance or ToleranceVector.uniform(1e-9)
+    valuation = dict(valuation or {})
+    return _eval(formula, world, tolerance, valuation)
+
+
+def satisfies(world: World, formula: Formula, tolerance: ToleranceVector | None = None) -> bool:
+    """``evaluate`` with the argument order used throughout the worlds modules."""
+    return evaluate(formula, world, tolerance)
+
+
+def _eval(formula: Formula, world: World, tol: ToleranceVector, val: Valuation) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        elements = tuple(evaluate_term(a, world, val) for a in formula.args)
+        return elements in world.relations.get(formula.predicate, frozenset())
+    if isinstance(formula, Equals):
+        return evaluate_term(formula.left, world, val) == evaluate_term(formula.right, world, val)
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, world, tol, val)
+    if isinstance(formula, And):
+        return all(_eval(o, world, tol, val) for o in formula.operands)
+    if isinstance(formula, Or):
+        return any(_eval(o, world, tol, val) for o in formula.operands)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.antecedent, world, tol, val)) or _eval(formula.consequent, world, tol, val)
+    if isinstance(formula, Iff):
+        return _eval(formula.left, world, tol, val) == _eval(formula.right, world, tol, val)
+    if isinstance(formula, Forall):
+        return all(
+            _eval(formula.body, world, tol, {**val, formula.variable: element})
+            for element in world.domain
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _eval(formula.body, world, tol, {**val, formula.variable: element})
+            for element in world.domain
+        )
+    if isinstance(formula, ExistsExactly):
+        count = sum(
+            1
+            for element in world.domain
+            if _eval(formula.body, world, tol, {**val, formula.variable: element})
+        )
+        return count == formula.count
+    if isinstance(formula, ApproxEq):
+        if _has_zero_condition(formula.left, world, tol, val) or _has_zero_condition(
+            formula.right, world, tol, val
+        ):
+            return True
+        left = _eval_expr(formula.left, world, tol, val)
+        right = _eval_expr(formula.right, world, tol, val)
+        return abs(left - right) <= tol[formula.index] + 1e-12
+    if isinstance(formula, ApproxLeq):
+        if _has_zero_condition(formula.left, world, tol, val) or _has_zero_condition(
+            formula.right, world, tol, val
+        ):
+            return True
+        left = _eval_expr(formula.left, world, tol, val)
+        right = _eval_expr(formula.right, world, tol, val)
+        return left - right <= tol[formula.index] + 1e-12
+    if isinstance(formula, ExactCompare):
+        if _has_zero_condition(formula.left, world, tol, val) or _has_zero_condition(
+            formula.right, world, tol, val
+        ):
+            return True
+        left = _eval_expr(formula.left, world, tol, val)
+        right = _eval_expr(formula.right, world, tol, val)
+        return _compare(left, right, formula.op)
+    raise SemanticsError(f"unknown formula {formula!r}")
+
+
+def _compare(left: float, right: float, op: str) -> bool:
+    eps = 1e-12
+    if op == "==":
+        return abs(left - right) <= eps
+    if op == "<=":
+        return left <= right + eps
+    if op == ">=":
+        return left >= right - eps
+    if op == "<":
+        return left < right - eps
+    if op == ">":
+        return left > right + eps
+    raise SemanticsError(f"unknown comparison operator {op!r}")
+
+
+def _has_zero_condition(
+    expr: ProportionExpr, world: World, tol: ToleranceVector, val: Valuation
+) -> bool:
+    """True when any conditional proportion in ``expr`` conditions on an empty set.
+
+    The paper stipulates (Section 4.1) that comparison formulas mentioning a
+    conditional proportion whose condition has measure zero are vacuously
+    true; this predicate implements that convention.
+    """
+    if isinstance(expr, Number):
+        return False
+    if isinstance(expr, Proportion):
+        return False
+    if isinstance(expr, CondProportion):
+        denominator = _count_assignments(expr.condition, expr.variables, world, tol, val)
+        return denominator == 0
+    if isinstance(expr, (Sum, Product)):
+        return _has_zero_condition(expr.left, world, tol, val) or _has_zero_condition(
+            expr.right, world, tol, val
+        )
+    raise SemanticsError(f"unknown proportion expression {expr!r}")
+
+
+def _eval_expr(expr: ProportionExpr, world: World, tol: ToleranceVector, val: Valuation) -> float:
+    if isinstance(expr, Number):
+        return float(expr.value)
+    if isinstance(expr, Proportion):
+        total = world.domain_size ** len(expr.variables)
+        count = _count_assignments(expr.formula, expr.variables, world, tol, val)
+        return count / total
+    if isinstance(expr, CondProportion):
+        denominator = _count_assignments(expr.condition, expr.variables, world, tol, val)
+        if denominator == 0:
+            return 0.0
+        joint = _count_assignments(
+            And((expr.formula, expr.condition)), expr.variables, world, tol, val
+        )
+        return joint / denominator
+    if isinstance(expr, Sum):
+        return _eval_expr(expr.left, world, tol, val) + _eval_expr(expr.right, world, tol, val)
+    if isinstance(expr, Product):
+        return _eval_expr(expr.left, world, tol, val) * _eval_expr(expr.right, world, tol, val)
+    raise SemanticsError(f"unknown proportion expression {expr!r}")
+
+
+def _count_assignments(
+    formula: Formula,
+    variables: Tuple[str, ...],
+    world: World,
+    tol: ToleranceVector,
+    val: Valuation,
+) -> int:
+    """Count assignments of domain elements to ``variables`` satisfying ``formula``."""
+    count = 0
+    for assignment in itertools.product(world.domain, repeat=len(variables)):
+        extended = dict(val)
+        extended.update(zip(variables, assignment))
+        if _eval(formula, world, tol, extended):
+            count += 1
+    return count
+
+
+def proportion_value(
+    expr: ProportionExpr,
+    world: World,
+    tolerance: ToleranceVector | None = None,
+    valuation: Mapping[str, int] | None = None,
+) -> float:
+    """Public helper: the numeric value of a proportion expression in a world."""
+    tolerance = tolerance or ToleranceVector.uniform(1e-9)
+    return _eval_expr(expr, world, tolerance, dict(valuation or {}))
+
+
+def exact_proportion(
+    formula: Formula,
+    variables: Tuple[str, ...],
+    world: World,
+    condition: Optional[Formula] = None,
+) -> Fraction:
+    """The exact (rational) proportion of tuples satisfying ``formula``.
+
+    With ``condition`` the proportion is conditional; conditioning on an empty
+    set raises :class:`SemanticsError` (callers that need the vacuous-truth
+    convention should go through :func:`evaluate`).
+    """
+    tol = ToleranceVector.uniform(1e-9)
+    if condition is None:
+        total = world.domain_size ** len(variables)
+        count = _count_assignments(formula, variables, world, tol, {})
+        return Fraction(count, total)
+    denominator = _count_assignments(condition, variables, world, tol, {})
+    if denominator == 0:
+        raise SemanticsError("conditional proportion over an empty condition")
+    joint = _count_assignments(And((formula, condition)), variables, world, tol, {})
+    return Fraction(joint, denominator)
+
+
+def check_vocabulary(world: World, vocabulary: Vocabulary) -> bool:
+    """True when the world interprets every symbol of the vocabulary."""
+    for name in vocabulary.predicates:
+        if name not in world.relations:
+            return False
+    for name in vocabulary.functions:
+        if name not in world.functions:
+            return False
+    for name in vocabulary.constants:
+        if name not in world.constants:
+            return False
+    return True

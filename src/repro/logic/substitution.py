@@ -1,0 +1,388 @@
+"""Free variables, symbol collection, and substitution for L≈ formulas.
+
+Proportion subscripts bind their variables (``||psi(x)||_x`` binds ``x`` in
+``psi``), exactly like quantifiers, so free-variable computation and
+substitution must treat them as binders (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Set, Tuple
+
+from .syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    Term,
+    Top,
+    Var,
+)
+
+
+# ---------------------------------------------------------------------------
+# Free variables
+# ---------------------------------------------------------------------------
+
+
+def term_free_vars(term: Term) -> FrozenSet[str]:
+    """Free variables of a term."""
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, Const):
+        return frozenset()
+    if isinstance(term, FuncApp):
+        result: Set[str] = set()
+        for arg in term.args:
+            result |= term_free_vars(arg)
+        return frozenset(result)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def free_vars(formula: Formula) -> FrozenSet[str]:
+    """Free variables of a formula (proportion subscripts bind variables)."""
+    if isinstance(formula, (Top, Bottom)):
+        return frozenset()
+    if isinstance(formula, Atom):
+        result: Set[str] = set()
+        for arg in formula.args:
+            result |= term_free_vars(arg)
+        return frozenset(result)
+    if isinstance(formula, Equals):
+        return term_free_vars(formula.left) | term_free_vars(formula.right)
+    if isinstance(formula, Not):
+        return free_vars(formula.operand)
+    if isinstance(formula, (And, Or)):
+        result = set()
+        for operand in formula.operands:
+            result |= free_vars(operand)
+        return frozenset(result)
+    if isinstance(formula, Implies):
+        return free_vars(formula.antecedent) | free_vars(formula.consequent)
+    if isinstance(formula, Iff):
+        return free_vars(formula.left) | free_vars(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return free_vars(formula.body) - {formula.variable}
+    if isinstance(formula, ExistsExactly):
+        return free_vars(formula.body) - {formula.variable}
+    if isinstance(formula, (ApproxEq, ApproxLeq, ExactCompare)):
+        return expr_free_vars(formula.left) | expr_free_vars(formula.right)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def expr_free_vars(expr: ProportionExpr) -> FrozenSet[str]:
+    """Free variables of a proportion expression."""
+    if isinstance(expr, Number):
+        return frozenset()
+    if isinstance(expr, Proportion):
+        return free_vars(expr.formula) - set(expr.variables)
+    if isinstance(expr, CondProportion):
+        bound = set(expr.variables)
+        return (free_vars(expr.formula) | free_vars(expr.condition)) - bound
+    if isinstance(expr, (Sum, Product)):
+        return expr_free_vars(expr.left) | expr_free_vars(expr.right)
+    raise TypeError(f"unknown proportion expression {expr!r}")
+
+
+def is_closed(formula: Formula) -> bool:
+    """True when the formula is a sentence (no free variables)."""
+    return not free_vars(formula)
+
+
+# ---------------------------------------------------------------------------
+# Symbol collection
+# ---------------------------------------------------------------------------
+
+
+def constants_of(formula: Formula) -> FrozenSet[str]:
+    """All constant symbols appearing anywhere in a formula."""
+    names: Set[str] = set()
+    _collect_symbols(formula, constants=names)
+    return frozenset(names)
+
+
+def predicates_of(formula: Formula) -> Dict[str, int]:
+    """All predicate symbols with their arities."""
+    predicates: Dict[str, int] = {}
+    _collect_symbols(formula, predicates=predicates)
+    return predicates
+
+
+def functions_of(formula: Formula) -> Dict[str, int]:
+    """All function symbols with their arities."""
+    functions: Dict[str, int] = {}
+    _collect_symbols(formula, functions=functions)
+    return functions
+
+
+def symbols_of(formula: Formula) -> FrozenSet[str]:
+    """Every non-logical symbol (predicate, function, constant) in the formula."""
+    constants: Set[str] = set()
+    predicates: Dict[str, int] = {}
+    functions: Dict[str, int] = {}
+    _collect_symbols(
+        formula, constants=constants, predicates=predicates, functions=functions
+    )
+    return frozenset(constants) | frozenset(predicates) | frozenset(functions)
+
+
+def _collect_symbols(
+    formula: Formula,
+    constants: Set[str] | None = None,
+    predicates: Dict[str, int] | None = None,
+    functions: Dict[str, int] | None = None,
+) -> None:
+    if isinstance(formula, (Top, Bottom)):
+        return
+    if isinstance(formula, Atom):
+        if predicates is not None:
+            predicates[formula.predicate] = len(formula.args)
+        for arg in formula.args:
+            _collect_term(arg, constants, functions)
+        return
+    if isinstance(formula, Equals):
+        _collect_term(formula.left, constants, functions)
+        _collect_term(formula.right, constants, functions)
+        return
+    if isinstance(formula, Not):
+        _collect_symbols(formula.operand, constants, predicates, functions)
+        return
+    if isinstance(formula, (And, Or)):
+        for operand in formula.operands:
+            _collect_symbols(operand, constants, predicates, functions)
+        return
+    if isinstance(formula, Implies):
+        _collect_symbols(formula.antecedent, constants, predicates, functions)
+        _collect_symbols(formula.consequent, constants, predicates, functions)
+        return
+    if isinstance(formula, Iff):
+        _collect_symbols(formula.left, constants, predicates, functions)
+        _collect_symbols(formula.right, constants, predicates, functions)
+        return
+    if isinstance(formula, (Forall, Exists, ExistsExactly)):
+        _collect_symbols(formula.body, constants, predicates, functions)
+        return
+    if isinstance(formula, (ApproxEq, ApproxLeq, ExactCompare)):
+        _collect_expr(formula.left, constants, predicates, functions)
+        _collect_expr(formula.right, constants, predicates, functions)
+        return
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _collect_term(
+    term: Term,
+    constants: Set[str] | None,
+    functions: Dict[str, int] | None,
+) -> None:
+    if isinstance(term, Const):
+        if constants is not None:
+            constants.add(term.name)
+    elif isinstance(term, FuncApp):
+        if functions is not None:
+            functions[term.name] = len(term.args)
+        for arg in term.args:
+            _collect_term(arg, constants, functions)
+
+
+def _collect_expr(
+    expr: ProportionExpr,
+    constants: Set[str] | None,
+    predicates: Dict[str, int] | None,
+    functions: Dict[str, int] | None,
+) -> None:
+    if isinstance(expr, Number):
+        return
+    if isinstance(expr, Proportion):
+        _collect_symbols(expr.formula, constants, predicates, functions)
+        return
+    if isinstance(expr, CondProportion):
+        _collect_symbols(expr.formula, constants, predicates, functions)
+        _collect_symbols(expr.condition, constants, predicates, functions)
+        return
+    if isinstance(expr, (Sum, Product)):
+        _collect_expr(expr.left, constants, predicates, functions)
+        _collect_expr(expr.right, constants, predicates, functions)
+        return
+    raise TypeError(f"unknown proportion expression {expr!r}")
+
+
+def tolerance_indices(formula: Formula) -> FrozenSet[int]:
+    """All tolerance indices ``i`` used by ``~=_i`` / ``<~_i`` in the formula."""
+    from .syntax import iter_subformulas
+
+    indices: Set[int] = set()
+    for sub in iter_subformulas(formula):
+        if isinstance(sub, (ApproxEq, ApproxLeq)):
+            indices.add(sub.index)
+    return frozenset(indices)
+
+
+# ---------------------------------------------------------------------------
+# Substitution
+# ---------------------------------------------------------------------------
+
+
+def substitute_term(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Replace free variables in a term according to ``mapping``."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, FuncApp):
+        return FuncApp(term.name, tuple(substitute_term(a, mapping) for a in term.args))
+    raise TypeError(f"unknown term {term!r}")
+
+
+def substitute(formula: Formula, mapping: Mapping[str, Term]) -> Formula:
+    """Replace free variables in a formula according to ``mapping``.
+
+    Bound variables (quantifiers and proportion subscripts) shadow the
+    mapping.  The substitution is capture-avoiding only in the sense that
+    shadowed variables are dropped from the mapping; callers should use
+    fresh variable names when substituting open terms under binders.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(substitute_term(a, mapping) for a in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(o, mapping) for o in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(o, mapping) for o in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(substitute(formula.antecedent, mapping), substitute(formula.consequent, mapping))
+    if isinstance(formula, Iff):
+        return Iff(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, Forall):
+        inner = _shadow(mapping, (formula.variable,))
+        return Forall(formula.variable, substitute(formula.body, inner))
+    if isinstance(formula, Exists):
+        inner = _shadow(mapping, (formula.variable,))
+        return Exists(formula.variable, substitute(formula.body, inner))
+    if isinstance(formula, ExistsExactly):
+        inner = _shadow(mapping, (formula.variable,))
+        return ExistsExactly(formula.count, formula.variable, substitute(formula.body, inner))
+    if isinstance(formula, ApproxEq):
+        return ApproxEq(substitute_expr(formula.left, mapping), substitute_expr(formula.right, mapping), formula.index)
+    if isinstance(formula, ApproxLeq):
+        return ApproxLeq(substitute_expr(formula.left, mapping), substitute_expr(formula.right, mapping), formula.index)
+    if isinstance(formula, ExactCompare):
+        return ExactCompare(substitute_expr(formula.left, mapping), substitute_expr(formula.right, mapping), formula.op)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def substitute_expr(expr: ProportionExpr, mapping: Mapping[str, Term]) -> ProportionExpr:
+    """Replace free variables in a proportion expression."""
+    if isinstance(expr, Number):
+        return expr
+    if isinstance(expr, Proportion):
+        inner = _shadow(mapping, expr.variables)
+        return Proportion(substitute(expr.formula, inner), expr.variables)
+    if isinstance(expr, CondProportion):
+        inner = _shadow(mapping, expr.variables)
+        return CondProportion(
+            substitute(expr.formula, inner),
+            substitute(expr.condition, inner),
+            expr.variables,
+        )
+    if isinstance(expr, Sum):
+        return Sum(substitute_expr(expr.left, mapping), substitute_expr(expr.right, mapping))
+    if isinstance(expr, Product):
+        return Product(substitute_expr(expr.left, mapping), substitute_expr(expr.right, mapping))
+    raise TypeError(f"unknown proportion expression {expr!r}")
+
+
+def _shadow(mapping: Mapping[str, Term], bound: Tuple[str, ...]) -> Dict[str, Term]:
+    return {name: term for name, term in mapping.items() if name not in bound}
+
+
+def instantiate(formula: Formula, **bindings: Term) -> Formula:
+    """Convenience wrapper: substitute keyword-named variables by terms."""
+    return substitute(formula, dict(bindings))
+
+
+def abstract_constant(formula: Formula, constant: str, variable: str = "x") -> Formula:
+    """Replace every occurrence of a constant by a variable.
+
+    ``abstract_constant(Hep(Eric) and Tall(Eric), "Eric")`` yields
+    ``Hep(x) and Tall(x)`` — the class of individuals "just like Eric", which
+    is how ground evidence about a constant is turned into a reference-class
+    formula (Sections 2 and 5.2).
+    """
+    replacement = {constant: Var(variable)}
+
+    def replace_term(term: Term) -> Term:
+        if isinstance(term, Const) and term.name == constant:
+            return replacement[constant]
+        if isinstance(term, FuncApp):
+            return FuncApp(term.name, tuple(replace_term(a) for a in term.args))
+        return term
+
+    def replace(node: Formula) -> Formula:
+        if isinstance(node, Atom):
+            return Atom(node.predicate, tuple(replace_term(a) for a in node.args))
+        if isinstance(node, Equals):
+            return Equals(replace_term(node.left), replace_term(node.right))
+        if isinstance(node, Not):
+            return Not(replace(node.operand))
+        if isinstance(node, And):
+            return And(tuple(replace(o) for o in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(replace(o) for o in node.operands))
+        if isinstance(node, Implies):
+            return Implies(replace(node.antecedent), replace(node.consequent))
+        if isinstance(node, Iff):
+            return Iff(replace(node.left), replace(node.right))
+        if isinstance(node, (Top, Bottom)):
+            return node
+        if isinstance(node, Forall):
+            return Forall(node.variable, replace(node.body))
+        if isinstance(node, Exists):
+            return Exists(node.variable, replace(node.body))
+        if isinstance(node, ExistsExactly):
+            return ExistsExactly(node.count, node.variable, replace(node.body))
+        if isinstance(node, ApproxEq):
+            return ApproxEq(replace_expr(node.left), replace_expr(node.right), node.index)
+        if isinstance(node, ApproxLeq):
+            return ApproxLeq(replace_expr(node.left), replace_expr(node.right), node.index)
+        if isinstance(node, ExactCompare):
+            return ExactCompare(replace_expr(node.left), replace_expr(node.right), node.op)
+        raise TypeError(f"unknown formula {node!r}")
+
+    def replace_expr(expr: ProportionExpr) -> ProportionExpr:
+        if isinstance(expr, Number):
+            return expr
+        if isinstance(expr, Proportion):
+            return Proportion(replace(expr.formula), expr.variables)
+        if isinstance(expr, CondProportion):
+            return CondProportion(replace(expr.formula), replace(expr.condition), expr.variables)
+        if isinstance(expr, Sum):
+            return Sum(replace_expr(expr.left), replace_expr(expr.right))
+        if isinstance(expr, Product):
+            return Product(replace_expr(expr.left), replace_expr(expr.right))
+        raise TypeError(f"unknown proportion expression {expr!r}")
+
+    return replace(formula)

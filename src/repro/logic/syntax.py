@@ -1,0 +1,480 @@
+"""Abstract syntax for the statistical first-order language L≈.
+
+The language follows Section 4.1 of Bacchus, Grove, Halpern and Koller,
+"From Statistical Knowledge Bases to Degrees of Belief".  It extends
+first-order logic with *proportion expressions*:
+
+* ``||psi||_X`` — the proportion of tuples of domain elements (one per
+  variable in ``X``) that satisfy ``psi``;
+* ``||psi | theta||_X`` — the conditional proportion of tuples satisfying
+  ``psi`` among those satisfying ``theta``;
+* rational constants, sums and products of proportion expressions;
+
+and with *approximate comparisons* between proportion expressions,
+``zeta ~=_i zeta'`` ("i-approximately equal") and ``zeta <~_i zeta'``
+("i-approximately at most"), each interpreted relative to the i-th entry
+of a tolerance vector.
+
+Every node is an immutable, hashable dataclass so formulas can be used as
+dictionary keys, cached, and compared structurally.  Convenience operators
+are provided on :class:`Formula` (``&``, ``|``, ``~``, ``>>``) and helper
+constructors (:func:`conj`, :func:`disj`) flatten nested connectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Tuple, Union
+
+
+Numeric = Union[int, float, Fraction]
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class for first-order terms (variables, constants, applications)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """An individual variable such as ``x`` or ``y``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant symbol denoting a domain individual (e.g. ``Tweety``)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FuncApp(Term):
+    """An application of a function symbol to argument terms."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Proportion expressions
+# ---------------------------------------------------------------------------
+
+
+class ProportionExpr:
+    """Base class for numeric-valued proportion expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "ProportionExpr | Numeric") -> "Sum":
+        return Sum(self, _as_expr(other))
+
+    def __radd__(self, other: "ProportionExpr | Numeric") -> "Sum":
+        return Sum(_as_expr(other), self)
+
+    def __mul__(self, other: "ProportionExpr | Numeric") -> "Product":
+        return Product(self, _as_expr(other))
+
+    def __rmul__(self, other: "ProportionExpr | Numeric") -> "Product":
+        return Product(_as_expr(other), self)
+
+
+@dataclass(frozen=True)
+class Number(ProportionExpr):
+    """A numeric literal inside a proportion expression."""
+
+    value: Fraction
+
+    def __repr__(self) -> str:
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"{float(self.value):g}"
+
+
+@dataclass(frozen=True)
+class Proportion(ProportionExpr):
+    """``||formula||_{variables}`` — an unconditional proportion term."""
+
+    formula: "Formula"
+    variables: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        subs = ",".join(self.variables)
+        return f"||{self.formula!r}||_{{{subs}}}"
+
+
+@dataclass(frozen=True)
+class CondProportion(ProportionExpr):
+    """``||formula | condition||_{variables}`` — a conditional proportion term."""
+
+    formula: "Formula"
+    condition: "Formula"
+    variables: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        subs = ",".join(self.variables)
+        return f"||{self.formula!r} | {self.condition!r}||_{{{subs}}}"
+
+
+@dataclass(frozen=True)
+class Sum(ProportionExpr):
+    """Sum of two proportion expressions."""
+
+    left: ProportionExpr
+    right: ProportionExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Product(ProportionExpr):
+    """Product of two proportion expressions."""
+
+    left: ProportionExpr
+    right: ProportionExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+def _as_expr(value: "ProportionExpr | Numeric") -> ProportionExpr:
+    if isinstance(value, ProportionExpr):
+        return value
+    return Number(Fraction(value).limit_denominator(10**12))
+
+
+def number(value: Numeric) -> Number:
+    """Build a :class:`Number` literal from an int, float or Fraction."""
+    return Number(Fraction(value).limit_denominator(10**12))
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for formulas of L≈ (and its exact sublanguage L=)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The formula ``true``."""
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The formula ``false``."""
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic formula ``R(t1, ..., tr)``."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.predicate
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """Equality between two terms."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"not {self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction (the empty conjunction is ``true``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " and ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction (the empty disjunction is ``false``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " or ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Material biconditional."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} <-> {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over a single variable."""
+
+    variable: str
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"forall {self.variable}. {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over a single variable."""
+
+    variable: str
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"exists {self.variable}. {self.body!r}"
+
+
+@dataclass(frozen=True)
+class ExistsExactly(Formula):
+    """``exists exactly n`` — exactly ``count`` domain elements satisfy the body.
+
+    ``ExistsExactly(1, x, phi)`` is the paper's ``∃!x phi`` and
+    ``ExistsExactly(N, x, Ticket(x))`` is the lottery paradox's statement that
+    there are precisely N ticket holders.
+    """
+
+    count: int
+    variable: str
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"exists={self.count} {self.variable}. {self.body!r}"
+
+
+# Comparison operators over proportion expressions -------------------------
+
+EXACT_OPS = ("==", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class ApproxEq(Formula):
+    """``left ~=_i right`` — approximately equal with tolerance index ``i``."""
+
+    left: ProportionExpr
+    right: ProportionExpr
+    index: int = 1
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ~=_{self.index} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class ApproxLeq(Formula):
+    """``left <~_i right`` — approximately less-or-equal with tolerance index ``i``."""
+
+    left: ProportionExpr
+    right: ProportionExpr
+    index: int = 1
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} <~_{self.index} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class ExactCompare(Formula):
+    """An exact comparison (``==``, ``<=``, ``>=``, ``<``, ``>``) in L=."""
+
+    left: ProportionExpr
+    right: ProportionExpr
+    op: str = "=="
+
+    def __post_init__(self) -> None:
+        if self.op not in EXACT_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+# ---------------------------------------------------------------------------
+# Helper constructors
+# ---------------------------------------------------------------------------
+
+
+def conj(*formulas: Formula) -> Formula:
+    """Conjunction of any number of formulas, flattening nested ``And`` nodes.
+
+    ``conj()`` is ``true``; ``conj(f)`` is ``f``.
+    """
+    flattened: list[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, And):
+            flattened.extend(formula.operands)
+        elif isinstance(formula, Top):
+            continue
+        else:
+            flattened.append(formula)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """Disjunction of any number of formulas, flattening nested ``Or`` nodes."""
+    flattened: list[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, Or):
+            flattened.extend(formula.operands)
+        elif isinstance(formula, Bottom):
+            continue
+        else:
+            flattened.append(formula)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(tuple(flattened))
+
+
+def conjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """Return the top-level conjuncts of a formula (itself if not an ``And``)."""
+    if isinstance(formula, And):
+        return formula.operands
+    if isinstance(formula, Top):
+        return ()
+    return (formula,)
+
+
+def iter_subformulas(formula: Formula) -> Iterable[Formula]:
+    """Yield ``formula`` and every subformula (including inside proportions)."""
+    yield formula
+    for child in _formula_children(formula):
+        yield from iter_subformulas(child)
+
+
+def _formula_children(formula: Formula) -> Tuple[Formula, ...]:
+    if isinstance(formula, Not):
+        return (formula.operand,)
+    if isinstance(formula, (And, Or)):
+        return formula.operands
+    if isinstance(formula, Implies):
+        return (formula.antecedent, formula.consequent)
+    if isinstance(formula, Iff):
+        return (formula.left, formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return (formula.body,)
+    if isinstance(formula, ExistsExactly):
+        return (formula.body,)
+    if isinstance(formula, (ApproxEq, ApproxLeq, ExactCompare)):
+        children: list[Formula] = []
+        for expr in (formula.left, formula.right):
+            children.extend(_expr_formulas(expr))
+        return tuple(children)
+    return ()
+
+
+def _expr_formulas(expr: ProportionExpr) -> Tuple[Formula, ...]:
+    if isinstance(expr, Proportion):
+        return (expr.formula,)
+    if isinstance(expr, CondProportion):
+        return (expr.formula, expr.condition)
+    if isinstance(expr, (Sum, Product)):
+        return _expr_formulas(expr.left) + _expr_formulas(expr.right)
+    return ()
+
+
+def iter_proportion_exprs(formula: Formula) -> Iterable[ProportionExpr]:
+    """Yield every proportion term (``Proportion``/``CondProportion``) in a formula."""
+    for sub in iter_subformulas(formula):
+        if isinstance(sub, (ApproxEq, ApproxLeq, ExactCompare)):
+            for expr in (sub.left, sub.right):
+                yield from _iter_exprs(expr)
+
+
+def _iter_exprs(expr: ProportionExpr) -> Iterable[ProportionExpr]:
+    if isinstance(expr, (Proportion, CondProportion)):
+        yield expr
+    elif isinstance(expr, (Sum, Product)):
+        yield from _iter_exprs(expr.left)
+        yield from _iter_exprs(expr.right)

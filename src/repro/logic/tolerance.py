@@ -1,0 +1,108 @@
+"""Tolerance vectors for approximate comparisons.
+
+The semantics of ``zeta ~=_i zeta'`` is "the values of zeta and zeta' are
+within tau_i of each other", where tau_i is the i-th component of a
+*tolerance vector* (Section 4.1).  Degrees of belief are defined by the
+double limit ``lim_{tau -> 0} lim_{N -> infinity}``, so the library works
+with sequences of tolerance vectors shrinking towards zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class ToleranceVector:
+    """An assignment of a positive tolerance to each approximate-comparison index.
+
+    Indices not explicitly listed fall back to ``default``.  The paper allows
+    different tolerances for different subscripts; prioritized defaults
+    (Section 5.3) are expressed by making one tolerance much smaller than
+    another.
+    """
+
+    default: float = 1e-3
+    values: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default <= 0:
+            raise ValueError("tolerances must be strictly positive")
+        cleaned: Dict[int, float] = {}
+        for index, value in dict(self.values).items():
+            if value <= 0:
+                raise ValueError(f"tolerance for index {index} must be positive, got {value}")
+            cleaned[int(index)] = float(value)
+        object.__setattr__(self, "values", cleaned)
+
+    # -- access --------------------------------------------------------------
+
+    def __getitem__(self, index: int) -> float:
+        return self.values.get(index, self.default)
+
+    def get(self, index: int) -> float:
+        return self[index]
+
+    @property
+    def max_tolerance(self) -> float:
+        if not self.values:
+            return self.default
+        return max(self.default, max(self.values.values()))
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, tau: float) -> "ToleranceVector":
+        """All indices share the single tolerance ``tau``."""
+        return cls(default=tau)
+
+    def with_index(self, index: int, tau: float) -> "ToleranceVector":
+        """Return a copy where index ``index`` has tolerance ``tau``."""
+        new_values = dict(self.values)
+        new_values[index] = tau
+        return ToleranceVector(default=self.default, values=new_values)
+
+    def scaled(self, factor: float) -> "ToleranceVector":
+        """Return a copy with every tolerance multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ToleranceVector(
+            default=self.default * factor,
+            values={index: value * factor for index, value in self.values.items()},
+        )
+
+    def __repr__(self) -> str:
+        if not self.values:
+            return f"ToleranceVector(default={self.default:g})"
+        items = ", ".join(f"{i}: {v:g}" for i, v in sorted(self.values.items()))
+        return f"ToleranceVector(default={self.default:g}, {{{items}}})"
+
+
+def shrinking_sequence(
+    start: float = 0.1,
+    factor: float = 0.5,
+    count: int = 6,
+    ratios: Mapping[int, float] | None = None,
+) -> Iterator[ToleranceVector]:
+    """Yield a sequence of tolerance vectors shrinking geometrically to zero.
+
+    ``ratios`` fixes the relative sizes of individual tolerance indices;
+    for example ``{1: 1.0, 2: 0.01}`` expresses that the default indexed 1 is
+    much weaker than the default indexed 2 (its tolerance shrinks 100x slower),
+    which is how the paper prioritizes conflicting defaults (Section 5.3).
+    """
+    if not 0 < factor < 1:
+        raise ValueError("factor must lie strictly between 0 and 1")
+    tau = start
+    for _ in range(count):
+        if ratios:
+            yield ToleranceVector(default=tau, values={i: tau * r for i, r in ratios.items()})
+        else:
+            yield ToleranceVector.uniform(tau)
+        tau *= factor
+
+
+def default_sequence(count: int = 5) -> Iterable[ToleranceVector]:
+    """The library-wide default shrinking tolerance sequence."""
+    return shrinking_sequence(start=0.08, factor=0.4, count=count)

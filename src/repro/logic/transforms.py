@@ -1,0 +1,205 @@
+"""Formula transformations: the L≈ → L= translation and simplification helpers.
+
+The semantics of L≈ is given by translating every approximate comparison to an
+exact comparison parameterised by the tolerance vector (``chi[tau]`` in the
+paper, Section 4.1).  :func:`approximate_to_exact` performs that substitution
+for a concrete tolerance vector, which is what the constraint extractors in
+:mod:`repro.maxent` and several analytic engines consume.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    Top,
+    TRUE,
+    FALSE,
+    conj,
+    disj,
+    number,
+)
+from .tolerance import ToleranceVector
+
+
+def approximate_to_exact(formula: Formula, tolerance: ToleranceVector) -> Formula:
+    """Replace every approximate comparison by exact comparisons at the given tolerances.
+
+    ``zeta ~=_i zeta'`` becomes ``zeta <= zeta' + tau_i  and  zeta' <= zeta + tau_i``;
+    ``zeta <~_i zeta'`` becomes ``zeta <= zeta' + tau_i``.
+    """
+    if isinstance(formula, (Top, Bottom, Atom, Equals)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(approximate_to_exact(formula.operand, tolerance))
+    if isinstance(formula, And):
+        return And(tuple(approximate_to_exact(o, tolerance) for o in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(approximate_to_exact(o, tolerance) for o in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            approximate_to_exact(formula.antecedent, tolerance),
+            approximate_to_exact(formula.consequent, tolerance),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            approximate_to_exact(formula.left, tolerance),
+            approximate_to_exact(formula.right, tolerance),
+        )
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, approximate_to_exact(formula.body, tolerance))
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, approximate_to_exact(formula.body, tolerance))
+    if isinstance(formula, ExistsExactly):
+        return ExistsExactly(
+            formula.count, formula.variable, approximate_to_exact(formula.body, tolerance)
+        )
+    if isinstance(formula, ApproxEq):
+        tau = number(tolerance[formula.index])
+        return conj(
+            ExactCompare(formula.left, Sum(formula.right, tau), "<="),
+            ExactCompare(formula.right, Sum(formula.left, tau), "<="),
+        )
+    if isinstance(formula, ApproxLeq):
+        tau = number(tolerance[formula.index])
+        return ExactCompare(formula.left, Sum(formula.right, tau), "<=")
+    if isinstance(formula, ExactCompare):
+        return formula
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Light syntactic simplification: flatten connectives, remove double negation
+    and constant subformulas.  The result is logically equivalent to the input.
+    """
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, Not):
+            return inner.operand
+        if isinstance(inner, Top):
+            return FALSE
+        if isinstance(inner, Bottom):
+            return TRUE
+        return Not(inner)
+    if isinstance(formula, And):
+        parts = []
+        for operand in formula.operands:
+            part = simplify(operand)
+            if isinstance(part, Bottom):
+                return FALSE
+            if isinstance(part, Top):
+                continue
+            parts.append(part)
+        return conj(*parts)
+    if isinstance(formula, Or):
+        parts = []
+        for operand in formula.operands:
+            part = simplify(operand)
+            if isinstance(part, Top):
+                return TRUE
+            if isinstance(part, Bottom):
+                continue
+            parts.append(part)
+        return disj(*parts)
+    if isinstance(formula, Implies):
+        antecedent = simplify(formula.antecedent)
+        consequent = simplify(formula.consequent)
+        if isinstance(antecedent, Top):
+            return consequent
+        if isinstance(antecedent, Bottom):
+            return TRUE
+        if isinstance(consequent, Top):
+            return TRUE
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        return Iff(simplify(formula.left), simplify(formula.right))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, simplify(formula.body))
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, simplify(formula.body))
+    if isinstance(formula, ExistsExactly):
+        return ExistsExactly(formula.count, formula.variable, simplify(formula.body))
+    return formula
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Push negations inward over Boolean connectives and quantifiers.
+
+    Comparison formulas and counting quantifiers are treated as literals
+    (their negation is left in place).
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, Top):
+        return FALSE if negate else TRUE
+    if isinstance(formula, Bottom):
+        return TRUE if negate else FALSE
+    if isinstance(formula, And):
+        parts = tuple(_nnf(o, negate) for o in formula.operands)
+        return disj(*parts) if negate else conj(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(o, negate) for o in formula.operands)
+        return conj(*parts) if negate else disj(*parts)
+    if isinstance(formula, Implies):
+        if negate:
+            return conj(_nnf(formula.antecedent, False), _nnf(formula.consequent, True))
+        return disj(_nnf(formula.antecedent, True), _nnf(formula.consequent, False))
+    if isinstance(formula, Iff):
+        positive = conj(
+            disj(_nnf(formula.left, True), _nnf(formula.right, False)),
+            disj(_nnf(formula.right, True), _nnf(formula.left, False)),
+        )
+        if not negate:
+            return positive
+        return disj(
+            conj(_nnf(formula.left, False), _nnf(formula.right, True)),
+            conj(_nnf(formula.right, False), _nnf(formula.left, True)),
+        )
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, negate)
+        return Exists(formula.variable, body) if negate else Forall(formula.variable, body)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, negate)
+        return Forall(formula.variable, body) if negate else Exists(formula.variable, body)
+    # Comparisons, atoms, equalities and counting quantifiers are literals here.
+    return Not(formula) if negate else formula
+
+
+def multiply_out_conditionals(expr: ProportionExpr) -> Tuple[ProportionExpr, ProportionExpr]:
+    """Rewrite ``||phi | theta||_X`` as the pair ``(||phi and theta||_X, ||theta||_X)``.
+
+    Returns numerator and denominator expressions; used by callers that need
+    the Halpern-style "multiplying out" reading of conditional proportions
+    (the paper explains in Example 4.2 why this reading is *not* used for the
+    approximate semantics itself).
+    """
+    if not isinstance(expr, CondProportion):
+        raise TypeError("multiply_out_conditionals expects a conditional proportion")
+    numerator = Proportion(conj(expr.formula, expr.condition), expr.variables)
+    denominator = Proportion(expr.condition, expr.variables)
+    return numerator, denominator

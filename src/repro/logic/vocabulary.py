@@ -1,0 +1,159 @@
+"""Vocabularies (first-order signatures) for the statistical language.
+
+A :class:`Vocabulary` records the predicate symbols (with arities), function
+symbols (with arities) and constant symbols available to a knowledge base.
+The random-worlds semantics fixes a finite vocabulary Φ and considers all
+first-order models of each finite size over Φ, so essentially every module in
+the library takes a vocabulary as input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from .substitution import constants_of, functions_of, predicates_of
+from .syntax import Formula
+
+
+class VocabularyError(ValueError):
+    """Raised when formulas use symbols inconsistently with a vocabulary."""
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """A finite first-order vocabulary Φ.
+
+    Attributes
+    ----------
+    predicates:
+        Mapping from predicate name to arity.
+    functions:
+        Mapping from function name to arity.
+    constants:
+        The constant symbols, in a deterministic order.
+    """
+
+    predicates: Mapping[str, int] = field(default_factory=dict)
+    functions: Mapping[str, int] = field(default_factory=dict)
+    constants: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicates", dict(self.predicates))
+        object.__setattr__(self, "functions", dict(self.functions))
+        object.__setattr__(self, "constants", tuple(self.constants))
+        overlap = set(self.predicates) & set(self.functions)
+        if overlap:
+            raise VocabularyError(f"symbols used as both predicate and function: {sorted(overlap)}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_formulas(cls, formulas: Iterable[Formula]) -> "Vocabulary":
+        """Infer the smallest vocabulary containing every symbol in ``formulas``."""
+        predicates: Dict[str, int] = {}
+        functions: Dict[str, int] = {}
+        constants: set[str] = set()
+        for formula in formulas:
+            for name, arity in predicates_of(formula).items():
+                if predicates.get(name, arity) != arity:
+                    raise VocabularyError(
+                        f"predicate {name!r} used with arities {predicates[name]} and {arity}"
+                    )
+                predicates[name] = arity
+            for name, arity in functions_of(formula).items():
+                if functions.get(name, arity) != arity:
+                    raise VocabularyError(
+                        f"function {name!r} used with arities {functions[name]} and {arity}"
+                    )
+                functions[name] = arity
+            constants |= constants_of(formula)
+        return cls(predicates, functions, tuple(sorted(constants)))
+
+    def extend(
+        self,
+        predicates: Mapping[str, int] | None = None,
+        functions: Mapping[str, int] | None = None,
+        constants: Iterable[str] = (),
+    ) -> "Vocabulary":
+        """Return a new vocabulary with additional symbols."""
+        new_predicates = dict(self.predicates)
+        new_functions = dict(self.functions)
+        for name, arity in (predicates or {}).items():
+            if new_predicates.get(name, arity) != arity:
+                raise VocabularyError(f"predicate {name!r} arity conflict")
+            new_predicates[name] = arity
+        for name, arity in (functions or {}).items():
+            if new_functions.get(name, arity) != arity:
+                raise VocabularyError(f"function {name!r} arity conflict")
+            new_functions[name] = arity
+        new_constants = tuple(sorted(set(self.constants) | set(constants)))
+        return Vocabulary(new_predicates, new_functions, new_constants)
+
+    def merge(self, other: "Vocabulary") -> "Vocabulary":
+        """Union of two vocabularies (arities must agree on shared symbols)."""
+        return self.extend(other.predicates, other.functions, other.constants)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_unary(self) -> bool:
+        """True when every predicate is unary and there are no function symbols.
+
+        The maximum-entropy connection (Section 6) and the exact
+        atom-counting engine apply exactly to unary vocabularies.
+        """
+        if self.functions:
+            return False
+        return all(arity == 1 for arity in self.predicates.values())
+
+    @property
+    def unary_predicates(self) -> Tuple[str, ...]:
+        """The unary predicate names in sorted order."""
+        return tuple(sorted(name for name, arity in self.predicates.items() if arity == 1))
+
+    def predicate_arity(self, name: str) -> int:
+        if name not in self.predicates:
+            raise VocabularyError(f"unknown predicate {name!r}")
+        return self.predicates[name]
+
+    def function_arity(self, name: str) -> int:
+        if name not in self.functions:
+            raise VocabularyError(f"unknown function {name!r}")
+        return self.functions[name]
+
+    def contains(self, other: "Vocabulary") -> bool:
+        """True when every symbol of ``other`` is in this vocabulary."""
+        for name, arity in other.predicates.items():
+            if self.predicates.get(name) != arity:
+                return False
+        for name, arity in other.functions.items():
+            if self.functions.get(name) != arity:
+                return False
+        return set(other.constants) <= set(self.constants)
+
+    def validate(self, formula: Formula) -> None:
+        """Raise :class:`VocabularyError` unless ``formula`` fits this vocabulary."""
+        inferred = Vocabulary.from_formulas([formula])
+        if not self.contains(inferred):
+            missing = []
+            for name, arity in inferred.predicates.items():
+                if self.predicates.get(name) != arity:
+                    missing.append(f"predicate {name}/{arity}")
+            for name, arity in inferred.functions.items():
+                if self.functions.get(name) != arity:
+                    missing.append(f"function {name}/{arity}")
+            for name in inferred.constants:
+                if name not in self.constants:
+                    missing.append(f"constant {name}")
+            raise VocabularyError(f"formula uses symbols outside vocabulary: {missing}")
+
+    def symbol_names(self) -> FrozenSet[str]:
+        """All symbol names in the vocabulary."""
+        return frozenset(self.predicates) | frozenset(self.functions) | frozenset(self.constants)
+
+    def __repr__(self) -> str:
+        preds = ", ".join(f"{n}/{a}" for n, a in sorted(self.predicates.items()))
+        funcs = ", ".join(f"{n}/{a}" for n, a in sorted(self.functions.items()))
+        consts = ", ".join(self.constants)
+        return f"Vocabulary(predicates=[{preds}], functions=[{funcs}], constants=[{consts}])"

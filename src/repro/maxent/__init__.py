@@ -1,0 +1,16 @@
+"""Maximum-entropy computation of degrees of belief for unary knowledge bases."""
+
+from .atoms import atoms_satisfying, indicator
+from .beliefs import MaxEntBelief, belief_from_solution, degree_of_belief_maxent
+from .constraints import ConstraintSet, LinearConstraint, extract_constraints
+from .solver import (
+    MaxEntInfeasible,
+    MaxEntSequence,
+    MaxEntSolution,
+    entropy,
+    solve,
+    solve_knowledge_base,
+    solve_sequence,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,126 @@
+"""Mapping quantifier-free unary formulas to sets of atoms.
+
+For a unary vocabulary with predicates P1..Pk, an *atom* is a complete
+conjunction deciding every predicate (2^k of them).  Any Boolean combination
+of the predicates applied to a single free variable (or to a single constant)
+denotes a set of atoms; this module computes that set, which is what both the
+max-entropy constraint extractor and the belief calculator operate on.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..logic.substitution import free_vars
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equals,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from ..worlds.unary import AtomTable, UnsupportedFormula
+
+
+def atoms_satisfying(
+    formula: Formula,
+    table: AtomTable,
+    subject: Optional[str] = None,
+) -> FrozenSet[int]:
+    """The atoms over ``table`` satisfied by a quantifier-free unary formula.
+
+    ``formula`` must be a Boolean combination of unary atoms whose single
+    argument is always the same term — either one variable or one constant.
+    ``subject`` optionally names that term (variable or constant name); when
+    omitted it is inferred.  Raises :class:`UnsupportedFormula` for formulas
+    outside this fragment (quantifiers, several individuals, equality).
+    """
+    inferred = _subject_of(formula)
+    if subject is not None and inferred is not None and subject != inferred:
+        raise UnsupportedFormula(
+            f"formula {formula!r} talks about {inferred!r}, expected {subject!r}"
+        )
+    selected = []
+    for atom in range(table.num_atoms):
+        if _holds_at(formula, atom, table):
+            selected.append(atom)
+    return frozenset(selected)
+
+
+def _subject_of(formula: Formula) -> Optional[str]:
+    """The single individual (variable or constant name) the formula is about."""
+    subjects = set()
+    _collect_subjects(formula, subjects)
+    if len(subjects) > 1:
+        raise UnsupportedFormula(
+            f"formula {formula!r} mentions several individuals: {sorted(subjects)}"
+        )
+    return next(iter(subjects), None)
+
+
+def _collect_subjects(formula: Formula, subjects: set) -> None:
+    if isinstance(formula, Atom):
+        if len(formula.args) != 1:
+            raise UnsupportedFormula(f"{formula!r} is not a unary atom")
+        term = formula.args[0]
+        if isinstance(term, Var):
+            subjects.add(term.name)
+        elif isinstance(term, Const):
+            subjects.add(term.name)
+        else:
+            raise UnsupportedFormula(f"compound term in {formula!r}")
+        return
+    if isinstance(formula, (Top, Bottom)):
+        return
+    if isinstance(formula, Not):
+        _collect_subjects(formula.operand, subjects)
+        return
+    if isinstance(formula, (And, Or)):
+        for operand in formula.operands:
+            _collect_subjects(operand, subjects)
+        return
+    if isinstance(formula, Implies):
+        _collect_subjects(formula.antecedent, subjects)
+        _collect_subjects(formula.consequent, subjects)
+        return
+    if isinstance(formula, Iff):
+        _collect_subjects(formula.left, subjects)
+        _collect_subjects(formula.right, subjects)
+        return
+    if isinstance(formula, Equals):
+        raise UnsupportedFormula("equality is outside the atom-set fragment")
+    raise UnsupportedFormula(f"{formula!r} is outside the quantifier-free unary fragment")
+
+
+def _holds_at(formula: Formula, atom: int, table: AtomTable) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        return table.atom_satisfies(atom, formula.predicate)
+    if isinstance(formula, Not):
+        return not _holds_at(formula.operand, atom, table)
+    if isinstance(formula, And):
+        return all(_holds_at(o, atom, table) for o in formula.operands)
+    if isinstance(formula, Or):
+        return any(_holds_at(o, atom, table) for o in formula.operands)
+    if isinstance(formula, Implies):
+        return (not _holds_at(formula.antecedent, atom, table)) or _holds_at(
+            formula.consequent, atom, table
+        )
+    if isinstance(formula, Iff):
+        return _holds_at(formula.left, atom, table) == _holds_at(formula.right, atom, table)
+    raise UnsupportedFormula(f"{formula!r} is outside the quantifier-free unary fragment")
+
+
+def indicator(atom_set: FrozenSet[int], num_atoms: int) -> Tuple[float, ...]:
+    """A 0/1 vector over atoms marking membership of ``atom_set``."""
+    return tuple(1.0 if atom in atom_set else 0.0 for atom in range(num_atoms))

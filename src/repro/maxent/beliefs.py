@@ -1,0 +1,151 @@
+"""Degrees of belief from the maximum-entropy point of a unary knowledge base.
+
+The computation follows Section 6 of the paper: the conditional world count
+concentrates on atom-proportion vectors of maximum entropy, so for a unary KB
+
+* the statistical part of the KB fixes (via entropy maximisation) the limiting
+  atom proportions ``p*``;
+* everything the KB says about a particular constant ``c`` is a quantifier-free
+  unary formula ``psi_c(c)``; by direct inference at the concentrated
+  proportions, the degree of belief in ``phi(c)`` is the conditional weight
+  ``p*(phi and psi_c) / p*(psi_c)``;
+* distinct constants are treated independently (Theorem 5.27), so queries that
+  are Boolean combinations over several constants multiply out.
+
+The answer is computed along a shrinking tolerance sequence and the tau -> 0
+trend is checked, mirroring the outer limit of Definition 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..logic.substitution import constants_of, free_vars
+from ..logic.syntax import And, Atom, Const, Formula, Not, Or, TRUE, conj, conjuncts
+from ..logic.tolerance import ToleranceVector, default_sequence
+from ..logic.vocabulary import Vocabulary
+from ..worlds.unary import AtomTable, UnsupportedFormula
+from .atoms import atoms_satisfying
+from .constraints import ConstraintSet, extract_constraints
+from .solver import MaxEntSolution, solve
+
+
+@dataclass(frozen=True)
+class MaxEntBelief:
+    """A degree of belief computed through the maximum-entropy route."""
+
+    value: Optional[float]
+    exists: bool
+    per_tolerance: Tuple[Tuple[float, Optional[float]], ...]
+    solution: MaxEntSolution
+    note: str = ""
+
+
+def _query_constants(query: Formula) -> Tuple[str, ...]:
+    if free_vars(query):
+        raise UnsupportedFormula("queries must be closed sentences")
+    names = sorted(constants_of(query))
+    if not names:
+        raise UnsupportedFormula(
+            "the max-entropy belief calculator handles queries about named individuals; "
+            "use the exact counting engine for proportion-valued queries"
+        )
+    return tuple(names)
+
+
+def _split_query_by_constant(query: Formula, constants: Tuple[str, ...]) -> Dict[str, Formula]:
+    """Split a conjunctive query into per-constant parts.
+
+    Each conjunct must mention exactly one constant; Theorem 5.27 then lets the
+    parts be treated independently.
+    """
+    parts: Dict[str, List[Formula]] = {name: [] for name in constants}
+    for part in conjuncts(query):
+        mentioned = sorted(constants_of(part))
+        if len(mentioned) != 1:
+            raise UnsupportedFormula(
+                f"query conjunct {part!r} mentions {len(mentioned)} constants; "
+                "use the exact counting engine"
+            )
+        parts[mentioned[0]].append(part)
+    return {name: conj(*fs) if fs else TRUE for name, fs in parts.items()}
+
+
+def belief_from_solution(
+    query: Formula,
+    solution: MaxEntSolution,
+    evidence: Dict[str, Formula],
+) -> Optional[float]:
+    """Degree of belief in ``query`` at a fixed max-entropy solution."""
+    constants = _query_constants(query)
+    per_constant = _split_query_by_constant(query, constants)
+    table = solution.table
+    value = 1.0
+    for constant, constant_query in per_constant.items():
+        known = evidence.get(constant, TRUE)
+        known_atoms = atoms_satisfying(_about_variable(known, constant), table)
+        query_atoms = atoms_satisfying(_about_variable(constant_query, constant), table)
+        conditional = solution.conditional(query_atoms, known_atoms)
+        if conditional is None:
+            return None
+        value *= conditional
+    return value
+
+
+def _about_variable(formula: Formula, constant: str) -> Formula:
+    """Rewrite a ground formula about ``constant`` as a formula about a fresh variable.
+
+    ``Hep(Eric) and Tall(Eric)`` becomes ``Hep(x) and Tall(x)`` so the atom-set
+    machinery (which works with one subject) applies uniformly.
+    """
+    from ..logic.substitution import abstract_constant
+
+    return abstract_constant(formula, constant, "x")
+
+
+def degree_of_belief_maxent(
+    query: Formula,
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    tolerances: Iterable[ToleranceVector] | None = None,
+    stability: float = 2e-2,
+) -> MaxEntBelief:
+    """Compute ``Pr_infinity(query | KB)`` through the maximum-entropy connection.
+
+    Raises :class:`UnsupportedFormula` when the KB or query fall outside the
+    unary fragment this route supports; the top-level engine then falls back
+    to exact counting.
+    """
+    tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
+    per_tolerance: List[Tuple[float, Optional[float]]] = []
+    last_solution: Optional[MaxEntSolution] = None
+    values: List[Optional[float]] = []
+    for tolerance in tolerance_list:
+        constraint_set = extract_constraints(knowledge_base, vocabulary, tolerance)
+        solution = solve(constraint_set)
+        value = belief_from_solution(query, solution, constraint_set.evidence)
+        per_tolerance.append((tolerance.max_tolerance, value))
+        values.append(value)
+        last_solution = solution
+
+    defined = [(tau, v) for (tau, v) in per_tolerance if v is not None]
+    if last_solution is None or not defined:
+        return MaxEntBelief(None, False, tuple(per_tolerance), last_solution, "undefined")
+    final = defined[-1][1]
+    if len(defined) >= 2:
+        (tau_prev, value_prev), (tau_last, value_last) = defined[-2], defined[-1]
+        drift = abs(value_last - value_prev)
+        exists = drift <= stability
+        note = "" if exists else "value drifts as the tolerance shrinks"
+        # The max-entropy value typically approaches its tau -> 0 limit linearly
+        # in the tolerance (the active constraint is a band of width tau), so a
+        # linear extrapolation to tau = 0 removes the residual bias.
+        if exists and abs(tau_prev - tau_last) > 1e-15:
+            slope = (value_prev - value_last) / (tau_prev - tau_last)
+            extrapolated = value_last - slope * tau_last
+            final = min(max(extrapolated, 0.0), 1.0)
+    else:
+        exists = True
+        note = "single tolerance only"
+    return MaxEntBelief(final, exists, tuple(per_tolerance), last_solution, note)

@@ -1,0 +1,304 @@
+"""Extracting atom-proportion constraints from a unary knowledge base.
+
+For a unary vocabulary, a knowledge base can be rewritten as constraints on
+the vector ``p`` of atom proportions (Section 6 of the paper; [GHK94]).  This
+module performs that rewriting for the fragment used throughout the paper:
+
+* proportion comparisons between a (conditional) proportion over one variable
+  and a numeric value — each becomes one or two linear inequalities on ``p``
+  (conditional proportions are multiplied out, which is linear because the
+  tolerance scales with the denominator);
+* universally quantified Boolean combinations — the atoms violating the body
+  are forced to proportion 0;
+* ground facts about constants — these do not constrain the proportions at
+  all (a single individual is negligible as N grows); they are collected
+  separately as *evidence* and used by the belief calculator when
+  conditioning on what is known about each constant.
+
+Anything outside this fragment raises :class:`UnsupportedFormula`, signalling
+the engine to fall back to exact counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.substitution import constants_of, free_vars
+from ..logic.syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    CondProportion,
+    ExactCompare,
+    Forall,
+    Formula,
+    Not,
+    Number,
+    Or,
+    Proportion,
+    ProportionExpr,
+    conjuncts,
+)
+from ..logic.tolerance import ToleranceVector
+from ..logic.vocabulary import Vocabulary
+from ..worlds.unary import AtomTable, UnsupportedFormula
+from .atoms import atoms_satisfying
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear constraint ``coefficients . p <= bound`` or ``== bound``."""
+
+    coefficients: Tuple[float, ...]
+    bound: float
+    equality: bool = False
+    label: str = ""
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.coefficients, dtype=float)
+
+    def satisfied_by(self, p: Sequence[float], slack: float = 1e-7) -> bool:
+        value = float(np.dot(self.as_array(), np.asarray(p, dtype=float)))
+        if self.equality:
+            return abs(value - self.bound) <= slack
+        return value <= self.bound + slack
+
+
+@dataclass
+class ConstraintSet:
+    """All information extracted from a unary KB for the max-entropy computation."""
+
+    table: AtomTable
+    constraints: List[LinearConstraint] = field(default_factory=list)
+    zero_atoms: set = field(default_factory=set)
+    evidence: Dict[str, Formula] = field(default_factory=dict)
+
+    @property
+    def num_atoms(self) -> int:
+        return self.table.num_atoms
+
+    def add(self, constraint: LinearConstraint) -> None:
+        self.constraints.append(constraint)
+
+    def force_zero(self, atom: int) -> None:
+        self.zero_atoms.add(atom)
+
+    def add_evidence(self, constant: str, fact: Formula) -> None:
+        if constant in self.evidence:
+            self.evidence[constant] = And((self.evidence[constant], fact))
+        else:
+            self.evidence[constant] = fact
+
+    def feasible(self, p: Sequence[float], slack: float = 1e-6) -> bool:
+        """True when the proportion vector satisfies every extracted constraint."""
+        vector = np.asarray(p, dtype=float)
+        if any(vector[atom] > slack for atom in self.zero_atoms):
+            return False
+        return all(constraint.satisfied_by(vector, slack) for constraint in self.constraints)
+
+
+def extract_constraints(
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    tolerance: ToleranceVector,
+) -> ConstraintSet:
+    """Rewrite a unary KB as a :class:`ConstraintSet` at a fixed tolerance vector."""
+    if not vocabulary.is_unary:
+        raise UnsupportedFormula("max-entropy constraints require a unary vocabulary")
+    table = AtomTable.for_vocabulary(vocabulary)
+    result = ConstraintSet(table=table)
+    for part in conjuncts(knowledge_base):
+        _extract_part(part, table, tolerance, result)
+    return result
+
+
+def _extract_part(
+    formula: Formula,
+    table: AtomTable,
+    tolerance: ToleranceVector,
+    result: ConstraintSet,
+) -> None:
+    # Ground facts about constants: evidence, not constraints.
+    if not free_vars(formula) and constants_of(formula) and _ground_structure_ok(formula):
+        constants = sorted(constants_of(formula))
+        if len(constants) != 1:
+            raise UnsupportedFormula(
+                f"ground fact {formula!r} mentions several constants; "
+                "use the exact counting engine"
+            )
+        result.add_evidence(constants[0], formula)
+        return
+
+    if isinstance(formula, Forall):
+        _extract_forall(formula, table, result)
+        return
+
+    if isinstance(formula, (ApproxEq, ApproxLeq, ExactCompare)):
+        _extract_comparison(formula, table, tolerance, result)
+        return
+
+    if isinstance(formula, Not) or isinstance(formula, Or):
+        raise UnsupportedFormula(
+            f"negated or disjunctive KB conjunct {formula!r} is outside the max-entropy fragment"
+        )
+
+    if isinstance(formula, And):
+        for part in formula.operands:
+            _extract_part(part, table, tolerance, result)
+        return
+
+    raise UnsupportedFormula(f"cannot extract max-entropy constraints from {formula!r}")
+
+
+def _ground_structure_ok(formula: Formula) -> bool:
+    from ..logic.syntax import Bottom, Iff, Implies, Top
+
+    if isinstance(formula, (Top, Bottom)):
+        return True
+    if isinstance(formula, Atom):
+        return len(formula.args) == 1
+    if isinstance(formula, Not):
+        return _ground_structure_ok(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return all(_ground_structure_ok(o) for o in formula.operands)
+    if isinstance(formula, Implies):
+        return _ground_structure_ok(formula.antecedent) and _ground_structure_ok(formula.consequent)
+    if isinstance(formula, Iff):
+        return _ground_structure_ok(formula.left) and _ground_structure_ok(formula.right)
+    return False
+
+
+def _extract_forall(formula: Forall, table: AtomTable, result: ConstraintSet) -> None:
+    body = formula.body
+    if constants_of(body):
+        raise UnsupportedFormula(
+            f"universally quantified formula {formula!r} mentions constants"
+        )
+    satisfied = atoms_satisfying(body, table, subject=formula.variable)
+    for atom in range(table.num_atoms):
+        if atom not in satisfied:
+            result.force_zero(atom)
+            result.add(
+                LinearConstraint(
+                    coefficients=tuple(1.0 if a == atom else 0.0 for a in range(table.num_atoms)),
+                    bound=0.0,
+                    equality=True,
+                    label=f"forall:{table.describe(atom)}",
+                )
+            )
+
+
+def _extract_comparison(
+    formula: Formula,
+    table: AtomTable,
+    tolerance: ToleranceVector,
+    result: ConstraintSet,
+) -> None:
+    left, right = formula.left, formula.right
+    proportion, value, flipped = _orient(left, right)
+
+    if isinstance(formula, ApproxEq):
+        tau = tolerance[formula.index]
+        _add_ratio_bounds(proportion, value - tau, value + tau, table, result, repr(formula))
+        return
+    if isinstance(formula, ApproxLeq):
+        tau = tolerance[formula.index]
+        if flipped:
+            # value <~ proportion  =>  proportion >= value - tau
+            _add_ratio_bounds(proportion, value - tau, None, table, result, repr(formula))
+        else:
+            _add_ratio_bounds(proportion, None, value + tau, table, result, repr(formula))
+        return
+    if isinstance(formula, ExactCompare):
+        op = formula.op
+        if flipped:
+            op = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "==": "=="}[op]
+        if op == "==":
+            _add_ratio_bounds(proportion, value, value, table, result, repr(formula))
+        elif op in ("<=", "<"):
+            _add_ratio_bounds(proportion, None, value, table, result, repr(formula))
+        else:
+            _add_ratio_bounds(proportion, value, None, table, result, repr(formula))
+        return
+    raise UnsupportedFormula(f"unsupported comparison {formula!r}")
+
+
+def _orient(
+    left: ProportionExpr, right: ProportionExpr
+) -> Tuple[ProportionExpr, float, bool]:
+    """Return (proportion term, numeric value, flipped) for ``left op right``.
+
+    ``flipped`` is True when the numeric value appeared on the left (so the
+    comparison reads ``value op proportion``).
+    """
+    if isinstance(left, (Proportion, CondProportion)) and isinstance(right, Number):
+        return left, float(right.value), False
+    if isinstance(right, (Proportion, CondProportion)) and isinstance(left, Number):
+        return right, float(left.value), True
+    raise UnsupportedFormula(
+        "max-entropy constraints support comparisons between one proportion term "
+        f"and one number, got {left!r} vs {right!r}"
+    )
+
+
+def _add_ratio_bounds(
+    proportion: ProportionExpr,
+    low: Optional[float],
+    high: Optional[float],
+    table: AtomTable,
+    result: ConstraintSet,
+    label: str,
+) -> None:
+    """Add linear constraints expressing ``low <= proportion <= high``.
+
+    For a conditional proportion ``||phi | psi||`` the bounds are multiplied
+    out: ``num - high * den <= 0`` and ``low * den - num <= 0``; these are the
+    exact linearisations and remain valid (vacuously) when the denominator is
+    zero, matching the measure-zero convention of the language.
+    """
+    numerator_set, denominator_set = _proportion_atom_sets(proportion, table)
+    num_vec = np.zeros(table.num_atoms)
+    for atom in numerator_set:
+        num_vec[atom] = 1.0
+    if denominator_set is None:
+        # Unconditional proportion: denominator is the whole domain (sum p = 1).
+        if high is not None:
+            result.add(LinearConstraint(tuple(num_vec), float(high), False, f"{label} (upper)"))
+        if low is not None:
+            result.add(LinearConstraint(tuple(-num_vec), float(-low), False, f"{label} (lower)"))
+        return
+    den_vec = np.zeros(table.num_atoms)
+    for atom in denominator_set:
+        den_vec[atom] = 1.0
+    if high is not None:
+        coefficients = num_vec - float(high) * den_vec
+        result.add(LinearConstraint(tuple(coefficients), 0.0, False, f"{label} (upper)"))
+    if low is not None:
+        coefficients = float(low) * den_vec - num_vec
+        result.add(LinearConstraint(tuple(coefficients), 0.0, False, f"{label} (lower)"))
+
+
+def _proportion_atom_sets(
+    proportion: ProportionExpr, table: AtomTable
+) -> Tuple[frozenset, Optional[frozenset]]:
+    if isinstance(proportion, Proportion):
+        if len(proportion.variables) != 1:
+            raise UnsupportedFormula(
+                "max-entropy constraints support proportions over a single variable"
+            )
+        subject = proportion.variables[0]
+        return atoms_satisfying(proportion.formula, table, subject), None
+    if isinstance(proportion, CondProportion):
+        if len(proportion.variables) != 1:
+            raise UnsupportedFormula(
+                "max-entropy constraints support proportions over a single variable"
+            )
+        subject = proportion.variables[0]
+        condition_atoms = atoms_satisfying(proportion.condition, table, subject)
+        formula_atoms = atoms_satisfying(proportion.formula, table, subject)
+        return formula_atoms & condition_atoms, condition_atoms
+    raise UnsupportedFormula(f"expected a proportion term, got {proportion!r}")

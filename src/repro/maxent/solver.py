@@ -1,0 +1,237 @@
+"""Entropy maximisation over atom proportions.
+
+Given the linear constraints extracted from a unary knowledge base, the
+random-worlds degree of belief is determined by the constrained entropy
+maximiser (Section 6): the number of worlds whose atom proportions are near a
+vector ``p`` grows as ``exp(N * H(p))``, so as N grows all the conditional
+probability mass concentrates around the maximum-entropy point(s) of the
+constraint set.
+
+The solver uses scipy's SLSQP with an exact gradient, a feasibility repair
+step and a handful of restarts; problems in this library have at most a few
+dozen atoms, so this is plenty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..logic.syntax import Formula
+from ..logic.tolerance import ToleranceVector, default_sequence
+from ..logic.vocabulary import Vocabulary
+from ..worlds.unary import AtomTable, UnsupportedFormula
+from .constraints import ConstraintSet, extract_constraints
+
+
+class MaxEntInfeasible(ValueError):
+    """Raised when the constraint set admits no probability vector."""
+
+
+@dataclass(frozen=True)
+class MaxEntSolution:
+    """The result of one entropy maximisation."""
+
+    table: AtomTable
+    probabilities: Tuple[float, ...]
+    entropy: float
+    converged: bool
+    max_violation: float
+
+    def probability_of(self, atom_set: Iterable[int]) -> float:
+        """Total probability of a set of atoms."""
+        return float(sum(self.probabilities[atom] for atom in atom_set))
+
+    def conditional(self, numerator_atoms: Iterable[int], denominator_atoms: Iterable[int]) -> Optional[float]:
+        """Conditional probability of one atom set given another (None if undefined)."""
+        denominator = self.probability_of(denominator_atoms)
+        if denominator <= 0.0:
+            return None
+        joint = self.probability_of(set(numerator_atoms) & set(denominator_atoms))
+        return joint / denominator
+
+    def describe(self) -> str:
+        lines = []
+        for atom, probability in enumerate(self.probabilities):
+            lines.append(f"  {self.table.describe(atom):40s} {probability:.6f}")
+        return "\n".join(lines)
+
+
+def entropy(probabilities: Sequence[float]) -> float:
+    """Shannon entropy (natural log) of a probability vector, treating 0 log 0 = 0."""
+    total = 0.0
+    for value in probabilities:
+        if value > 0.0:
+            total -= value * math.log(value)
+    return total
+
+
+def solve(constraint_set: ConstraintSet, restarts: int = 4, seed: int = 7) -> MaxEntSolution:
+    """Maximise entropy subject to the extracted constraints."""
+    num_atoms = constraint_set.num_atoms
+    free_atoms = [atom for atom in range(num_atoms) if atom not in constraint_set.zero_atoms]
+    if not free_atoms:
+        raise MaxEntInfeasible("every atom is forced to proportion zero")
+
+    matrix_rows: List[np.ndarray] = []
+    bounds_vector: List[float] = []
+    equality_rows: List[np.ndarray] = []
+    equality_bounds: List[float] = []
+    for constraint in constraint_set.constraints:
+        row = constraint.as_array()[free_atoms]
+        if not np.any(row):
+            # The constraint only involves atoms already forced to zero: it is
+            # trivially satisfied (bound >= 0) or trivially infeasible.
+            if constraint.equality and abs(constraint.bound) > 1e-12:
+                raise MaxEntInfeasible(f"constraint {constraint.label!r} cannot be met")
+            if not constraint.equality and constraint.bound < -1e-12:
+                raise MaxEntInfeasible(f"constraint {constraint.label!r} cannot be met")
+            continue
+        if constraint.equality:
+            equality_rows.append(row)
+            equality_bounds.append(constraint.bound)
+        else:
+            matrix_rows.append(row)
+            bounds_vector.append(constraint.bound)
+
+    inequality_matrix = np.vstack(matrix_rows) if matrix_rows else np.zeros((0, len(free_atoms)))
+    inequality_bounds = np.asarray(bounds_vector)
+    equality_matrix = np.vstack(equality_rows) if equality_rows else np.zeros((0, len(free_atoms)))
+    equality_rhs = np.asarray(equality_bounds)
+
+    def objective(p: np.ndarray) -> float:
+        safe = np.clip(p, 1e-15, None)
+        return float(np.sum(safe * np.log(safe)))
+
+    def gradient(p: np.ndarray) -> np.ndarray:
+        safe = np.clip(p, 1e-15, None)
+        return np.log(safe) + 1.0
+
+    scipy_constraints = [
+        {"type": "eq", "fun": lambda p: float(np.sum(p) - 1.0), "jac": lambda p: np.ones_like(p)}
+    ]
+    if equality_matrix.shape[0]:
+        scipy_constraints.append(
+            {
+                "type": "eq",
+                "fun": lambda p: equality_rhs - equality_matrix @ p,
+                "jac": lambda p: -equality_matrix,
+            }
+        )
+    if inequality_matrix.shape[0]:
+        scipy_constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda p: inequality_bounds - inequality_matrix @ p,
+                "jac": lambda p: -inequality_matrix,
+            }
+        )
+
+    bounds = [(0.0, 1.0)] * len(free_atoms)
+    rng = np.random.default_rng(seed)
+
+    best: Optional[Tuple[bool, float, np.ndarray]] = None
+    starts = [np.full(len(free_atoms), 1.0 / len(free_atoms))]
+    for _ in range(restarts):
+        sample = rng.dirichlet(np.ones(len(free_atoms)))
+        starts.append(sample)
+
+    for start in starts:
+        result = optimize.minimize(
+            objective,
+            start,
+            jac=gradient,
+            bounds=bounds,
+            constraints=scipy_constraints,
+            method="SLSQP",
+            options={"maxiter": 500, "ftol": 1e-12},
+        )
+        candidate = np.clip(result.x, 0.0, 1.0)
+        total = candidate.sum()
+        if total <= 0:
+            continue
+        candidate = candidate / total
+        violation = _max_violation(candidate, inequality_matrix, inequality_bounds, equality_matrix, equality_rhs)
+        value = -objective(candidate)
+        key = (violation < 1e-6, value)
+        if best is None or key > (best[0], best[1]):
+            best = (violation < 1e-6, value, candidate)
+
+    if best is None:
+        raise MaxEntInfeasible("the entropy maximisation failed to produce any candidate")
+
+    feasible, value, candidate = best
+    full = np.zeros(num_atoms)
+    for index, atom in enumerate(free_atoms):
+        full[atom] = candidate[index]
+    violation = _max_violation(candidate, inequality_matrix, inequality_bounds, equality_matrix, equality_rhs)
+    if not feasible and violation > 1e-4:
+        raise MaxEntInfeasible(
+            f"no feasible proportion vector found (max constraint violation {violation:.3g})"
+        )
+    return MaxEntSolution(
+        table=constraint_set.table,
+        probabilities=tuple(float(v) for v in full),
+        entropy=entropy(full),
+        converged=feasible,
+        max_violation=float(violation),
+    )
+
+
+def _max_violation(
+    p: np.ndarray,
+    inequality_matrix: np.ndarray,
+    inequality_bounds: np.ndarray,
+    equality_matrix: np.ndarray,
+    equality_rhs: np.ndarray,
+) -> float:
+    violation = abs(float(np.sum(p) - 1.0))
+    if inequality_matrix.shape[0]:
+        slack = inequality_matrix @ p - inequality_bounds
+        violation = max(violation, float(np.max(slack, initial=0.0)))
+    if equality_matrix.shape[0]:
+        violation = max(violation, float(np.max(np.abs(equality_matrix @ p - equality_rhs))))
+    return violation
+
+
+def solve_knowledge_base(
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    tolerance: ToleranceVector,
+) -> MaxEntSolution:
+    """Extract constraints from a unary KB at one tolerance and maximise entropy."""
+    constraint_set = extract_constraints(knowledge_base, vocabulary, tolerance)
+    return solve(constraint_set)
+
+
+@dataclass(frozen=True)
+class MaxEntSequence:
+    """Max-entropy solutions for a shrinking sequence of tolerance vectors."""
+
+    tolerances: Tuple[ToleranceVector, ...]
+    solutions: Tuple[MaxEntSolution, ...]
+
+    @property
+    def final(self) -> MaxEntSolution:
+        return self.solutions[-1]
+
+    def limiting_probabilities(self) -> Tuple[float, ...]:
+        """Atom probabilities at the smallest tolerance (the tau -> 0 proxy)."""
+        return self.final.probabilities
+
+
+def solve_sequence(
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    tolerances: Iterable[ToleranceVector] | None = None,
+) -> MaxEntSequence:
+    """Solve the entropy maximisation along a shrinking tolerance sequence."""
+    tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
+    solutions = []
+    for tolerance in tolerance_list:
+        solutions.append(solve_knowledge_base(knowledge_base, vocabulary, tolerance))
+    return MaxEntSequence(tuple(tolerance_list), tuple(solutions))

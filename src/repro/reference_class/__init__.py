@@ -1,0 +1,8 @@
+"""Reference-class reasoning baselines (Section 2) and their comparison with random worlds."""
+
+from .classes import NoReferenceClass, ReferenceClass, ReferenceClassProblem, extract_problem
+from .compare import BaselineComparison, ComparisonRow
+from .kyburg import KyburgReasoner
+from .reichenbach import ReferenceClassAnswer, ReichenbachReasoner, VACUOUS
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,98 @@
+"""Reference classes: candidate classes for a query about a named individual.
+
+A reference class for the query ``phi(c)`` is a class formula ``psi(x)`` such
+that the agent knows ``psi(c)`` and has a (non-trivial) statistic
+``||phi(x) | psi(x)||_x in [alpha, beta]`` (Section 2.1).  This module
+extracts the candidate classes from a :class:`~repro.core.KnowledgeBase`; the
+Reichenbach- and Kyburg-style reasoners then select among them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.entailment import class_relation, entails_membership
+from ..core.knowledge_base import KnowledgeBase
+from ..core.specificity import SUBJECT_VARIABLE, _unary_atom_table, relevant_statistics
+from ..logic.substitution import abstract_constant, constants_of, free_vars
+from ..logic.syntax import Formula
+from ..worlds.unary import AtomTable
+
+
+@dataclass(frozen=True)
+class ReferenceClass:
+    """A candidate reference class with its statistic interval."""
+
+    formula: Formula
+    interval: Tuple[float, float]
+    source: Formula
+
+    @property
+    def is_trivial(self) -> bool:
+        """A statistic spanning all of [0, 1] carries no information (Section 2.1)."""
+        low, high = self.interval
+        return low <= 1e-12 and high >= 1.0 - 1e-12
+
+    @property
+    def width(self) -> float:
+        return self.interval[1] - self.interval[0]
+
+
+@dataclass(frozen=True)
+class ReferenceClassProblem:
+    """A query about an individual together with its candidate reference classes."""
+
+    query: Formula
+    constant: str
+    query_class: Formula
+    candidates: Tuple[ReferenceClass, ...]
+    table: AtomTable
+    knowledge_base: KnowledgeBase
+
+    def relation(self, class_a: ReferenceClass, class_b: ReferenceClass) -> str:
+        """Provable relation ("subset" / "disjoint" / "equal" / "other") between two classes."""
+        return class_relation(class_a.formula, class_b.formula, self.knowledge_base, self.table)
+
+
+class NoReferenceClass(ValueError):
+    """Raised when the query has no usable reference class at all."""
+
+
+def extract_problem(query: Formula, knowledge_base: KnowledgeBase) -> ReferenceClassProblem:
+    """Collect the candidate reference classes for a query about one individual."""
+    if free_vars(query):
+        raise NoReferenceClass("queries must be closed sentences")
+    constants = sorted(constants_of(query))
+    if len(constants) != 1:
+        raise NoReferenceClass("reference-class reasoning handles queries about one individual")
+    constant = constants[0]
+    query_class = abstract_constant(query, constant, SUBJECT_VARIABLE)
+    table = _unary_atom_table(knowledge_base)
+
+    candidates: List[ReferenceClass] = []
+    for relevant in relevant_statistics(query_class, knowledge_base):
+        if constants_of(relevant.reference_class):
+            # Classes defined in terms of the query individual itself are the
+            # pathological "disjunctive reference classes" of Section 2.2; the
+            # classical systems exclude them and so do we.
+            continue
+        if not entails_membership(knowledge_base, relevant.reference_class, constant, table):
+            continue
+        candidates.append(
+            ReferenceClass(
+                formula=relevant.reference_class,
+                interval=relevant.interval,
+                source=relevant.statistic.source,
+            )
+        )
+    if not candidates:
+        raise NoReferenceClass(f"no reference class with statistics applies to {query!r}")
+    return ReferenceClassProblem(
+        query=query,
+        constant=constant,
+        query_class=query_class,
+        candidates=tuple(candidates),
+        table=table,
+        knowledge_base=knowledge_base,
+    )

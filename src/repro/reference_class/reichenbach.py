@@ -1,0 +1,88 @@
+"""Reichenbach-style reference-class reasoning (Section 2.1).
+
+The reasoner equates the degree of belief with the statistic of a single
+chosen reference class, preferring the narrowest (most specific) class.  When
+several candidate classes remain that are neither comparable by specificity
+nor agree on their statistics, the method has nothing to say and returns the
+vacuous interval ``[0, 1]`` — this is exactly the failure mode (Section 2.3,
+the high-cholesterol heavy smoker Fred) that random worlds avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.syntax import Formula
+from .classes import NoReferenceClass, ReferenceClass, ReferenceClassProblem, extract_problem
+
+
+@dataclass(frozen=True)
+class ReferenceClassAnswer:
+    """The interval produced by a reference-class system, with its provenance."""
+
+    interval: Tuple[float, float]
+    chosen_class: Optional[ReferenceClass]
+    vacuous: bool
+    note: str = ""
+
+    @property
+    def is_point(self) -> bool:
+        return abs(self.interval[1] - self.interval[0]) < 1e-12
+
+    @property
+    def value(self) -> Optional[float]:
+        return self.interval[0] if self.is_point else None
+
+
+VACUOUS = (0.0, 1.0)
+
+
+class ReichenbachReasoner:
+    """Choose the narrowest reference class; give up on incomparable conflicts."""
+
+    def __init__(self, ignore_trivial: bool = True):
+        self._ignore_trivial = ignore_trivial
+
+    def answer(self, query: Formula, knowledge_base: KnowledgeBase) -> ReferenceClassAnswer:
+        try:
+            problem = extract_problem(query, knowledge_base)
+        except NoReferenceClass as error:
+            return ReferenceClassAnswer(VACUOUS, None, True, str(error))
+
+        candidates = [
+            candidate
+            for candidate in problem.candidates
+            if not (self._ignore_trivial and candidate.is_trivial)
+        ]
+        if not candidates:
+            return ReferenceClassAnswer(VACUOUS, None, True, "only trivial statistics available")
+
+        most_specific = self._most_specific(problem, candidates)
+        if most_specific is None:
+            return ReferenceClassAnswer(
+                VACUOUS,
+                None,
+                True,
+                "competing incomparable reference classes; the specificity rule does not apply",
+            )
+        return ReferenceClassAnswer(
+            most_specific.interval, most_specific, False, "narrowest reference class"
+        )
+
+    def _most_specific(
+        self, problem: ReferenceClassProblem, candidates: List[ReferenceClass]
+    ) -> Optional[ReferenceClass]:
+        """The unique candidate contained in every other candidate, if one exists."""
+        for candidate in candidates:
+            dominates_all = True
+            for other in candidates:
+                if other is candidate:
+                    continue
+                if problem.relation(candidate, other) not in ("subset", "equal"):
+                    dominates_all = False
+                    break
+            if dominates_all:
+                return candidate
+        return None

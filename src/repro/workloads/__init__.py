@@ -1,0 +1,13 @@
+"""Workloads: the paper's knowledge bases and parametric generators."""
+
+from . import paper_kbs
+from .generators import (
+    GeneratedDirectInference,
+    competing_classes_kb,
+    direct_inference_instance,
+    lottery_kb,
+    random_unary_kb,
+    taxonomy_chain,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,145 @@
+"""Parametric knowledge-base generators for property tests and scaling benchmarks.
+
+The paper's examples are small and hand-crafted; the generators here produce
+families of unary knowledge bases with known structure so that
+
+* property-based tests can exercise Theorem 5.3 (the KLM properties), the
+  direct-inference theorem and the agreement between computation paths on many
+  random instances, and
+* the scaling benchmarks (experiment E18) can sweep domain size and number of
+  predicates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.builder import predicates, statistic, var
+from ..logic.parser import parse
+from ..logic.syntax import Formula, conj
+
+
+@dataclass(frozen=True)
+class GeneratedDirectInference:
+    """A generated instance of the Theorem 5.6 pattern with its expected answer."""
+
+    knowledge_base: KnowledgeBase
+    query: Formula
+    expected: float
+
+
+def direct_inference_instance(
+    value: float,
+    distractor_values: Sequence[float] = (),
+    constant: str = "C0",
+    seed: Optional[int] = None,
+) -> GeneratedDirectInference:
+    """A KB of the form ``Class(c) and ||Prop(x)|Class(x)|| ~= value`` plus distractors.
+
+    Distractor statistics talk about predicates unrelated to the query, so
+    Theorem 5.6 predicts the degree of belief equals ``value`` regardless of
+    how many there are.
+    """
+    rng = random.Random(seed)
+    x = var("x")
+    sentences: List[str] = [
+        f"Class0(%s)" % constant,
+        f"%(Prop0(x) | Class0(x); x) ~=[1] {value}",
+    ]
+    for position, distractor in enumerate(distractor_values, start=1):
+        index = position + 1
+        sentences.append(
+            f"%(Prop{position}(x) | Class{position}(x); x) ~=[{index}] {distractor}"
+        )
+    query = parse(f"Prop0({constant})")
+    return GeneratedDirectInference(
+        knowledge_base=KnowledgeBase.from_strings(*sentences),
+        query=query,
+        expected=float(value),
+    )
+
+
+def taxonomy_chain(
+    depth: int,
+    values: Optional[Sequence[float]] = None,
+    constant: str = "Instance",
+) -> Tuple[KnowledgeBase, Formula]:
+    """A chain of classes ``C0 subset C1 subset ... subset C_{depth-1}`` with statistics.
+
+    The individual belongs to the most specific class C0; each class carries a
+    point statistic for the query property, so the specificity theorem predicts
+    the C0 value.  Returns the KB and the query.
+    """
+    if depth < 1:
+        raise ValueError("a taxonomy chain needs at least one class")
+    if values is None:
+        values = [round(0.1 + 0.8 * i / max(depth - 1, 1), 3) for i in range(depth)]
+    if len(values) != depth:
+        raise ValueError("one statistic value per class is required")
+    sentences: List[str] = []
+    for level in range(depth):
+        sentences.append(f"%(Prop(x) | Class{level}(x); x) ~=[{level + 1}] {values[level]}")
+        if level + 1 < depth:
+            sentences.append(f"forall x. (Class{level}(x) -> Class{level + 1}(x))")
+    sentences.append(f"Class0({constant})")
+    return KnowledgeBase.from_strings(*sentences), parse(f"Prop({constant})")
+
+
+def random_unary_kb(
+    num_predicates: int,
+    num_statistics: int,
+    seed: int,
+    constant: str = "C0",
+) -> KnowledgeBase:
+    """A random consistent unary KB: conditional statistics over random classes.
+
+    Statistics have the form ``||P_i(x) | P_j(x)||_x ~= v`` with i != j and v
+    drawn from a coarse grid, plus one ground fact placing the constant in a
+    random class.  Such KBs are always eventually consistent because every
+    constraint band has positive width.
+    """
+    rng = random.Random(seed)
+    if num_predicates < 2:
+        raise ValueError("need at least two predicates")
+    sentences: List[str] = []
+    for index in range(num_statistics):
+        target = rng.randrange(num_predicates)
+        condition = rng.randrange(num_predicates)
+        while condition == target:
+            condition = rng.randrange(num_predicates)
+        value = rng.choice([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        sentences.append(
+            f"%(P{target}(x) | P{condition}(x); x) ~=[{index + 1}] {value}"
+        )
+    sentences.append(f"P{rng.randrange(num_predicates)}({constant})")
+    return KnowledgeBase.from_strings(*sentences)
+
+
+def lottery_kb(num_tickets: int, constant: str = "C") -> KnowledgeBase:
+    """The lottery KB with an explicit number of ticket holders (scaling workload)."""
+    return KnowledgeBase.from_strings(
+        "exists! x. Winner(x)",
+        "forall x. (Winner(x) -> Ticket(x))",
+        f"exists[{num_tickets}] x. Ticket(x)",
+        f"Ticket({constant})",
+    )
+
+
+def competing_classes_kb(
+    weights: Sequence[float],
+    constant: str = "Nixon",
+    declare_overlap: bool = True,
+) -> Tuple[KnowledgeBase, Formula]:
+    """m competing reference classes for one unary property (Theorem 5.26 workload)."""
+    sentences: List[str] = []
+    for index, weight in enumerate(weights):
+        sentences.append(f"%(P(x) | Class{index}(x); x) ~=[{index + 1}] {weight}")
+        sentences.append(f"Class{index}({constant})")
+    if declare_overlap:
+        for i in range(len(weights)):
+            for j in range(i + 1, len(weights)):
+                sentences.append(f"exists! x. (Class{i}(x) and Class{j}(x))")
+    return KnowledgeBase.from_strings(*sentences), parse(f"P({constant})")

@@ -1,0 +1,288 @@
+"""Every knowledge base that appears in the paper's worked examples.
+
+Each function returns a fresh :class:`~repro.core.KnowledgeBase` (and, where
+useful, the standard query) so tests, benchmarks and examples all exercise the
+same formalisations.  Section references are to Bacchus–Grove–Halpern–Koller.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.parser import parse
+from ..logic.syntax import Formula
+
+
+# -- hepatitis / jaundice (Examples 5.8, 5.11, 5.18) -------------------------
+
+
+def hepatitis_simple() -> KnowledgeBase:
+    """KB'_hep: Eric has jaundice; 80% of jaundiced patients have hepatitis."""
+    return KnowledgeBase.from_strings(
+        "Jaun(Eric)",
+        "%(Hep(x) | Jaun(x); x) ~=[1] 0.8",
+    )
+
+
+def hepatitis_full() -> KnowledgeBase:
+    """KB_hep: adds the base rate and the jaundice-with-fever statistic."""
+    return hepatitis_simple().conjoin(
+        "%(Hep(x); x) <~[2] 0.05",
+        "%(Hep(x) | Jaun(x) and Fever(x); x) ~=[3] 1",
+    )
+
+
+def hepatitis_query() -> Formula:
+    return parse("Hep(Eric)")
+
+
+# -- Tweety and the birds (Sections 3.3, 5.2; Examples 5.10, 5.19-5.21) ------
+
+
+def tweety_fly() -> KnowledgeBase:
+    """KB_fly with Tweety the penguin: birds fly, penguins do not, penguins are birds."""
+    return KnowledgeBase.from_strings(
+        "%(Fly(x) | Bird(x); x) ~=[1] 1",
+        "%(Fly(x) | Penguin(x); x) ~=[2] 0",
+        "forall x. (Penguin(x) -> Bird(x))",
+        "Penguin(Tweety)",
+    )
+
+
+def tweety_yellow() -> KnowledgeBase:
+    """The yellow penguin (irrelevant information, Example 5.19)."""
+    return tweety_fly().conjoin("Yellow(Tweety)")
+
+
+def tweety_warm_blooded() -> KnowledgeBase:
+    """Exceptional-subclass inheritance (Example 5.20): birds are warm-blooded."""
+    return tweety_fly().conjoin("%(WarmBlooded(x) | Bird(x); x) ~=[3] 1")
+
+
+def tweety_easy_to_see() -> KnowledgeBase:
+    """The drowning problem (Example 5.21): yellow things are easy to see."""
+    return tweety_yellow().conjoin("%(EasyToSee(x) | Yellow(x); x) ~=[3] 1")
+
+
+# -- Tay-Sachs (Sections 2.2, Example 5.22) ----------------------------------
+
+
+def tay_sachs() -> KnowledgeBase:
+    """A useful disjunctive reference class: 2% of EEJ-or-FC babies have Tay-Sachs."""
+    return KnowledgeBase.from_strings(
+        "%(TS(x) | EEJ(x) or FC(x); x) ~=[1] 0.02",
+        "EEJ(Eric)",
+    )
+
+
+# -- elephants and zookeepers (Examples 4.4, 5.12) ----------------------------
+
+
+def elephant_zookeeper() -> KnowledgeBase:
+    """Elephants typically like zookeepers, but typically do not like Fred."""
+    return KnowledgeBase.from_strings(
+        "%(Likes(x, y) | Elephant(x) and Zookeeper(y); x, y) ~=[1] 1",
+        "%(Likes(x, Fred) | Elephant(x); x) ~=[2] 0",
+        "Zookeeper(Fred)",
+        "Elephant(Clyde)",
+        "Zookeeper(Eric)",
+    )
+
+
+# -- chirping birds and magpies (Section 2.3, Examples 5.24, 5.25) ------------
+
+
+def chirping_magpie() -> KnowledgeBase:
+    """The strength-rule example: birds chirp in [0.7, 0.8], magpies in [0, 0.99]."""
+    return KnowledgeBase.from_strings(
+        "0.7 <~[1] %(Chirps(x) | Bird(x); x)",
+        "%(Chirps(x) | Bird(x); x) <~[2] 0.8",
+        "0 <~[3] %(Chirps(x) | Magpie(x); x)",
+        "%(Chirps(x) | Magpie(x); x) <~[4] 0.99",
+        "forall x. (Magpie(x) -> Bird(x))",
+        "Magpie(Tweety)",
+    )
+
+
+def moody_magpie() -> KnowledgeBase:
+    """Goodwin's example (5.25): information that is too specific is not ignored."""
+    return KnowledgeBase.from_strings(
+        "%(Chirps(x) | Bird(x); x) ~=[1] 0.9",
+        "%(Chirps(x) | Magpie(x) and Moody(x); x) ~=[2] 0.2",
+        "forall x. (Magpie(x) -> Bird(x))",
+        "Magpie(Tweety)",
+    )
+
+
+# -- Nixon diamond (Theorem 5.26, Section 5.3) --------------------------------
+
+
+def nixon_diamond(alpha: float = 0.8, beta: float = 0.8, shared_tolerance: bool = False) -> KnowledgeBase:
+    """The Nixon diamond with statistics ``alpha`` for Quakers and ``beta`` for Republicans.
+
+    ``shared_tolerance=True`` uses the same approximate-equality connective for
+    both statistics, which is how the paper expresses conflicting defaults of
+    equal strength.
+    """
+    index_a, index_b = (1, 1) if shared_tolerance else (1, 2)
+    return KnowledgeBase.from_strings(
+        f"%(Pacifist(x) | Quaker(x); x) ~=[{index_a}] {alpha}",
+        f"%(Pacifist(x) | Republican(x); x) ~=[{index_b}] {beta}",
+        "Quaker(Nixon)",
+        "Republican(Nixon)",
+        "exists! x. (Quaker(x) and Republican(x))",
+    )
+
+
+# -- heart disease (Section 2.3) ----------------------------------------------
+
+
+def fred_heart_disease() -> KnowledgeBase:
+    """Fred the high-cholesterol heavy smoker: two incomparable reference classes."""
+    return KnowledgeBase.from_strings(
+        "%(Heart(x) | Chol(x); x) ~=[1] 0.15",
+        "%(Heart(x) | Smoker(x); x) ~=[2] 0.09",
+        "Chol(Fred)",
+        "Smoker(Fred)",
+    )
+
+
+# -- independence (Example 5.28) ----------------------------------------------
+
+
+def hepatitis_and_age() -> KnowledgeBase:
+    """KB_hep together with an unrelated statistic about patients over 60."""
+    return hepatitis_simple().conjoin(
+        "Patient(Eric)",
+        "%(Over60(x) | Patient(x); x) ~=[5] 0.4",
+    )
+
+
+# -- black birds (Example 5.29) ------------------------------------------------
+
+
+def black_birds() -> KnowledgeBase:
+    """20% of birds are black and 10% of animals are birds; Clyde is an arbitrary animal."""
+    return KnowledgeBase.from_strings(
+        "%(Black(x) | Bird(x); x) ~=[1] 0.2",
+        "%(Bird(x); x) ~=[2] 0.1",
+    )
+
+
+# -- the lottery paradox and unique names (Section 5.5) ------------------------
+
+
+def lottery(num_tickets: int | None = 5) -> KnowledgeBase:
+    """The lottery: a unique winner among the ticket holders.
+
+    ``num_tickets=None`` leaves the number of ticket holders unspecified (the
+    qualitative "large lottery" variant for which Pr(Winner(c)) -> 0).
+    """
+    sentences = [
+        "exists! x. Winner(x)",
+        "forall x. (Winner(x) -> Ticket(x))",
+        "Ticket(C)",
+    ]
+    if num_tickets is not None:
+        sentences.insert(2, f"exists[{num_tickets}] x. Ticket(x)")
+    return KnowledgeBase.from_strings(*sentences)
+
+
+def lifschitz_names() -> KnowledgeBase:
+    """Lifschitz's benchmark C1 on unique names: Ray = Reiter, Drew = McDermott."""
+    return KnowledgeBase.from_strings("Ray = Reiter", "Drew = McDermott")
+
+
+# -- broken arms (Example 5.4) --------------------------------------------------
+
+
+def broken_arm() -> KnowledgeBase:
+    """Poole's broken-arm example: left/right arms usable unless broken; Eric has a broken arm."""
+    return KnowledgeBase.from_strings(
+        "%(LeftUsable(x); x) ~=[1] 1",
+        "%(LeftUsable(x) | LeftBroken(x); x) ~=[2] 0",
+        "%(RightUsable(x); x) ~=[3] 1",
+        "%(RightUsable(x) | RightBroken(x); x) ~=[4] 0",
+        "LeftBroken(Eric) or RightBroken(Eric)",
+    )
+
+
+# -- representation dependence (Section 7.2) -------------------------------------
+
+
+def colours_two_way() -> KnowledgeBase:
+    """A vocabulary with only the predicate White and an empty KB."""
+    from ..logic.vocabulary import Vocabulary
+
+    return KnowledgeBase([], vocabulary=Vocabulary({"White": 1}, {}, ("Block",)))
+
+
+def colours_three_way() -> KnowledgeBase:
+    """Non-white refined into the disjoint union of Red and Blue."""
+    from ..logic.vocabulary import Vocabulary
+
+    kb = KnowledgeBase.from_strings(
+        "forall x. (not White(x) <-> (Red(x) or Blue(x)))",
+        "forall x. not (Red(x) and Blue(x))",
+        "forall x. not (White(x) and Red(x))",
+        "forall x. not (White(x) and Blue(x))",
+    )
+    return kb.with_vocabulary(Vocabulary({"White": 1, "Red": 1, "Blue": 1}, {}, ("Block",)))
+
+
+def flying_birds_two_predicates() -> KnowledgeBase:
+    """Bird/Fly vocabulary: about half of birds fly; Tweety is a bird."""
+    return KnowledgeBase.from_strings(
+        "%(Fly(x) | Bird(x); x) ~=[1] 0.5",
+        "Bird(Tweety)",
+    ).with_vocabulary_of("Bird(Opus)")
+
+
+def flying_birds_refined() -> KnowledgeBase:
+    """Bird/FlyingBird vocabulary for the same information (Section 7.2)."""
+    return KnowledgeBase.from_strings(
+        "%(FlyingBird(x) | Bird(x); x) ~=[1] 0.5",
+        "Bird(Tweety)",
+        "forall x. (FlyingBird(x) -> Bird(x))",
+    ).with_vocabulary_of("Bird(Opus)")
+
+
+# -- taxonomy of swimmers (Example 5.15) -----------------------------------------
+
+
+def swimming_taxonomy() -> KnowledgeBase:
+    """Opus the penguin and the swimming abilities of various animal classes."""
+    return KnowledgeBase.from_strings(
+        "%(Swims(x) | Penguin(x); x) ~=[1] 0.9",
+        "%(Swims(x) | Sparrow(x); x) ~=[2] 0.01",
+        "%(Swims(x) | Bird(x); x) ~=[3] 0.05",
+        "%(Swims(x) | Animal(x); x) ~=[4] 0.3",
+        "%(Swims(x) | Fish(x); x) ~=[5] 1",
+        "forall x. (Penguin(x) -> Bird(x))",
+        "forall x. (Sparrow(x) -> Bird(x))",
+        "forall x. (Bird(x) -> Animal(x))",
+        "forall x. (Fish(x) -> Animal(x))",
+        "forall x. not (Bird(x) and Fish(x))",
+        "forall x. not (Penguin(x) and Sparrow(x))",
+        "Penguin(Opus)",
+    )
+
+
+# -- nested and quantified defaults (Examples 4.5, 4.6, 5.13, 5.14) ---------------
+
+
+def tall_parent() -> KnowledgeBase:
+    """People with at least one tall parent are typically tall; Alice has a tall parent."""
+    return KnowledgeBase.from_strings(
+        "%(Tall(x) | exists y. (Child(x, y) and Tall(y)); x) ~=[1] 1",
+        "exists y. (Child(Alice, y) and Tall(y))",
+    )
+
+
+def bed_late() -> KnowledgeBase:
+    """The nested default: people who normally go to bed late normally rise late."""
+    return KnowledgeBase.from_strings(
+        "%(%(RisesLate(x, y) | Day(y); y) ~=[1] 1 | %(ToBedLate(x, y2) | Day(y2); y2) ~=[2] 1; x) ~=[3] 1",
+        "%(ToBedLate(Alice, y2) | Day(y2); y2) ~=[2] 1",
+    )

@@ -1,0 +1,43 @@
+"""World enumeration, exact counting, and limit analysis for random worlds."""
+
+from .counting import (
+    BruteForceCounter,
+    CountResult,
+    InconsistentKnowledgeBase,
+    UnaryWorldCounter,
+    make_counter,
+)
+from .degrees import (
+    CountingCurve,
+    CountingReport,
+    counting_curve,
+    degree_of_belief_by_counting,
+    probability_at,
+)
+from .enumeration import (
+    DEFAULT_LIMIT,
+    EnumerationTooLarge,
+    enumerate_worlds,
+    world_space_size,
+)
+from .limits import (
+    DoubleLimitEstimate,
+    SequenceEstimate,
+    estimate_double_limit,
+    estimate_sequence_limit,
+    richardson_extrapolate,
+)
+from .unary import (
+    AtomTable,
+    ConstantPlacement,
+    StructureEvaluator,
+    UnaryStructure,
+    UnsupportedFormula,
+    compositions,
+    enumerate_placements,
+    enumerate_structures,
+    set_partitions,
+    structure_satisfies,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

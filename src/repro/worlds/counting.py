@@ -1,0 +1,200 @@
+"""World counters: exact ``Pr^tau_N(phi | KB)`` for finite N.
+
+Two engines are provided:
+
+* :class:`UnaryWorldCounter` — exact counting over isomorphism classes of
+  unary worlds (fast; arbitrary N within reason);
+* :class:`BruteForceCounter` — literal enumeration of every world (any
+  vocabulary; tiny N only).
+
+Both return exact rational probabilities (:class:`fractions.Fraction`) so the
+limit analysis downstream is not polluted by floating-point error in the
+counting stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..logic.semantics import evaluate
+from ..logic.substitution import constants_of
+from ..logic.syntax import Formula, conj, conjuncts
+from ..logic.tolerance import ToleranceVector
+from ..logic.vocabulary import Vocabulary
+from .enumeration import DEFAULT_LIMIT, enumerate_worlds
+from .unary import (
+    AtomTable,
+    ConstantPlacement,
+    StructureEvaluator,
+    UnaryStructure,
+    UnsupportedFormula,
+    compositions,
+    enumerate_placements,
+)
+
+
+class InconsistentKnowledgeBase(ValueError):
+    """Raised when no world of the requested size satisfies the knowledge base."""
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """The outcome of a conditional world count at a fixed domain size."""
+
+    domain_size: int
+    satisfying_kb: int
+    satisfying_both: int
+
+    @property
+    def probability(self) -> Fraction:
+        if self.satisfying_kb == 0:
+            raise InconsistentKnowledgeBase(
+                f"no world of size {self.domain_size} satisfies the knowledge base"
+            )
+        return Fraction(self.satisfying_both, self.satisfying_kb)
+
+    @property
+    def is_defined(self) -> bool:
+        return self.satisfying_kb > 0
+
+
+class UnaryWorldCounter:
+    """Exact conditional world counting for unary vocabularies.
+
+    The counter enumerates isomorphism classes (atom-count vector plus
+    constant placement), evaluates the KB and the query once per class with
+    the symbolic :class:`StructureEvaluator`, and adds up exact class sizes.
+
+    To avoid re-evaluating constant-free statistical assertions for every
+    constant placement, the KB is split into the conjuncts that mention
+    constants and those that do not; the latter are checked once per
+    atom-count vector.
+    """
+
+    def __init__(self, vocabulary: Vocabulary):
+        if not vocabulary.is_unary:
+            raise UnsupportedFormula("UnaryWorldCounter requires a unary vocabulary")
+        self._vocabulary = vocabulary
+        self._table = AtomTable.for_vocabulary(vocabulary)
+        self._constants = tuple(vocabulary.constants)
+
+    @property
+    def atom_table(self) -> AtomTable:
+        return self._table
+
+    def count(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
+        """Count worlds of ``domain_size`` satisfying the KB, and KB ∧ query."""
+        constant_free, constant_bound = _split_by_constants(knowledge_base)
+        placements = list(enumerate_placements(self._constants, self._table.num_atoms))
+
+        kb_total = 0
+        both_total = 0
+        for counts in compositions(domain_size, self._table.num_atoms):
+            counts_structure = self._structure_for_counts(counts)
+            if counts_structure is not None and constant_free is not None:
+                evaluator = StructureEvaluator(counts_structure, tolerance)
+                if not evaluator.evaluate(constant_free):
+                    continue
+            for placement in placements:
+                if not _placement_feasible(counts, placement, self._table.num_atoms):
+                    continue
+                structure = UnaryStructure(self._table, counts, placement)
+                evaluator = StructureEvaluator(structure, tolerance)
+                if counts_structure is None and constant_free is not None:
+                    if not evaluator.evaluate(constant_free):
+                        continue
+                if constant_bound is not None and not evaluator.evaluate(constant_bound):
+                    continue
+                weight = structure.weight()
+                kb_total += weight
+                if evaluator.evaluate(query):
+                    both_total += weight
+        return CountResult(domain_size, kb_total, both_total)
+
+    def probability(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> Fraction:
+        """``Pr^tau_N(query | KB)`` for ``N = domain_size``."""
+        return self.count(query, knowledge_base, domain_size, tolerance).probability
+
+    def _structure_for_counts(self, counts: Tuple[int, ...]) -> Optional[UnaryStructure]:
+        """A constant-free structure used to pre-filter on constant-free conjuncts."""
+        try:
+            return UnaryStructure(self._table, counts, ConstantPlacement((), ()))
+        except ValueError:
+            return None
+
+
+def _split_by_constants(formula: Formula) -> Tuple[Optional[Formula], Optional[Formula]]:
+    """Split a conjunction into (constant-free part, constant-mentioning part)."""
+    free_parts = []
+    bound_parts = []
+    for part in conjuncts(formula):
+        if constants_of(part):
+            bound_parts.append(part)
+        else:
+            free_parts.append(part)
+    constant_free = conj(*free_parts) if free_parts else None
+    constant_bound = conj(*bound_parts) if bound_parts else None
+    return constant_free, constant_bound
+
+
+def _placement_feasible(
+    counts: Tuple[int, ...], placement: ConstantPlacement, num_atoms: int
+) -> bool:
+    return all(placement.blocks_in_atom(atom) <= counts[atom] for atom in range(num_atoms))
+
+
+class BruteForceCounter:
+    """Conditional world counting by literal enumeration (tiny domains only)."""
+
+    def __init__(self, vocabulary: Vocabulary, limit: Optional[int] = DEFAULT_LIMIT):
+        self._vocabulary = vocabulary
+        self._limit = limit
+
+    def count(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
+        kb_total = 0
+        both_total = 0
+        for world in enumerate_worlds(self._vocabulary, domain_size, limit=self._limit):
+            if not evaluate(knowledge_base, world, tolerance):
+                continue
+            kb_total += 1
+            if evaluate(query, world, tolerance):
+                both_total += 1
+        return CountResult(domain_size, kb_total, both_total)
+
+    def probability(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> Fraction:
+        return self.count(query, knowledge_base, domain_size, tolerance).probability
+
+
+def make_counter(
+    vocabulary: Vocabulary, prefer_unary: bool = True, limit: Optional[int] = DEFAULT_LIMIT
+):
+    """Choose the appropriate counter for a vocabulary."""
+    if prefer_unary and vocabulary.is_unary:
+        return UnaryWorldCounter(vocabulary)
+    return BruteForceCounter(vocabulary, limit=limit)

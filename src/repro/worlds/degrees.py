@@ -1,0 +1,128 @@
+"""Degrees of belief by exact world counting and limit analysis.
+
+``degree_of_belief_by_counting`` is the reference implementation of the
+random-worlds definition (Section 4.2): it computes ``Pr^tau_N(phi | KB)``
+exactly on a grid of domain sizes and tolerance vectors and estimates the
+double limit.  It is slower than the max-entropy and closed-form engines in
+:mod:`repro.core` but makes no structural assumptions beyond the vocabulary
+being unary (or tiny, for the brute-force path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.syntax import Formula
+from ..logic.tolerance import ToleranceVector, default_sequence
+from ..logic.vocabulary import Vocabulary
+from .counting import CountResult, InconsistentKnowledgeBase, make_counter
+from .limits import DoubleLimitEstimate, estimate_double_limit
+
+
+DEFAULT_DOMAIN_SIZES: Tuple[int, ...] = (8, 12, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class CountingCurve:
+    """``Pr^tau_N`` as a function of N for one tolerance vector."""
+
+    tolerance: ToleranceVector
+    domain_sizes: Tuple[int, ...]
+    probabilities: Tuple[Optional[Fraction], ...]
+
+    def defined_points(self) -> Tuple[Tuple[int, Fraction], ...]:
+        return tuple(
+            (n, p) for n, p in zip(self.domain_sizes, self.probabilities) if p is not None
+        )
+
+
+@dataclass(frozen=True)
+class CountingReport:
+    """Full diagnostics for a counting-based degree-of-belief computation."""
+
+    query: Formula
+    knowledge_base: Formula
+    curves: Tuple[CountingCurve, ...]
+    limit: DoubleLimitEstimate
+
+    @property
+    def value(self) -> Optional[float]:
+        return self.limit.value
+
+    @property
+    def exists(self) -> bool:
+        return self.limit.exists
+
+
+def probability_at(
+    query: Formula,
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    domain_size: int,
+    tolerance: ToleranceVector,
+    prefer_unary: bool = True,
+) -> Fraction:
+    """Exact ``Pr^tau_N(query | KB)`` at a single domain size."""
+    counter = make_counter(vocabulary, prefer_unary=prefer_unary)
+    return counter.probability(query, knowledge_base, domain_size, tolerance)
+
+
+def counting_curve(
+    query: Formula,
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    domain_sizes: Sequence[int],
+    tolerance: ToleranceVector,
+    prefer_unary: bool = True,
+) -> CountingCurve:
+    """``Pr^tau_N`` for several domain sizes at a fixed tolerance vector."""
+    counter = make_counter(vocabulary, prefer_unary=prefer_unary)
+    probabilities: List[Optional[Fraction]] = []
+    for domain_size in domain_sizes:
+        result: CountResult = counter.count(query, knowledge_base, domain_size, tolerance)
+        probabilities.append(result.probability if result.is_defined else None)
+    return CountingCurve(tolerance, tuple(domain_sizes), tuple(probabilities))
+
+
+def degree_of_belief_by_counting(
+    query: Formula,
+    knowledge_base: Formula,
+    vocabulary: Vocabulary,
+    domain_sizes: Sequence[int] = DEFAULT_DOMAIN_SIZES,
+    tolerances: Iterable[ToleranceVector] | None = None,
+    prefer_unary: bool = True,
+) -> CountingReport:
+    """Estimate ``Pr_infinity(query | KB)`` from exact finite counts.
+
+    Parameters
+    ----------
+    query, knowledge_base:
+        Closed L≈ sentences.
+    vocabulary:
+        The vocabulary Φ over which worlds are formed (it may be larger than
+        the symbols mentioned; the degree of belief is insensitive to adding
+        symbols, which is itself checked in the test-suite).
+    domain_sizes:
+        Increasing sequence of N values for the inner limit.
+    tolerances:
+        Decreasing sequence of tolerance vectors for the outer limit; defaults
+        to :func:`repro.logic.tolerance.default_sequence`.
+    """
+    tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
+    curves: List[CountingCurve] = []
+    inner_sequences: List[Tuple[float, Sequence[float], Sequence[int]]] = []
+    for tolerance in tolerance_list:
+        curve = counting_curve(
+            query, knowledge_base, vocabulary, domain_sizes, tolerance, prefer_unary
+        )
+        curves.append(curve)
+        defined = curve.defined_points()
+        if defined:
+            sizes, values = zip(*defined)
+            inner_sequences.append(
+                (tolerance.max_tolerance, [float(v) for v in values], list(sizes))
+            )
+    limit = estimate_double_limit(inner_sequences)
+    return CountingReport(query, knowledge_base, tuple(curves), limit)

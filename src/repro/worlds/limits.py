@@ -1,0 +1,182 @@
+"""Limit estimation for degree-of-belief sequences.
+
+The degree of belief ``Pr_infinity(phi | KB)`` is defined as the double limit
+``lim_{tau -> 0} lim_{N -> infinity} Pr^tau_N(phi | KB)`` (Definition 4.3).
+The library computes ``Pr^tau_N`` exactly for a grid of (tau, N) values; this
+module turns those finite sequences into an estimate of the double limit with
+explicit convergence diagnostics instead of silently pretending a limit exists
+(the paper stresses that non-existence of the limit is informative — e.g. the
+Nixon diamond with conflicting defaults, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SequenceEstimate:
+    """An estimated limit of a numeric sequence with convergence diagnostics."""
+
+    values: Tuple[float, ...]
+    estimate: Optional[float]
+    converged: bool
+    spread: float
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+
+def estimate_sequence_limit(
+    values: Sequence[float],
+    window: int = 3,
+    tolerance: float = 5e-3,
+) -> SequenceEstimate:
+    """Estimate ``lim values`` by inspecting the trailing window.
+
+    The sequence is declared converged when the last ``window`` values all lie
+    within ``tolerance`` of each other; the estimate is then the final value
+    (the sequences produced by world counting are typically monotone in N, so
+    the final value is the best available approximation).
+    """
+    values = tuple(float(v) for v in values)
+    if not values:
+        return SequenceEstimate(values, None, False, float("inf"))
+    tail = values[-window:] if len(values) >= window else values
+    spread = max(tail) - min(tail)
+    converged = len(values) >= window and spread <= tolerance
+    return SequenceEstimate(values, values[-1], converged, spread)
+
+
+def richardson_extrapolate(values: Sequence[float], steps: Sequence[int]) -> Optional[float]:
+    """Extrapolate a sequence that behaves like ``L + c / N`` to ``N -> infinity``.
+
+    World-counting sequences typically approach their limit with an O(1/N)
+    correction; fitting the last two points of the sequence to ``a + b/N``
+    gives a noticeably better estimate for small N.  Returns ``None`` when the
+    extrapolation is not applicable (fewer than two points or equal steps).
+    """
+    if len(values) < 2 or len(values) != len(steps):
+        return None
+    n1, n2 = steps[-2], steps[-1]
+    if n1 == n2:
+        return None
+    v1, v2 = float(values[-2]), float(values[-1])
+    # Solve v = a + b / N for the last two samples.
+    b = (v1 - v2) / (1.0 / n1 - 1.0 / n2)
+    a = v2 - b / n2
+    return a
+
+
+@dataclass(frozen=True)
+class DoubleLimitEstimate:
+    """Estimate of ``lim_{tau->0} lim_{N->infinity} Pr^tau_N(phi | KB)``.
+
+    Attributes
+    ----------
+    per_tolerance:
+        For each tolerance label (the maximum tolerance in the vector), the
+        inner estimate over N.
+    value:
+        The outer estimate, or ``None`` when the evidence says the limit does
+        not exist (inner limits fail to converge, or do not stabilise in tau).
+    exists:
+        Whether the double limit appears to exist.
+    """
+
+    per_tolerance: Tuple[Tuple[float, SequenceEstimate], ...]
+    value: Optional[float]
+    exists: bool
+    note: str = ""
+
+    def __repr__(self) -> str:
+        status = f"{self.value:.6g}" if self.value is not None else "undefined"
+        return f"DoubleLimitEstimate(value={status}, exists={self.exists})"
+
+
+def _is_monotone(values: Sequence[float]) -> bool:
+    """True when the sequence is non-increasing or non-decreasing throughout."""
+    if len(values) < 2:
+        return True
+    non_decreasing = all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    non_increasing = all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    return non_decreasing or non_increasing
+
+
+def estimate_double_limit(
+    inner_sequences: Sequence[Tuple[float, Sequence[float], Sequence[int]]],
+    inner_tolerance: float = 5e-3,
+    outer_tolerance: float = 2e-2,
+    extrapolate: bool = True,
+) -> DoubleLimitEstimate:
+    """Combine per-tolerance N-sequences into an estimate of the double limit.
+
+    Parameters
+    ----------
+    inner_sequences:
+        Triples ``(tau_label, values_over_N, domain_sizes)`` ordered from the
+        largest tolerance to the smallest.
+    inner_tolerance:
+        Convergence tolerance for each inner (N) sequence.
+    outer_tolerance:
+        How close the innermost estimates for the two smallest tolerances must
+        be for the double limit to be declared existent.
+    extrapolate:
+        Apply 1/N Richardson extrapolation to each inner sequence.
+    """
+    per_tolerance: List[Tuple[float, SequenceEstimate]] = []
+    inner_estimates: List[float] = []
+    for tau_label, values, domain_sizes in inner_sequences:
+        estimate = estimate_sequence_limit(values, tolerance=inner_tolerance)
+        refined = estimate
+        monotone = _is_monotone(estimate.values)
+        if extrapolate and monotone and len(estimate.values) >= 2:
+            # Richardson extrapolation amplifies noise on non-monotone
+            # sequences, so it is only applied when the values move steadily
+            # in one direction (the O(1/N) tails it is meant to remove).
+            extrapolated = richardson_extrapolate(estimate.values, list(domain_sizes))
+            if extrapolated is not None:
+                converged = estimate.converged
+                spread = estimate.spread
+                # Sequences with an O(1/N) tail (equality and counting
+                # quantifiers produce these) fail the raw-spread test even
+                # though their extrapolants are rock-stable; accept convergence
+                # when two successive extrapolants agree.
+                if not converged and len(estimate.values) >= 3:
+                    previous = richardson_extrapolate(
+                        estimate.values[:-1], list(domain_sizes)[:-1]
+                    )
+                    if previous is not None and abs(previous - extrapolated) <= inner_tolerance:
+                        converged = True
+                        spread = abs(previous - extrapolated)
+                refined = SequenceEstimate(
+                    estimate.values,
+                    min(max(extrapolated, 0.0), 1.0),
+                    converged,
+                    spread,
+                )
+        per_tolerance.append((tau_label, refined))
+        if refined.estimate is not None:
+            inner_estimates.append(refined.estimate)
+
+    if not inner_estimates:
+        return DoubleLimitEstimate(tuple(per_tolerance), None, False, "no defined inner limits")
+
+    if len(inner_estimates) == 1:
+        only = per_tolerance[0][1]
+        return DoubleLimitEstimate(
+            tuple(per_tolerance), only.estimate, only.converged, "single tolerance only"
+        )
+
+    last, previous = inner_estimates[-1], inner_estimates[-2]
+    stable_in_tau = abs(last - previous) <= outer_tolerance
+    inner_converged = per_tolerance[-1][1].converged
+    exists = stable_in_tau and inner_converged
+    note = ""
+    if not inner_converged:
+        note = "inner N-sequence did not stabilise"
+    elif not stable_in_tau:
+        note = "estimates drift as the tolerance shrinks (limit may not exist)"
+    return DoubleLimitEstimate(tuple(per_tolerance), last, exists, note)

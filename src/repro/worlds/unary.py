@@ -1,0 +1,490 @@
+"""Exact world counting for unary vocabularies via atom-count combinatorics.
+
+For a vocabulary whose predicates are all unary (and with no function
+symbols), a world of size N is determined, up to isomorphism, by
+
+* the *atom-count vector*: how many domain elements realise each of the
+  2^k atoms (complete conjunctions of the k predicates and their negations),
+* which constants denote the same element (an equality pattern, i.e. a
+  partition of the constant symbols into blocks), and
+* the atom realised by each block of constants.
+
+All worlds sharing this data are isomorphic, so every closed sentence of L≈
+has the same truth value on all of them.  The number of worlds in such an
+isomorphism class is::
+
+    multinomial(N; n_1, ..., n_A)  *  prod_a  falling_factorial(n_a, b_a)
+
+where ``b_a`` is the number of constant blocks placed in atom ``a``.  This
+module enumerates the classes, evaluates sentences directly on the abstract
+class description (no concrete N-element model is ever built), and returns
+exact world counts as Python integers.  It is the workhorse behind
+``Pr^tau_N(phi | KB)`` for unary knowledge bases and therefore behind most of
+the paper's worked examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    Term,
+    Top,
+    Var,
+)
+from ..logic.tolerance import ToleranceVector
+from ..logic.vocabulary import Vocabulary
+
+
+class UnsupportedFormula(ValueError):
+    """Raised when a formula falls outside the unary fragment handled here."""
+
+
+# ---------------------------------------------------------------------------
+# Atom tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomTable:
+    """The 2^k atoms over k unary predicates.
+
+    Atom ``i`` makes predicate ``predicates[j]`` true exactly when bit ``j``
+    of ``i`` is set.
+    """
+
+    predicates: Tuple[str, ...]
+
+    @classmethod
+    def for_vocabulary(cls, vocabulary: Vocabulary) -> "AtomTable":
+        if not vocabulary.is_unary:
+            raise UnsupportedFormula(
+                "exact atom counting requires a unary vocabulary without functions"
+            )
+        return cls(tuple(sorted(vocabulary.predicates)))
+
+    @property
+    def num_atoms(self) -> int:
+        return 1 << len(self.predicates)
+
+    def predicate_index(self, name: str) -> int:
+        try:
+            return self.predicates.index(name)
+        except ValueError as error:
+            raise UnsupportedFormula(f"predicate {name!r} is not in the atom table") from error
+
+    def atom_satisfies(self, atom: int, predicate: str) -> bool:
+        """True when the atom makes ``predicate`` true."""
+        return bool(atom & (1 << self.predicate_index(predicate)))
+
+    def describe(self, atom: int) -> str:
+        """A readable description such as ``Bird & ~Fly``."""
+        parts = []
+        for j, name in enumerate(self.predicates):
+            prefix = "" if atom & (1 << j) else "~"
+            parts.append(f"{prefix}{name}")
+        return " & ".join(parts) if parts else "<empty vocabulary>"
+
+    def atoms_where(self, memberships: Mapping[str, bool]) -> Tuple[int, ...]:
+        """Atoms consistent with the given positive/negative predicate requirements."""
+        selected = []
+        for atom in range(self.num_atoms):
+            if all(self.atom_satisfies(atom, name) == positive for name, positive in memberships.items()):
+                selected.append(atom)
+        return tuple(selected)
+
+
+# ---------------------------------------------------------------------------
+# Constant placements and structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstantPlacement:
+    """An equality pattern for the constants plus the atom of each block.
+
+    ``blocks`` partitions the constant names; constants in the same block
+    denote the same domain element, constants in different blocks denote
+    different elements.  ``block_atoms[i]`` is the atom realised by block i.
+    """
+
+    blocks: Tuple[Tuple[str, ...], ...]
+    block_atoms: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.block_atoms):
+            raise ValueError("one atom is required per block")
+
+    def block_of(self, constant: str) -> int:
+        for index, block in enumerate(self.blocks):
+            if constant in block:
+                return index
+        raise KeyError(f"constant {constant!r} is not placed")
+
+    def atom_of(self, constant: str) -> int:
+        return self.block_atoms[self.block_of(constant)]
+
+    def blocks_in_atom(self, atom: int) -> int:
+        return sum(1 for a in self.block_atoms if a == atom)
+
+
+@dataclass(frozen=True)
+class UnaryStructure:
+    """An isomorphism class of unary worlds of a given size.
+
+    Combines the atom-count vector with a constant placement; provides the
+    exact number of worlds in the class.
+    """
+
+    table: AtomTable
+    counts: Tuple[int, ...]
+    placement: ConstantPlacement
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != self.table.num_atoms:
+            raise ValueError("counts must list one entry per atom")
+        for atom in range(self.table.num_atoms):
+            if self.placement.blocks_in_atom(atom) > self.counts[atom]:
+                raise ValueError("more constant blocks than elements in an atom")
+
+    @property
+    def domain_size(self) -> int:
+        return sum(self.counts)
+
+    def weight(self) -> int:
+        """The exact number of worlds in this isomorphism class."""
+        total = _multinomial(self.domain_size, self.counts)
+        for atom in range(self.table.num_atoms):
+            total *= _falling_factorial(self.counts[atom], self.placement.blocks_in_atom(atom))
+        return total
+
+    def atom_proportions(self) -> Tuple[float, ...]:
+        """The fraction of the domain in each atom (used for entropy diagnostics)."""
+        size = self.domain_size
+        return tuple(count / size for count in self.counts)
+
+
+def _multinomial(total: int, parts: Sequence[int]) -> int:
+    result = 1
+    remaining = total
+    for part in parts:
+        result *= math.comb(remaining, part)
+        remaining -= part
+    return result
+
+
+def _falling_factorial(n: int, k: int) -> int:
+    result = 1
+    for i in range(k):
+        result *= n - i
+    return result
+
+
+def compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ways of writing ``total`` as an ordered sum of ``parts`` non-negative ints."""
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def set_partitions(items: Sequence[str]) -> Iterator[Tuple[Tuple[str, ...], ...]]:
+    """All partitions of ``items`` into non-empty blocks (Bell-number many)."""
+    items = list(items)
+    if not items:
+        yield ()
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        # first in its own block
+        yield ((first,),) + partition
+        # first joins an existing block
+        for index, block in enumerate(partition):
+            yield partition[:index] + ((first,) + block,) + partition[index + 1 :]
+
+
+def enumerate_placements(
+    constants: Sequence[str], num_atoms: int
+) -> Iterator[ConstantPlacement]:
+    """All constant placements: equality pattern plus an atom for each block."""
+    for partition in set_partitions(constants):
+        if not partition:
+            yield ConstantPlacement((), ())
+            continue
+        for atoms in itertools.product(range(num_atoms), repeat=len(partition)):
+            yield ConstantPlacement(tuple(partition), tuple(atoms))
+
+
+def enumerate_structures(
+    table: AtomTable, constants: Sequence[str], domain_size: int
+) -> Iterator[UnaryStructure]:
+    """All isomorphism classes of worlds of the given size."""
+    placements = list(enumerate_placements(constants, table.num_atoms))
+    for counts in compositions(domain_size, table.num_atoms):
+        for placement in placements:
+            feasible = all(
+                placement.blocks_in_atom(atom) <= counts[atom]
+                for atom in range(table.num_atoms)
+            )
+            if feasible:
+                yield UnaryStructure(table, counts, placement)
+
+
+# ---------------------------------------------------------------------------
+# Abstract evaluation
+# ---------------------------------------------------------------------------
+
+
+# A value is either ("block", block_index) — the element denoted by that block
+# of constants — or ("generic", atom_index, token) — a specific element of the
+# atom that is not the denotation of any constant.  Distinct tokens denote
+# distinct elements; all unchosen generic elements of an atom are symmetric.
+Value = Tuple
+
+
+class StructureEvaluator:
+    """Evaluate closed L≈ sentences directly on a :class:`UnaryStructure`.
+
+    Correctness rests on the symmetry argument used throughout the paper's
+    proofs: any two domain elements realising the same atom and not denoted by
+    constants (nor already referenced by the current partial assignment) are
+    exchanged by an automorphism of the world, so it suffices to consider one
+    representative with the appropriate multiplicity.
+    """
+
+    def __init__(self, structure: UnaryStructure, tolerance: ToleranceVector):
+        self._structure = structure
+        self._tolerance = tolerance
+        self._token_counter = itertools.count()
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, formula: Formula) -> bool:
+        """Truth value of a closed sentence in every world of the class."""
+        return self._eval(formula, {})
+
+    # -- candidates -----------------------------------------------------------
+
+    def _candidates(self, valuation: Mapping[str, Value]) -> Iterator[Tuple[Value, int]]:
+        structure = self._structure
+        used_tokens: Dict[int, int] = {}
+        seen_generics: List[Value] = []
+        seen_set = set()
+        for value in valuation.values():
+            if value[0] == "generic":
+                if value not in seen_set:
+                    seen_set.add(value)
+                    seen_generics.append(value)
+                    used_tokens[value[1]] = used_tokens.get(value[1], 0) + 1
+        for block_index in range(len(structure.placement.blocks)):
+            yield ("block", block_index), 1
+        for value in seen_generics:
+            yield value, 1
+        for atom in range(structure.table.num_atoms):
+            remaining = (
+                structure.counts[atom]
+                - structure.placement.blocks_in_atom(atom)
+                - used_tokens.get(atom, 0)
+            )
+            if remaining > 0:
+                yield ("generic", atom, next(self._token_counter)), remaining
+
+    # -- terms ----------------------------------------------------------------
+
+    def _eval_term(self, term: Term, valuation: Mapping[str, Value]) -> Value:
+        if isinstance(term, Var):
+            if term.name not in valuation:
+                raise UnsupportedFormula(f"unbound variable {term.name!r}")
+            return valuation[term.name]
+        if isinstance(term, Const):
+            return ("block", self._structure.placement.block_of(term.name))
+        if isinstance(term, FuncApp):
+            raise UnsupportedFormula("function symbols are outside the unary fragment")
+        raise UnsupportedFormula(f"unknown term {term!r}")
+
+    def _atom_of(self, value: Value) -> int:
+        if value[0] == "block":
+            return self._structure.placement.block_atoms[value[1]]
+        return value[1]
+
+    # -- formulas -------------------------------------------------------------
+
+    def _eval(self, formula: Formula, valuation: Mapping[str, Value]) -> bool:
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, Atom):
+            if len(formula.args) != 1:
+                raise UnsupportedFormula(
+                    f"predicate {formula.predicate!r} is not unary; use the brute-force engine"
+                )
+            value = self._eval_term(formula.args[0], valuation)
+            return self._structure.table.atom_satisfies(self._atom_of(value), formula.predicate)
+        if isinstance(formula, Equals):
+            left = self._eval_term(formula.left, valuation)
+            right = self._eval_term(formula.right, valuation)
+            return left == right
+        if isinstance(formula, Not):
+            return not self._eval(formula.operand, valuation)
+        if isinstance(formula, And):
+            return all(self._eval(o, valuation) for o in formula.operands)
+        if isinstance(formula, Or):
+            return any(self._eval(o, valuation) for o in formula.operands)
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.antecedent, valuation)) or self._eval(
+                formula.consequent, valuation
+            )
+        if isinstance(formula, Iff):
+            return self._eval(formula.left, valuation) == self._eval(formula.right, valuation)
+        if isinstance(formula, Forall):
+            for value, multiplicity in self._candidates(valuation):
+                if multiplicity <= 0:
+                    continue
+                if not self._eval(formula.body, {**valuation, formula.variable: value}):
+                    return False
+            return True
+        if isinstance(formula, Exists):
+            for value, multiplicity in self._candidates(valuation):
+                if multiplicity <= 0:
+                    continue
+                if self._eval(formula.body, {**valuation, formula.variable: value}):
+                    return True
+            return False
+        if isinstance(formula, ExistsExactly):
+            count = 0
+            for value, multiplicity in self._candidates(valuation):
+                if self._eval(formula.body, {**valuation, formula.variable: value}):
+                    count += multiplicity
+                    if count > formula.count:
+                        return False
+            return count == formula.count
+        if isinstance(formula, ApproxEq):
+            if self._zero_condition(formula.left, valuation) or self._zero_condition(
+                formula.right, valuation
+            ):
+                return True
+            left = self._eval_expr(formula.left, valuation)
+            right = self._eval_expr(formula.right, valuation)
+            return abs(left - right) <= self._tolerance[formula.index] + 1e-12
+        if isinstance(formula, ApproxLeq):
+            if self._zero_condition(formula.left, valuation) or self._zero_condition(
+                formula.right, valuation
+            ):
+                return True
+            left = self._eval_expr(formula.left, valuation)
+            right = self._eval_expr(formula.right, valuation)
+            return left - right <= self._tolerance[formula.index] + 1e-12
+        if isinstance(formula, ExactCompare):
+            if self._zero_condition(formula.left, valuation) or self._zero_condition(
+                formula.right, valuation
+            ):
+                return True
+            left = self._eval_expr(formula.left, valuation)
+            right = self._eval_expr(formula.right, valuation)
+            return _exact_compare(left, right, formula.op)
+        raise UnsupportedFormula(f"unknown formula {formula!r}")
+
+    # -- proportion expressions ------------------------------------------------
+
+    def _zero_condition(self, expr: ProportionExpr, valuation: Mapping[str, Value]) -> bool:
+        if isinstance(expr, (Number, Proportion)):
+            return False
+        if isinstance(expr, CondProportion):
+            return self._count(expr.condition, expr.variables, valuation) == 0
+        if isinstance(expr, (Sum, Product)):
+            return self._zero_condition(expr.left, valuation) or self._zero_condition(
+                expr.right, valuation
+            )
+        raise UnsupportedFormula(f"unknown proportion expression {expr!r}")
+
+    def _eval_expr(self, expr: ProportionExpr, valuation: Mapping[str, Value]) -> float:
+        if isinstance(expr, Number):
+            return float(expr.value)
+        if isinstance(expr, Proportion):
+            total = self._structure.domain_size ** len(expr.variables)
+            return self._count(expr.formula, expr.variables, valuation) / total
+        if isinstance(expr, CondProportion):
+            denominator = self._count(expr.condition, expr.variables, valuation)
+            if denominator == 0:
+                return 0.0
+            joint = self._count(
+                And((expr.formula, expr.condition)), expr.variables, valuation
+            )
+            return joint / denominator
+        if isinstance(expr, Sum):
+            return self._eval_expr(expr.left, valuation) + self._eval_expr(expr.right, valuation)
+        if isinstance(expr, Product):
+            return self._eval_expr(expr.left, valuation) * self._eval_expr(expr.right, valuation)
+        raise UnsupportedFormula(f"unknown proportion expression {expr!r}")
+
+    def _count(
+        self,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        valuation: Mapping[str, Value],
+    ) -> int:
+        """Number of assignments to ``variables`` satisfying ``formula``."""
+        if not variables:
+            return 1 if self._eval(formula, valuation) else 0
+        first, rest = variables[0], variables[1:]
+        total = 0
+        for value, multiplicity in self._candidates(valuation):
+            if multiplicity <= 0:
+                continue
+            total += multiplicity * self._count(formula, rest, {**valuation, first: value})
+        return total
+
+
+def _exact_compare(left: float, right: float, op: str) -> bool:
+    eps = 1e-12
+    if op == "==":
+        return abs(left - right) <= eps
+    if op == "<=":
+        return left <= right + eps
+    if op == ">=":
+        return left >= right - eps
+    if op == "<":
+        return left < right - eps
+    if op == ">":
+        return left > right + eps
+    raise UnsupportedFormula(f"unknown comparison operator {op!r}")
+
+
+def structure_satisfies(
+    structure: UnaryStructure, formula: Formula, tolerance: ToleranceVector
+) -> bool:
+    """Truth value of a closed sentence on an isomorphism class of unary worlds."""
+    return StructureEvaluator(structure, tolerance).evaluate(formula)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from a
+# source checkout): put src/ on the path if the package is not importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.core import RandomWorlds  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def engine() -> RandomWorlds:
+    """A shared random-worlds engine with default settings."""
+    return RandomWorlds()
+
+
+@pytest.fixture(scope="session")
+def small_engine() -> RandomWorlds:
+    """An engine with small domain sizes for counting-heavy tests."""
+    return RandomWorlds(domain_sizes=(6, 8, 10, 12))

@@ -1,0 +1,123 @@
+"""Integration-style tests for the RandomWorlds engine and its method dispatch."""
+
+import pytest
+
+from repro.core import BeliefResult, KnowledgeBase, RandomWorlds, RandomWorldsError
+from repro.core.defaults import DefaultReasoner
+from repro.logic import parse
+from repro.workloads import paper_kbs
+
+
+class TestDispatch:
+    def test_analytic_point_answer_short_circuits(self, engine):
+        result = engine.degree_of_belief("Hep(Eric)", paper_kbs.hepatitis_simple())
+        assert result.method == "direct-inference"
+
+    def test_explicit_method_selection(self, engine):
+        kb = paper_kbs.hepatitis_simple()
+        for method, expected in [("analytic", 0.8), ("maxent", 0.8), ("counting", 0.8)]:
+            result = engine.degree_of_belief("Hep(Eric)", kb, method=method)
+            assert result.value == pytest.approx(expected, abs=0.02), method
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.degree_of_belief("Hep(Eric)", paper_kbs.hepatitis_simple(), method="magic")
+
+    def test_inapplicable_method_raises(self, engine):
+        with pytest.raises(RandomWorldsError):
+            engine.degree_of_belief(
+                "Likes(Clyde, Eric)", paper_kbs.elephant_zookeeper(), method="maxent"
+            )
+
+    def test_open_query_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.degree_of_belief("Hep(x)", paper_kbs.hepatitis_simple())
+
+    def test_string_and_formula_inputs_are_equivalent(self, engine):
+        kb = paper_kbs.hepatitis_simple()
+        from_string = engine.degree_of_belief("Hep(Eric)", kb)
+        from_formula = engine.degree_of_belief(parse("Hep(Eric)"), kb)
+        assert from_string.value == from_formula.value
+
+    def test_kb_can_be_given_as_string_or_formula(self, engine):
+        result = engine.degree_of_belief(
+            "Hep(Eric)", "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~= 0.8"
+        )
+        assert result.value == pytest.approx(0.8)
+
+    def test_conditional_helper(self, engine):
+        result = engine.conditional("Hep(Eric)", paper_kbs.hepatitis_full(), "Fever(Eric)")
+        assert result.value == pytest.approx(1.0)
+
+    def test_belief_result_repr_and_helpers(self, engine):
+        result = engine.degree_of_belief("Hep(Eric)", paper_kbs.hepatitis_simple())
+        assert "0.8" in repr(result)
+        assert result.is_point
+        assert result.within(0.7, 0.9)
+        assert not result.approximately(0.5)
+
+
+class TestCrossEngineAgreement:
+    AGREEMENT_CASES = [
+        ("Hep(Eric)", paper_kbs.hepatitis_simple, 0.8),
+        ("Fly(Tweety)", paper_kbs.tweety_fly, 0.0),
+        ("TS(Eric)", paper_kbs.tay_sachs, 0.02),
+    ]
+
+    @pytest.mark.parametrize("query,kb_factory,expected", AGREEMENT_CASES)
+    def test_analytic_and_maxent_agree(self, engine, query, kb_factory, expected):
+        kb = kb_factory()
+        analytic = engine.degree_of_belief(query, kb, method="analytic")
+        maxent = engine.degree_of_belief(query, kb, method="maxent")
+        assert analytic.value == pytest.approx(expected, abs=1e-6)
+        assert maxent.value == pytest.approx(expected, abs=5e-3)
+
+    def test_counting_agrees_on_the_nixon_diamond(self):
+        from repro.logic import ToleranceVector
+
+        # Small domains and only two tolerance steps keep the exact counts fast;
+        # agreement is therefore only expected to within a few percent.
+        engine = RandomWorlds(
+            domain_sizes=(6, 8),
+            tolerances=[ToleranceVector.uniform(0.05), ToleranceVector.uniform(0.03)],
+        )
+        kb = paper_kbs.nixon_diamond(0.8, 0.8)
+        analytic = engine.degree_of_belief("Pacifist(Nixon)", kb, method="analytic")
+        counting = engine.degree_of_belief("Pacifist(Nixon)", kb, method="counting")
+        assert counting.value == pytest.approx(analytic.value, abs=0.08)
+
+
+class TestDefaultReasoner:
+    def test_concludes_and_rejects(self, engine):
+        reasoner = DefaultReasoner(engine)
+        kb = paper_kbs.tweety_fly()
+        assert reasoner.rejects(kb, "Fly(Tweety)")
+        assert reasoner.concludes(kb, "not Fly(Tweety)")
+        assert not reasoner.concludes(kb, "Fly(Tweety)")
+
+    def test_undecided_on_middling_degrees(self, engine):
+        reasoner = DefaultReasoner(engine)
+        assert reasoner.undecided(paper_kbs.hepatitis_simple(), "Hep(Eric)")
+
+    def test_extend_with_conclusions_applies_cut(self, engine):
+        reasoner = DefaultReasoner(engine)
+        kb = paper_kbs.bed_late()
+        extended, added = reasoner.extend_with_conclusions(
+            kb, ["%(RisesLate(Alice, y) | Day(y); y) ~=[1] 1"]
+        )
+        assert len(added) == 1
+        follow_up = engine.degree_of_belief(
+            "RisesLate(Alice, Tomorrow)", extended.conjoin("Day(Tomorrow)")
+        )
+        assert follow_up.value == pytest.approx(1.0)
+
+    def test_non_conclusions_are_not_added(self, engine):
+        reasoner = DefaultReasoner(engine)
+        kb = paper_kbs.hepatitis_simple()
+        extended, added = reasoner.extend_with_conclusions(kb, ["Hep(Eric)"])
+        assert not added
+        assert extended == kb
+
+    def test_entails_by_default_engine_helper(self, engine):
+        assert engine.entails_by_default(paper_kbs.tweety_fly(), "not Fly(Tweety)")
+        assert not engine.entails_by_default(paper_kbs.hepatitis_simple(), "Hep(Eric)")

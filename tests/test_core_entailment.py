@@ -1,0 +1,106 @@
+"""Unit tests for the lightweight entailment checks used by the theorem engines."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.core.entailment import (
+    GroundContext,
+    allowed_atoms,
+    class_relation,
+    entails_membership,
+    kb_entails_ground,
+)
+from repro.logic import parse
+from repro.worlds.unary import AtomTable
+
+
+class TestGroundEntailment:
+    def test_fact_entails_itself(self):
+        kb = KnowledgeBase.from_strings("Jaun(Eric)")
+        assert kb_entails_ground(kb, parse("Jaun(Eric)"))
+
+    def test_disjunction_introduction(self):
+        kb = KnowledgeBase.from_strings("EEJ(Eric)")
+        assert kb_entails_ground(kb, parse("EEJ(Eric) or FC(Eric)"))
+
+    def test_universals_are_instantiated(self):
+        kb = KnowledgeBase.from_strings("Penguin(Tweety)", "forall x. (Penguin(x) -> Bird(x))")
+        assert kb_entails_ground(kb, parse("Bird(Tweety)"))
+
+    def test_non_entailed_goal(self):
+        kb = KnowledgeBase.from_strings("Jaun(Eric)")
+        assert not kb_entails_ground(kb, parse("Hep(Eric)"))
+
+    def test_negative_information(self):
+        kb = KnowledgeBase.from_strings("not Hep(Eric)", "Jaun(Eric)")
+        assert kb_entails_ground(kb, parse("Jaun(Eric) and not Hep(Eric)"))
+        assert not kb_entails_ground(kb, parse("Hep(Eric)"))
+
+    def test_ground_context_handles_binary_atoms(self):
+        kb = KnowledgeBase.from_strings("Likes(Clyde, Fred)", "Elephant(Clyde)")
+        context = GroundContext(kb, ["Clyde", "Fred"])
+        assert context.entails(parse("Likes(Clyde, Fred) and Elephant(Clyde)"))
+
+    def test_quantified_goal_is_not_decided(self):
+        kb = KnowledgeBase.from_strings("Jaun(Eric)")
+        assert not kb_entails_ground(kb, parse("exists x. Jaun(x)"))
+
+
+class TestClassRelations:
+    def setup_method(self):
+        self.kb = KnowledgeBase.from_strings(
+            "forall x. (Penguin(x) -> Bird(x))",
+            "forall x. not (Bird(x) and Fish(x))",
+            "%(Swims(x) | Bird(x); x) ~= 0.05",
+        )
+        self.table = AtomTable(tuple(sorted(self.kb.vocabulary.unary_predicates)))
+
+    def test_subset_via_universal(self):
+        assert class_relation(parse("Penguin(x)"), parse("Bird(x)"), self.kb, self.table) == "subset"
+
+    def test_disjoint_via_universal(self):
+        assert class_relation(parse("Fish(x)"), parse("Bird(x)"), self.kb, self.table) == "disjoint"
+
+    def test_incomparable_classes(self):
+        assert class_relation(parse("Swims(x)"), parse("Bird(x)"), self.kb, self.table) == "other"
+
+    def test_equal_classes(self):
+        assert class_relation(parse("Bird(x)"), parse("Bird(x)"), self.kb, self.table) == "equal"
+
+    def test_syntactically_different_but_equivalent(self):
+        assert (
+            class_relation(parse("Bird(x) and Bird(x)"), parse("Bird(x)"), self.kb, self.table)
+            == "equal"
+        )
+
+    def test_allowed_atoms_respect_universals(self):
+        atoms = allowed_atoms(self.kb, self.table)
+        # No atom may combine Bird and Fish, nor Penguin without Bird.
+        for atom in atoms:
+            bird = self.table.atom_satisfies(atom, "Bird")
+            fish = self.table.atom_satisfies(atom, "Fish")
+            penguin = self.table.atom_satisfies(atom, "Penguin")
+            assert not (bird and fish)
+            assert not (penguin and not bird)
+
+
+class TestMembership:
+    def test_direct_fact(self):
+        kb = KnowledgeBase.from_strings("Jaun(Eric)")
+        table = AtomTable(("Jaun",))
+        assert entails_membership(kb, parse("Jaun(x)"), "Eric", table)
+
+    def test_membership_through_universal(self):
+        kb = KnowledgeBase.from_strings("Penguin(Tweety)", "forall x. (Penguin(x) -> Bird(x))")
+        table = AtomTable(("Bird", "Penguin"))
+        assert entails_membership(kb, parse("Bird(x)"), "Tweety", table)
+
+    def test_membership_in_disjunctive_class(self):
+        kb = KnowledgeBase.from_strings("EEJ(Eric)")
+        table = AtomTable(("EEJ", "FC"))
+        assert entails_membership(kb, parse("EEJ(x) or FC(x)"), "Eric", table)
+
+    def test_unknown_membership(self):
+        kb = KnowledgeBase.from_strings("Jaun(Eric)")
+        table = AtomTable(("Jaun", "Fever"))
+        assert not entails_membership(kb, parse("Fever(x)"), "Eric", table)

@@ -1,0 +1,123 @@
+"""Unit tests for KnowledgeBase and its structured views."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.core.knowledge_base import StatisticalAssertion
+from repro.logic import parse
+from repro.logic.syntax import TRUE
+
+
+class TestConstruction:
+    def test_from_strings_splits_conjunctions(self):
+        kb = KnowledgeBase.from_strings("P(C) and Q(C)", "R(C)")
+        assert len(kb) == 3
+
+    def test_open_formulas_are_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase([parse("P(x)")])
+
+    def test_conjoin_returns_new_kb(self):
+        kb = KnowledgeBase.from_strings("P(C)")
+        extended = kb.conjoin("Q(C)")
+        assert len(kb) == 1
+        assert len(extended) == 2
+        assert parse("Q(C)") in extended
+
+    def test_without_removes_conjuncts(self):
+        kb = KnowledgeBase.from_strings("P(C)", "Q(C)")
+        assert len(kb.without(parse("P(C)"))) == 1
+
+    def test_equality_ignores_order(self):
+        first = KnowledgeBase.from_strings("P(C)", "Q(C)")
+        second = KnowledgeBase.from_strings("Q(C)", "P(C)")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_vocabulary_inference_and_extension(self):
+        kb = KnowledgeBase.from_strings("P(C)")
+        assert kb.vocabulary.predicates == {"P": 1}
+        extended = kb.with_vocabulary_of("Q(D)")
+        assert "Q" in extended.vocabulary.predicates
+        assert "D" in extended.vocabulary.constants
+
+    def test_formula_of_empty_kb_is_true(self):
+        assert KnowledgeBase().formula is TRUE
+
+
+class TestStructuredViews:
+    def make_kb(self) -> KnowledgeBase:
+        return KnowledgeBase.from_strings(
+            "%(Fly(x) | Bird(x); x) ~=[1] 1",
+            "%(Fly(x) | Penguin(x); x) ~=[2] 0",
+            "0.7 <~[3] %(Chirps(x) | Bird(x); x)",
+            "%(Chirps(x) | Bird(x); x) <~[4] 0.8",
+            "forall x. (Penguin(x) -> Bird(x))",
+            "Penguin(Tweety)",
+            "exists! x. Winner(x)",
+        )
+
+    def test_ground_facts(self):
+        kb = self.make_kb()
+        assert kb.ground_facts() == (parse("Penguin(Tweety)"),)
+        assert kb.facts_about("Tweety") == (parse("Penguin(Tweety)"),)
+
+    def test_universal_conjuncts(self):
+        assert len(self.make_kb().universal_conjuncts()) == 1
+
+    def test_other_conjuncts_capture_what_is_left(self):
+        others = self.make_kb().other_conjuncts()
+        assert others == (parse("exists! x. Winner(x)"),)
+
+    def test_statistics_point_and_interval(self):
+        statistics = self.make_kb().statistics()
+        by_condition = {repr(s.condition): s for s in statistics}
+        fly_bird = by_condition["Bird(x)"] if "Bird(x)" in by_condition else None
+        # Both the two point defaults and the merged interval statistic are present.
+        points = [s for s in statistics if s.is_point]
+        intervals = [s for s in statistics if not s.is_point]
+        assert len(points) == 2
+        assert len(intervals) == 1
+        assert intervals[0].low == pytest.approx(0.7)
+        assert intervals[0].high == pytest.approx(0.8)
+
+    def test_defaults_view(self):
+        defaults = self.make_kb().defaults()
+        assert len(defaults) == 2
+        assert all(s.is_default for s in defaults)
+
+    def test_mentions_and_not_mentioning(self):
+        kb = self.make_kb()
+        assert kb.mentions("Tweety") == (parse("Penguin(Tweety)"),)
+        assert parse("Penguin(Tweety)") not in kb.conjuncts_not_mentioning(["Tweety"])
+
+
+class TestStatisticParsing:
+    def test_lower_bound_statistic(self):
+        kb = KnowledgeBase.from_strings("0.3 <~[1] %(P(x) | Q(x); x)")
+        statistic = kb.statistics()[0]
+        assert statistic.low == pytest.approx(0.3)
+        assert statistic.high == pytest.approx(1.0)
+
+    def test_upper_bound_statistic(self):
+        kb = KnowledgeBase.from_strings("%(P(x) | Q(x); x) <~[1] 0.2")
+        statistic = kb.statistics()[0]
+        assert statistic.low == pytest.approx(0.0)
+        assert statistic.high == pytest.approx(0.2)
+
+    def test_exact_statistic(self):
+        kb = KnowledgeBase.from_strings("%(P(x); x) == 0.4")
+        statistic = kb.statistics()[0]
+        assert statistic.is_point
+        assert statistic.condition is TRUE
+
+    def test_unconditional_statistic_condition_is_true(self):
+        kb = KnowledgeBase.from_strings("%(P(x); x) ~= 0.4")
+        assert kb.statistics()[0].condition is TRUE
+
+    def test_value_and_is_default(self):
+        assertion = KnowledgeBase.from_strings("%(Fly(x) | Bird(x); x) ~= 1").statistics()[0]
+        assert assertion.value == pytest.approx(1.0)
+        assert assertion.is_default
+        other = KnowledgeBase.from_strings("%(Fly(x) | Bird(x); x) ~= 0.4").statistics()[0]
+        assert not other.is_default

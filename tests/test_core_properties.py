@@ -1,0 +1,88 @@
+"""Tests for the KLM property checkers (Theorem 5.3 instances)."""
+
+import pytest
+
+from repro.core import KnowledgeBase, RandomWorlds
+from repro.core.properties import (
+    check_and,
+    check_cautious_monotonicity,
+    check_conditioning_invariance,
+    check_cut,
+    check_left_logical_equivalence,
+    check_or,
+    check_rational_monotonicity,
+    check_reflexivity,
+    check_right_weakening,
+)
+from repro.logic import parse
+from repro.workloads import paper_kbs
+
+
+@pytest.fixture(scope="module")
+def property_engine():
+    return RandomWorlds(domain_sizes=(8, 12, 16, 20))
+
+
+@pytest.fixture(scope="module")
+def tweety_kb():
+    return paper_kbs.tweety_warm_blooded()
+
+
+class TestCoreProperties:
+    def test_reflexivity(self, property_engine):
+        assert check_reflexivity(property_engine, paper_kbs.hepatitis_simple())
+
+    def test_left_logical_equivalence(self, property_engine):
+        kb_a = KnowledgeBase.from_strings("Jaun(Eric)", "%(Hep(x) | Jaun(x); x) ~= 0.8")
+        kb_b = KnowledgeBase.from_strings(
+            "Jaun(Eric) and Jaun(Eric)", "%(Hep(x) | Jaun(x); x) ~= 0.8"
+        )
+        assert check_left_logical_equivalence(property_engine, kb_a, kb_b, parse("Hep(Eric)"))
+
+    def test_right_weakening(self, property_engine, tweety_kb):
+        assert check_right_weakening(
+            property_engine,
+            tweety_kb,
+            parse("not Fly(Tweety)"),
+            parse("not Fly(Tweety) or WarmBlooded(Tweety)"),
+        )
+
+    def test_and(self, property_engine, tweety_kb):
+        assert check_and(
+            property_engine, tweety_kb, parse("not Fly(Tweety)"), parse("WarmBlooded(Tweety)")
+        )
+
+    def test_cut_and_cautious_monotonicity(self, property_engine, tweety_kb):
+        theta, phi = parse("Bird(Tweety)"), parse("not Fly(Tweety)")
+        assert check_cut(property_engine, tweety_kb, theta, phi)
+        assert check_cautious_monotonicity(property_engine, tweety_kb, theta, phi)
+
+    def test_conditioning_invariance(self, property_engine, tweety_kb):
+        assert check_conditioning_invariance(
+            property_engine, tweety_kb, parse("Bird(Tweety)"), parse("WarmBlooded(Tweety)")
+        )
+
+    def test_or_rule_on_disjoint_evidence(self, property_engine):
+        kb_a = KnowledgeBase.from_strings("P(C1)")
+        kb_b = KnowledgeBase.from_strings("P(C2)")
+        assert check_or(property_engine, kb_a, kb_b, parse("exists x. P(x)"))
+
+    def test_rational_monotonicity_with_irrelevant_information(self, property_engine):
+        kb = paper_kbs.tweety_fly()
+        assert check_rational_monotonicity(
+            property_engine, kb, parse("Yellow(Tweety)"), parse("not Fly(Tweety)")
+        )
+
+    def test_vacuous_cases_pass(self, property_engine):
+        kb = paper_kbs.hepatitis_simple()
+        # Pr(Hep(Eric)) = 0.8, not 1, so the And premise fails and the check is vacuous.
+        result = check_and(property_engine, kb, parse("Hep(Eric)"), parse("Jaun(Eric)"))
+        assert result.holds and result.details.get("vacuous")
+
+    def test_generated_chain_respects_cut(self, property_engine):
+        from repro.workloads.generators import taxonomy_chain
+
+        kb, query = taxonomy_chain(3, values=[1.0, 0.6, 0.4])
+        theta = parse("Class1(Instance)")
+        assert check_cut(property_engine, kb, theta, query)
+        assert check_cautious_monotonicity(property_engine, kb, theta, query)

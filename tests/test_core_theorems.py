@@ -1,0 +1,168 @@
+"""Unit tests for the closed-form theorem engines (direct inference, specificity,
+strength, combination, independence) including the side-condition checks that
+make them refuse to apply."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.core.combination import combination_inference
+from repro.core.direct_inference import direct_inference, find_matches
+from repro.core.independence import independence_inference, split_independent
+from repro.core.specificity import specificity_inference
+from repro.core.strength import strength_inference
+from repro.logic import parse
+from repro.workloads import paper_kbs
+
+
+class TestDirectInference:
+    def test_basic_match(self):
+        result = direct_inference(parse("Hep(Eric)"), paper_kbs.hepatitis_simple())
+        assert result is not None
+        assert result.value == pytest.approx(0.8)
+        assert result.method == "direct-inference"
+
+    def test_no_match_without_membership_fact(self):
+        kb = KnowledgeBase.from_strings("%(Hep(x) | Jaun(x); x) ~= 0.8")
+        assert direct_inference(parse("Hep(Eric)"), kb) is None
+
+    def test_rejected_when_constant_appears_elsewhere(self):
+        # Knowing something else about Eric that involves the query symbols
+        # invalidates the direct-inference side condition.
+        kb = paper_kbs.hepatitis_simple().conjoin("Hep(Eric) or Fever(Eric)")
+        assert direct_inference(parse("Hep(Eric)"), kb) is None
+
+    def test_other_individuals_do_not_interfere(self):
+        kb = paper_kbs.hepatitis_simple().conjoin("Hep(Tom)")
+        result = direct_inference(parse("Hep(Eric)"), kb)
+        assert result is not None and result.value == pytest.approx(0.8)
+
+    def test_interval_statistics_give_interval(self):
+        kb = KnowledgeBase.from_strings(
+            "0.6 <~[1] %(P(x) | Q(x); x)", "%(P(x) | Q(x); x) <~[2] 0.7", "Q(C)"
+        )
+        result = direct_inference(parse("P(C)"), kb)
+        assert result is not None
+        assert result.interval == (pytest.approx(0.6), pytest.approx(0.7))
+
+    def test_pairwise_statistics(self):
+        kb = paper_kbs.elephant_zookeeper()
+        matches = find_matches(parse("Likes(Clyde, Eric)"), kb)
+        assert matches and matches[0].interval == (1.0, 1.0)
+
+    def test_fred_is_excluded_from_the_generic_default(self):
+        kb = paper_kbs.elephant_zookeeper()
+        # The generic elephants-like-zookeepers default must NOT apply to Fred,
+        # because Fred appears elsewhere in the KB.
+        matches = find_matches(parse("Likes(Clyde, Fred)"), kb)
+        assert all(match.interval == (0.0, 0.0) for match in matches)
+
+    def test_quantified_reference_class(self):
+        result = direct_inference(parse("Tall(Alice)"), paper_kbs.tall_parent())
+        assert result is not None and result.value == pytest.approx(1.0)
+
+
+class TestSpecificity:
+    def test_most_specific_class_wins(self):
+        result = specificity_inference(parse("Fly(Tweety)"), paper_kbs.tweety_fly())
+        assert result is not None
+        assert result.value == pytest.approx(0.0)
+
+    def test_irrelevant_information_is_ignored(self):
+        result = specificity_inference(parse("Fly(Tweety)"), paper_kbs.tweety_yellow())
+        assert result is not None and result.value == pytest.approx(0.0)
+
+    def test_exceptional_subclass_inherits_other_properties(self):
+        result = specificity_inference(
+            parse("WarmBlooded(Tweety)"), paper_kbs.tweety_warm_blooded()
+        )
+        assert result is not None and result.value == pytest.approx(1.0)
+
+    def test_taxonomy_minimal_class(self):
+        result = specificity_inference(parse("Swims(Opus)"), paper_kbs.swimming_taxonomy())
+        assert result is not None and result.value == pytest.approx(0.9)
+
+    def test_does_not_apply_with_incomparable_class(self):
+        # Moody magpies: the statistics classes are Bird and Magpie & Moody,
+        # which are neither nested nor disjoint given what is known.
+        assert specificity_inference(parse("Chirps(Tweety)"), paper_kbs.moody_magpie()) is None
+
+    def test_does_not_apply_when_query_symbol_used_elsewhere(self):
+        kb = paper_kbs.tweety_fly().conjoin("Fly(Opus)")
+        assert specificity_inference(parse("Fly(Tweety)"), kb) is None
+
+    def test_query_about_two_constants_is_rejected(self):
+        assert specificity_inference(parse("Likes(Clyde, Eric)"), paper_kbs.elephant_zookeeper()) is None
+
+
+class TestStrength:
+    def test_chain_uses_tightest_interval(self):
+        result = strength_inference(parse("Chirps(Tweety)"), paper_kbs.chirping_magpie())
+        assert result is not None
+        assert result.interval == (pytest.approx(0.7), pytest.approx(0.8))
+
+    def test_no_chain_no_answer(self):
+        assert strength_inference(parse("Heart(Fred)"), paper_kbs.fred_heart_disease()) is None
+
+    def test_requires_membership_in_most_specific_class(self):
+        kb = paper_kbs.chirping_magpie().without(parse("Magpie(Tweety)")).conjoin("Animal(Tweety)")
+        assert strength_inference(parse("Chirps(Tweety)"), kb) is None
+
+
+class TestCombination:
+    def test_nixon_diamond(self):
+        result = combination_inference(parse("Pacifist(Nixon)"), paper_kbs.nixon_diamond(0.8, 0.8))
+        assert result is not None
+        assert result.value == pytest.approx(0.941176, abs=1e-5)
+
+    def test_neutral_second_class(self):
+        result = combination_inference(parse("Pacifist(Nixon)"), paper_kbs.nixon_diamond(0.8, 0.5))
+        assert result is not None and result.value == pytest.approx(0.8)
+
+    def test_conflicting_defaults_have_no_limit(self):
+        result = combination_inference(parse("Pacifist(Nixon)"), paper_kbs.nixon_diamond(1.0, 0.0))
+        assert result is not None
+        assert not result.exists
+
+    def test_equal_strength_conflict_gives_half(self):
+        result = combination_inference(
+            parse("Pacifist(Nixon)"), paper_kbs.nixon_diamond(1.0, 0.0, shared_tolerance=True)
+        )
+        assert result is not None and result.value == pytest.approx(0.5)
+
+    def test_requires_overlap_declaration_unless_assumed(self):
+        kb = paper_kbs.fred_heart_disease()
+        assert combination_inference(parse("Heart(Fred)"), kb) is None
+        assumed = combination_inference(parse("Heart(Fred)"), kb, assume_small_overlap=True)
+        assert assumed is not None and assumed.value == pytest.approx(0.017154, abs=1e-5)
+
+    def test_three_competing_classes(self):
+        from repro.evidence import dempster_combine
+        from repro.workloads.generators import competing_classes_kb
+
+        kb, query = competing_classes_kb([0.6, 0.7, 0.3])
+        result = combination_inference(query, kb)
+        assert result is not None
+        assert result.value == pytest.approx(dempster_combine([0.6, 0.7, 0.3]), abs=1e-9)
+
+
+class TestIndependence:
+    def test_split_of_disjoint_vocabularies(self):
+        kb = paper_kbs.hepatitis_and_age()
+        pairs = split_independent(parse("Hep(Eric) and Over60(Eric)"), kb)
+        assert pairs is not None and len(pairs) == 2
+
+    def test_no_split_for_single_conjunct(self):
+        assert split_independent(parse("Hep(Eric)"), paper_kbs.hepatitis_and_age()) is None
+
+    def test_no_split_when_vocabularies_overlap(self):
+        kb = paper_kbs.hepatitis_simple().conjoin("%(Fever(x) | Hep(x); x) ~=[4] 0.6")
+        assert split_independent(parse("Hep(Eric) and Fever(Eric)"), kb) is None
+
+    def test_product_of_parts(self):
+        def solve(query, kb):
+            return direct_inference(query, kb)
+
+        kb = paper_kbs.hepatitis_and_age()
+        result = independence_inference(parse("Hep(Eric) and Over60(Eric)"), kb, solve)
+        assert result is not None
+        assert result.value == pytest.approx(0.32, abs=1e-9)

@@ -1,0 +1,171 @@
+"""Tests for the propositional default-reasoning baselines (Sections 3 and 6)."""
+
+import pytest
+
+from repro.defaults import (
+    DefaultRule,
+    InconsistentRuleSet,
+    MaxEntDefaultReasoner,
+    RuleSet,
+    epsilon_consistent,
+    is_tolerated,
+    p_entails,
+    tolerance_partition,
+    z_entails,
+    z_ranking,
+)
+from repro.defaults.propositional import (
+    NotPropositional,
+    entails,
+    evaluate_prop,
+    is_satisfiable,
+    models_of,
+    prop,
+    variables_of,
+)
+from repro.defaults.rules import ground_at, lift_to_unary
+from repro.logic import parse
+
+
+PENGUIN_RULES = RuleSet.parse("Bird -> Fly", "Penguin -> not Fly", "Penguin -> Bird")
+
+
+class TestPropositionalLayer:
+    def test_variables_and_evaluation(self):
+        formula = parse("Bird and (Penguin -> not Fly)")
+        assert variables_of(formula) == {"Bird", "Penguin", "Fly"}
+        assert evaluate_prop(formula, {"Bird": True, "Penguin": False, "Fly": True})
+        assert not evaluate_prop(formula, {"Bird": True, "Penguin": True, "Fly": True})
+
+    def test_satisfiability_and_entailment(self):
+        assert is_satisfiable([parse("Bird"), parse("Bird -> Fly")])
+        assert not is_satisfiable([parse("Bird"), parse("not Bird")])
+        assert entails([parse("Bird"), parse("Bird -> Fly")], parse("Fly"))
+        assert not entails([parse("Bird")], parse("Fly"))
+
+    def test_models_of(self):
+        models = models_of([parse("Bird or Fly")])
+        assert len(models) == 3
+
+    def test_first_order_formula_rejected(self):
+        with pytest.raises(NotPropositional):
+            variables_of(parse("Bird(x)"))
+
+
+class TestRules:
+    def test_parse_rule(self):
+        rule = DefaultRule.parse("Bird -> Fly")
+        assert rule.antecedent == prop("Bird")
+        assert rule.consequent == prop("Fly")
+
+    def test_parse_requires_top_level_arrow(self):
+        with pytest.raises(ValueError):
+            DefaultRule.parse("Bird and Fly")
+
+    def test_statistical_reading(self):
+        rule = DefaultRule.parse("Bird -> Fly")
+        assert rule.as_statistic(index=2) == parse("%(Fly(x) | Bird(x); x) ~=[2] 1")
+
+    def test_lift_and_ground(self):
+        lifted = lift_to_unary(parse("Penguin and Red"))
+        assert lifted == parse("Penguin(x) and Red(x)")
+        assert ground_at(parse("Penguin and Red"), "Tweety") == parse(
+            "Penguin(Tweety) and Red(Tweety)"
+        )
+
+    def test_rule_set_as_statistics_shared_and_independent(self):
+        shared = PENGUIN_RULES.as_statistics(shared_index=1)
+        assert all("~=_1" in repr(statistic) for statistic in shared)
+        independent = PENGUIN_RULES.as_statistics(shared_index=None)
+        assert "~=_2" in repr(independent[1])
+
+
+class TestEpsilonSemantics:
+    def test_penguin_rules_are_consistent(self):
+        assert epsilon_consistent(PENGUIN_RULES)
+
+    def test_tolerance_partition_layers(self):
+        result = tolerance_partition(PENGUIN_RULES)
+        assert result.consistent
+        assert len(result.partition) == 2
+        assert DefaultRule.parse("Bird -> Fly") in result.partition[0]
+
+    def test_contradictory_defaults_are_inconsistent(self):
+        rules = RuleSet.parse("Bird -> Fly", "Bird -> not Fly")
+        assert not epsilon_consistent(rules)
+
+    def test_is_tolerated(self):
+        rule = DefaultRule.parse("Bird -> Fly")
+        assert is_tolerated(rule, PENGUIN_RULES.rules)
+        assert not is_tolerated(DefaultRule.parse("Penguin -> Fly"), PENGUIN_RULES.rules)
+
+    def test_p_entailment_specificity_but_no_irrelevance(self):
+        assert p_entails(PENGUIN_RULES, DefaultRule.parse("Penguin -> not Fly"))
+        assert p_entails(PENGUIN_RULES, DefaultRule.parse("Bird -> Fly"))
+        # The notorious weakness: irrelevant information blocks the conclusion.
+        assert not p_entails(PENGUIN_RULES, DefaultRule.parse("Bird and Green -> Fly"))
+
+    def test_pooles_lottery_style_partition_is_inconsistent(self):
+        # Every subclass of Bird is exceptional and Bird is their union: the
+        # statistical reading makes this set of defaults inconsistent (Section 5.5).
+        rules = RuleSet.parse(
+            "Bird -> Fly",
+            "Penguin -> not Fly",
+            "Emu -> not Fly",
+            "Penguin -> Bird",
+            "Emu -> Bird",
+            hard=["Bird -> (Penguin or Emu)"],
+        )
+        assert not epsilon_consistent(rules)
+
+
+class TestSystemZ:
+    def test_ranking_orders_specific_rules_higher(self):
+        ranking = z_ranking(PENGUIN_RULES)
+        assert ranking.rule_ranks[DefaultRule.parse("Penguin -> not Fly")] == 1
+        assert ranking.rule_ranks[DefaultRule.parse("Bird -> Fly")] == 0
+
+    def test_entailment_with_irrelevant_information(self):
+        assert z_entails(PENGUIN_RULES, DefaultRule.parse("Penguin and Yellow -> not Fly"))
+        assert z_entails(PENGUIN_RULES, DefaultRule.parse("Bird and Green -> Fly"))
+
+    def test_drowning_problem(self):
+        rules = RuleSet.parse(
+            "Bird -> Fly", "Penguin -> not Fly", "Penguin -> Bird", "Bird -> Warm"
+        )
+        assert not z_entails(rules, DefaultRule.parse("Penguin -> Warm"))
+
+    def test_inconsistent_rules_raise(self):
+        with pytest.raises(InconsistentRuleSet):
+            z_ranking(RuleSet.parse("Bird -> Fly", "Bird -> not Fly"))
+
+    def test_world_rank_honours_hard_constraints(self):
+        rules = RuleSet.parse("Bird -> Fly", hard=["not Penguin"])
+        ranking = z_ranking(rules)
+        assert ranking.world_rank({"Bird": True, "Fly": True, "Penguin": True}) == float("inf")
+
+
+class TestMaxEntDefaults:
+    @pytest.fixture(scope="class")
+    def reasoner(self):
+        rules = RuleSet.parse(
+            "Bird -> Fly", "Penguin -> not Fly", "Penguin -> Bird", "Bird -> Warm"
+        )
+        return MaxEntDefaultReasoner(rules, shared_tolerance=True)
+
+    def test_specificity(self, reasoner):
+        assert reasoner.me_plausible(DefaultRule.parse("Penguin -> not Fly")).accepted
+
+    def test_exceptional_subclass_inheritance(self, reasoner):
+        assert reasoner.me_plausible(DefaultRule.parse("Penguin -> Warm")).accepted
+
+    def test_irrelevance(self, reasoner):
+        assert reasoner.me_plausible(DefaultRule.parse("Penguin and Red -> not Fly")).accepted
+
+    def test_rejected_conclusion(self, reasoner):
+        assert not reasoner.me_plausible(DefaultRule.parse("Penguin -> Fly")).accepted
+
+    def test_degree_of_belief_is_reported(self, reasoner):
+        outcome = reasoner.me_plausible(DefaultRule.parse("Bird -> Fly"))
+        assert outcome.accepted
+        assert outcome.degree_of_belief == pytest.approx(1.0, abs=1e-3)

@@ -1,0 +1,77 @@
+"""End-to-end tests: the experiment registry reproduces the paper and the examples run."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    all_experiments,
+    format_markdown,
+    format_table,
+    get_experiment,
+    run_experiment,
+    summary_line,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# The fast experiments asserted here; the slower ones (E10, E13, E16, E17, E18)
+# are exercised by the benchmark suite.
+FAST_EXPERIMENTS = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E12", "E15"]
+
+
+class TestRegistry:
+    def test_all_experiments_are_registered(self):
+        identifiers = [e.experiment_id for e in all_experiments()]
+        assert identifiers == [f"E{i}" for i in range(1, 19)]
+
+    def test_slow_flag_filters(self):
+        fast = all_experiments(include_slow=False)
+        assert all(not e.slow for e in fast)
+        assert len(fast) < len(all_experiments())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E999")
+
+    @pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+    def test_experiment_reproduces_the_paper(self, experiment_id):
+        result = run_experiment(experiment_id)
+        failures = [row for row in result.rows if not row.ok]
+        assert not failures, f"{experiment_id}: " + "; ".join(
+            f"{row.label} (paper {row.paper_value}, measured {row.measured})" for row in failures
+        )
+
+    def test_report_formatting(self):
+        result = run_experiment("E1")
+        table = format_table(result)
+        assert "E1" in table and "PASSED" in table
+        markdown = format_markdown([result])
+        assert "| Quantity | Paper | Measured |" in markdown
+        assert summary_line([result]).startswith("1/1")
+
+    def test_runner_cli(self, capsys):
+        from repro.experiments.runner import main
+
+        exit_code = main(["E1", "E2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E1" in captured.out and "E2" in captured.out
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "medical_diagnosis.py", "taxonomy_defaults.py", "nixon_diamond.py"],
+    )
+    def test_example_scripts_run(self, script, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+        output = capsys.readouterr().out
+        assert output.strip(), f"{script} produced no output"
+
+    def test_lottery_example_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "lottery_paradox.py"), run_name="__main__")
+        output = capsys.readouterr().out
+        assert "Pr(Winner(C))" in output
+        assert "limit (Definition 4.3): 0.8" in output

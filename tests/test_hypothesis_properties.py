@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KnowledgeBase
+from repro.core.direct_inference import direct_inference
+from repro.evidence import dempster_combine
+from repro.logic import parse
+from repro.logic.semantics import evaluate
+from repro.logic.tolerance import ToleranceVector
+from repro.workloads.generators import direct_inference_instance, taxonomy_chain
+from repro.worlds.unary import (
+    AtomTable,
+    ConstantPlacement,
+    StructureEvaluator,
+    UnaryStructure,
+    enumerate_structures,
+)
+
+
+# -- strategies ---------------------------------------------------------------
+
+probabilities = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+coarse_probabilities = st.sampled_from([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+@st.composite
+def unary_structures(draw):
+    """Random isomorphism classes over two predicates and one constant."""
+    table = AtomTable(("P", "Q"))
+    counts = tuple(draw(st.integers(min_value=0, max_value=4)) for _ in range(4))
+    if sum(counts) == 0:
+        counts = (1,) + counts[1:]
+    feasible_atoms = [atom for atom in range(4) if counts[atom] > 0]
+    atom = draw(st.sampled_from(feasible_atoms))
+    placement = ConstantPlacement((("C",),), (atom,))
+    return UnaryStructure(table, counts, placement)
+
+
+# -- Dempster combination invariants ------------------------------------------
+
+
+class TestDempsterProperties:
+    @given(st.lists(probabilities, min_size=1, max_size=5))
+    def test_result_stays_in_unit_interval(self, values):
+        assert 0.0 <= dempster_combine(values) <= 1.0
+
+    @given(st.lists(probabilities, min_size=1, max_size=5))
+    def test_permutation_invariance(self, values):
+        assert dempster_combine(values) == pytest.approx(
+            dempster_combine(list(reversed(values))), abs=1e-9
+        )
+
+    @given(probabilities, probabilities)
+    def test_half_is_neutral(self, a, b):
+        assert dempster_combine([a, 0.5, b]) == pytest.approx(dempster_combine([a, b]), abs=1e-9)
+
+    @given(probabilities, probabilities)
+    def test_agreeing_evidence_reinforces(self, a, b):
+        combined = dempster_combine([a, b])
+        if a > 0.5 and b > 0.5:
+            assert combined >= max(a, b) - 1e-9
+        if a < 0.5 and b < 0.5:
+            assert combined <= min(a, b) + 1e-9
+
+
+# -- world-counting invariants --------------------------------------------------
+
+
+class TestStructureProperties:
+    @given(unary_structures())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_weights_are_positive_integers(self, structure):
+        weight = structure.weight()
+        assert isinstance(weight, int)
+        assert weight >= 1
+
+    @given(unary_structures())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_complementary_queries_partition_the_class(self, structure):
+        tolerance = ToleranceVector.uniform(0.05)
+        evaluator = StructureEvaluator(structure, tolerance)
+        positive = evaluator.evaluate(parse("P(C)"))
+        negative = evaluator.evaluate(parse("not P(C)"))
+        assert positive != negative
+
+    @given(unary_structures())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_counts_respect_totals(self, structure):
+        evaluator = StructureEvaluator(structure, ToleranceVector.uniform(0.05))
+        p_count = evaluator._count(parse("P(x)"), ("x",), {})
+        not_p_count = evaluator._count(parse("not P(x)"), ("x",), {})
+        assert p_count + not_p_count == structure.domain_size
+
+    def test_class_weights_partition_all_worlds(self):
+        table = AtomTable(("P", "Q"))
+        for domain_size in (2, 3, 4):
+            total = sum(s.weight() for s in enumerate_structures(table, ["C"], domain_size))
+            assert total == (2**domain_size) ** 2 * domain_size
+
+
+# -- direct inference on generated instances -------------------------------------
+
+
+class TestGeneratedInference:
+    @given(coarse_probabilities, st.lists(coarse_probabilities, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_direct_inference_recovers_the_statistic(self, value, distractors):
+        instance = direct_inference_instance(value, distractors)
+        result = direct_inference(instance.query, instance.knowledge_base)
+        assert result is not None
+        assert result.value == pytest.approx(instance.expected, abs=1e-9)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_taxonomy_chain_uses_the_most_specific_class(self, depth):
+        from repro.core.specificity import specificity_inference
+
+        values = [round(0.1 + 0.15 * i, 3) for i in range(depth)]
+        kb, query = taxonomy_chain(depth, values=values)
+        result = specificity_inference(query, kb) if depth > 0 else None
+        assert result is not None
+        assert result.value == pytest.approx(values[0], abs=1e-9)
+
+
+# -- probability axioms via exact counting ---------------------------------------
+
+
+class TestCountingAxioms:
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_complement_rule(self, domain_size):
+        from repro.logic.vocabulary import Vocabulary
+        from repro.worlds.counting import UnaryWorldCounter
+
+        kb = parse("%(P(x); x) <~ 0.7")
+        vocabulary = Vocabulary({"P": 1}, {}, ("C",))
+        counter = UnaryWorldCounter(vocabulary)
+        tolerance = ToleranceVector.uniform(0.1)
+        positive = counter.probability(parse("P(C)"), kb, domain_size, tolerance)
+        negative = counter.probability(parse("not P(C)"), kb, domain_size, tolerance)
+        assert positive + negative == Fraction(1)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_monotonicity_of_disjunction(self, domain_size):
+        from repro.logic.vocabulary import Vocabulary
+        from repro.worlds.counting import UnaryWorldCounter
+
+        vocabulary = Vocabulary({"P": 1, "Q": 1}, {}, ("C",))
+        counter = UnaryWorldCounter(vocabulary)
+        tolerance = ToleranceVector.uniform(0.1)
+        kb = parse("true")
+        single = counter.probability(parse("P(C)"), kb, domain_size, tolerance)
+        disjunction = counter.probability(parse("P(C) or Q(C)"), kb, domain_size, tolerance)
+        assert disjunction >= single

@@ -1,0 +1,195 @@
+"""Unit tests for the textual parser (repro.logic.parser)."""
+
+import pytest
+
+from repro.logic import builder as b
+from repro.logic.parser import ParseError, parse, parse_many
+from repro.logic.syntax import (
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Proportion,
+    TRUE,
+    FALSE,
+    Var,
+)
+
+
+class TestAtomsAndTerms:
+    def test_lowercase_identifiers_are_variables(self):
+        assert parse("Bird(x)") == Atom("Bird", (Var("x"),))
+
+    def test_capitalised_identifiers_are_constants(self):
+        assert parse("Bird(Tweety)") == Atom("Bird", (Const("Tweety"),))
+
+    def test_binary_predicates(self):
+        assert parse("Likes(Clyde, Fred)") == Atom("Likes", (Const("Clyde"), Const("Fred")))
+
+    def test_propositional_atom(self):
+        assert parse("Bird") == Atom("Bird", ())
+
+    def test_equality(self):
+        assert parse("Ray = Drew") == Equals(Const("Ray"), Const("Drew"))
+
+    def test_true_and_false(self):
+        assert parse("true") is TRUE
+        assert parse("false") is FALSE
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        formula = parse("Bird(x) and not Penguin(x) or Fish(x)")
+        assert isinstance(formula, Or)
+
+    def test_implication_is_right_associative(self):
+        formula = parse("P(x) -> Q(x) -> R(x)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.consequent, Implies)
+
+    def test_parentheses_override_precedence(self):
+        formula = parse("(P(x) or Q(x)) and R(x)")
+        from repro.logic.syntax import And
+
+        assert isinstance(formula, And)
+
+    def test_biconditional(self):
+        formula = parse("P(x) <-> Q(x)")
+        from repro.logic.syntax import Iff
+
+        assert isinstance(formula, Iff)
+
+
+class TestQuantifiers:
+    def test_forall(self):
+        formula = parse("forall x. (Penguin(x) -> Bird(x))")
+        assert isinstance(formula, Forall)
+        assert formula.variable == "x"
+
+    def test_exists(self):
+        assert isinstance(parse("exists x. Winner(x)"), Exists)
+
+    def test_exists_unique(self):
+        formula = parse("exists! x. Winner(x)")
+        assert isinstance(formula, ExistsExactly)
+        assert formula.count == 1
+
+    def test_exists_exactly_n(self):
+        formula = parse("exists[7] x. Ticket(x)")
+        assert formula == ExistsExactly(7, "x", Atom("Ticket", (Var("x"),)))
+
+    def test_quantifier_scope_extends_right(self):
+        formula = parse("forall x. Penguin(x) -> Bird(x)")
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, Implies)
+
+
+class TestProportions:
+    def test_conditional_proportion_with_tolerance_index(self):
+        formula = parse("%(Hep(x) | Jaun(x); x) ~=[2] 0.8")
+        assert isinstance(formula, ApproxEq)
+        assert formula.index == 2
+        assert isinstance(formula.left, CondProportion)
+
+    def test_default_tolerance_index_is_one(self):
+        formula = parse("%(Fly(x) | Bird(x); x) ~= 1")
+        assert formula.index == 1
+
+    def test_unconditional_proportion(self):
+        formula = parse("%(Bird(x); x) <~ 0.1")
+        assert isinstance(formula, ApproxLeq)
+        assert isinstance(formula.left, Proportion)
+
+    def test_multi_variable_proportion(self):
+        formula = parse("%(Likes(x, y) | Elephant(x) and Zookeeper(y); x, y) ~= 1")
+        assert formula.left.variables == ("x", "y")
+
+    def test_number_on_the_left(self):
+        formula = parse("0.7 <~[1] %(Chirps(x) | Bird(x); x)")
+        assert isinstance(formula, ApproxLeq)
+        assert isinstance(formula.left, Number)
+
+    def test_exact_comparison(self):
+        formula = parse("%(P(x); x) <= 0.5")
+        assert isinstance(formula, ExactCompare)
+        assert formula.op == "<="
+
+    def test_fraction_literals(self):
+        formula = parse("%(P(x); x) ~= 1/3")
+        assert float(formula.right.value) == pytest.approx(1 / 3)
+
+    def test_nested_proportions(self):
+        text = "%(%(RisesLate(x, y) | Day(y); y) ~=[1] 1 | %(ToBedLate(x, y2) | Day(y2); y2) ~=[2] 1; x) ~=[3] 1"
+        formula = parse(text)
+        assert isinstance(formula, ApproxEq)
+        assert isinstance(formula.left, CondProportion)
+        assert isinstance(formula.left.formula, ApproxEq)
+
+    def test_arithmetic_in_proportion_expressions(self):
+        formula = parse("%(P(x); x) ~= %(Q(x); x) * 0.5 + 0.1")
+        from repro.logic.syntax import Sum
+
+        assert isinstance(formula.right, Sum)
+
+
+class TestAgreementWithBuilder:
+    def test_statistic_builder_matches_parser(self):
+        x = b.var("x")
+        Hep, Jaun = b.predicates("Hep Jaun")
+        built = b.statistic(Hep(x), over=x, value=0.8, given=Jaun(x), index=1)
+        assert parse("%(Hep(x) | Jaun(x); x) ~=[1] 0.8") == built
+
+    def test_default_rule_builder_matches_parser(self):
+        x = b.var("x")
+        Bird, Fly = b.predicates("Bird Fly")
+        built = b.default_rule(Bird(x), Fly(x), over=x, index=1)
+        assert parse("%(Fly(x) | Bird(x); x) ~=[1] 1") == built
+
+    def test_forall_builder_matches_parser(self):
+        x = b.var("x")
+        Penguin, Bird = b.predicates("Penguin Bird")
+        built = b.forall(x, b.implies(Penguin(x), Bird(x)))
+        assert parse("forall x. (Penguin(x) -> Bird(x))") == built
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Bird(x",
+            "%(Hep(x) | Jaun(x); x ~= 0.8",
+            "forall . P(x)",
+            "P(x) and",
+            "%(P(x); x) ~= ",
+            "0.8 0.9",
+            "P(x) @ Q(x)",
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("Bird(x) Bird(y)")
+
+    def test_parse_many_skips_blank_lines_and_comments(self):
+        formulas = parse_many(
+            """
+            # the fly default
+            %(Fly(x) | Bird(x); x) ~= 1
+
+            Penguin(Tweety)
+            """
+        )
+        assert len(formulas) == 2

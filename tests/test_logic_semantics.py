@@ -1,0 +1,149 @@
+"""Unit tests for finite-model semantics (repro.logic.semantics)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.semantics import (
+    SemanticsError,
+    World,
+    evaluate,
+    evaluate_term,
+    exact_proportion,
+    proportion_value,
+)
+from repro.logic.syntax import Atom, CondProportion, Const, FuncApp, Proportion, Var
+from repro.logic.tolerance import ToleranceVector
+
+
+@pytest.fixture
+def bird_world() -> World:
+    """Ten animals: five birds (0-4), of which four fly; Tweety is animal 0."""
+    return World.from_unary(
+        {"Bird": [0, 1, 2, 3, 4], "Fly": [1, 2, 3, 4, 7]},
+        domain_size=10,
+        constants={"Tweety": 0, "Robin": 1},
+    )
+
+
+class TestWorldConstruction:
+    def test_from_unary_builds_singleton_tuples(self, bird_world):
+        assert bird_world.holds("Bird", 0)
+        assert not bird_world.holds("Fly", 0)
+
+    def test_constants_must_denote_domain_elements(self):
+        with pytest.raises(SemanticsError):
+            World(domain_size=3, constants={"C": 5})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SemanticsError):
+            World(domain_size=0)
+
+
+class TestTermEvaluation:
+    def test_constant_and_variable(self, bird_world):
+        assert evaluate_term(Const("Tweety"), bird_world, {}) == 0
+        assert evaluate_term(Var("x"), bird_world, {"x": 3}) == 3
+
+    def test_unbound_variable_raises(self, bird_world):
+        with pytest.raises(SemanticsError):
+            evaluate_term(Var("x"), bird_world, {})
+
+    def test_function_application(self):
+        world = World(
+            domain_size=3,
+            functions={"next": {(0,): 1, (1,): 2, (2,): 0}},
+            constants={"A": 0},
+        )
+        assert evaluate_term(FuncApp("next", (Const("A"),)), world, {}) == 1
+
+
+class TestBooleanAndQuantifiers:
+    def test_ground_atoms(self, bird_world):
+        assert evaluate(parse("Bird(Tweety)"), bird_world)
+        assert not evaluate(parse("Fly(Tweety)"), bird_world)
+
+    def test_connectives(self, bird_world):
+        assert evaluate(parse("Bird(Tweety) and not Fly(Tweety)"), bird_world)
+        assert evaluate(parse("Fly(Tweety) or Bird(Tweety)"), bird_world)
+        assert evaluate(parse("Fly(Tweety) -> Bird(Robin)"), bird_world)
+
+    def test_equality(self, bird_world):
+        assert evaluate(parse("Tweety = Tweety"), bird_world)
+        assert not evaluate(parse("Tweety = Robin"), bird_world)
+
+    def test_forall_and_exists(self, bird_world):
+        assert evaluate(parse("exists x. (Bird(x) and Fly(x))"), bird_world)
+        assert not evaluate(parse("forall x. (Bird(x) -> Fly(x))"), bird_world)
+        assert evaluate(parse("forall x. (Fly(x) -> Fly(x))"), bird_world)
+
+    def test_exists_exactly(self, bird_world):
+        assert evaluate(parse("exists[5] x. Bird(x)"), bird_world)
+        assert not evaluate(parse("exists[4] x. Bird(x)"), bird_world)
+        assert evaluate(parse("exists! x. (Bird(x) and not Fly(x))"), bird_world)
+
+
+class TestProportions:
+    def test_unconditional_proportion(self, bird_world):
+        value = proportion_value(Proportion(Atom("Bird", (Var("x"),)), ("x",)), bird_world)
+        assert value == pytest.approx(0.5)
+
+    def test_conditional_proportion(self, bird_world):
+        expr = CondProportion(Atom("Fly", (Var("x"),)), Atom("Bird", (Var("x"),)), ("x",))
+        assert proportion_value(expr, bird_world) == pytest.approx(0.8)
+
+    def test_two_variable_proportion(self):
+        world = World(
+            domain_size=3,
+            relations={"Likes": {(0, 1), (1, 2), (0, 2), (2, 2)}},
+        )
+        value = proportion_value(
+            Proportion(Atom("Likes", (Var("x"), Var("y"))), ("x", "y")), world
+        )
+        assert value == pytest.approx(4 / 9)
+
+    def test_proportion_with_outer_valuation(self):
+        world = World(domain_size=4, relations={"Child": {(0, 1), (2, 1), (3, 2)}})
+        expr = Proportion(Atom("Child", (Var("x"), Var("y"))), ("x",))
+        assert proportion_value(expr, world, valuation={"y": 1}) == pytest.approx(0.5)
+
+    def test_exact_proportion_returns_fraction(self, bird_world):
+        value = exact_proportion(parse("Fly(x)"), ("x",), bird_world, condition=parse("Bird(x)"))
+        assert value == Fraction(4, 5)
+
+    def test_exact_proportion_empty_condition_raises(self, bird_world):
+        with pytest.raises(SemanticsError):
+            exact_proportion(parse("Fly(x)"), ("x",), bird_world, condition=parse("Fish(x)"))
+
+
+class TestApproximateComparisons:
+    def test_within_tolerance(self, bird_world):
+        formula = parse("%(Fly(x) | Bird(x); x) ~=[1] 0.75")
+        assert evaluate(formula, bird_world, ToleranceVector.uniform(0.06))
+        assert not evaluate(formula, bird_world, ToleranceVector.uniform(0.01))
+
+    def test_per_index_tolerances(self, bird_world):
+        formula = parse("%(Fly(x) | Bird(x); x) ~=[2] 0.75")
+        tolerance = ToleranceVector(default=0.01, values={2: 0.06})
+        assert evaluate(formula, bird_world, tolerance)
+
+    def test_approximate_leq(self, bird_world):
+        assert evaluate(parse("%(Bird(x); x) <~ 0.5"), bird_world, ToleranceVector.uniform(0.01))
+        assert not evaluate(parse("%(Bird(x); x) <~ 0.4"), bird_world, ToleranceVector.uniform(0.01))
+
+    def test_zero_denominator_convention(self, bird_world):
+        # There are no Fish, so any comparison about the proportion of flying
+        # fish is vacuously true (Section 4.1).
+        assert evaluate(parse("%(Fly(x) | Fish(x); x) ~= 0.99"), bird_world)
+        assert evaluate(parse("%(Fly(x) | Fish(x); x) <~ 0"), bird_world)
+
+    def test_exact_comparisons(self, bird_world):
+        assert evaluate(parse("%(Bird(x); x) == 0.5"), bird_world)
+        assert evaluate(parse("%(Bird(x); x) >= 0.5"), bird_world)
+        assert not evaluate(parse("%(Bird(x); x) > 0.5"), bird_world)
+
+    def test_arithmetic_in_comparisons(self, bird_world):
+        # ||Fly||  =  ||Fly | Bird|| * ||Bird|| + 0.1   (0.5 = 0.8*0.5 + 0.1)
+        formula = parse("%(Fly(x); x) ~= %(Fly(x) | Bird(x); x) * %(Bird(x); x) + 0.1")
+        assert evaluate(formula, bird_world, ToleranceVector.uniform(0.001))

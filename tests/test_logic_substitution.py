@@ -1,0 +1,92 @@
+"""Unit tests for free variables, substitution and symbol collection."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.substitution import (
+    abstract_constant,
+    constants_of,
+    free_vars,
+    is_closed,
+    predicates_of,
+    substitute,
+    symbols_of,
+    tolerance_indices,
+)
+from repro.logic.syntax import Const, Var
+
+
+class TestFreeVariables:
+    def test_quantifier_binds_its_variable(self):
+        assert free_vars(parse("forall x. P(x)")) == frozenset()
+
+    def test_proportion_subscript_binds_its_variables(self):
+        assert free_vars(parse("%(Hep(x) | Jaun(x); x) ~= 0.8")) == frozenset()
+
+    def test_free_variable_inside_proportion_body(self):
+        formula = parse("%(Child(x, y); x) ~= 0.5")
+        assert free_vars(formula) == frozenset({"y"})
+
+    def test_partially_bound_nested_proportions(self):
+        formula = parse("%(RisesLate(x, y) | Day(y); y) ~= 1")
+        assert free_vars(formula) == frozenset({"x"})
+
+    def test_is_closed(self):
+        assert is_closed(parse("Jaun(Eric)"))
+        assert not is_closed(parse("Jaun(x)"))
+
+
+class TestSubstitution:
+    def test_substitute_free_variable(self):
+        formula = parse("Jaun(x) and Hep(x)")
+        result = substitute(formula, {"x": Const("Eric")})
+        assert result == parse("Jaun(Eric) and Hep(Eric)")
+
+    def test_substitution_respects_quantifier_shadowing(self):
+        formula = parse("P(x) and forall x. Q(x)")
+        result = substitute(formula, {"x": Const("A")})
+        assert result == parse("P(A) and forall x. Q(x)")
+
+    def test_substitution_respects_proportion_shadowing(self):
+        formula = parse("%(Likes(x, y) | Person(y); y) ~= 1")
+        result = substitute(formula, {"x": Const("Clyde"), "y": Const("Eric")})
+        assert result == parse("%(Likes(Clyde, y) | Person(y); y) ~= 1")
+
+    def test_substituting_into_multi_variable_statistic(self):
+        formula = parse("%(Likes(x, y) | Elephant(x) and Zookeeper(y); x, y) ~= 1")
+        # x and y are bound by the subscript, so nothing changes.
+        assert substitute(formula, {"x": Const("Clyde")}) == formula
+
+
+class TestSymbolCollection:
+    def test_constants_of_collects_from_everywhere(self):
+        formula = parse("%(Likes(x, Fred) | Elephant(x); x) ~= 0")
+        assert constants_of(formula) == frozenset({"Fred"})
+
+    def test_predicates_of_records_arity(self):
+        assert predicates_of(parse("Likes(Clyde, Fred) and Elephant(Clyde)")) == {
+            "Likes": 2,
+            "Elephant": 1,
+        }
+
+    def test_symbols_of_union(self):
+        symbols = symbols_of(parse("%(Hep(x) | Jaun(x); x) ~= 0.8"))
+        assert symbols == frozenset({"Hep", "Jaun"})
+
+    def test_tolerance_indices(self):
+        formula = parse("%(P(x); x) ~=[3] 0.5 and %(Q(x); x) <~[7] 0.2")
+        assert tolerance_indices(formula) == frozenset({3, 7})
+
+
+class TestAbstractConstant:
+    def test_ground_conjunction_becomes_class_formula(self):
+        formula = parse("Hep(Eric) and Tall(Eric)")
+        assert abstract_constant(formula, "Eric") == parse("Hep(x) and Tall(x)")
+
+    def test_other_constants_are_untouched(self):
+        formula = parse("Likes(Clyde, Fred)")
+        assert abstract_constant(formula, "Clyde", "z") == parse("Likes(z, Fred)")
+
+    def test_abstraction_inside_proportions(self):
+        formula = parse("%(RisesLate(Alice, y) | Day(y); y) ~= 1")
+        assert abstract_constant(formula, "Alice") == parse("%(RisesLate(x, y) | Day(y); y) ~= 1")

@@ -1,0 +1,132 @@
+"""Unit tests for the formula AST (repro.logic.syntax)."""
+
+import pytest
+
+from repro.logic import builder as b
+from repro.logic.syntax import (
+    And,
+    ApproxEq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    FALSE,
+    Formula,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    Sum,
+    TRUE,
+    Top,
+    Var,
+    conj,
+    conjuncts,
+    disj,
+    iter_proportion_exprs,
+    iter_subformulas,
+    number,
+)
+
+
+class TestTerms:
+    def test_variables_and_constants_are_hashable_and_equal_by_value(self):
+        assert Var("x") == Var("x")
+        assert Const("Eric") == Const("Eric")
+        assert Var("x") != Const("x")
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_repr_is_readable(self):
+        assert repr(Var("x")) == "x"
+        assert repr(Const("Tweety")) == "Tweety"
+
+
+class TestFormulaConstruction:
+    def test_atom_repr(self):
+        formula = Atom("Bird", (Const("Tweety"),))
+        assert repr(formula) == "Bird(Tweety)"
+
+    def test_operator_overloads(self):
+        p = Atom("P", (Var("x"),))
+        q = Atom("Q", (Var("x"),))
+        assert isinstance(p & q, And)
+        assert isinstance(p | q, Or)
+        assert isinstance(~p, Not)
+        assert (p >> q).antecedent == p
+
+    def test_conj_flattens_nested_conjunctions(self):
+        p, q, r = (Atom(name, ()) for name in "PQR")
+        nested = conj(conj(p, q), r)
+        assert isinstance(nested, And)
+        assert nested.operands == (p, q, r)
+
+    def test_conj_of_nothing_is_true(self):
+        assert conj() is TRUE
+
+    def test_conj_of_single_formula_is_that_formula(self):
+        p = Atom("P", ())
+        assert conj(p) is p
+
+    def test_conj_drops_top(self):
+        p = Atom("P", ())
+        assert conj(TRUE, p) is p
+
+    def test_disj_flattens_and_drops_bottom(self):
+        p, q = Atom("P", ()), Atom("Q", ())
+        assert disj(FALSE, p, disj(q)) == Or((p, q))
+        assert disj() is FALSE
+
+    def test_conjuncts_of_non_conjunction(self):
+        p = Atom("P", ())
+        assert conjuncts(p) == (p,)
+        assert conjuncts(TRUE) == ()
+
+    def test_exact_compare_rejects_unknown_operator(self):
+        from repro.logic.syntax import ExactCompare
+
+        with pytest.raises(ValueError):
+            ExactCompare(number(1), number(2), "!=")
+
+
+class TestProportionExpressions:
+    def test_number_builder_uses_fractions(self):
+        assert number(0.5).value.numerator == 1
+        assert number(0.5).value.denominator == 2
+
+    def test_arithmetic_operators_build_sum_and_product(self):
+        p = Proportion(Atom("P", (Var("x"),)), ("x",))
+        expression = p * 2 + 0.5
+        assert isinstance(expression, Sum)
+        assert isinstance(expression.left, Product)
+
+    def test_conditional_proportion_repr(self):
+        expr = CondProportion(Atom("Hep", (Var("x"),)), Atom("Jaun", (Var("x"),)), ("x",))
+        assert "Hep(x) | Jaun(x)" in repr(expr)
+
+
+class TestTraversal:
+    def test_iter_subformulas_reaches_inside_proportions(self):
+        formula = b.statistic(
+            b.predicate("Fly")(b.var("x")), over=b.var("x"), value=1, given=b.predicate("Bird")(b.var("x"))
+        )
+        subformulas = list(iter_subformulas(formula))
+        assert Atom("Fly", (Var("x"),)) in subformulas
+        assert Atom("Bird", (Var("x"),)) in subformulas
+
+    def test_iter_proportion_exprs_finds_nested_terms(self):
+        inner = b.statistic(
+            b.predicate("RisesLate", 2)(b.var("x"), b.var("y")),
+            over=b.var("y"),
+            value=1,
+            given=b.predicate("Day")(b.var("y")),
+        )
+        outer = ApproxEq(Proportion(inner, ("x",)), number(1), 3)
+        expressions = list(iter_proportion_exprs(outer))
+        assert any(isinstance(e, Proportion) for e in expressions)
+
+    def test_top_and_bottom_singletons(self):
+        assert isinstance(TRUE, Top)
+        assert isinstance(FALSE, Bottom)
+        assert TRUE == Top()
+        assert FALSE == Bottom()

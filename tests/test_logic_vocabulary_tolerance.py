@@ -1,0 +1,121 @@
+"""Unit tests for vocabularies, tolerance vectors and formula transforms."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.tolerance import ToleranceVector, default_sequence, shrinking_sequence
+from repro.logic.transforms import approximate_to_exact, negation_normal_form, simplify
+from repro.logic.semantics import World, evaluate
+from repro.logic.syntax import And, ExactCompare, Forall, Not, Or, TRUE, FALSE
+from repro.logic.vocabulary import Vocabulary, VocabularyError
+
+
+class TestVocabulary:
+    def test_from_formulas_infers_symbols(self):
+        vocabulary = Vocabulary.from_formulas(
+            [parse("%(Hep(x) | Jaun(x); x) ~= 0.8"), parse("Jaun(Eric)")]
+        )
+        assert vocabulary.predicates == {"Hep": 1, "Jaun": 1}
+        assert vocabulary.constants == ("Eric",)
+
+    def test_arity_conflict_is_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.from_formulas([parse("Likes(Clyde, Fred)"), parse("Likes(Clyde)")])
+
+    def test_is_unary(self):
+        unary = Vocabulary({"P": 1, "Q": 1}, {}, ("C",))
+        assert unary.is_unary
+        assert not Vocabulary({"Likes": 2}, {}, ()).is_unary
+        assert not Vocabulary({"P": 1}, {"f": 1}, ()).is_unary
+
+    def test_merge_and_contains(self):
+        first = Vocabulary({"P": 1}, {}, ("A",))
+        second = Vocabulary({"Q": 1}, {}, ("B",))
+        merged = first.merge(second)
+        assert merged.contains(first)
+        assert merged.contains(second)
+        assert merged.constants == ("A", "B")
+
+    def test_validate_rejects_unknown_symbols(self):
+        vocabulary = Vocabulary({"P": 1}, {}, ())
+        with pytest.raises(VocabularyError):
+            vocabulary.validate(parse("Q(C)"))
+
+    def test_unary_predicates_sorted(self):
+        vocabulary = Vocabulary({"Zeta": 1, "Alpha": 1, "Likes": 2}, {}, ())
+        assert vocabulary.unary_predicates == ("Alpha", "Zeta")
+
+
+class TestToleranceVector:
+    def test_indexed_lookup_falls_back_to_default(self):
+        tolerance = ToleranceVector(default=0.1, values={2: 0.01})
+        assert tolerance[1] == 0.1
+        assert tolerance[2] == 0.01
+
+    def test_positive_tolerances_required(self):
+        with pytest.raises(ValueError):
+            ToleranceVector(default=0.0)
+        with pytest.raises(ValueError):
+            ToleranceVector(default=0.1, values={1: -0.5})
+
+    def test_scaled(self):
+        tolerance = ToleranceVector(default=0.1, values={3: 0.2}).scaled(0.5)
+        assert tolerance.default == pytest.approx(0.05)
+        assert tolerance[3] == pytest.approx(0.1)
+
+    def test_shrinking_sequence_is_decreasing(self):
+        sequence = list(shrinking_sequence(start=0.1, factor=0.5, count=4))
+        values = [t.default for t in sequence]
+        assert values == sorted(values, reverse=True)
+        assert len(list(default_sequence())) == 5
+
+    def test_shrinking_sequence_with_ratios(self):
+        sequence = list(shrinking_sequence(start=0.1, factor=0.5, count=2, ratios={1: 1.0, 2: 0.01}))
+        assert sequence[0][2] == pytest.approx(sequence[0][1] * 0.01)
+
+
+class TestTransforms:
+    def test_approximate_to_exact_expands_approx_eq(self):
+        formula = parse("%(Hep(x) | Jaun(x); x) ~=[1] 0.8")
+        exact = approximate_to_exact(formula, ToleranceVector.uniform(0.05))
+        assert isinstance(exact, And)
+        assert all(isinstance(part, ExactCompare) for part in exact.operands)
+
+    def test_exact_translation_agrees_with_approximate_semantics(self):
+        formula = parse("%(Fly(x) | Bird(x); x) ~=[1] 0.75")
+        world = World.from_unary({"Bird": [0, 1, 2, 3], "Fly": [0, 1, 2]}, domain_size=8)
+        for tau in (0.2, 0.01):
+            tolerance = ToleranceVector.uniform(tau)
+            translated = approximate_to_exact(formula, tolerance)
+            assert evaluate(formula, world, tolerance) == evaluate(translated, world, tolerance)
+
+    def test_simplify_removes_double_negation_and_constants(self):
+        assert simplify(Not(Not(parse("P(C)")))) == parse("P(C)")
+        assert simplify(parse("P(C) and true")) == parse("P(C)")
+        assert simplify(parse("P(C) and false")) is FALSE
+        assert simplify(parse("P(C) or true")) is TRUE
+
+    def test_negation_normal_form_pushes_negations_inward(self):
+        from repro.logic.syntax import Exists
+
+        formula = Not(parse("forall x. (P(x) and Q(x))"))
+        nnf = negation_normal_form(formula)
+        assert isinstance(nnf, Exists)
+        assert isinstance(nnf.body, Or)
+
+    def test_nnf_preserves_truth_value(self):
+        world = World.from_unary({"P": [0, 1], "Q": [1]}, domain_size=3)
+        sentences = [
+            "forall x. not (P(x) and Q(x))",
+            "not (forall x. P(x))",
+            "not (exists x. (P(x) -> Q(x)))",
+            "not (P(C) <-> Q(C))",
+        ]
+        world_with_constant = World.from_unary(
+            {"P": [0, 1], "Q": [1]}, domain_size=3, constants={"C": 0}
+        )
+        for text in sentences:
+            formula = parse(text)
+            target_world = world_with_constant if "C" in text else world
+            nnf = negation_normal_form(formula)
+            assert evaluate(formula, target_world) == evaluate(nnf, target_world)

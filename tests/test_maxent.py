@@ -1,0 +1,172 @@
+"""Unit tests for the maximum-entropy pipeline (atoms, constraints, solver, beliefs)."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.maxent.atoms import atoms_satisfying, indicator
+from repro.maxent.beliefs import degree_of_belief_maxent
+from repro.maxent.constraints import extract_constraints
+from repro.maxent.solver import (
+    MaxEntInfeasible,
+    entropy,
+    solve,
+    solve_knowledge_base,
+    solve_sequence,
+)
+from repro.worlds.unary import AtomTable, UnsupportedFormula
+
+
+TABLE = AtomTable(("Bird", "Fly", "Penguin"))
+
+
+class TestAtomSets:
+    def test_single_predicate(self):
+        atoms = atoms_satisfying(parse("Bird(x)"), TABLE)
+        assert all(TABLE.atom_satisfies(a, "Bird") for a in atoms)
+        assert len(atoms) == 4
+
+    def test_boolean_combination(self):
+        atoms = atoms_satisfying(parse("Bird(x) and not Fly(x)"), TABLE)
+        assert len(atoms) == 2
+
+    def test_disjunction(self):
+        atoms = atoms_satisfying(parse("Bird(x) or Penguin(x)"), TABLE)
+        assert len(atoms) == 6
+
+    def test_constant_subject_is_allowed(self):
+        assert atoms_satisfying(parse("Bird(Tweety)"), TABLE) == atoms_satisfying(
+            parse("Bird(x)"), TABLE
+        )
+
+    def test_mixed_subjects_rejected(self):
+        with pytest.raises(UnsupportedFormula):
+            atoms_satisfying(parse("Bird(x) and Fly(y)"), TABLE)
+
+    def test_indicator_vector(self):
+        atoms = atoms_satisfying(parse("Bird(x)"), TABLE)
+        vector = indicator(atoms, TABLE.num_atoms)
+        assert sum(vector) == len(atoms)
+
+
+class TestConstraintExtraction:
+    def test_forall_forces_zero_atoms(self):
+        kb = parse("forall x. (Penguin(x) -> Bird(x))")
+        vocabulary = Vocabulary.from_formulas([kb])
+        constraints = extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.05))
+        assert constraints.zero_atoms  # penguins that are not birds are impossible
+
+    def test_statistic_becomes_two_inequalities(self):
+        kb = parse("%(Fly(x) | Bird(x); x) ~= 0.5")
+        vocabulary = Vocabulary.from_formulas([kb])
+        constraints = extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.05))
+        assert len(constraints.constraints) == 2
+
+    def test_ground_facts_become_evidence(self):
+        kb = parse("%(Fly(x) | Bird(x); x) ~= 0.5 and Bird(Tweety)")
+        vocabulary = Vocabulary.from_formulas([kb])
+        constraints = extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.05))
+        assert "Tweety" in constraints.evidence
+
+    def test_multi_constant_fact_rejected(self):
+        kb = parse("Likes1(C) and Likes2(D) and (C = D)")
+        vocabulary = Vocabulary.from_formulas([kb])
+        with pytest.raises(UnsupportedFormula):
+            extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.05))
+
+    def test_non_unary_vocabulary_rejected(self):
+        kb = parse("%(Likes(x, y); x, y) ~= 0.5")
+        vocabulary = Vocabulary.from_formulas([kb])
+        with pytest.raises(UnsupportedFormula):
+            extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.05))
+
+    def test_feasibility_check(self):
+        kb = parse("%(Bird(x); x) ~= 0.3")
+        vocabulary = Vocabulary.from_formulas([kb])
+        constraints = extract_constraints(kb, vocabulary, ToleranceVector.uniform(0.01))
+        # Atom 1 is the Bird atom (bit 0 set), atom 0 is the non-Bird atom.
+        assert constraints.feasible([0.7, 0.3])
+        assert not constraints.feasible([0.4, 0.6])
+
+
+class TestSolver:
+    def test_unconstrained_solution_is_uniform(self):
+        kb = parse("true")
+        vocabulary = Vocabulary({"P": 1, "Q": 1}, {}, ())
+        solution = solve_knowledge_base(kb, vocabulary, ToleranceVector.uniform(0.05))
+        assert all(p == pytest.approx(0.25, abs=1e-4) for p in solution.probabilities)
+        assert solution.entropy == pytest.approx(entropy([0.25] * 4), abs=1e-6)
+
+    def test_equality_constraint_is_respected(self):
+        kb = parse("%(Bird(x); x) == 0.1")
+        vocabulary = Vocabulary({"Bird": 1, "Black": 1}, {}, ())
+        solution = solve_knowledge_base(kb, vocabulary, ToleranceVector.uniform(0.05))
+        bird_atoms = atoms_satisfying(parse("Bird(x)"), solution.table)
+        assert solution.probability_of(bird_atoms) == pytest.approx(0.1, abs=1e-4)
+
+    def test_black_birds_maxent_point(self):
+        kb = parse("%(Black(x) | Bird(x); x) ~=[1] 0.2 and %(Bird(x); x) ~=[2] 0.1")
+        vocabulary = Vocabulary.from_formulas([kb])
+        solution = solve_knowledge_base(kb, vocabulary, ToleranceVector.uniform(0.001))
+        black_atoms = atoms_satisfying(parse("Black(x)"), solution.table)
+        assert solution.probability_of(black_atoms) == pytest.approx(0.47, abs=0.01)
+
+    def test_infeasible_constraints_raise(self):
+        kb = parse("%(P(x); x) ~= 0.9 and forall x. not P(x)")
+        vocabulary = Vocabulary.from_formulas([kb])
+        with pytest.raises(MaxEntInfeasible):
+            solve_knowledge_base(kb, vocabulary, ToleranceVector.uniform(0.001))
+
+    def test_solve_sequence_tracks_tolerances(self):
+        kb = parse("%(P(x); x) <~ 0.3")
+        vocabulary = Vocabulary.from_formulas([kb])
+        sequence = solve_sequence(kb, vocabulary)
+        assert len(sequence.solutions) == len(sequence.tolerances)
+        final_p = sequence.final.probability_of(atoms_satisfying(parse("P(x)"), sequence.final.table))
+        assert final_p <= 0.31
+
+
+class TestBeliefs:
+    def test_hepatitis(self):
+        kb = parse("Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~= 0.8")
+        vocabulary = Vocabulary.from_formulas([kb, parse("Hep(Eric)")])
+        belief = degree_of_belief_maxent(parse("Hep(Eric)"), kb, vocabulary)
+        assert belief.exists
+        assert belief.value == pytest.approx(0.8, abs=1e-3)
+
+    def test_section_six_worked_example(self):
+        kb = parse("(forall x. P1(x)) and %(P1(x) and P2(x); x) <~ 0.3")
+        vocabulary = Vocabulary.from_formulas([kb, parse("P2(C)")])
+        belief = degree_of_belief_maxent(parse("P2(C)"), kb, vocabulary)
+        assert belief.value == pytest.approx(0.3, abs=1e-3)
+
+    def test_negated_query(self):
+        kb = parse("Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~= 0.8")
+        vocabulary = Vocabulary.from_formulas([kb, parse("Hep(Eric)")])
+        belief = degree_of_belief_maxent(parse("not Hep(Eric)"), kb, vocabulary)
+        assert belief.value == pytest.approx(0.2, abs=1e-3)
+
+    def test_conjunction_across_constants_multiplies(self):
+        kb = parse(
+            "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8 and Jaun(Tom)"
+        )
+        vocabulary = Vocabulary.from_formulas([kb, parse("Hep(Eric)")])
+        belief = degree_of_belief_maxent(parse("Hep(Eric) and Hep(Tom)"), kb, vocabulary)
+        assert belief.value == pytest.approx(0.64, abs=2e-3)
+
+    def test_proportion_query_rejected(self):
+        kb = parse("%(P(x); x) <~ 0.3")
+        vocabulary = Vocabulary.from_formulas([kb])
+        with pytest.raises(UnsupportedFormula):
+            degree_of_belief_maxent(parse("%(P(x); x) <~ 0.5"), kb, vocabulary)
+
+    def test_unknown_individual_is_near_indifference(self):
+        # With nothing known about Opus the answer sits near 1/2, with a small
+        # bias because the conditional statistic lowers the entropy of the
+        # jaundiced part of the population (compare Example 5.29).
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8")
+        vocabulary = Vocabulary.from_formulas([kb, parse("Jaun(Opus)")])
+        belief = degree_of_belief_maxent(parse("Jaun(Opus)"), kb, vocabulary)
+        assert belief.value is not None
+        assert 0.40 <= belief.value <= 0.50

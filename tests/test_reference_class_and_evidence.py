@@ -1,0 +1,127 @@
+"""Tests for the reference-class baselines and Dempster evidence combination."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.evidence import (
+    ConflictingCertainties,
+    EvidenceSource,
+    combine_sources,
+    dempster_combine,
+    dempster_odds_form,
+)
+from repro.logic import parse
+from repro.reference_class import (
+    BaselineComparison,
+    KyburgReasoner,
+    NoReferenceClass,
+    ReichenbachReasoner,
+    extract_problem,
+)
+from repro.workloads import paper_kbs
+
+
+class TestDempster:
+    def test_matches_paper_values(self):
+        assert dempster_combine([0.8, 0.8]) == pytest.approx(0.941176, abs=1e-6)
+        assert dempster_combine([0.8, 0.5]) == pytest.approx(0.8)
+        assert dempster_combine([0.15, 0.09]) == pytest.approx(0.0172, abs=1e-3)
+
+    def test_neutral_element_and_identity(self):
+        assert dempster_combine([0.3]) == pytest.approx(0.3)
+        assert dempster_combine([0.3, 0.5]) == pytest.approx(0.3)
+
+    def test_certainty_dominates(self):
+        assert dempster_combine([1.0, 0.3]) == pytest.approx(1.0)
+        assert dempster_combine([0.0, 0.3]) == pytest.approx(0.0)
+
+    def test_conflicting_certainties_raise(self):
+        with pytest.raises(ConflictingCertainties):
+            dempster_combine([1.0, 0.0])
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            dempster_combine([1.2])
+        with pytest.raises(ValueError):
+            dempster_combine([])
+
+    def test_odds_form_agrees(self):
+        for values in ([0.8, 0.8], [0.6, 0.3, 0.7], [0.15, 0.09]):
+            assert dempster_combine(values) == pytest.approx(dempster_odds_form(values), abs=1e-12)
+
+    def test_combine_sources_reports_undefined_gracefully(self):
+        sources = [EvidenceSource("quakers", 1.0), EvidenceSource("republicans", 0.0)]
+        result = combine_sources(sources)
+        assert not result.defined and result.value is None
+
+    def test_commutativity_and_associativity(self):
+        assert dempster_combine([0.7, 0.2]) == pytest.approx(dempster_combine([0.2, 0.7]))
+        left = dempster_combine([dempster_combine([0.7, 0.2]), 0.6])
+        assert left == pytest.approx(dempster_combine([0.7, 0.2, 0.6]), abs=1e-12)
+
+
+class TestReferenceClassExtraction:
+    def test_candidates_for_the_hepatitis_query(self):
+        problem = extract_problem(parse("Hep(Eric)"), paper_kbs.hepatitis_simple())
+        assert len(problem.candidates) == 1
+        assert problem.candidates[0].interval == (pytest.approx(0.8), pytest.approx(0.8))
+
+    def test_no_reference_class_raises(self):
+        with pytest.raises(NoReferenceClass):
+            extract_problem(parse("Hep(Eric)"), KnowledgeBase.from_strings("Jaun(Eric)"))
+
+    def test_queries_about_two_individuals_rejected(self):
+        with pytest.raises(NoReferenceClass):
+            extract_problem(parse("Likes(Clyde, Eric)"), paper_kbs.elephant_zookeeper())
+
+
+class TestReichenbach:
+    def test_single_class(self):
+        answer = ReichenbachReasoner().answer(parse("Hep(Eric)"), paper_kbs.hepatitis_simple())
+        assert not answer.vacuous
+        assert answer.value == pytest.approx(0.8)
+
+    def test_specificity_prefers_the_subclass(self):
+        answer = ReichenbachReasoner().answer(parse("Fly(Tweety)"), paper_kbs.tweety_fly())
+        assert answer.value == pytest.approx(0.0)
+
+    def test_competing_classes_are_vacuous(self):
+        answer = ReichenbachReasoner().answer(parse("Heart(Fred)"), paper_kbs.fred_heart_disease())
+        assert answer.vacuous
+        assert answer.interval == (0.0, 1.0)
+
+    def test_no_class_is_vacuous(self):
+        answer = ReichenbachReasoner().answer(
+            parse("Hep(Eric)"), KnowledgeBase.from_strings("Tall(Eric)")
+        )
+        assert answer.vacuous
+
+
+class TestKyburg:
+    def test_strength_rule_prefers_tighter_superclass(self):
+        answer = KyburgReasoner().answer(parse("Chirps(Tweety)"), paper_kbs.chirping_magpie())
+        assert not answer.vacuous
+        assert answer.interval == (pytest.approx(0.7), pytest.approx(0.8))
+
+    def test_specificity_still_applies_without_conflict(self):
+        answer = KyburgReasoner().answer(parse("Fly(Tweety)"), paper_kbs.tweety_fly())
+        assert answer.value == pytest.approx(0.0)
+
+    def test_incomparable_conflict_remains_vacuous(self):
+        answer = KyburgReasoner().answer(parse("Heart(Fred)"), paper_kbs.fred_heart_disease())
+        assert answer.vacuous
+
+
+class TestComparison:
+    def test_random_worlds_answers_where_baselines_give_up(self):
+        comparison = BaselineComparison()
+        row = comparison.compare("Heart(Fred)", paper_kbs.fred_heart_disease())
+        assert row.reichenbach.vacuous and row.kyburg.vacuous
+        assert row.random_worlds.value is not None
+        assert 0.0 < row.random_worlds.value < 0.15
+
+    def test_agreement_on_the_single_class_case(self):
+        comparison = BaselineComparison()
+        row = comparison.compare("Hep(Eric)", paper_kbs.hepatitis_simple())
+        assert row.reichenbach.value == pytest.approx(row.random_worlds.value, abs=1e-6)
+        assert row.as_dict()["kyburg"] == (pytest.approx(0.8), pytest.approx(0.8))

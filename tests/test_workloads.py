@@ -1,0 +1,108 @@
+"""Tests for the workload module: the paper's KBs and the parametric generators."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.logic import parse
+from repro.workloads import paper_kbs
+from repro.workloads.generators import (
+    competing_classes_kb,
+    direct_inference_instance,
+    lottery_kb,
+    random_unary_kb,
+    taxonomy_chain,
+)
+
+
+class TestPaperKnowledgeBases:
+    def test_every_factory_returns_a_knowledge_base(self):
+        factories = [
+            paper_kbs.hepatitis_simple,
+            paper_kbs.hepatitis_full,
+            paper_kbs.tweety_fly,
+            paper_kbs.tweety_yellow,
+            paper_kbs.tweety_warm_blooded,
+            paper_kbs.tweety_easy_to_see,
+            paper_kbs.tay_sachs,
+            paper_kbs.elephant_zookeeper,
+            paper_kbs.chirping_magpie,
+            paper_kbs.moody_magpie,
+            paper_kbs.fred_heart_disease,
+            paper_kbs.hepatitis_and_age,
+            paper_kbs.black_birds,
+            paper_kbs.lifschitz_names,
+            paper_kbs.broken_arm,
+            paper_kbs.colours_two_way,
+            paper_kbs.colours_three_way,
+            paper_kbs.flying_birds_two_predicates,
+            paper_kbs.flying_birds_refined,
+            paper_kbs.swimming_taxonomy,
+            paper_kbs.tall_parent,
+            paper_kbs.bed_late,
+        ]
+        for factory in factories:
+            kb = factory()
+            assert isinstance(kb, KnowledgeBase)
+            assert kb.vocabulary.predicates or kb.vocabulary.constants
+
+    def test_factories_return_fresh_objects(self):
+        first = paper_kbs.tweety_fly()
+        second = paper_kbs.tweety_fly()
+        assert first == second
+        assert first is not second
+
+    def test_nixon_diamond_parameterisation(self):
+        kb = paper_kbs.nixon_diamond(0.7, 0.4)
+        values = sorted(s.value for s in kb.statistics())
+        assert values == [pytest.approx(0.4), pytest.approx(0.7)]
+        shared = paper_kbs.nixon_diamond(1.0, 0.0, shared_tolerance=True)
+        indices = {s.low_index for s in shared.statistics()}
+        assert indices == {1}
+
+    def test_lottery_sizes(self):
+        with_size = paper_kbs.lottery(7)
+        assert parse("exists[7] x. Ticket(x)") in with_size
+        without_size = paper_kbs.lottery(None)
+        assert len(without_size) == 3
+
+    def test_unary_flags(self):
+        assert paper_kbs.hepatitis_full().is_unary
+        assert not paper_kbs.elephant_zookeeper().is_unary
+
+
+class TestGenerators:
+    def test_direct_inference_instance_shape(self):
+        instance = direct_inference_instance(0.3, [0.5, 0.9])
+        assert instance.expected == pytest.approx(0.3)
+        assert parse("Class0(C0)") in instance.knowledge_base
+        assert len(instance.knowledge_base.statistics()) == 3
+
+    def test_taxonomy_chain_structure(self):
+        kb, query = taxonomy_chain(3)
+        assert query == parse("Prop(Instance)")
+        assert len(kb.universal_conjuncts()) == 2
+        with pytest.raises(ValueError):
+            taxonomy_chain(0)
+        with pytest.raises(ValueError):
+            taxonomy_chain(2, values=[0.5])
+
+    def test_random_unary_kb_is_reproducible(self):
+        first = random_unary_kb(3, 4, seed=5)
+        second = random_unary_kb(3, 4, seed=5)
+        different = random_unary_kb(3, 4, seed=6)
+        assert first == second
+        assert first != different
+        assert first.is_unary
+        with pytest.raises(ValueError):
+            random_unary_kb(1, 2, seed=0)
+
+    def test_lottery_kb_generator(self):
+        kb = lottery_kb(12)
+        assert parse("exists[12] x. Ticket(x)") in kb
+
+    def test_competing_classes_kb(self):
+        kb, query = competing_classes_kb([0.6, 0.2], declare_overlap=True)
+        assert query == parse("P(Nixon)")
+        assert any("exists" in repr(sentence) for sentence in kb)
+        no_overlap, _ = competing_classes_kb([0.6, 0.2], declare_overlap=False)
+        assert all("exists" not in repr(sentence) for sentence in no_overlap)

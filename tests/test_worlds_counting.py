@@ -1,0 +1,117 @@
+"""Unit tests for the world counters and the brute-force/unary agreement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.worlds.counting import (
+    BruteForceCounter,
+    InconsistentKnowledgeBase,
+    UnaryWorldCounter,
+    make_counter,
+)
+from repro.worlds.enumeration import EnumerationTooLarge, enumerate_worlds, world_space_size
+
+
+class TestWorldSpaceSize:
+    def test_unary_formula(self):
+        vocabulary = Vocabulary({"P": 1}, {}, ("C",))
+        assert world_space_size(vocabulary, 3) == 2**3 * 3
+
+    def test_binary_and_function(self):
+        vocabulary = Vocabulary({"R": 2}, {"f": 1}, ())
+        assert world_space_size(vocabulary, 2) == 2**4 * 2**2
+
+    def test_enumeration_matches_size(self):
+        vocabulary = Vocabulary({"P": 1, "Q": 1}, {}, ("C",))
+        worlds = list(enumerate_worlds(vocabulary, 2))
+        assert len(worlds) == world_space_size(vocabulary, 2)
+
+    def test_enumeration_guard(self):
+        vocabulary = Vocabulary({"R": 2}, {}, ())
+        with pytest.raises(EnumerationTooLarge):
+            list(enumerate_worlds(vocabulary, 6, limit=1000))
+
+
+AGREEMENT_CASES = [
+    ("P(C)", "%(P(x); x) ~= 0.5"),
+    ("P(C)", "%(P(x) | Q(x); x) ~= 0.5 and Q(C)"),
+    ("P(C) and Q(C)", "%(P(x); x) <~ 0.6"),
+    ("exists x. (P(x) and Q(x))", "%(P(x); x) ~= 0.5"),
+    ("C = D", "P(C) and P(D)"),
+    ("P(C)", "exists! x. P(x)"),
+    ("P(C)", "forall x. (Q(x) -> P(x)) and Q(C)"),
+]
+
+
+class TestCounterAgreement:
+    @pytest.mark.parametrize("query_text,kb_text", AGREEMENT_CASES)
+    @pytest.mark.parametrize("domain_size", [3, 4])
+    def test_unary_counter_matches_brute_force(self, query_text, kb_text, domain_size):
+        query, kb = parse(query_text), parse(kb_text)
+        vocabulary = Vocabulary.from_formulas([query, kb])
+        tolerance = ToleranceVector.uniform(0.13)
+        unary = UnaryWorldCounter(vocabulary).count(query, kb, domain_size, tolerance)
+        brute = BruteForceCounter(vocabulary).count(query, kb, domain_size, tolerance)
+        assert unary.satisfying_kb == brute.satisfying_kb
+        assert unary.satisfying_both == brute.satisfying_both
+
+    def test_probability_is_exact_fraction(self):
+        query, kb = parse("P(C)"), parse("true")
+        vocabulary = Vocabulary({"P": 1}, {}, ("C",))
+        result = UnaryWorldCounter(vocabulary).count(query, kb, 5, ToleranceVector.uniform(0.1))
+        assert result.probability == Fraction(1, 2)
+
+    def test_inconsistent_kb_reports_undefined(self):
+        query, kb = parse("P(C)"), parse("%(P(x); x) ~= 0.5 and forall x. not P(x)")
+        vocabulary = Vocabulary.from_formulas([query, kb])
+        result = UnaryWorldCounter(vocabulary).count(query, kb, 6, ToleranceVector.uniform(0.01))
+        assert not result.is_defined
+        with pytest.raises(InconsistentKnowledgeBase):
+            _ = result.probability
+
+    def test_make_counter_chooses_engine(self):
+        unary_vocabulary = Vocabulary({"P": 1}, {}, ())
+        binary_vocabulary = Vocabulary({"R": 2}, {}, ())
+        assert isinstance(make_counter(unary_vocabulary), UnaryWorldCounter)
+        assert isinstance(make_counter(binary_vocabulary), BruteForceCounter)
+
+
+class TestKnownProbabilities:
+    def test_single_unconstrained_predicate_gives_half(self):
+        query, kb = parse("P(C)"), parse("true")
+        vocabulary = Vocabulary({"P": 1}, {}, ("C",))
+        counter = UnaryWorldCounter(vocabulary)
+        for domain_size in (2, 5, 9):
+            assert counter.probability(query, kb, domain_size, ToleranceVector.uniform(0.1)) == Fraction(1, 2)
+
+    def test_unique_names_bias(self):
+        # Pr(C = D) over all worlds with two constants is exactly 1/N.
+        query, kb = parse("C = D"), parse("true")
+        vocabulary = Vocabulary({}, {}, ("C", "D"))
+        counter = UnaryWorldCounter(vocabulary)
+        for domain_size in (2, 4, 8):
+            probability = counter.probability(query, kb, domain_size, ToleranceVector.uniform(0.1))
+            assert probability == Fraction(1, domain_size)
+
+    def test_lottery_probability_is_one_over_tickets(self):
+        kb = parse(
+            "exists! x. Winner(x) and forall x. (Winner(x) -> Ticket(x)) "
+            "and exists[4] x. Ticket(x) and Ticket(C)"
+        )
+        query = parse("Winner(C)")
+        vocabulary = Vocabulary.from_formulas([kb, query])
+        counter = UnaryWorldCounter(vocabulary)
+        probability = counter.probability(query, kb, 8, ToleranceVector.uniform(0.1))
+        assert probability == Fraction(1, 4)
+
+    def test_conditional_proportion_statistic_constrains_constant(self):
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)")
+        query = parse("Hep(Eric)")
+        vocabulary = Vocabulary.from_formulas([kb, query])
+        counter = UnaryWorldCounter(vocabulary)
+        probability = counter.probability(query, kb, 30, ToleranceVector.uniform(0.03))
+        assert abs(float(probability) - 0.8) < 0.03

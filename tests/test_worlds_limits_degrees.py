@@ -1,0 +1,116 @@
+"""Unit tests for limit estimation and counting-based degrees of belief."""
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.tolerance import ToleranceVector, shrinking_sequence
+from repro.logic.vocabulary import Vocabulary
+from repro.worlds.degrees import (
+    counting_curve,
+    degree_of_belief_by_counting,
+    probability_at,
+)
+from repro.worlds.limits import (
+    estimate_double_limit,
+    estimate_sequence_limit,
+    richardson_extrapolate,
+)
+
+
+class TestSequenceEstimates:
+    def test_constant_sequence_converges(self):
+        estimate = estimate_sequence_limit([0.5, 0.5, 0.5, 0.5])
+        assert estimate.converged
+        assert estimate.estimate == pytest.approx(0.5)
+
+    def test_oscillating_sequence_does_not_converge(self):
+        estimate = estimate_sequence_limit([0.2, 0.8, 0.2, 0.8], tolerance=0.01)
+        assert not estimate.converged
+
+    def test_short_sequence_is_not_declared_converged(self):
+        assert not estimate_sequence_limit([0.5, 0.5]).converged
+
+    def test_richardson_extrapolation_removes_1_over_n_tail(self):
+        domain_sizes = [10, 20, 40]
+        values = [1.0 - 1.0 / n for n in domain_sizes]
+        assert richardson_extrapolate(values, domain_sizes) == pytest.approx(1.0)
+
+    def test_richardson_requires_two_points(self):
+        assert richardson_extrapolate([0.5], [10]) is None
+
+
+class TestDoubleLimit:
+    def test_stable_sequences_give_an_existing_limit(self):
+        inner = [
+            (0.1, [0.79, 0.80, 0.80, 0.80], [8, 16, 24, 32]),
+            (0.05, [0.80, 0.80, 0.80, 0.80], [8, 16, 24, 32]),
+        ]
+        estimate = estimate_double_limit(inner)
+        assert estimate.exists
+        assert estimate.value == pytest.approx(0.8, abs=1e-6)
+
+    def test_tau_drift_flags_nonexistence(self):
+        inner = [
+            (0.1, [0.9, 0.9, 0.9], [8, 16, 24]),
+            (0.05, [0.6, 0.6, 0.6], [8, 16, 24]),
+        ]
+        estimate = estimate_double_limit(inner)
+        assert not estimate.exists
+
+    def test_one_over_n_tail_accepted_via_extrapolants(self):
+        domain_sizes = [8, 12, 16, 20]
+        inner = [
+            (0.1, [1 - 1 / n for n in domain_sizes], domain_sizes),
+            (0.05, [1 - 1 / n for n in domain_sizes], domain_sizes),
+        ]
+        estimate = estimate_double_limit(inner)
+        assert estimate.exists
+        assert estimate.value == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_defined_inner_limits(self):
+        estimate = estimate_double_limit([])
+        assert not estimate.exists
+        assert estimate.value is None
+
+
+class TestCountingDegrees:
+    def test_probability_at_single_point(self):
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)")
+        query = parse("Hep(Eric)")
+        vocabulary = Vocabulary.from_formulas([kb, query])
+        value = probability_at(query, kb, vocabulary, 20, ToleranceVector.uniform(0.05))
+        assert 0.7 <= float(value) <= 0.9
+
+    def test_counting_curve_stays_inside_the_tolerance_band(self):
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)")
+        query = parse("Hep(Eric)")
+        vocabulary = Vocabulary.from_formulas([kb, query])
+        curve = counting_curve(query, kb, vocabulary, (8, 16, 24), ToleranceVector.uniform(0.02))
+        values = [float(p) for _, p in curve.defined_points()]
+        assert len(values) == 3
+        assert all(0.8 - 0.03 <= value <= 0.8 + 0.03 for value in values)
+
+    def test_degree_of_belief_by_counting_hepatitis(self):
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)")
+        query = parse("Hep(Eric)")
+        vocabulary = Vocabulary.from_formulas([kb, query])
+        report = degree_of_belief_by_counting(
+            query,
+            kb,
+            vocabulary,
+            domain_sizes=(8, 12, 16, 24),
+            tolerances=shrinking_sequence(start=0.08, factor=0.5, count=3),
+        )
+        assert report.exists
+        assert report.value == pytest.approx(0.8, abs=0.02)
+
+    def test_vocabulary_expansion_does_not_change_the_answer(self):
+        # Footnote 8: degrees of belief are insensitive to enlarging the vocabulary.
+        kb = parse("%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)")
+        query = parse("Hep(Eric)")
+        base_vocabulary = Vocabulary.from_formulas([kb, query])
+        larger_vocabulary = base_vocabulary.extend(predicates={"Unused": 1})
+        tolerance = ToleranceVector.uniform(0.05)
+        value_base = probability_at(query, kb, base_vocabulary, 12, tolerance)
+        value_larger = probability_at(query, kb, larger_vocabulary, 12, tolerance)
+        assert value_base == value_larger

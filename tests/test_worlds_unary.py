@@ -1,0 +1,178 @@
+"""Unit tests for the exact unary counting machinery (repro.worlds.unary)."""
+
+import math
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.semantics import World, evaluate
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.worlds.unary import (
+    AtomTable,
+    ConstantPlacement,
+    StructureEvaluator,
+    UnaryStructure,
+    UnsupportedFormula,
+    compositions,
+    enumerate_placements,
+    enumerate_structures,
+    set_partitions,
+    structure_satisfies,
+)
+
+
+class TestCombinatorics:
+    def test_compositions_count(self):
+        assert len(list(compositions(5, 3))) == math.comb(7, 2)
+        assert list(compositions(2, 1)) == [(2,)]
+        assert list(compositions(0, 0)) == [()]
+
+    def test_compositions_sum_to_total(self):
+        for parts in compositions(6, 4):
+            assert sum(parts) == 6
+
+    def test_set_partitions_counts_are_bell_numbers(self):
+        assert len(list(set_partitions(["a"]))) == 1
+        assert len(list(set_partitions(["a", "b"]))) == 2
+        assert len(list(set_partitions(["a", "b", "c"]))) == 5
+        assert len(list(set_partitions(["a", "b", "c", "d"]))) == 15
+
+    def test_enumerate_placements(self):
+        placements = list(enumerate_placements(["C"], num_atoms=4))
+        assert len(placements) == 4
+        placements_two = list(enumerate_placements(["C", "D"], num_atoms=2))
+        # Two blocks (2^2 atom choices) plus one merged block (2 atom choices).
+        assert len(placements_two) == 6
+
+
+class TestAtomTable:
+    def test_atom_membership_bits(self):
+        table = AtomTable(("Bird", "Fly"))
+        assert table.num_atoms == 4
+        assert table.atom_satisfies(0b01, "Bird")
+        assert not table.atom_satisfies(0b01, "Fly")
+        assert table.describe(0b11) == "Bird & Fly"
+
+    def test_for_vocabulary_requires_unary(self):
+        with pytest.raises(UnsupportedFormula):
+            AtomTable.for_vocabulary(Vocabulary({"Likes": 2}, {}, ()))
+
+    def test_atoms_where(self):
+        table = AtomTable(("Bird", "Fly"))
+        assert set(table.atoms_where({"Bird": True})) == {0b01, 0b11}
+        assert set(table.atoms_where({"Bird": True, "Fly": False})) == {0b01}
+
+
+class TestStructureWeights:
+    def test_weight_without_constants_is_multinomial(self):
+        table = AtomTable(("P",))
+        structure = UnaryStructure(table, (3, 2), ConstantPlacement((), ()))
+        assert structure.weight() == math.comb(5, 3)
+
+    def test_weight_with_one_constant(self):
+        table = AtomTable(("P",))
+        placement = ConstantPlacement((("C",),), (1,))
+        structure = UnaryStructure(table, (3, 2), placement)
+        # multinomial(5;3,2) ways to colour the domain, times 2 choices of the
+        # element denoted by C inside the P-atom.
+        assert structure.weight() == math.comb(5, 3) * 2
+
+    def test_weights_sum_to_number_of_worlds(self):
+        # Sum of class sizes over all structures = (#unary worlds) = 2^N * N^m.
+        table = AtomTable(("P",))
+        domain_size, constants = 5, ["C"]
+        total = sum(s.weight() for s in enumerate_structures(table, constants, domain_size))
+        assert total == 2**domain_size * domain_size
+
+    def test_weights_sum_two_predicates_two_constants(self):
+        table = AtomTable(("P", "Q"))
+        domain_size, constants = 4, ["C", "D"]
+        total = sum(s.weight() for s in enumerate_structures(table, constants, domain_size))
+        assert total == (2**domain_size) ** 2 * domain_size ** len(constants)
+
+    def test_infeasible_placement_rejected(self):
+        table = AtomTable(("P",))
+        placement = ConstantPlacement((("C",), ("D",)), (1, 1))
+        with pytest.raises(ValueError):
+            UnaryStructure(table, (1, 1), placement)
+
+
+def _concrete_world(structure: UnaryStructure) -> World:
+    """Materialise a representative world of the isomorphism class."""
+    table = structure.table
+    memberships = {name: [] for name in table.predicates}
+    element = 0
+    atom_elements = {}
+    for atom, count in enumerate(structure.counts):
+        atom_elements[atom] = list(range(element, element + count))
+        for name in table.predicates:
+            if table.atom_satisfies(atom, name):
+                memberships[name].extend(atom_elements[atom])
+        element += count
+    constants = {}
+    used = {atom: 0 for atom in range(table.num_atoms)}
+    for block, atom in zip(structure.placement.blocks, structure.placement.block_atoms):
+        representative = atom_elements[atom][used[atom]]
+        used[atom] += 1
+        for constant in block:
+            constants[constant] = representative
+    return World.from_unary(memberships, structure.domain_size, constants)
+
+
+CROSS_CHECK_SENTENCES = [
+    "%(Fly(x) | Bird(x); x) ~=[1] 0.5",
+    "%(Bird(x); x) <~ 0.6",
+    "forall x. (Fly(x) -> Bird(x))",
+    "exists x. (Bird(x) and not Fly(x))",
+    "exists[2] x. Fly(x)",
+    "Bird(C) and not Fly(C)",
+    "C = D",
+    "not (C = D)",
+    "exists! x. (Bird(x) and x = C)",
+    "%(Bird(x) and Bird(y); x, y) ~= 0.25",
+    "exists y. (Bird(y) and not (y = C))",
+]
+
+
+class TestStructureEvaluatorAgainstConcreteWorlds:
+    @pytest.mark.parametrize("sentence", CROSS_CHECK_SENTENCES)
+    def test_abstract_evaluation_matches_concrete_world(self, sentence):
+        table = AtomTable(("Bird", "Fly"))
+        tolerance = ToleranceVector.uniform(0.05)
+        formula = parse(sentence)
+        checked = 0
+        for structure in enumerate_structures(table, ["C", "D"], 5):
+            abstract = structure_satisfies(structure, formula, tolerance)
+            concrete = evaluate(formula, _concrete_world(structure), tolerance)
+            assert abstract == concrete, f"{sentence} disagrees on {structure}"
+            checked += 1
+        assert checked > 0
+
+    def test_counts_match_concrete_proportions(self):
+        table = AtomTable(("Bird", "Fly"))
+        tolerance = ToleranceVector.uniform(1e-9)
+        for structure in enumerate_structures(table, ["C"], 6):
+            evaluator = StructureEvaluator(structure, tolerance)
+            world = _concrete_world(structure)
+            abstract = evaluator._count(parse("Bird(x) and not Fly(x)"), ("x",), {})
+            concrete = sum(
+                1 for d in range(6) if world.holds("Bird", d) and not world.holds("Fly", d)
+            )
+            assert abstract == concrete
+
+    def test_pair_counts_match(self):
+        table = AtomTable(("Bird",))
+        tolerance = ToleranceVector.uniform(1e-9)
+        formula = parse("Bird(x) and not (x = y)")
+        for structure in enumerate_structures(table, [], 5):
+            evaluator = StructureEvaluator(structure, tolerance)
+            birds = structure.counts[1]
+            expected = birds * 5 - birds  # pairs (x, y) with Bird(x) and x != y
+            assert evaluator._count(formula, ("x", "y"), {}) == expected
+
+    def test_non_unary_predicate_rejected(self):
+        table = AtomTable(("Bird",))
+        structure = UnaryStructure(table, (2, 2), ConstantPlacement((), ()))
+        with pytest.raises(UnsupportedFormula):
+            structure_satisfies(structure, parse("Likes(x, x)"), ToleranceVector.uniform(0.1))

@@ -8,7 +8,7 @@ import pytest
 from conftest import assert_rows_pass
 
 from repro.experiments import run_experiment
-from repro.logic import ToleranceVector, Vocabulary, parse
+from repro.logic import ToleranceVector, parse
 from repro.maxent import solve_knowledge_base
 from repro.workloads import generators, paper_kbs
 from repro.worlds import probability_at

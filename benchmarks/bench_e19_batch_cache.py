@@ -1,0 +1,35 @@
+"""E19 — the world-count cache amortises enumeration across batched queries.
+
+A repeated-query workload against the lottery KB (which forces the exact
+counting path) is answered twice: sequentially with caching disabled, and as
+one ``degree_of_belief_batch`` sharing a :class:`WorldCountCache`.  The
+experiment asserts the answers are identical and the batch is >= 3x faster;
+this file also times the steady-state (fully warm) batch latency.
+"""
+
+from conftest import assert_rows_pass
+
+from repro.core import RandomWorlds
+from repro.experiments import run_experiment
+from repro.experiments.definitions import E19_DISTINCT_QUERIES, E19_DOMAIN_SIZES, E19_REPEATS
+from repro.workloads import paper_kbs
+
+
+def test_e19_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E19"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e19_warm_batch_latency(benchmark):
+    """Steady-state latency of a batch once the cache holds every grid point."""
+    kb = paper_kbs.lottery(5)
+    queries = list(E19_DISTINCT_QUERIES) * E19_REPEATS
+    engine = RandomWorlds(domain_sizes=E19_DOMAIN_SIZES)
+    engine.degree_of_belief_batch(queries, kb)  # populate the cache
+
+    results = benchmark(engine.degree_of_belief_batch, queries, kb)
+
+    info = engine.cache_info()
+    assert info is not None and info.misses == len(E19_DOMAIN_SIZES) * len(tuple(engine.tolerances))
+    assert all(result.method == "counting" for result in results)
+    assert results[0].approximately(0.2)  # Pr(Winner(C)) = 1/5

@@ -4,13 +4,35 @@ Every benchmark regenerates one experiment from DESIGN.md's index: it times
 the underlying computation with pytest-benchmark and asserts that the measured
 values still match the paper's predictions (so a performance run doubles as a
 reproduction run).
+
+At session end the suite writes a ``BENCH_results.json`` artifact (per-test
+outcomes and durations, plus pytest-benchmark statistics when timing is
+enabled) so CI can track the performance trajectory PR-over-PR.  Set
+``BENCH_RESULTS_PATH`` to redirect it, or to an empty string to disable it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
+import time
+
 import pytest
 
-from repro.core import RandomWorlds
+# Allow running the benchmarks without installing the package (mirrors
+# tests/conftest.py): put src/ on the path if repro is not importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.core import RandomWorlds  # noqa: E402
+
+_TEST_RECORDS: dict[str, dict[str, object]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -31,3 +53,70 @@ def assert_rows_pass(rows) -> None:
     assert not failures, "reproduction mismatches: " + "; ".join(
         f"{row.label}: paper={row.paper_value} measured={row.measured}" for row in failures
     )
+
+
+# -- BENCH_results.json ------------------------------------------------------
+
+
+def pytest_runtest_logreport(report) -> None:
+    if report.when == "call":
+        _TEST_RECORDS[report.nodeid] = {
+            "outcome": report.outcome,
+            "duration_seconds": round(report.duration, 6),
+        }
+    elif report.outcome != "passed" and report.nodeid not in _TEST_RECORDS:
+        # Marker skips and setup/teardown errors never reach the call phase;
+        # record them so the trend artifact distinguishes "skipped/errored"
+        # from "test deleted".
+        _TEST_RECORDS[report.nodeid] = {
+            "outcome": report.outcome,
+            "phase": report.when,
+            "duration_seconds": round(report.duration, 6),
+        }
+
+
+def _benchmark_records(config) -> list:
+    """Extract pytest-benchmark statistics (empty with ``--benchmark-disable``)."""
+    session = getattr(config, "_benchmarksession", None)
+    records = []
+    for bench in getattr(session, "benchmarks", []) or []:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        try:
+            records.append(
+                {
+                    "name": bench.name,
+                    "group": bench.group,
+                    "rounds": stats.rounds,
+                    "min_seconds": stats.min,
+                    "mean_seconds": stats.mean,
+                    "stddev_seconds": stats.stddev,
+                }
+            )
+        except (AttributeError, TypeError):  # pragma: no cover - stats layout drift
+            continue
+    return records
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = os.environ.get(
+        "BENCH_RESULTS_PATH", os.path.join(str(session.config.rootpath), "BENCH_results.json")
+    )
+    if not path:
+        return
+    payload = {
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "num_tests": len(_TEST_RECORDS),
+        "tests": _TEST_RECORDS,
+        "benchmarks": _benchmark_records(session.config),
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:  # pragma: no cover - read-only checkout etc.
+        pass

@@ -9,7 +9,7 @@ their limits — the "figure" of experiment E17.
 
 from __future__ import annotations
 
-from repro.core import KnowledgeBase, RandomWorlds
+from repro.core import RandomWorlds
 from repro.logic import ToleranceVector, Vocabulary, parse
 from repro.workloads import paper_kbs
 from repro.worlds import counting_curve

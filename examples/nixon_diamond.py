@@ -10,7 +10,7 @@ the reference-class baselines.
 
 from __future__ import annotations
 
-from repro.core import KnowledgeBase, RandomWorlds
+from repro.core import RandomWorlds
 from repro.evidence import dempster_combine
 from repro.reference_class import BaselineComparison
 from repro.workloads import paper_kbs
@@ -33,7 +33,11 @@ def conflicting_defaults() -> None:
     independent = engine.degree_of_belief("Pacifist(Nixon)", paper_kbs.nixon_diamond(1.0, 0.0))
     print(
         "  independent default strengths: "
-        + ("limit does not exist" if not independent.exists or independent.value is None else f"{independent.value:.3f}")
+        + (
+            "limit does not exist"
+            if not independent.exists or independent.value is None
+            else f"{independent.value:.3f}"
+        )
     )
     shared = engine.degree_of_belief(
         "Pacifist(Nixon)", paper_kbs.nixon_diamond(1.0, 0.0, shared_tolerance=True)

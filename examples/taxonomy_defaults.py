@@ -11,7 +11,7 @@ random worlds) recovers it.
 
 from __future__ import annotations
 
-from repro.core import KnowledgeBase, RandomWorlds
+from repro.core import RandomWorlds
 from repro.core.defaults import DefaultReasoner
 from repro.defaults import DefaultRule, MaxEntDefaultReasoner, RuleSet, p_entails, z_entails
 from repro.workloads import paper_kbs

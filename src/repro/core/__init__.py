@@ -1,5 +1,6 @@
 """The random-worlds core: knowledge bases, the engine, and the closed-form theorems."""
 
+from ..worlds.cache import CacheInfo, WorldCountCache
 from .combination import combination_inference
 from .defaults import DefaultConclusion, DefaultReasoner
 from .direct_inference import DirectInferenceMatch, direct_inference, find_matches

@@ -16,14 +16,13 @@ undefined (Section 5.3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
-from ..evidence.dempster import ConflictingCertainties, dempster_combine
+from ..evidence.dempster import dempster_combine
 from ..logic.substitution import constants_of, free_vars, symbols_of
 from ..logic.syntax import And, Atom, Const, ExistsExactly, Formula, Var, conj
-from ..worlds.unary import UnsupportedFormula
 from .entailment import entails_membership
-from .knowledge_base import KnowledgeBase, StatisticalAssertion
+from .knowledge_base import KnowledgeBase
 from .result import BeliefResult
 from .specificity import SUBJECT_VARIABLE, _unary_atom_table, relevant_statistics
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.parser import parse
-from ..logic.syntax import Formula, Not
+from ..logic.syntax import Formula
 from .knowledge_base import KnowledgeBase
 from .result import BeliefResult
 

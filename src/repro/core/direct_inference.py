@@ -19,7 +19,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..logic.substitution import constants_of, free_vars, substitute, symbols_of
+from ..logic.substitution import constants_of, free_vars, substitute
 from ..logic.syntax import Const, Formula, TRUE, conjuncts
 from .entailment import GroundContext
 from .knowledge_base import KnowledgeBase, StatisticalAssertion

@@ -21,7 +21,8 @@ engine records which path produced the value so experiments can compare them.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..logic.parser import parse
 from ..logic.substitution import free_vars
@@ -30,6 +31,7 @@ from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
 from ..maxent.beliefs import degree_of_belief_maxent
 from ..maxent.solver import MaxEntInfeasible
+from ..worlds.cache import CacheInfo, WorldCountCache
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.degrees import degree_of_belief_by_counting
 from ..worlds.enumeration import EnumerationTooLarge, world_space_size
@@ -74,6 +76,14 @@ class RandomWorlds:
         Passed through to the evidence-combination engine (Theorem 5.26): when
         True, competing reference classes are assumed to overlap negligibly
         even without explicit ``exists!`` conjuncts.
+    cache:
+        The world-count cache used by the exact-counting path.  ``True`` (the
+        default) gives the engine a private :class:`WorldCountCache`; a
+        :class:`WorldCountCache` instance shares an existing cache between
+        engines; ``False``/``None`` disables memoisation entirely, so every
+        query re-enumerates the KB classes from scratch.
+    max_workers:
+        Default thread-pool width for :meth:`degree_of_belief_batch`.
     """
 
     def __init__(
@@ -82,11 +92,20 @@ class RandomWorlds:
         domain_sizes: Sequence[int] = (8, 12, 16, 24, 32),
         counting_fallback: bool = True,
         assume_small_overlap: bool = False,
+        cache: Union[WorldCountCache, bool, None] = True,
+        max_workers: Optional[int] = None,
     ):
         self._tolerances = tuple(tolerances) if tolerances is not None else tuple(default_sequence())
         self._domain_sizes = tuple(domain_sizes)
         self._counting_fallback = counting_fallback
         self._assume_small_overlap = assume_small_overlap
+        if isinstance(cache, WorldCountCache):
+            self._world_cache: Optional[WorldCountCache] = cache
+        elif cache:
+            self._world_cache = WorldCountCache()
+        else:
+            self._world_cache = None
+        self._max_workers = max_workers
 
     # -- normalisation ---------------------------------------------------------
 
@@ -135,6 +154,60 @@ class RandomWorlds:
         if result is None:
             raise RandomWorldsError(f"method {method!r} does not apply to this query")
         return result
+
+    def degree_of_belief_batch(
+        self,
+        queries: Sequence[QueryLike],
+        knowledge_base: KnowledgeBaseLike,
+        method: str = "auto",
+        max_workers: Optional[int] = None,
+    ) -> List[BeliefResult]:
+        """Answer many queries against one knowledge base, sharing all per-KB work.
+
+        The knowledge base is normalised once and every query flows through
+        the same dispatch (independence split, analytic theorems, max entropy,
+        exact counting) with one tolerance ladder and one world-count cache:
+        the first query that reaches the counting path enumerates the KB class
+        decomposition at each ``(N, tau)`` grid point, and every later query
+        merely re-evaluates its formula on those cached classes.
+
+        ``max_workers`` > 1 fans the queries out over a thread pool; it
+        defaults to the engine-level ``max_workers``.  The cache is
+        thread-safe and serialises concurrent misses per grid point, so
+        threads never duplicate an enumeration — but the counting itself is
+        pure CPU-bound Python, so on CPython the GIL bounds the win; the
+        cache, not the threads, is the main speed lever.  Results are
+        returned in query order and are identical to issuing the queries one
+        at a time through :meth:`degree_of_belief`.
+        """
+        kb = self._as_knowledge_base(knowledge_base)
+        formulas = [self._as_query(query) for query in queries]
+        workers = max_workers if max_workers is not None else self._max_workers
+        if workers is not None and workers > 1 and len(formulas) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda formula: self.degree_of_belief(formula, kb, method=method), formulas)
+                )
+        return [self.degree_of_belief(formula, kb, method=method) for formula in formulas]
+
+    @property
+    def tolerances(self) -> Sequence[ToleranceVector]:
+        """The shrinking tolerance ladder shared by every query on this engine."""
+        return self._tolerances
+
+    @property
+    def domain_sizes(self) -> Sequence[int]:
+        """The domain-size schedule used by the exact counting engine."""
+        return self._domain_sizes
+
+    @property
+    def world_cache(self) -> Optional[WorldCountCache]:
+        """The engine's world-count cache (``None`` when caching is disabled)."""
+        return self._world_cache
+
+    def cache_info(self) -> Optional[CacheInfo]:
+        """Hit/miss counters of the world-count cache, or ``None`` when disabled."""
+        return self._world_cache.cache_info() if self._world_cache is not None else None
 
     def conditional(self, query: QueryLike, knowledge_base: KnowledgeBaseLike, evidence: QueryLike) -> BeliefResult:
         """Degree of belief in ``query`` given the KB extended with ``evidence``."""
@@ -251,7 +324,9 @@ class RandomWorlds:
             # Refuse hopeless brute-force enumerations up front.
             if world_space_size(vocabulary, min(self._domain_sizes)) > BRUTE_FORCE_WORLD_LIMIT:
                 return None
-            domain_sizes: Sequence[int] = tuple(n for n in self._domain_sizes if world_space_size(vocabulary, n) <= BRUTE_FORCE_WORLD_LIMIT)
+            domain_sizes: Sequence[int] = tuple(
+                n for n in self._domain_sizes if world_space_size(vocabulary, n) <= BRUTE_FORCE_WORLD_LIMIT
+            )
             if not domain_sizes:
                 return None
         else:
@@ -268,6 +343,7 @@ class RandomWorlds:
                 domain_sizes=domain_sizes,
                 tolerances=self._tolerances,
                 prefer_unary=prefer_unary,
+                cache=self._world_cache,
             )
         except (InconsistentKnowledgeBase, EnumerationTooLarge, UnsupportedFormula):
             return None

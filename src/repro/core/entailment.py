@@ -20,25 +20,10 @@ KB's universal conjuncts.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..logic.substitution import constants_of, free_vars, substitute
-from ..logic.syntax import (
-    And,
-    Atom,
-    Bottom,
-    Const,
-    Equals,
-    Forall,
-    Formula,
-    Iff,
-    Implies,
-    Not,
-    Or,
-    Top,
-    Var,
-)
-from ..logic.vocabulary import Vocabulary
+from ..logic.syntax import And, Atom, Bottom, Const, Equals, Formula, Iff, Implies, Not, Or, Top
 from ..maxent.atoms import atoms_satisfying
 from ..worlds.unary import AtomTable, UnsupportedFormula
 from .knowledge_base import KnowledgeBase

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..logic.substitution import constants_of, predicates_of, functions_of
-from ..logic.syntax import Formula, TRUE, conj, conjuncts
+from ..logic.substitution import predicates_of, functions_of
+from ..logic.syntax import Formula, conj, conjuncts
 from .knowledge_base import KnowledgeBase
 from .result import BeliefResult
 

@@ -14,19 +14,16 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..logic.parser import parse
-from ..logic.substitution import constants_of, free_vars, symbols_of
+from ..logic.substitution import constants_of, free_vars
 from ..logic.syntax import (
-    And,
     ApproxEq,
     ApproxLeq,
-    Atom,
     CondProportion,
     ExactCompare,
     Forall,
     Formula,
     Not,
     Number,
-    Or,
     Proportion,
     TRUE,
     conj,
@@ -209,7 +206,9 @@ class KnowledgeBase:
             if assertion.is_point and assertion.low_index == assertion.high_index:
                 point_or_single.append(assertion)
                 continue
-            entry = bounds.setdefault(key, {"low": 0.0, "high": 1.0, "low_index": None, "high_index": None, "source": []})
+            entry = bounds.setdefault(
+                key, {"low": 0.0, "high": 1.0, "low_index": None, "high_index": None, "source": []}
+            )
             if assertion.low > float(entry["low"]):
                 entry["low"] = assertion.low
                 entry["low_index"] = assertion.low_index

@@ -17,8 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..logic.substitution import abstract_constant, constants_of, free_vars, symbols_of
-from ..logic.syntax import Formula, TRUE, Var
-from ..logic.vocabulary import Vocabulary
+from ..logic.syntax import Formula, Var
 from ..worlds.unary import AtomTable, UnsupportedFormula
 from .entailment import class_relation, entails_membership
 from .knowledge_base import KnowledgeBase, StatisticalAssertion

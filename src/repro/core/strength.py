@@ -11,9 +11,9 @@ from the better-measured superclass of birds).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..logic.substitution import abstract_constant, constants_of, free_vars, symbols_of
+from ..logic.substitution import abstract_constant, constants_of, free_vars
 from ..logic.syntax import Formula
 from ..worlds.unary import AtomTable
 from .entailment import class_relation, entails_membership

@@ -25,9 +25,9 @@ maximum-entropy extension.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..logic.syntax import Formula, Not, conj
+from ..logic.syntax import Formula, Not
 from .propositional import is_satisfiable
 from .rules import DefaultRule, RuleSet
 

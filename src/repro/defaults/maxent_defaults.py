@@ -21,13 +21,13 @@ end of Section 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase
 from ..core.result import BeliefResult
 from ..logic.syntax import Formula
-from ..logic.tolerance import ToleranceVector, shrinking_sequence
+from ..logic.tolerance import shrinking_sequence
 from .rules import DefaultRule, RuleSet, ground_at
 
 

@@ -12,7 +12,7 @@ variables, so enumeration is exact and fast).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
 
 from ..logic.parser import parse
 from ..logic.syntax import (

@@ -11,11 +11,11 @@ used by Theorem 6.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 from ..logic.builder import statistic
 from ..logic.parser import parse
-from ..logic.syntax import Atom, Formula, Implies, Var, conj
+from ..logic.syntax import Atom, Formula, Implies, Var
 from .propositional import NotPropositional, variables_of
 
 

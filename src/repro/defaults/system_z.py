@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 from ..logic.syntax import Formula, Not, conj
 from .epsilon import ConsistencyResult, tolerance_partition

@@ -11,8 +11,8 @@ the reproduction claims live in exactly one place.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)

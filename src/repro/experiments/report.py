@@ -7,9 +7,9 @@ benchmark harness and the examples.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
-from .registry import ExperimentResult, ExperimentRow
+from .registry import ExperimentResult
 
 
 def format_table(result: ExperimentResult) -> str:

@@ -24,7 +24,6 @@ from fractions import Fraction
 from typing import Iterable, Sequence, Tuple, Union
 
 from .syntax import (
-    And,
     ApproxEq,
     ApproxLeq,
     Atom,
@@ -41,8 +40,6 @@ from .syntax import (
     Iff,
     Implies,
     Not,
-    Number,
-    Or,
     Proportion,
     ProportionExpr,
     TRUE,

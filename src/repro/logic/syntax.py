@@ -23,7 +23,7 @@ constructors (:func:`conj`, :func:`disj`) flatten nested connectives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Tuple, Union
 

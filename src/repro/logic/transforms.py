@@ -27,9 +27,7 @@ from .syntax import (
     Iff,
     Implies,
     Not,
-    Number,
     Or,
-    Product,
     Proportion,
     ProportionExpr,
     Sum,

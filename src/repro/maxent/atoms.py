@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Tuple
 
-from ..logic.substitution import free_vars
 from ..logic.syntax import (
     And,
     Atom,

@@ -19,15 +19,15 @@ trend is checked, mirroring the outer limit of Definition 4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..logic.substitution import constants_of, free_vars
-from ..logic.syntax import And, Atom, Const, Formula, Not, Or, TRUE, conj, conjuncts
+from ..logic.syntax import Formula, TRUE, conj, conjuncts
 from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
-from ..worlds.unary import AtomTable, UnsupportedFormula
+from ..worlds.unary import UnsupportedFormula
 from .atoms import atoms_satisfying
-from .constraints import ConstraintSet, extract_constraints
+from .constraints import extract_constraints
 from .solver import MaxEntSolution, solve
 
 

@@ -24,7 +24,7 @@ from scipy import optimize
 from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
-from ..worlds.unary import AtomTable, UnsupportedFormula
+from ..worlds.unary import AtomTable
 from .constraints import ConstraintSet, extract_constraints
 
 

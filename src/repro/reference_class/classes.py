@@ -10,7 +10,7 @@ Reichenbach- and Kyburg-style reasoners then select among them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core.entailment import class_relation, entails_membership
 from ..core.knowledge_base import KnowledgeBase

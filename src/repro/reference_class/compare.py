@@ -11,7 +11,7 @@ worlds keeps producing informative degrees of belief.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.knowledge_base import KnowledgeBase
 from ..logic.builder import predicates, statistic, var
 from ..logic.parser import parse
-from ..logic.syntax import Formula, conj
+from ..logic.syntax import Formula
 
 
 @dataclass(frozen=True)

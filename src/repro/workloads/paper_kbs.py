@@ -7,7 +7,6 @@ same formalisations.  Section references are to Bacchus–Grove–Halpern–Koll
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..core.knowledge_base import KnowledgeBase
 from ..logic.parser import parse

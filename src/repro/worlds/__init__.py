@@ -1,5 +1,13 @@
 """World enumeration, exact counting, and limit analysis for random worlds."""
 
+from .cache import (
+    CacheInfo,
+    CacheKey,
+    ClassDecomposition,
+    WorldCountCache,
+    tolerance_fingerprint,
+    vocabulary_fingerprint,
+)
 from .counting import (
     BruteForceCounter,
     CountResult,

@@ -1,0 +1,298 @@
+"""Memoisation of world-count decompositions across queries.
+
+The expensive part of evaluating ``Pr^tau_N(phi | KB)`` is not the query
+``phi``: it is enumerating the isomorphism classes (or, for the brute-force
+engine, the literal worlds) of size ``N`` that satisfy the knowledge base and
+computing their exact multinomial weights.  That decomposition depends only on
+``(vocabulary, KB, N, tau)`` — every query posed against the same knowledge
+base re-walks exactly the same class structure.
+
+:class:`WorldCountCache` stores these decompositions keyed by
+:class:`CacheKey` so a batch of queries (or repeated interactive queries)
+enumerates each ``(N, tau)`` grid point once and afterwards only re-evaluates
+the query formula on the cached KB-satisfying classes.  Invalidation is
+structural: changing the knowledge base, the vocabulary, the domain size or
+the tolerance vector changes the key, so stale entries can never be returned.
+The cache is a bounded LRU and is safe to share between threads (the batch
+API may fan counting out with ``concurrent.futures``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from ..logic.syntax import Formula
+from ..logic.tolerance import ToleranceVector
+from ..logic.vocabulary import Vocabulary
+
+
+def vocabulary_fingerprint(vocabulary: Vocabulary) -> Tuple:
+    """A hashable identity for a vocabulary (predicates, functions, constants)."""
+    return (
+        tuple(sorted(vocabulary.predicates.items())),
+        tuple(sorted(vocabulary.functions.items())),
+        tuple(vocabulary.constants),
+    )
+
+
+def tolerance_fingerprint(tolerance: ToleranceVector) -> Tuple:
+    """A hashable identity for a tolerance vector.
+
+    :class:`ToleranceVector` stores its per-index overrides in a dict and is
+    therefore not hashable itself; the fingerprint flattens it canonically.
+    """
+    return (tolerance.default, tuple(sorted(tolerance.values.items())))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one KB class decomposition.
+
+    ``engine`` distinguishes the unary isomorphism-class decomposition from
+    the brute-force world list, which are not interchangeable payloads even
+    for the same knowledge base.  ``extra`` carries engine-specific
+    configuration that changes the decomposition's observable behaviour (the
+    brute-force counter records its enumeration limit there, so a permissive
+    counter's entry can never bypass a stricter counter's size guard).
+    """
+
+    engine: str
+    vocabulary: Tuple
+    knowledge_base: Formula
+    domain_size: int
+    tolerance: Tuple
+    extra: Tuple = ()
+
+    @classmethod
+    def for_counter(
+        cls,
+        engine: str,
+        vocabulary: Vocabulary,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+        extra: Tuple = (),
+    ) -> "CacheKey":
+        return cls(
+            engine=engine,
+            vocabulary=vocabulary_fingerprint(vocabulary),
+            knowledge_base=knowledge_base,
+            domain_size=domain_size,
+            tolerance=tolerance_fingerprint(tolerance),
+            extra=extra,
+        )
+
+
+@dataclass(frozen=True)
+class ClassDecomposition:
+    """The KB-satisfying slice of the world space at one ``(N, tau)`` point.
+
+    ``classes`` pairs each class (a :class:`~repro.worlds.unary.UnaryStructure`
+    for the unary engine, a :class:`~repro.logic.semantics.World` for the
+    brute-force engine) with the exact number of worlds it stands for;
+    ``kb_total`` is the sum of those weights.  Evaluating a query against a
+    decomposition touches only these classes — the full enumeration, including
+    every class the KB rejected, never has to be repeated.
+    """
+
+    domain_size: int
+    kb_total: int
+    classes: Tuple[Tuple[Any, int], ...]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    maxsize: Optional[int]
+    total_classes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WorldCountCache:
+    """A bounded, thread-safe LRU cache of :class:`ClassDecomposition` values.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of decompositions kept (``None`` for unbounded).  One
+        decomposition is stored per ``(vocabulary, KB, N, tau)`` grid point,
+        so the default comfortably covers a full tolerance ladder times the
+        default domain-size schedule for several knowledge bases.
+    max_total_classes:
+        Memory budget: the summed ``num_classes`` over every stored entry.
+        When an insertion pushes the total past the budget, least recently
+        used entries are evicted (the newest entry is always kept), so a
+        long-lived engine sweeping many knowledge bases stays bounded even
+        though individual decompositions vary wildly in size.  ``None``
+        disables the budget.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 256, max_total_classes: Optional[int] = 500_000):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        if max_total_classes is not None and max_total_classes <= 0:
+            raise ValueError("max_total_classes must be positive (or None for unbounded)")
+        self._maxsize = maxsize
+        self._max_total_classes = max_total_classes
+        self._entries: "OrderedDict[CacheKey, ClassDecomposition]" = OrderedDict()
+        self._total_classes = 0
+        self._lock = threading.Lock()
+        self._inflight: dict[CacheKey, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[ClassDecomposition]:
+        """Return the cached decomposition for ``key``, counting a hit or miss."""
+        with self._lock:
+            found = self._entries.get(key)
+            if found is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return found
+
+    def peek(self, key: CacheKey) -> Optional[ClassDecomposition]:
+        """Like :meth:`lookup` but without touching the hit/miss counters.
+
+        Used by callers re-checking a key after waiting on its in-flight lock
+        (the initial :meth:`lookup` already recorded their miss).
+        """
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self._entries.move_to_end(key)
+            return found
+
+    @contextmanager
+    def computing(self, key: CacheKey) -> Iterator[Optional[ClassDecomposition]]:
+        """Serialise computation of ``key`` behind its per-key in-flight lock.
+
+        Yields the cached decomposition when it is already present (or
+        arrived while waiting for the lock); yields ``None`` when the caller
+        holds the lock and must compute — it may :meth:`store` the result
+        before leaving the block.  The in-flight bookkeeping is released even
+        when the computation raises, so failed enumerations never orphan a
+        lock.  This is the single home of the locking protocol; both
+        :meth:`get_or_compute` and the counters' streaming ``count()`` build
+        on it.
+        """
+        found = self.lookup(key)
+        if found is not None:
+            yield found
+            return
+        with self._lock:
+            key_lock = self._inflight.setdefault(key, threading.Lock())
+        try:
+            with key_lock:
+                # Another thread may have computed the value while we waited;
+                # the initial lookup above already recorded this caller's
+                # miss, so the re-check deliberately bypasses the counters.
+                yield self.peek(key)
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def store(self, key: CacheKey, value: ClassDecomposition) -> None:
+        """Insert a decomposition, evicting least recently used entries beyond the bounds."""
+        with self._lock:
+            previous = self._entries.get(key)
+            if previous is not None:
+                self._total_classes -= previous.num_classes
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._total_classes += value.num_classes
+            if self._maxsize is not None:
+                while len(self._entries) > self._maxsize:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._total_classes -= evicted.num_classes
+            if self._max_total_classes is not None:
+                while len(self._entries) > 1 and self._total_classes > self._max_total_classes:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._total_classes -= evicted.num_classes
+
+    def get_or_compute(
+        self,
+        key: CacheKey,
+        compute: Callable[[], ClassDecomposition],
+        should_store: Optional[Callable[[ClassDecomposition], bool]] = None,
+    ) -> ClassDecomposition:
+        """Return the cached value for ``key``, computing and storing it on a miss.
+
+        Concurrent misses on the same key are serialised by :meth:`computing`'s
+        per-key in-flight lock, so one thread enumerates while the others wait
+        and then re-use its result — a batch fanned out over a thread pool
+        never duplicates the expensive enumeration.  ``should_store`` lets
+        callers skip storing pathologically large decompositions while still
+        returning them.
+        """
+        with self.computing(key) as found:
+            if found is not None:
+                return found
+            value = compute()
+            if should_store is None or should_store(value):
+                self.store(key, value)
+            return value
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept; see ``reset_stats``)."""
+        with self._lock:
+            self._entries.clear()
+            self._total_classes = 0
+            self._inflight.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, len(self._entries), self._maxsize, self._total_classes
+            )
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"WorldCountCache(entries={info.entries}, hits={info.hits}, "
+            f"misses={info.misses}, maxsize={info.maxsize})"
+        )

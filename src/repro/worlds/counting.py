@@ -10,19 +10,28 @@ Two engines are provided:
 Both return exact rational probabilities (:class:`fractions.Fraction`) so the
 limit analysis downstream is not polluted by floating-point error in the
 counting stage.
+
+Both engines factor the computation into *KB decomposition* (enumerate the
+classes of worlds satisfying the knowledge base, with exact weights) and
+*query evaluation* (re-walk only those classes for a query).  The
+decomposition depends solely on ``(vocabulary, KB, N, tau)`` plus any
+engine-specific limits, so attaching a
+:class:`~repro.worlds.cache.WorldCountCache` makes repeated queries against
+the same knowledge base skip the enumeration entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
-from ..logic.semantics import evaluate
+from ..logic.semantics import World, evaluate
 from ..logic.substitution import constants_of
 from ..logic.syntax import Formula, conj, conjuncts
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
+from .cache import CacheKey, ClassDecomposition, WorldCountCache
 from .enumeration import DEFAULT_LIMIT, enumerate_worlds
 from .unary import (
     AtomTable,
@@ -37,6 +46,11 @@ from .unary import (
 
 class InconsistentKnowledgeBase(ValueError):
     """Raised when no world of the requested size satisfies the knowledge base."""
+
+
+# Decompositions with more KB-satisfying classes than this are returned but
+# not stored: the memory cost would dwarf the enumeration cost they save.
+CACHE_CLASS_LIMIT = 50_000
 
 
 @dataclass(frozen=True)
@@ -60,7 +74,162 @@ class CountResult:
         return self.satisfying_kb > 0
 
 
-class UnaryWorldCounter:
+class _DecomposingCounter:
+    """Shared decompose/count plumbing for both counting engines.
+
+    Subclasses set ``ENGINE``, ``self._vocabulary`` and ``self._cache`` and
+    implement :meth:`iter_kb_classes` (stream the KB-satisfying classes with
+    exact weights) and :meth:`_satisfies` (evaluate a closed query on one
+    class); everything else — materialisation, cache keying, and the
+    count/probability API — lives here exactly once.
+    """
+
+    ENGINE = "abstract"
+
+    _vocabulary: Vocabulary
+    _cache: Optional[WorldCountCache]
+
+    @property
+    def cache(self) -> Optional[WorldCountCache]:
+        return self._cache
+
+    def _cache_key_extra(self) -> Tuple:
+        """Engine configuration that must participate in the cache key."""
+        return ()
+
+    def iter_kb_classes(
+        self,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> Iterator[Tuple[Any, int]]:
+        """Yield ``(class, weight)`` for every class of worlds satisfying the KB."""
+        raise NotImplementedError
+
+    def _satisfies(self, element: Any, query: Formula, tolerance: ToleranceVector) -> bool:
+        """Truth value of a closed query on one enumerated class."""
+        raise NotImplementedError
+
+    # -- decomposition ---------------------------------------------------------
+
+    def decompose(
+        self,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> ClassDecomposition:
+        """The KB-satisfying classes at ``(N, tau)``, via the cache when attached."""
+        if self._cache is None:
+            return self._materialise(knowledge_base, domain_size, tolerance)
+        key = CacheKey.for_counter(
+            self.ENGINE,
+            self._vocabulary,
+            knowledge_base,
+            domain_size,
+            tolerance,
+            extra=self._cache_key_extra(),
+        )
+        return self._cache.get_or_compute(
+            key,
+            lambda: self._materialise(knowledge_base, domain_size, tolerance),
+            should_store=lambda value: value.num_classes <= CACHE_CLASS_LIMIT,
+        )
+
+    def _materialise(
+        self, knowledge_base: Formula, domain_size: int, tolerance: ToleranceVector
+    ) -> ClassDecomposition:
+        classes = tuple(self.iter_kb_classes(knowledge_base, domain_size, tolerance))
+        return ClassDecomposition(
+            domain_size=domain_size,
+            kb_total=sum(weight for _, weight in classes),
+            classes=classes,
+        )
+
+    # -- query evaluation --------------------------------------------------------
+
+    def evaluate_query(
+        self,
+        decomposition: ClassDecomposition,
+        query: Formula,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
+        """Count the query on already-enumerated KB classes (no re-enumeration)."""
+        both_total = 0
+        for element, weight in decomposition.classes:
+            if self._satisfies(element, query, tolerance):
+                both_total += weight
+        return CountResult(decomposition.domain_size, decomposition.kb_total, both_total)
+
+    def count(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
+        """Count worlds of ``domain_size`` satisfying the KB, and KB ∧ query.
+
+        With a cache attached this is a single streaming pass that answers
+        the query *and* buffers the KB classes for the cache as it goes; a
+        decomposition that grows past :data:`CACHE_CLASS_LIMIT` drops its
+        buffer and keeps streaming, so an oversized one-off query costs no
+        more memory than the uncached path.
+        """
+        if self._cache is None:
+            return self._stream_count(query, knowledge_base, domain_size, tolerance)
+        key = CacheKey.for_counter(
+            self.ENGINE,
+            self._vocabulary,
+            knowledge_base,
+            domain_size,
+            tolerance,
+            extra=self._cache_key_extra(),
+        )
+        with self._cache.computing(key) as found:
+            if found is not None:
+                return self.evaluate_query(found, query, tolerance)
+            kb_total = 0
+            both_total = 0
+            buffer: Optional[list] = []
+            for element, weight in self.iter_kb_classes(knowledge_base, domain_size, tolerance):
+                kb_total += weight
+                if self._satisfies(element, query, tolerance):
+                    both_total += weight
+                if buffer is not None:
+                    buffer.append((element, weight))
+                    if len(buffer) > CACHE_CLASS_LIMIT:
+                        buffer = None  # too large to keep; finish streaming
+            if buffer is not None:
+                self._cache.store(key, ClassDecomposition(domain_size, kb_total, tuple(buffer)))
+            return CountResult(domain_size, kb_total, both_total)
+
+    def _stream_count(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
+        kb_total = 0
+        both_total = 0
+        for element, weight in self.iter_kb_classes(knowledge_base, domain_size, tolerance):
+            kb_total += weight
+            if self._satisfies(element, query, tolerance):
+                both_total += weight
+        return CountResult(domain_size, kb_total, both_total)
+
+    def probability(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> Fraction:
+        """``Pr^tau_N(query | KB)`` for ``N = domain_size``."""
+        return self.count(query, knowledge_base, domain_size, tolerance).probability
+
+
+class UnaryWorldCounter(_DecomposingCounter):
     """Exact conditional world counting for unary vocabularies.
 
     The counter enumerates isomorphism classes (atom-count vector plus
@@ -71,32 +240,35 @@ class UnaryWorldCounter:
     constant placement, the KB is split into the conjuncts that mention
     constants and those that do not; the latter are checked once per
     atom-count vector.
+
+    When ``cache`` is supplied, the KB-satisfying classes for each
+    ``(KB, N, tau)`` are materialised once and re-used for every subsequent
+    query against the same knowledge base.
     """
 
-    def __init__(self, vocabulary: Vocabulary):
+    ENGINE = "unary"
+
+    def __init__(self, vocabulary: Vocabulary, cache: Optional[WorldCountCache] = None):
         if not vocabulary.is_unary:
             raise UnsupportedFormula("UnaryWorldCounter requires a unary vocabulary")
         self._vocabulary = vocabulary
         self._table = AtomTable.for_vocabulary(vocabulary)
         self._constants = tuple(vocabulary.constants)
+        self._cache = cache
 
     @property
     def atom_table(self) -> AtomTable:
         return self._table
 
-    def count(
+    def iter_kb_classes(
         self,
-        query: Formula,
         knowledge_base: Formula,
         domain_size: int,
         tolerance: ToleranceVector,
-    ) -> CountResult:
-        """Count worlds of ``domain_size`` satisfying the KB, and KB ∧ query."""
+    ) -> Iterator[Tuple[UnaryStructure, int]]:
+        """Yield ``(class, weight)`` for every isomorphism class satisfying the KB."""
         constant_free, constant_bound = _split_by_constants(knowledge_base)
         placements = list(enumerate_placements(self._constants, self._table.num_atoms))
-
-        kb_total = 0
-        both_total = 0
         for counts in compositions(domain_size, self._table.num_atoms):
             counts_structure = self._structure_for_counts(counts)
             if counts_structure is not None and constant_free is not None:
@@ -113,21 +285,12 @@ class UnaryWorldCounter:
                         continue
                 if constant_bound is not None and not evaluator.evaluate(constant_bound):
                     continue
-                weight = structure.weight()
-                kb_total += weight
-                if evaluator.evaluate(query):
-                    both_total += weight
-        return CountResult(domain_size, kb_total, both_total)
+                yield structure, structure.weight()
 
-    def probability(
-        self,
-        query: Formula,
-        knowledge_base: Formula,
-        domain_size: int,
-        tolerance: ToleranceVector,
-    ) -> Fraction:
-        """``Pr^tau_N(query | KB)`` for ``N = domain_size``."""
-        return self.count(query, knowledge_base, domain_size, tolerance).probability
+    def _satisfies(
+        self, element: UnaryStructure, query: Formula, tolerance: ToleranceVector
+    ) -> bool:
+        return StructureEvaluator(element, tolerance).evaluate(query)
 
     def _structure_for_counts(self, counts: Tuple[int, ...]) -> Optional[UnaryStructure]:
         """A constant-free structure used to pre-filter on constant-free conjuncts."""
@@ -157,44 +320,53 @@ def _placement_feasible(
     return all(placement.blocks_in_atom(atom) <= counts[atom] for atom in range(num_atoms))
 
 
-class BruteForceCounter:
-    """Conditional world counting by literal enumeration (tiny domains only)."""
+class BruteForceCounter(_DecomposingCounter):
+    """Conditional world counting by literal enumeration (tiny domains only).
 
-    def __init__(self, vocabulary: Vocabulary, limit: Optional[int] = DEFAULT_LIMIT):
+    Shares the decomposition/evaluation split of :class:`UnaryWorldCounter`:
+    the "classes" are the individual KB-satisfying worlds, each of weight 1.
+    The enumeration limit participates in the cache key, so a permissive
+    counter's cached decomposition can never leak past a stricter counter's
+    :class:`~repro.worlds.enumeration.EnumerationTooLarge` guard.
+    """
+
+    ENGINE = "brute-force"
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        limit: Optional[int] = DEFAULT_LIMIT,
+        cache: Optional[WorldCountCache] = None,
+    ):
         self._vocabulary = vocabulary
         self._limit = limit
+        self._cache = cache
 
-    def count(
+    def _cache_key_extra(self) -> Tuple:
+        return ("limit", self._limit)
+
+    def iter_kb_classes(
         self,
-        query: Formula,
         knowledge_base: Formula,
         domain_size: int,
         tolerance: ToleranceVector,
-    ) -> CountResult:
-        kb_total = 0
-        both_total = 0
+    ) -> Iterator[Tuple[World, int]]:
+        """Yield ``(world, 1)`` for every world satisfying the KB."""
         for world in enumerate_worlds(self._vocabulary, domain_size, limit=self._limit):
-            if not evaluate(knowledge_base, world, tolerance):
-                continue
-            kb_total += 1
-            if evaluate(query, world, tolerance):
-                both_total += 1
-        return CountResult(domain_size, kb_total, both_total)
+            if evaluate(knowledge_base, world, tolerance):
+                yield world, 1
 
-    def probability(
-        self,
-        query: Formula,
-        knowledge_base: Formula,
-        domain_size: int,
-        tolerance: ToleranceVector,
-    ) -> Fraction:
-        return self.count(query, knowledge_base, domain_size, tolerance).probability
+    def _satisfies(self, element: World, query: Formula, tolerance: ToleranceVector) -> bool:
+        return evaluate(query, element, tolerance)
 
 
 def make_counter(
-    vocabulary: Vocabulary, prefer_unary: bool = True, limit: Optional[int] = DEFAULT_LIMIT
+    vocabulary: Vocabulary,
+    prefer_unary: bool = True,
+    limit: Optional[int] = DEFAULT_LIMIT,
+    cache: Optional[WorldCountCache] = None,
 ):
     """Choose the appropriate counter for a vocabulary."""
     if prefer_unary and vocabulary.is_unary:
-        return UnaryWorldCounter(vocabulary)
-    return BruteForceCounter(vocabulary, limit=limit)
+        return UnaryWorldCounter(vocabulary, cache=cache)
+    return BruteForceCounter(vocabulary, limit=limit, cache=cache)

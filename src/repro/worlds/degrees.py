@@ -6,10 +6,16 @@ exactly on a grid of domain sizes and tolerance vectors and estimates the
 double limit.  It is slower than the max-entropy and closed-form engines in
 :mod:`repro.core` but makes no structural assumptions beyond the vocabulary
 being unary (or tiny, for the brute-force path).
+
+All entry points accept an optional :class:`~repro.worlds.cache.WorldCountCache`;
+when one is supplied, the KB class decomposition for each ``(N, tau)`` grid
+point is enumerated at most once across every query sharing the cache, and
+``max_workers`` fans the per-domain-size counts out over a thread pool.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -17,7 +23,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
-from .counting import CountResult, InconsistentKnowledgeBase, make_counter
+from .cache import WorldCountCache
+from .counting import CountResult, make_counter
 from .limits import DoubleLimitEstimate, estimate_double_limit
 
 
@@ -63,9 +70,10 @@ def probability_at(
     domain_size: int,
     tolerance: ToleranceVector,
     prefer_unary: bool = True,
+    cache: Optional[WorldCountCache] = None,
 ) -> Fraction:
     """Exact ``Pr^tau_N(query | KB)`` at a single domain size."""
-    counter = make_counter(vocabulary, prefer_unary=prefer_unary)
+    counter = make_counter(vocabulary, prefer_unary=prefer_unary, cache=cache)
     return counter.probability(query, knowledge_base, domain_size, tolerance)
 
 
@@ -76,13 +84,28 @@ def counting_curve(
     domain_sizes: Sequence[int],
     tolerance: ToleranceVector,
     prefer_unary: bool = True,
+    cache: Optional[WorldCountCache] = None,
+    max_workers: Optional[int] = None,
 ) -> CountingCurve:
-    """``Pr^tau_N`` for several domain sizes at a fixed tolerance vector."""
-    counter = make_counter(vocabulary, prefer_unary=prefer_unary)
-    probabilities: List[Optional[Fraction]] = []
-    for domain_size in domain_sizes:
+    """``Pr^tau_N`` for several domain sizes at a fixed tolerance vector.
+
+    ``max_workers`` > 1 computes the domain sizes concurrently; the counter's
+    cache (when given) is thread-safe and serialises concurrent misses per
+    grid point, so each decomposition is enumerated exactly once.  Note the
+    counting is CPU-bound pure Python, so threads are GIL-limited; the cache
+    is the main speed lever.
+    """
+    counter = make_counter(vocabulary, prefer_unary=prefer_unary, cache=cache)
+
+    def at_size(domain_size: int) -> Optional[Fraction]:
         result: CountResult = counter.count(query, knowledge_base, domain_size, tolerance)
-        probabilities.append(result.probability if result.is_defined else None)
+        return result.probability if result.is_defined else None
+
+    if max_workers is not None and max_workers > 1 and len(domain_sizes) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            probabilities = list(pool.map(at_size, domain_sizes))
+    else:
+        probabilities = [at_size(domain_size) for domain_size in domain_sizes]
     return CountingCurve(tolerance, tuple(domain_sizes), tuple(probabilities))
 
 
@@ -93,6 +116,8 @@ def degree_of_belief_by_counting(
     domain_sizes: Sequence[int] = DEFAULT_DOMAIN_SIZES,
     tolerances: Iterable[ToleranceVector] | None = None,
     prefer_unary: bool = True,
+    cache: Optional[WorldCountCache] = None,
+    max_workers: Optional[int] = None,
 ) -> CountingReport:
     """Estimate ``Pr_infinity(query | KB)`` from exact finite counts.
 
@@ -109,13 +134,25 @@ def degree_of_belief_by_counting(
     tolerances:
         Decreasing sequence of tolerance vectors for the outer limit; defaults
         to :func:`repro.logic.tolerance.default_sequence`.
+    cache:
+        Optional shared :class:`WorldCountCache`; repeated queries against the
+        same KB then skip the class enumeration at every grid point.
+    max_workers:
+        Fan the per-domain-size counts of each curve across a thread pool.
     """
     tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
     curves: List[CountingCurve] = []
     inner_sequences: List[Tuple[float, Sequence[float], Sequence[int]]] = []
     for tolerance in tolerance_list:
         curve = counting_curve(
-            query, knowledge_base, vocabulary, domain_sizes, tolerance, prefer_unary
+            query,
+            knowledge_base,
+            vocabulary,
+            domain_sizes,
+            tolerance,
+            prefer_unary,
+            cache=cache,
+            max_workers=max_workers,
         )
         curves.append(curve)
         defined = curve.defined_points()

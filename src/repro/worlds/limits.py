@@ -11,8 +11,8 @@ Nixon diamond with conflicting defaults, Section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BeliefResult, KnowledgeBase, RandomWorlds, RandomWorldsError
+from repro.core import RandomWorlds, RandomWorldsError
 from repro.core.defaults import DefaultReasoner
 from repro.logic import parse
 from repro.workloads import paper_kbs

@@ -1,6 +1,5 @@
 """Unit tests for the lightweight entailment checks used by the theorem engines."""
 
-import pytest
 
 from repro.core import KnowledgeBase
 from repro.core.entailment import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import KnowledgeBase
-from repro.core.knowledge_base import StatisticalAssertion
 from repro.logic import parse
 from repro.logic.syntax import TRUE
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import KnowledgeBase
 from repro.core.direct_inference import direct_inference
 from repro.evidence import dempster_combine
 from repro.logic import parse

@@ -16,7 +16,6 @@ from repro.logic.syntax import (
     ExistsExactly,
     Forall,
     Implies,
-    Not,
     Number,
     Or,
     Proportion,

@@ -1,6 +1,5 @@
 """Unit tests for free variables, substitution and symbol collection."""
 
-import pytest
 
 from repro.logic import parse
 from repro.logic.substitution import (

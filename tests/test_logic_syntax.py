@@ -13,7 +13,6 @@ from repro.logic.syntax import (
     FALSE,
     Formula,
     Not,
-    Number,
     Or,
     Product,
     Proportion,

@@ -6,7 +6,7 @@ from repro.logic import parse
 from repro.logic.tolerance import ToleranceVector, default_sequence, shrinking_sequence
 from repro.logic.transforms import approximate_to_exact, negation_normal_form, simplify
 from repro.logic.semantics import World, evaluate
-from repro.logic.syntax import And, ExactCompare, Forall, Not, Or, TRUE, FALSE
+from repro.logic.syntax import And, ExactCompare, Not, Or, TRUE, FALSE
 from repro.logic.vocabulary import Vocabulary, VocabularyError
 
 

@@ -1,0 +1,397 @@
+"""Tests for the world-count cache and the batched query engine.
+
+Covers hit/miss accounting, structural invalidation (KB, tolerance, domain
+size, vocabulary), LRU eviction, and — the load-bearing property — exact
+``Fraction`` equality of cached versus uncached counts across every knowledge
+base the benchmark suite exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core import KnowledgeBase, RandomWorlds
+from repro.core.engine import _unary_class_count
+from repro.logic.parser import parse
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.worlds.cache import CacheKey, WorldCountCache
+from repro.worlds.counting import BruteForceCounter, UnaryWorldCounter, make_counter
+from repro.worlds.enumeration import world_space_size
+from repro.workloads import paper_kbs
+
+
+TAU = ToleranceVector.uniform(0.1)
+TAU_FINER = ToleranceVector.uniform(0.05)
+
+
+def _hepatitis_setup():
+    kb = paper_kbs.hepatitis_simple()
+    vocabulary = kb.vocabulary
+    return kb.formula, vocabulary
+
+
+# ---------------------------------------------------------------------------
+# Hit/miss accounting and invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestAccounting:
+    def test_first_count_misses_then_hits(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert (cache.misses, cache.hits) == (1, 0)
+
+        counter.count(parse("Jaun(Eric)"), kb_formula, 6, TAU)
+        assert (cache.misses, cache.hits) == (1, 1)
+
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert (cache.misses, cache.hits) == (1, 2)
+
+    def test_domain_size_is_part_of_the_key(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        counter.count(parse("Hep(Eric)"), kb_formula, 8, TAU)
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_kb_change_invalidates(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        extended = paper_kbs.hepatitis_simple().conjoin("Hep(Eric) or Jaun(Eric)")
+        counter.count(parse("Hep(Eric)"), extended.formula, 6, TAU)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_tolerance_change_invalidates(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU_FINER)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU.with_index(1, 0.2))
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_vocabulary_is_part_of_the_key(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        UnaryWorldCounter(vocabulary, cache=cache).count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        wider = vocabulary.extend(predicates={"Tall": 1})
+        UnaryWorldCounter(wider, cache=cache).count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert cache.misses == 2
+
+    def test_clear_and_reset(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert cache.misses == 2  # re-enumerated after clear
+        cache.reset_stats()
+        info = cache.cache_info()
+        assert (info.hits, info.misses) == (0, 0) and info.entries == 1
+
+    def test_lru_eviction(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(maxsize=2)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        for domain_size in (4, 5, 6):
+            counter.count(parse("Hep(Eric)"), kb_formula, domain_size, TAU)
+        assert len(cache) == 2
+        counter.count(parse("Hep(Eric)"), kb_formula, 4, TAU)  # evicted -> miss again
+        assert cache.misses == 4
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            WorldCountCache(maxsize=0)
+        with pytest.raises(ValueError):
+            WorldCountCache(max_total_classes=0)
+
+    def test_total_classes_budget_evicts_old_entries(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        probe = UnaryWorldCounter(vocabulary, cache=WorldCountCache())
+        per_entry = probe.decompose(kb_formula, 6, TAU).num_classes
+        assert per_entry > 0
+        # Budget for two entries' worth of classes, far below four entries.
+        cache = WorldCountCache(max_total_classes=2 * per_entry)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        for domain_size in (5, 6, 7, 8):
+            counter.count(parse("Hep(Eric)"), kb_formula, domain_size, TAU)
+        info = cache.cache_info()
+        assert info.total_classes <= 3 * per_entry  # N=7/8 entries are larger than N=6's
+        assert info.entries < 4
+        # the newest entry always survives, even under a tiny budget
+        tiny = WorldCountCache(max_total_classes=1)
+        survivor = UnaryWorldCounter(vocabulary, cache=tiny)
+        survivor.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert len(tiny) == 1
+
+    def test_concurrent_misses_enumerate_once(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        enumerations = []
+        original = counter.iter_kb_classes
+
+        def counted(*args):
+            enumerations.append(1)
+            return original(*args)
+
+        counter.iter_kb_classes = counted
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(
+                    lambda _: counter.count(parse("Hep(Eric)"), kb_formula, 8, TAU).probability,
+                    range(4),
+                )
+            )
+        assert len(set(results)) == 1
+        # the per-key in-flight lock serialised the racing misses: one enumeration
+        assert len(enumerations) == 1
+        assert len(cache) == 1
+
+    def test_oversized_decomposition_streams_without_storing(self, monkeypatch):
+        import repro.worlds.counting as counting_module
+
+        monkeypatch.setattr(counting_module, "CACHE_CLASS_LIMIT", 1)
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        first = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert len(cache) == 0  # too many classes for the limit: not stored
+        second = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert cache.misses == 2 and cache.hits == 0
+        assert first == second
+        plain = UnaryWorldCounter(vocabulary).count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert first.probability == plain.probability
+
+    def test_failed_enumeration_releases_inflight_lock(self):
+        from repro.worlds.enumeration import EnumerationTooLarge
+
+        kb = paper_kbs.tall_parent()
+        cache = WorldCountCache()
+        strict = BruteForceCounter(kb.vocabulary, limit=10, cache=cache)
+        for _ in range(2):
+            with pytest.raises(EnumerationTooLarge):
+                strict.count(parse("Tall(Alice)"), kb.formula, 3, TAU)
+        assert len(cache._inflight) == 0  # no orphaned per-key locks
+
+    def test_hit_rate(self):
+        cache = WorldCountCache()
+        assert cache.cache_info().hit_rate == 0.0
+        kb_formula, vocabulary = _hepatitis_setup()
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert cache.cache_info().hit_rate == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Decompositions
+# ---------------------------------------------------------------------------
+
+
+class TestDecomposition:
+    def test_decomposition_totals_match_streaming_count(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cached = UnaryWorldCounter(vocabulary, cache=WorldCountCache())
+        streaming = UnaryWorldCounter(vocabulary)
+        decomposition = cached.decompose(kb_formula, 6, TAU)
+        assert decomposition.kb_total == sum(weight for _, weight in decomposition.classes)
+        result = streaming.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert decomposition.kb_total == result.satisfying_kb
+
+    def test_query_evaluation_on_cached_classes(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        counter = UnaryWorldCounter(vocabulary, cache=WorldCountCache())
+        decomposition = counter.decompose(kb_formula, 6, TAU)
+        tautology = counter.evaluate_query(decomposition, parse("Hep(Eric) or not Hep(Eric)"), TAU)
+        assert tautology.probability == Fraction(1)
+        contradiction = counter.evaluate_query(decomposition, parse("Hep(Eric) and not Hep(Eric)"), TAU)
+        assert contradiction.probability == Fraction(0)
+
+    def test_brute_force_counter_uses_the_cache(self):
+        kb = paper_kbs.tall_parent()
+        vocabulary = kb.vocabulary
+        cache = WorldCountCache()
+        counter = BruteForceCounter(vocabulary, cache=cache)
+        first = counter.count(parse("Tall(Alice)"), kb.formula, 3, TAU)
+        second = counter.count(parse("not Tall(Alice)"), kb.formula, 3, TAU)
+        assert cache.misses == 1 and cache.hits == 1
+        assert first.probability + second.probability == Fraction(1)
+
+    def test_unary_and_brute_force_keys_do_not_collide(self):
+        kb = KnowledgeBase.from_strings("P(C)")
+        cache = WorldCountCache()
+        UnaryWorldCounter(kb.vocabulary, cache=cache).count(parse("P(C)"), kb.formula, 3, TAU)
+        BruteForceCounter(kb.vocabulary, cache=cache).count(parse("P(C)"), kb.formula, 3, TAU)
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_brute_force_limit_is_part_of_the_key(self):
+        # a permissive counter's cached decomposition must not bypass a
+        # stricter counter's EnumerationTooLarge guard
+        kb = paper_kbs.tall_parent()
+        cache = WorldCountCache()
+        permissive = BruteForceCounter(kb.vocabulary, limit=None, cache=cache)
+        permissive.count(parse("Tall(Alice)"), kb.formula, 2, TAU)
+        strict = BruteForceCounter(kb.vocabulary, limit=10, cache=cache)
+        from repro.worlds.enumeration import EnumerationTooLarge
+
+        with pytest.raises(EnumerationTooLarge):
+            strict.count(parse("Tall(Alice)"), kb.formula, 2, TAU)
+        assert cache.misses == 2  # distinct keys, no stale reuse
+
+    def test_cache_key_is_hashable_and_stable(self):
+        kb = KnowledgeBase.from_strings("P(C)")
+        key_a = CacheKey.for_counter("unary", kb.vocabulary, kb.formula, 3, TAU)
+        key_b = CacheKey.for_counter("unary", kb.vocabulary, kb.formula, 3, ToleranceVector.uniform(0.1))
+        assert key_a == key_b and hash(key_a) == hash(key_b)
+
+
+# ---------------------------------------------------------------------------
+# Cached versus uncached Fractions on every benchmark KB
+# ---------------------------------------------------------------------------
+
+# (name, KB factory, query) for every knowledge base the e01-e18 benchmarks
+# exercise.  The domain size is chosen per-KB so the exact count stays small.
+BENCHMARK_KBS = [
+    ("hepatitis_simple", paper_kbs.hepatitis_simple, "Hep(Eric)"),
+    ("hepatitis_full", paper_kbs.hepatitis_full, "Hep(Eric)"),
+    ("tweety_fly", paper_kbs.tweety_fly, "Fly(Tweety)"),
+    ("tweety_yellow", paper_kbs.tweety_yellow, "Fly(Tweety)"),
+    ("tweety_warm_blooded", paper_kbs.tweety_warm_blooded, "WarmBlooded(Tweety)"),
+    ("tweety_easy_to_see", paper_kbs.tweety_easy_to_see, "EasyToSee(Tweety)"),
+    ("tay_sachs", paper_kbs.tay_sachs, "TS(Eric)"),
+    ("elephant_zookeeper", paper_kbs.elephant_zookeeper, "Likes(Clyde, Fred)"),
+    ("chirping_magpie", paper_kbs.chirping_magpie, "Chirps(Tweety)"),
+    ("moody_magpie", paper_kbs.moody_magpie, "Chirps(Tweety)"),
+    ("nixon_diamond", paper_kbs.nixon_diamond, "Pacifist(Nixon)"),
+    ("fred_heart_disease", paper_kbs.fred_heart_disease, "Heart(Fred)"),
+    ("hepatitis_and_age", paper_kbs.hepatitis_and_age, "Hep(Eric) and Over60(Eric)"),
+    ("black_birds", lambda: paper_kbs.black_birds().with_vocabulary_of("Black(Clyde)"), "Black(Clyde)"),
+    ("lottery", paper_kbs.lottery, "Winner(C)"),
+    ("lifschitz_names", paper_kbs.lifschitz_names, "not (Ray = Drew)"),
+    ("broken_arm", paper_kbs.broken_arm, "LeftUsable(Eric)"),
+    ("colours_two_way", paper_kbs.colours_two_way, "White(Block)"),
+    ("colours_three_way", paper_kbs.colours_three_way, "White(Block)"),
+    ("flying_birds_two_predicates", paper_kbs.flying_birds_two_predicates, "Fly(Tweety)"),
+    ("flying_birds_refined", paper_kbs.flying_birds_refined, "FlyingBird(Tweety)"),
+    ("swimming_taxonomy", paper_kbs.swimming_taxonomy, "Swims(Opus)"),
+    ("tall_parent", paper_kbs.tall_parent, "Tall(Alice)"),
+]
+
+UNARY_CLASS_BUDGET = 5_000
+BRUTE_WORLD_BUDGET = 20_000
+
+
+def _pick_domain_size(vocabulary: Vocabulary) -> int:
+    """The largest small domain size whose exact count stays within budget."""
+    for domain_size in (10, 8, 6, 5, 4, 3, 2, 1):
+        if vocabulary.is_unary:
+            if _unary_class_count(vocabulary, domain_size) <= UNARY_CLASS_BUDGET:
+                return domain_size
+        elif world_space_size(vocabulary, domain_size) <= BRUTE_WORLD_BUDGET:
+            return domain_size
+    raise AssertionError(f"no feasible domain size for {vocabulary!r}")
+
+
+@pytest.mark.parametrize("name,factory,query_text", BENCHMARK_KBS, ids=[b[0] for b in BENCHMARK_KBS])
+def test_cached_counts_are_fraction_identical(name, factory, query_text):
+    kb = factory()
+    query = parse(query_text)
+    vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([query]))
+    domain_size = _pick_domain_size(vocabulary)
+
+    cache = WorldCountCache()
+    cached_counter = make_counter(vocabulary, cache=cache)
+    plain_counter = make_counter(vocabulary)
+
+    uncached = plain_counter.count(query, kb.formula, domain_size, TAU)
+    cold = cached_counter.count(query, kb.formula, domain_size, TAU)  # populates the cache
+    warm = cached_counter.count(query, kb.formula, domain_size, TAU)  # served from it
+
+    assert cache.misses == 1 and cache.hits == 1
+    for cached_result in (cold, warm):
+        assert cached_result.satisfying_kb == uncached.satisfying_kb
+        assert cached_result.satisfying_both == uncached.satisfying_both
+        if uncached.is_defined:
+            assert isinstance(cached_result.probability, Fraction)
+            assert cached_result.probability == uncached.probability
+
+
+# ---------------------------------------------------------------------------
+# The batch API
+# ---------------------------------------------------------------------------
+
+
+BATCH_QUERIES = ["Winner(C)", "Ticket(C)", "exists x. Winner(x)", "not Winner(C)"]
+
+
+class TestBatch:
+    def test_batch_matches_sequential_uncached(self):
+        kb = paper_kbs.lottery(3)
+        batch_engine = RandomWorlds(domain_sizes=(6, 8, 10))
+        uncached_engine = RandomWorlds(domain_sizes=(6, 8, 10), cache=False)
+        batch = batch_engine.degree_of_belief_batch(BATCH_QUERIES, kb)
+        sequential = [uncached_engine.degree_of_belief(query, kb) for query in BATCH_QUERIES]
+        assert [r.value for r in batch] == [r.value for r in sequential]
+        assert [r.method for r in batch] == [r.method for r in sequential]
+        assert [r.exists for r in batch] == [r.exists for r in sequential]
+
+    def test_batch_with_threads_matches_sequential(self):
+        kb = paper_kbs.lottery(3)
+        threaded = RandomWorlds(domain_sizes=(6, 8, 10), max_workers=4)
+        plain = RandomWorlds(domain_sizes=(6, 8, 10))
+        expected = plain.degree_of_belief_batch(BATCH_QUERIES, kb)
+        actual = threaded.degree_of_belief_batch(BATCH_QUERIES, kb)
+        assert [r.value for r in actual] == [r.value for r in expected]
+
+    def test_batch_shares_one_enumeration(self):
+        kb = paper_kbs.lottery(3)
+        engine = RandomWorlds(domain_sizes=(6, 8))
+        engine.degree_of_belief_batch(BATCH_QUERIES, kb)
+        info = engine.cache_info()
+        grid_points = 2 * len(tuple(engine.tolerances))
+        assert info is not None and info.misses == grid_points
+        assert info.hits == grid_points * (len(BATCH_QUERIES) - 1)
+
+    def test_shared_cache_between_engines(self):
+        shared = WorldCountCache()
+        kb = paper_kbs.lottery(3)
+        first = RandomWorlds(domain_sizes=(6, 8), cache=shared)
+        second = RandomWorlds(domain_sizes=(6, 8), cache=shared)
+        first.degree_of_belief("Winner(C)", kb)
+        misses_after_first = shared.misses
+        second.degree_of_belief("Winner(C)", kb)
+        assert shared.misses == misses_after_first  # second engine re-used every entry
+        assert first.world_cache is shared and second.world_cache is shared
+
+    def test_cache_disabled_engine_reports_no_info(self):
+        engine = RandomWorlds(cache=False)
+        assert engine.world_cache is None and engine.cache_info() is None
+
+    def test_batch_accepts_formula_objects(self):
+        kb = paper_kbs.hepatitis_simple()
+        engine = RandomWorlds()
+        results = engine.degree_of_belief_batch([parse("Hep(Eric)"), "not Hep(Eric)"], kb)
+        assert results[0].approximately(0.8)
+        assert results[1].approximately(0.2)
+
+    def test_math_sanity_of_unary_class_bound(self):
+        # the helper the domain-size picker relies on: exact for compositions
+        vocabulary = paper_kbs.hepatitis_simple().vocabulary
+        num_atoms = 1 << len(vocabulary.unary_predicates)
+        assert _unary_class_count(vocabulary, 4) >= math.comb(4 + num_atoms - 1, num_atoms - 1)

@@ -21,7 +21,6 @@ engine records which path produced the value so experiments can compare them.
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..logic.parser import parse
@@ -35,6 +34,14 @@ from ..worlds.cache import CacheInfo, WorldCountCache
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.degrees import degree_of_belief_by_counting
 from ..worlds.enumeration import EnumerationTooLarge, world_space_size
+from ..worlds.parallel import (
+    BACKENDS,
+    BackendLike,
+    CountingExecutor,
+    executor_scope,
+    make_executor,
+    resolve_backend,
+)
 from ..worlds.unary import UnsupportedFormula
 from .combination import combination_inference
 from .direct_inference import direct_inference
@@ -82,8 +89,19 @@ class RandomWorlds:
         :class:`WorldCountCache` instance shares an existing cache between
         engines; ``False``/``None`` disables memoisation entirely, so every
         query re-enumerates the KB classes from scratch.
+    backend:
+        Execution backend for the exact-counting path: ``"serial"`` (the
+        default), ``"threads"`` (coarse thread fan-out of batch queries —
+        GIL-bound, latency hiding only), ``"processes"`` (each counting grid
+        point's enumeration is sharded across a persistent process pool —
+        true multi-core counting), or a
+        :class:`~repro.worlds.parallel.CountingExecutor` instance shared
+        between engines.  Answers are ``Fraction``-identical across
+        backends.  ``None`` keeps the historical behaviour: threads when
+        ``max_workers > 1``, serial otherwise.
     max_workers:
-        Default thread-pool width for :meth:`degree_of_belief_batch`.
+        Pool width for the chosen backend (and the default thread-pool width
+        for :meth:`degree_of_belief_batch`).
     """
 
     def __init__(
@@ -93,6 +111,7 @@ class RandomWorlds:
         counting_fallback: bool = True,
         assume_small_overlap: bool = False,
         cache: Union[WorldCountCache, bool, None] = True,
+        backend: BackendLike = None,
         max_workers: Optional[int] = None,
     ):
         self._tolerances = tuple(tolerances) if tolerances is not None else tuple(default_sequence())
@@ -105,7 +124,11 @@ class RandomWorlds:
             self._world_cache = WorldCountCache()
         else:
             self._world_cache = None
+        if isinstance(backend, str) and backend not in BACKENDS:
+            raise ValueError(f"unknown counting backend {backend!r}; expected one of {BACKENDS}")
+        self._backend = backend
         self._max_workers = max_workers
+        self._owned_executor: Optional[CountingExecutor] = None
 
     # -- normalisation ---------------------------------------------------------
 
@@ -171,22 +194,29 @@ class RandomWorlds:
         decomposition at each ``(N, tau)`` grid point, and every later query
         merely re-evaluates its formula on those cached classes.
 
-        ``max_workers`` > 1 fans the queries out over a thread pool; it
-        defaults to the engine-level ``max_workers``.  The cache is
-        thread-safe and serialises concurrent misses per grid point, so
-        threads never duplicate an enumeration — but the counting itself is
-        pure CPU-bound Python, so on CPython the GIL bounds the win; the
-        cache, not the threads, is the main speed lever.  Results are
-        returned in query order and are identical to issuing the queries one
-        at a time through :meth:`degree_of_belief`.
+        With the ``threads`` backend (or legacy ``max_workers > 1``) the
+        queries fan out over a thread pool; the cache is thread-safe and
+        serialises concurrent misses per grid point, so threads never
+        duplicate an enumeration — but the counting itself is pure CPU-bound
+        Python, so on CPython the GIL bounds the win.  With the
+        ``processes`` backend the query loop stays sequential and each
+        counting grid point — not each query — is sharded across the
+        engine's process pool, which is where the multi-core speedup lives.
+        Results are returned in query order and are identical to issuing the
+        queries one at a time through :meth:`degree_of_belief`.
         """
         kb = self._as_knowledge_base(knowledge_base)
         formulas = [self._as_query(query) for query in queries]
         workers = max_workers if max_workers is not None else self._max_workers
-        if workers is not None and workers > 1 and len(formulas) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(
-                    pool.map(lambda formula: self.degree_of_belief(formula, kb, method=method), formulas)
+        supplied = isinstance(self._backend, CountingExecutor)
+        resolved = resolve_backend(self._backend.name if supplied else self._backend, workers)
+        if resolved == "threads" and len(formulas) > 1:
+            # A caller-supplied executor instance is used as-is (its pool and
+            # width belong to the caller); a string spec builds a per-call
+            # pool that executor_scope shuts down on exit.
+            with executor_scope(self._backend if supplied else "threads", workers) as executor:
+                return executor.map_ordered(
+                    lambda formula: self.degree_of_belief(formula, kb, method=method), formulas
                 )
         return [self.degree_of_belief(formula, kb, method=method) for formula in formulas]
 
@@ -205,9 +235,47 @@ class RandomWorlds:
         """The engine's world-count cache (``None`` when caching is disabled)."""
         return self._world_cache
 
+    @property
+    def backend(self) -> BackendLike:
+        """The configured counting backend (``None`` means the legacy default)."""
+        return self._backend
+
     def cache_info(self) -> Optional[CacheInfo]:
         """Hit/miss counters of the world-count cache, or ``None`` when disabled."""
         return self._world_cache.cache_info() if self._world_cache is not None else None
+
+    def _counting_executor(self) -> Optional[CountingExecutor]:
+        """The executor handed to the counting path (``None`` = inline streaming).
+
+        Only shard-dispatching backends are passed down: thread fan-out
+        already happens at the batch level, and nesting both levels on one
+        pool would risk deadlock for zero speedup.
+        """
+        if isinstance(self._backend, CountingExecutor):
+            return self._backend if self._backend.dispatches_shards else None
+        if resolve_backend(self._backend, None) == "processes":
+            if self._owned_executor is None:
+                self._owned_executor = make_executor("processes", self._max_workers)
+            return self._owned_executor
+        return None
+
+    def close(self) -> None:
+        """Shut down the engine-owned worker pool, if one was started.
+
+        Only pools the engine created itself are closed; a caller-supplied
+        :class:`CountingExecutor` is left running for its owner.  Safe to
+        call repeatedly; the pool is re-created lazily if the engine is used
+        again.
+        """
+        if self._owned_executor is not None:
+            self._owned_executor.close()
+            self._owned_executor = None
+
+    def __enter__(self) -> "RandomWorlds":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def conditional(self, query: QueryLike, knowledge_base: KnowledgeBaseLike, evidence: QueryLike) -> BeliefResult:
         """Degree of belief in ``query`` given the KB extended with ``evidence``."""
@@ -344,6 +412,7 @@ class RandomWorlds:
                 tolerances=self._tolerances,
                 prefer_unary=prefer_unary,
                 cache=self._world_cache,
+                backend=self._counting_executor(),
             )
         except (InconsistentKnowledgeBase, EnumerationTooLarge, UnsupportedFormula):
             return None

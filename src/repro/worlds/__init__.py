@@ -1,9 +1,11 @@
 """World enumeration, exact counting, and limit analysis for random worlds."""
 
 from .cache import (
+    OVERSIZED,
     CacheInfo,
     CacheKey,
     ClassDecomposition,
+    OversizedSentinel,
     WorldCountCache,
     tolerance_fingerprint,
     vocabulary_fingerprint,
@@ -13,7 +15,23 @@ from .counting import (
     CountResult,
     InconsistentKnowledgeBase,
     UnaryWorldCounter,
+    counter_for_work_unit,
     make_counter,
+    shard_bounds,
+)
+from .parallel import (
+    BACKENDS,
+    CountingExecutor,
+    PartialDecomposition,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkUnit,
+    compute_shard,
+    executor_scope,
+    make_executor,
+    merge_partials,
+    resolve_backend,
 )
 from .degrees import (
     CountingCurve,

@@ -23,7 +23,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Optional, Tuple
+from typing import Any, Callable, Iterator, Optional, Tuple, Union
 
 from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector
@@ -31,11 +31,18 @@ from ..logic.vocabulary import Vocabulary
 
 
 def vocabulary_fingerprint(vocabulary: Vocabulary) -> Tuple:
-    """A hashable identity for a vocabulary (predicates, functions, constants)."""
+    """A hashable identity for a vocabulary (predicates, functions, constants).
+
+    Every component is sorted: two vocabularies describing the same signature
+    must fingerprint identically even when their symbols were merged in
+    different orders (``Vocabulary.merge`` preserves no canonical constant
+    order for directly-constructed vocabularies), otherwise equal grid points
+    silently stop sharing cache entries.
+    """
     return (
         tuple(sorted(vocabulary.predicates.items())),
         tuple(sorted(vocabulary.functions.items())),
-        tuple(vocabulary.constants),
+        tuple(sorted(vocabulary.constants)),
     )
 
 
@@ -108,6 +115,32 @@ class ClassDecomposition:
         return len(self.classes)
 
 
+class OversizedSentinel:
+    """Marker cached in place of a decomposition that was too large to store.
+
+    Remembering "too big to store" matters for concurrency: without it, every
+    query in a batch that misses on an oversized key re-enumerates *under the
+    per-key in-flight lock*, serialising the whole pool on work the cache can
+    never amortise.  The sentinel is an ordinary entry (``num_classes`` 0, so
+    it costs nothing against the class budget) that tells later callers to
+    stream without taking the lock.
+    """
+
+    __slots__ = ()
+    num_classes = 0
+
+    def __repr__(self) -> str:
+        return "<OVERSIZED>"
+
+
+OVERSIZED = OversizedSentinel()
+
+# What the cache hands back: a real decomposition or the oversized marker.
+# Callers that need the payload must isinstance-check for ClassDecomposition;
+# ``found is OVERSIZED`` means "compute, but don't store and don't serialise".
+CacheEntry = Union[ClassDecomposition, OversizedSentinel]
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of cache effectiveness counters."""
@@ -122,6 +155,23 @@ class CacheInfo:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class _InFlight:
+    """Refcounted per-key lock guarding one in-flight computation.
+
+    ``waiters`` counts every thread that holds a reference (the computer and
+    everyone queued behind it).  The entry is removed from the in-flight table
+    only when the last waiter leaves — popping it any earlier lets a newly
+    arriving thread ``setdefault`` a *fresh* lock and enumerate the same key
+    concurrently with a thread still queued on the old one.
+    """
+
+    __slots__ = ("lock", "waiters")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.waiters = 0
 
 
 class WorldCountCache:
@@ -150,17 +200,17 @@ class WorldCountCache:
             raise ValueError("max_total_classes must be positive (or None for unbounded)")
         self._maxsize = maxsize
         self._max_total_classes = max_total_classes
-        self._entries: "OrderedDict[CacheKey, ClassDecomposition]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._total_classes = 0
         self._lock = threading.Lock()
-        self._inflight: dict[CacheKey, threading.Lock] = {}
+        self._inflight: dict[CacheKey, _InFlight] = {}
         self._hits = 0
         self._misses = 0
 
     # -- core operations -----------------------------------------------------
 
-    def lookup(self, key: CacheKey) -> Optional[ClassDecomposition]:
-        """Return the cached decomposition for ``key``, counting a hit or miss."""
+    def lookup(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Return the cached entry for ``key``, counting a hit or miss."""
         with self._lock:
             found = self._entries.get(key)
             if found is None:
@@ -170,48 +220,87 @@ class WorldCountCache:
             self._hits += 1
             return found
 
-    def peek(self, key: CacheKey) -> Optional[ClassDecomposition]:
-        """Like :meth:`lookup` but without touching the hit/miss counters.
-
-        Used by callers re-checking a key after waiting on its in-flight lock
-        (the initial :meth:`lookup` already recorded their miss).
-        """
+    def peek(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Like :meth:`lookup` but without touching the hit/miss counters."""
         with self._lock:
             found = self._entries.get(key)
             if found is not None:
                 self._entries.move_to_end(key)
             return found
 
+    def _served(self, key: CacheKey) -> Optional[CacheEntry]:
+        """An entry lookup that counts a hit when present and nothing when absent.
+
+        :meth:`computing` records the miss only for the caller that actually
+        ends up enumerating, so the miss total equals the number of
+        enumerations performed — deterministic under any interleaving, which
+        is what lets the cross-backend equality suite compare ``CacheInfo``
+        across serial, thread and process backends.
+        """
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            return found
+
     @contextmanager
-    def computing(self, key: CacheKey) -> Iterator[Optional[ClassDecomposition]]:
+    def computing(self, key: CacheKey) -> Iterator[Optional[CacheEntry]]:
         """Serialise computation of ``key`` behind its per-key in-flight lock.
 
-        Yields the cached decomposition when it is already present (or
-        arrived while waiting for the lock); yields ``None`` when the caller
-        holds the lock and must compute — it may :meth:`store` the result
-        before leaving the block.  The in-flight bookkeeping is released even
-        when the computation raises, so failed enumerations never orphan a
-        lock.  This is the single home of the locking protocol; both
-        :meth:`get_or_compute` and the counters' streaming ``count()`` build
-        on it.
+        Yields the cached entry when it is already present (or arrived while
+        waiting for the lock) — including the :data:`OVERSIZED` sentinel,
+        which is deliberately served *without* taking the lock so oversized
+        grid points stream concurrently.  Yields ``None`` when the caller
+        holds the lock and must compute — it may :meth:`store` the result (or
+        :meth:`store_oversized`) before leaving the block.
+
+        The in-flight entry is refcounted: it is dropped only when the last
+        queued thread leaves, and released even when the computation raises,
+        so failed enumerations never orphan a lock and a finishing computer
+        never strands later arrivals on a stale lock.  This is the single
+        home of the locking protocol; both :meth:`get_or_compute` and the
+        counters' streaming ``count()`` build on it.
         """
-        found = self.lookup(key)
+        found = self._served(key)
         if found is not None:
             yield found
             return
         with self._lock:
-            key_lock = self._inflight.setdefault(key, threading.Lock())
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+            entry.waiters += 1
+        holding = False
         try:
-            with key_lock:
-                # Another thread may have computed the value while we waited;
-                # the initial lookup above already recorded this caller's
-                # miss, so the re-check deliberately bypasses the counters.
-                yield self.peek(key)
+            entry.lock.acquire()
+            holding = True
+            # Another thread may have computed the value while we waited; if
+            # so this caller is served (a hit), otherwise it is the computer
+            # and records the enumeration as a miss.
+            found = self._served(key)
+            if found is not None:
+                # Nothing left to serialise: release before yielding so the
+                # queued waiters drain concurrently (for the OVERSIZED
+                # sentinel especially, holding the lock here would serialise
+                # the very enumerations the negative cache exists to unblock).
+                entry.lock.release()
+                holding = False
+                yield found
+            else:
+                with self._lock:
+                    self._misses += 1
+                yield None
         finally:
+            if holding:
+                entry.lock.release()
             with self._lock:
-                self._inflight.pop(key, None)
+                entry.waiters -= 1
+                if entry.waiters == 0 and self._inflight.get(key) is entry:
+                    del self._inflight[key]
 
-    def store(self, key: CacheKey, value: ClassDecomposition) -> None:
+    def store(self, key: CacheKey, value: CacheEntry) -> None:
         """Insert a decomposition, evicting least recently used entries beyond the bounds."""
         with self._lock:
             previous = self._entries.get(key)
@@ -229,6 +318,15 @@ class WorldCountCache:
                     _, evicted = self._entries.popitem(last=False)
                     self._total_classes -= evicted.num_classes
 
+    def store_oversized(self, key: CacheKey) -> None:
+        """Remember that ``key``'s decomposition is too large to store.
+
+        The :data:`OVERSIZED` sentinel occupies an ordinary LRU slot at zero
+        class cost; later callers that find it stream their own enumeration
+        concurrently instead of queueing on the per-key in-flight lock.
+        """
+        self.store(key, OVERSIZED)
+
     def get_or_compute(
         self,
         key: CacheKey,
@@ -242,24 +340,33 @@ class WorldCountCache:
         and then re-use its result — a batch fanned out over a thread pool
         never duplicates the expensive enumeration.  ``should_store`` lets
         callers skip storing pathologically large decompositions while still
-        returning them.
+        returning them; such keys are negative-cached (:meth:`store_oversized`)
+        so later callers recompute concurrently, without the lock.
         """
         with self.computing(key) as found:
-            if found is not None:
+            if isinstance(found, ClassDecomposition):
                 return found
             value = compute()
             if should_store is None or should_store(value):
                 self.store(key, value)
+            elif found is None:
+                self.store_oversized(key)
             return value
 
     # -- maintenance ---------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every entry (the hit/miss counters are kept; see ``reset_stats``)."""
+        """Drop every entry (the hit/miss counters are kept; see ``reset_stats``).
+
+        In-flight locks are deliberately left alone: computations that are
+        mid-enumeration still hold references to them, and wiping the table
+        would let a fresh caller start a duplicate, concurrent enumeration of
+        a key that is already being computed.  Each in-flight entry removes
+        itself when its last waiter leaves.
+        """
         with self._lock:
             self._entries.clear()
             self._total_classes = 0
-            self._inflight.clear()
 
     def reset_stats(self) -> None:
         with self._lock:

@@ -22,9 +22,11 @@ the same knowledge base skip the enumeration entirely.
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, Optional, Tuple
 
 from ..logic.semantics import World, evaluate
 from ..logic.substitution import constants_of
@@ -32,7 +34,7 @@ from ..logic.syntax import Formula, conj, conjuncts
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 from .cache import CacheKey, ClassDecomposition, WorldCountCache
-from .enumeration import DEFAULT_LIMIT, enumerate_worlds
+from .enumeration import DEFAULT_LIMIT, enumerate_worlds, world_space_size
 from .unary import (
     AtomTable,
     ConstantPlacement,
@@ -50,7 +52,34 @@ class InconsistentKnowledgeBase(ValueError):
 
 # Decompositions with more KB-satisfying classes than this are returned but
 # not stored: the memory cost would dwarf the enumeration cost they save.
+# (The key is negative-cached instead, so later queries recompute without
+# serialising on the per-key in-flight lock.)
 CACHE_CLASS_LIMIT = 50_000
+
+
+Shard = Tuple[int, int]  # (shard_index, num_shards) over the outer enumeration
+
+
+def shard_bounds(total: int, shard_index: int, num_shards: int) -> Tuple[int, int]:
+    """The contiguous ``[start, stop)`` index block one shard owns.
+
+    The blocks partition ``range(total)`` exactly (every index in exactly one
+    shard) and are contiguous, so concatenating per-shard results in shard
+    order reproduces the enumeration order of an unsharded pass.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    if not 0 <= shard_index < num_shards:
+        raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
+    return (total * shard_index) // num_shards, (total * (shard_index + 1)) // num_shards
+
+
+def _shard_slice(source: Iterable, total: int, shard: Optional[Shard]) -> Iterable:
+    """Restrict an enumeration stream to the block a shard owns."""
+    if shard is None:
+        return source
+    start, stop = shard_bounds(total, *shard)
+    return itertools.islice(source, start, stop)
 
 
 @dataclass(frozen=True)
@@ -77,38 +106,79 @@ class CountResult:
 class _DecomposingCounter:
     """Shared decompose/count plumbing for both counting engines.
 
-    Subclasses set ``ENGINE``, ``self._vocabulary`` and ``self._cache`` and
-    implement :meth:`iter_kb_classes` (stream the KB-satisfying classes with
-    exact weights) and :meth:`_satisfies` (evaluate a closed query on one
-    class); everything else — materialisation, cache keying, and the
-    count/probability API — lives here exactly once.
+    Subclasses set ``ENGINE``, ``self._vocabulary``, ``self._cache`` and
+    ``self._executor`` and implement :meth:`iter_kb_classes` (stream the
+    KB-satisfying classes with exact weights), :meth:`enumeration_size` (the
+    outer enumeration length, for sharding) and :meth:`_satisfies` (evaluate
+    a closed query on one class); everything else — materialisation, cache
+    keying, backend dispatch, and the count/probability API — lives here
+    exactly once.
     """
 
     ENGINE = "abstract"
+    # Whether executors should split this engine's grid points into multiple
+    # work units.  Sharding skips the prefix of the outer enumeration with
+    # islice, so it only pays off when skipped items are cheap to generate.
+    SHARDABLE = True
 
     _vocabulary: Vocabulary
     _cache: Optional[WorldCountCache]
+    _executor: Optional[Any] = None  # a CountingExecutor; duck-typed to avoid an import cycle
 
     @property
     def cache(self) -> Optional[WorldCountCache]:
         return self._cache
 
-    def _cache_key_extra(self) -> Tuple:
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def executor(self):
+        return self._executor
+
+    def cache_key_extra(self) -> Tuple:
         """Engine configuration that must participate in the cache key."""
         return ()
+
+    def cache_key(
+        self, knowledge_base: Formula, domain_size: int, tolerance: ToleranceVector
+    ) -> CacheKey:
+        """The cache identity of this counter's decomposition at ``(N, tau)``."""
+        return CacheKey.for_counter(
+            self.ENGINE,
+            self._vocabulary,
+            knowledge_base,
+            domain_size,
+            tolerance,
+            extra=self.cache_key_extra(),
+        )
+
+    def enumeration_size(self, domain_size: int) -> int:
+        """Length of the outer enumeration at ``domain_size`` (the shardable axis)."""
+        raise NotImplementedError
 
     def iter_kb_classes(
         self,
         knowledge_base: Formula,
         domain_size: int,
         tolerance: ToleranceVector,
+        shard: Optional[Shard] = None,
     ) -> Iterator[Tuple[Any, int]]:
-        """Yield ``(class, weight)`` for every class of worlds satisfying the KB."""
+        """Yield ``(class, weight)`` for every class of worlds satisfying the KB.
+
+        ``shard`` restricts the walk to one contiguous block of the outer
+        enumeration (see :func:`shard_bounds`) so a single grid point can be
+        split across worker processes.
+        """
         raise NotImplementedError
 
     def _satisfies(self, element: Any, query: Formula, tolerance: ToleranceVector) -> bool:
         """Truth value of a closed query on one enumerated class."""
         raise NotImplementedError
+
+    def _dispatches_shards(self) -> bool:
+        return self._executor is not None and self._executor.dispatches_shards
 
     # -- decomposition ---------------------------------------------------------
 
@@ -119,18 +189,12 @@ class _DecomposingCounter:
         tolerance: ToleranceVector,
     ) -> ClassDecomposition:
         """The KB-satisfying classes at ``(N, tau)``, via the cache when attached."""
+        if self._dispatches_shards():
+            return self._executor.decompose(self, knowledge_base, domain_size, tolerance)
         if self._cache is None:
             return self._materialise(knowledge_base, domain_size, tolerance)
-        key = CacheKey.for_counter(
-            self.ENGINE,
-            self._vocabulary,
-            knowledge_base,
-            domain_size,
-            tolerance,
-            extra=self._cache_key_extra(),
-        )
         return self._cache.get_or_compute(
-            key,
+            self.cache_key(knowledge_base, domain_size, tolerance),
             lambda: self._materialise(knowledge_base, domain_size, tolerance),
             should_store=lambda value: value.num_classes <= CACHE_CLASS_LIMIT,
         )
@@ -172,25 +236,28 @@ class _DecomposingCounter:
         With a cache attached this is a single streaming pass that answers
         the query *and* buffers the KB classes for the cache as it goes; a
         decomposition that grows past :data:`CACHE_CLASS_LIMIT` drops its
-        buffer and keeps streaming, so an oversized one-off query costs no
-        more memory than the uncached path.
+        buffer, negative-caches the key, and keeps streaming, so an oversized
+        query costs no more memory than the uncached path and later queries
+        on the key stream concurrently instead of queueing on the in-flight
+        lock.  With a shard-dispatching executor attached the decomposition
+        is instead fanned out across worker processes and the query evaluated
+        on the merged result.
         """
+        if self._dispatches_shards():
+            decomposition = self.decompose(knowledge_base, domain_size, tolerance)
+            return self.evaluate_query(decomposition, query, tolerance)
         if self._cache is None:
             return self._stream_count(query, knowledge_base, domain_size, tolerance)
-        key = CacheKey.for_counter(
-            self.ENGINE,
-            self._vocabulary,
-            knowledge_base,
-            domain_size,
-            tolerance,
-            extra=self._cache_key_extra(),
-        )
+        key = self.cache_key(knowledge_base, domain_size, tolerance)
         with self._cache.computing(key) as found:
-            if found is not None:
+            if isinstance(found, ClassDecomposition):
                 return self.evaluate_query(found, query, tolerance)
             kb_total = 0
             both_total = 0
-            buffer: Optional[list] = []
+            # found is either None (this caller holds the in-flight lock and
+            # should try to populate the cache) or the OVERSIZED sentinel
+            # (stream lock-free, don't bother buffering).
+            buffer: Optional[list] = [] if found is None else None
             for element, weight in self.iter_kb_classes(knowledge_base, domain_size, tolerance):
                 kb_total += weight
                 if self._satisfies(element, query, tolerance):
@@ -199,6 +266,7 @@ class _DecomposingCounter:
                     buffer.append((element, weight))
                     if len(buffer) > CACHE_CLASS_LIMIT:
                         buffer = None  # too large to keep; finish streaming
+                        self._cache.store_oversized(key)
             if buffer is not None:
                 self._cache.store(key, ClassDecomposition(domain_size, kb_total, tuple(buffer)))
             return CountResult(domain_size, kb_total, both_total)
@@ -248,28 +316,45 @@ class UnaryWorldCounter(_DecomposingCounter):
 
     ENGINE = "unary"
 
-    def __init__(self, vocabulary: Vocabulary, cache: Optional[WorldCountCache] = None):
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        cache: Optional[WorldCountCache] = None,
+        executor: Optional[Any] = None,
+    ):
         if not vocabulary.is_unary:
             raise UnsupportedFormula("UnaryWorldCounter requires a unary vocabulary")
         self._vocabulary = vocabulary
         self._table = AtomTable.for_vocabulary(vocabulary)
         self._constants = tuple(vocabulary.constants)
         self._cache = cache
+        self._executor = executor
 
     @property
     def atom_table(self) -> AtomTable:
         return self._table
+
+    def enumeration_size(self, domain_size: int) -> int:
+        """Number of atom-count compositions (the shardable outer loop)."""
+        num_atoms = self._table.num_atoms
+        return math.comb(domain_size + num_atoms - 1, num_atoms - 1)
 
     def iter_kb_classes(
         self,
         knowledge_base: Formula,
         domain_size: int,
         tolerance: ToleranceVector,
+        shard: Optional[Shard] = None,
     ) -> Iterator[Tuple[UnaryStructure, int]]:
         """Yield ``(class, weight)`` for every isomorphism class satisfying the KB."""
         constant_free, constant_bound = _split_by_constants(knowledge_base)
         placements = list(enumerate_placements(self._constants, self._table.num_atoms))
-        for counts in compositions(domain_size, self._table.num_atoms):
+        counts_source = _shard_slice(
+            compositions(domain_size, self._table.num_atoms),
+            self.enumeration_size(domain_size),
+            shard,
+        )
+        for counts in counts_source:
             counts_structure = self._structure_for_counts(counts)
             if counts_structure is not None and constant_free is not None:
                 evaluator = StructureEvaluator(counts_structure, tolerance)
@@ -331,28 +416,51 @@ class BruteForceCounter(_DecomposingCounter):
     """
 
     ENGINE = "brute-force"
+    # Skipping a shard's prefix still constructs every World object in it
+    # (enumerate_worlds has no random access), so S shards would do ~S/2
+    # times the serial construction work across the pool.  Brute-force grid
+    # points are tiny by design (the engine caps them at a few hundred
+    # thousand worlds); they run as a single unit instead.
+    SHARDABLE = False
 
     def __init__(
         self,
         vocabulary: Vocabulary,
         limit: Optional[int] = DEFAULT_LIMIT,
         cache: Optional[WorldCountCache] = None,
+        executor: Optional[Any] = None,
     ):
         self._vocabulary = vocabulary
         self._limit = limit
         self._cache = cache
+        self._executor = executor
 
-    def _cache_key_extra(self) -> Tuple:
+    def cache_key_extra(self) -> Tuple:
         return ("limit", self._limit)
+
+    def enumeration_size(self, domain_size: int) -> int:
+        """Number of worlds of ``domain_size`` (the shardable outer loop)."""
+        return world_space_size(self._vocabulary, domain_size)
 
     def iter_kb_classes(
         self,
         knowledge_base: Formula,
         domain_size: int,
         tolerance: ToleranceVector,
+        shard: Optional[Shard] = None,
     ) -> Iterator[Tuple[World, int]]:
-        """Yield ``(world, 1)`` for every world satisfying the KB."""
-        for world in enumerate_worlds(self._vocabulary, domain_size, limit=self._limit):
+        """Yield ``(world, 1)`` for every world satisfying the KB.
+
+        The enumeration limit is checked against the *full* world space
+        regardless of sharding, so every shard of an over-limit grid point
+        raises consistently.
+        """
+        worlds = _shard_slice(
+            enumerate_worlds(self._vocabulary, domain_size, limit=self._limit),
+            self.enumeration_size(domain_size),
+            shard,
+        )
+        for world in worlds:
             if evaluate(knowledge_base, world, tolerance):
                 yield world, 1
 
@@ -365,8 +473,25 @@ def make_counter(
     prefer_unary: bool = True,
     limit: Optional[int] = DEFAULT_LIMIT,
     cache: Optional[WorldCountCache] = None,
+    executor: Optional[Any] = None,
 ):
     """Choose the appropriate counter for a vocabulary."""
     if prefer_unary and vocabulary.is_unary:
-        return UnaryWorldCounter(vocabulary, cache=cache)
-    return BruteForceCounter(vocabulary, limit=limit, cache=cache)
+        return UnaryWorldCounter(vocabulary, cache=cache, executor=executor)
+    return BruteForceCounter(vocabulary, limit=limit, cache=cache, executor=executor)
+
+
+def counter_for_work_unit(engine: str, vocabulary: Vocabulary, extra: Tuple):
+    """Rebuild the counter a :class:`~repro.worlds.parallel.WorkUnit` describes.
+
+    Runs inside worker processes, so the counter is cache-less and
+    executor-less; ``extra`` is the engine's own ``cache_key_extra`` payload
+    (the brute-force enumeration limit), interpreted here so the
+    engine-specific encoding stays next to the engines.
+    """
+    if engine == UnaryWorldCounter.ENGINE:
+        return UnaryWorldCounter(vocabulary)
+    if engine == BruteForceCounter.ENGINE:
+        limit = extra[1] if len(extra) == 2 and extra[0] == "limit" else DEFAULT_LIMIT
+        return BruteForceCounter(vocabulary, limit=limit)
+    raise ValueError(f"unknown counting engine {engine!r}")

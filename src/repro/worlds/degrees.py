@@ -7,15 +7,19 @@ double limit.  It is slower than the max-entropy and closed-form engines in
 :mod:`repro.core` but makes no structural assumptions beyond the vocabulary
 being unary (or tiny, for the brute-force path).
 
-All entry points accept an optional :class:`~repro.worlds.cache.WorldCountCache`;
-when one is supplied, the KB class decomposition for each ``(N, tau)`` grid
-point is enumerated at most once across every query sharing the cache, and
-``max_workers`` fans the per-domain-size counts out over a thread pool.
+All entry points accept an optional :class:`~repro.worlds.cache.WorldCountCache`
+and a ``backend`` (``"serial"`` / ``"threads"`` / ``"processes"``, or a
+:class:`~repro.worlds.parallel.CountingExecutor` instance).  With a cache, the
+KB class decomposition for each ``(N, tau)`` grid point is enumerated at most
+once across every query sharing it; the ``threads`` backend fans the
+per-domain-size counts out over a thread pool (latency hiding only — the
+counting is GIL-bound), while ``processes`` shards each grid point's
+enumeration across worker processes for true multi-core counting.  Answers
+are ``Fraction``-identical across all backends.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -26,6 +30,7 @@ from ..logic.vocabulary import Vocabulary
 from .cache import WorldCountCache
 from .counting import CountResult, make_counter
 from .limits import DoubleLimitEstimate, estimate_double_limit
+from .parallel import BackendLike, executor_scope, resolve_backend
 
 
 DEFAULT_DOMAIN_SIZES: Tuple[int, ...] = (8, 12, 16, 24, 32)
@@ -86,26 +91,33 @@ def counting_curve(
     prefer_unary: bool = True,
     cache: Optional[WorldCountCache] = None,
     max_workers: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> CountingCurve:
     """``Pr^tau_N`` for several domain sizes at a fixed tolerance vector.
 
-    ``max_workers`` > 1 computes the domain sizes concurrently; the counter's
-    cache (when given) is thread-safe and serialises concurrent misses per
-    grid point, so each decomposition is enumerated exactly once.  Note the
-    counting is CPU-bound pure Python, so threads are GIL-limited; the cache
-    is the main speed lever.
+    ``backend`` selects the execution strategy: ``"threads"`` computes the
+    domain sizes concurrently on a thread pool (GIL-limited — latency hiding,
+    not a CPU speedup), ``"processes"`` keeps this loop serial but shards
+    each grid point's enumeration across worker processes, and ``"serial"``
+    runs everything inline.  ``max_workers`` sets the pool width; for
+    backward compatibility, ``max_workers > 1`` with no explicit backend
+    selects ``"threads"``.  The counter's cache (when given) is thread-safe
+    and serialises concurrent misses per grid point, so each decomposition is
+    enumerated exactly once whichever backend runs.
     """
-    counter = make_counter(vocabulary, prefer_unary=prefer_unary, cache=cache)
+    with executor_scope(resolve_backend(backend, max_workers), max_workers) as executor:
+        counter = make_counter(
+            vocabulary,
+            prefer_unary=prefer_unary,
+            cache=cache,
+            executor=executor if executor.dispatches_shards else None,
+        )
 
-    def at_size(domain_size: int) -> Optional[Fraction]:
-        result: CountResult = counter.count(query, knowledge_base, domain_size, tolerance)
-        return result.probability if result.is_defined else None
+        def at_size(domain_size: int) -> Optional[Fraction]:
+            result: CountResult = counter.count(query, knowledge_base, domain_size, tolerance)
+            return result.probability if result.is_defined else None
 
-    if max_workers is not None and max_workers > 1 and len(domain_sizes) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            probabilities = list(pool.map(at_size, domain_sizes))
-    else:
-        probabilities = [at_size(domain_size) for domain_size in domain_sizes]
+        probabilities = executor.map_ordered(at_size, list(domain_sizes))
     return CountingCurve(tolerance, tuple(domain_sizes), tuple(probabilities))
 
 
@@ -118,6 +130,7 @@ def degree_of_belief_by_counting(
     prefer_unary: bool = True,
     cache: Optional[WorldCountCache] = None,
     max_workers: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> CountingReport:
     """Estimate ``Pr_infinity(query | KB)`` from exact finite counts.
 
@@ -138,28 +151,35 @@ def degree_of_belief_by_counting(
         Optional shared :class:`WorldCountCache`; repeated queries against the
         same KB then skip the class enumeration at every grid point.
     max_workers:
-        Fan the per-domain-size counts of each curve across a thread pool.
+        Pool width for the chosen backend (``max_workers > 1`` with no
+        explicit backend keeps the historical thread fan-out).
+    backend:
+        ``"serial"`` / ``"threads"`` / ``"processes"`` or a
+        :class:`~repro.worlds.parallel.CountingExecutor`; one executor (and
+        process pool) is shared across the whole tolerance ladder.
     """
     tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
     curves: List[CountingCurve] = []
     inner_sequences: List[Tuple[float, Sequence[float], Sequence[int]]] = []
-    for tolerance in tolerance_list:
-        curve = counting_curve(
-            query,
-            knowledge_base,
-            vocabulary,
-            domain_sizes,
-            tolerance,
-            prefer_unary,
-            cache=cache,
-            max_workers=max_workers,
-        )
-        curves.append(curve)
-        defined = curve.defined_points()
-        if defined:
-            sizes, values = zip(*defined)
-            inner_sequences.append(
-                (tolerance.max_tolerance, [float(v) for v in values], list(sizes))
+    with executor_scope(resolve_backend(backend, max_workers), max_workers) as executor:
+        for tolerance in tolerance_list:
+            curve = counting_curve(
+                query,
+                knowledge_base,
+                vocabulary,
+                domain_sizes,
+                tolerance,
+                prefer_unary,
+                cache=cache,
+                max_workers=max_workers,
+                backend=executor,
             )
+            curves.append(curve)
+            defined = curve.defined_points()
+            if defined:
+                sizes, values = zip(*defined)
+                inner_sequences.append(
+                    (tolerance.max_tolerance, [float(v) for v in values], list(sizes))
+                )
     limit = estimate_double_limit(inner_sequences)
     return CountingReport(query, knowledge_base, tuple(curves), limit)

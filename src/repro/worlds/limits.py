@@ -23,6 +23,7 @@ class SequenceEstimate:
     estimate: Optional[float]
     converged: bool
     spread: float
+    note: str = ""
 
     @property
     def last(self) -> Optional[float]:
@@ -40,14 +41,30 @@ def estimate_sequence_limit(
     within ``tolerance`` of each other; the estimate is then the final value
     (the sequences produced by world counting are typically monotone in N, so
     the final value is the best available approximation).
+
+    A sequence shorter than ``window`` cannot clear the usual bar, but when
+    its values are *exactly* constant there is no evidence of drift either —
+    engines configured with one or two domain sizes would otherwise be
+    condemned to ``exists=False`` no matter what they measure.  Such
+    sequences are treated as converged, with a diagnostic ``note`` recording
+    the weaker evidence.
     """
     values = tuple(float(v) for v in values)
     if not values:
         return SequenceEstimate(values, None, False, float("inf"))
     tail = values[-window:] if len(values) >= window else values
     spread = max(tail) - min(tail)
-    converged = len(values) >= window and spread <= tolerance
-    return SequenceEstimate(values, values[-1], converged, spread)
+    note = ""
+    if len(values) >= window:
+        converged = spread <= tolerance
+    else:
+        converged = spread == 0.0
+        if converged:
+            note = (
+                f"short sequence ({len(values)} < window {window}) of identical values; "
+                "treated as converged"
+            )
+    return SequenceEstimate(values, values[-1], converged, spread, note)
 
 
 def richardson_extrapolate(values: Sequence[float], steps: Sequence[int]) -> Optional[float]:
@@ -156,6 +173,7 @@ def estimate_double_limit(
                     min(max(extrapolated, 0.0), 1.0),
                     converged,
                     spread,
+                    estimate.note,
                 )
         per_tolerance.append((tau_label, refined))
         if refined.estimate is not None:
@@ -179,4 +197,8 @@ def estimate_double_limit(
         note = "inner N-sequence did not stabilise"
     elif not stable_in_tau:
         note = "estimates drift as the tolerance shrinks (limit may not exist)"
+    else:
+        # Surface weaker-evidence diagnostics (e.g. the short-sequence rule)
+        # rather than silently reporting a clean limit.
+        note = per_tolerance[-1][1].note
     return DoubleLimitEstimate(tuple(per_tolerance), last, exists, note)

@@ -1,0 +1,368 @@
+"""Pluggable execution backends for exact world counting.
+
+Counting ``Pr^tau_N(phi | KB)`` over a grid of ``(N, tau)`` points is
+embarrassingly parallel, but the counters are pure Python, so fanning the work
+over threads gains nothing on CPython: the GIL serialises the arithmetic.
+This module supplies a :class:`CountingExecutor` abstraction with three
+interchangeable backends:
+
+* ``serial`` — everything inline (the reference semantics);
+* ``threads`` — a thread pool for coarse fan-out (curve domain sizes, batch
+  queries); useful for latency hiding, not for CPU speedups;
+* ``processes`` — a process pool fed picklable :class:`WorkUnit` shards, the
+  only backend that uses multiple cores for the counting itself.
+
+A work unit is one ``(vocabulary, KB, N, tau)`` grid point plus a
+*compositions-range shard*: the outer enumeration (atom-count compositions for
+the unary engine, raw worlds for brute force) is split into contiguous index
+blocks so a single large ``N`` spreads across cores.  Workers stream their
+block, keep only the KB-satisfying classes, and send back a
+:class:`PartialDecomposition`; the parent folds the partials — in shard order,
+so class order matches a serial enumeration exactly — into one
+:class:`~repro.worlds.cache.ClassDecomposition` and stores it in the shared
+:class:`~repro.worlds.cache.WorldCountCache`.  Workers never touch the cache;
+all cache bookkeeping (including the in-flight lock protocol and the
+oversized negative-cache) happens in the parent process, so answers and
+``CacheInfo`` totals are identical across all three backends.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..logic.syntax import Formula
+from ..logic.tolerance import ToleranceVector
+from ..logic.vocabulary import Vocabulary
+from . import counting as _counting
+from .cache import ClassDecomposition
+
+BACKENDS = ("serial", "threads", "processes")
+
+# Grid points whose outer enumeration has fewer items than this run as a
+# single shard: dispatch and pickling would cost more than the split saves.
+MIN_ITEMS_PER_SHARD = 64
+
+# Shards per worker beyond the first.  Contiguous composition blocks filter
+# at different rates (the KB rejects some regions of the grid wholesale), so
+# mild oversharding evens out the load without drowning in task overhead.
+OVERSHARD = 4
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A picklable shard of one counting grid point.
+
+    Carries everything a worker process needs to rebuild a counter and
+    enumerate its slice: the engine kind, the (vocabulary, KB, N, tau) grid
+    point, the engine-specific ``extra`` configuration (the brute-force
+    enumeration limit), and the ``shard_index / num_shards`` block of the
+    outer enumeration this unit owns.
+    """
+
+    engine: str
+    vocabulary: Vocabulary
+    knowledge_base: Formula
+    domain_size: int
+    tolerance: ToleranceVector
+    extra: Tuple = ()
+    shard_index: int = 0
+    num_shards: int = 1
+
+
+@dataclass(frozen=True)
+class PartialDecomposition:
+    """The KB-satisfying classes found in one shard of a grid point."""
+
+    shard_index: int
+    num_shards: int
+    domain_size: int
+    kb_total: int
+    classes: Tuple[Tuple[Any, int], ...]
+
+
+def compute_shard(unit: WorkUnit) -> PartialDecomposition:
+    """Enumerate one work unit's shard (this is what runs inside workers)."""
+    counter = _counting.counter_for_work_unit(unit.engine, unit.vocabulary, unit.extra)
+    kb_total = 0
+    classes: List[Tuple[Any, int]] = []
+    for element, weight in counter.iter_kb_classes(
+        unit.knowledge_base,
+        unit.domain_size,
+        unit.tolerance,
+        shard=(unit.shard_index, unit.num_shards),
+    ):
+        kb_total += weight
+        classes.append((element, weight))
+    return PartialDecomposition(
+        shard_index=unit.shard_index,
+        num_shards=unit.num_shards,
+        domain_size=unit.domain_size,
+        kb_total=kb_total,
+        classes=tuple(classes),
+    )
+
+
+def merge_partials(partials: Sequence[PartialDecomposition]) -> ClassDecomposition:
+    """Fold per-worker partials back into one decomposition.
+
+    The partials must form a complete shard set for a single grid point;
+    concatenating them in shard order reproduces the exact class order of a
+    serial enumeration (shards are contiguous index blocks), so a merged
+    decomposition is indistinguishable from a serially-materialised one.
+    """
+    if not partials:
+        raise ValueError("cannot merge an empty set of partial decompositions")
+    ordered = sorted(partials, key=lambda partial: partial.shard_index)
+    num_shards = ordered[0].num_shards
+    domain_size = ordered[0].domain_size
+    if [partial.shard_index for partial in ordered] != list(range(num_shards)) or any(
+        partial.num_shards != num_shards or partial.domain_size != domain_size
+        for partial in ordered
+    ):
+        raise ValueError("partial decompositions do not form a complete shard set")
+    classes: List[Tuple[Any, int]] = []
+    for partial in ordered:
+        classes.extend(partial.classes)
+    return ClassDecomposition(
+        domain_size=domain_size,
+        kb_total=sum(partial.kb_total for partial in ordered),
+        classes=tuple(classes),
+    )
+
+
+class CountingExecutor:
+    """Execution backend for exact counting (base class doubles as ``serial``).
+
+    Subclasses override :meth:`run_units` (shard-level fan-out) and/or
+    :meth:`map_ordered` (coarse fan-out over domain sizes or batch queries).
+    ``dispatches_shards`` is True only for backends whose :meth:`decompose`
+    actually sends work units to a pool; the counters consult it to decide
+    between the streaming count path and the decompose-then-evaluate path.
+    """
+
+    name = "serial"
+    dispatches_shards = False
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self._max_workers = max_workers or os.cpu_count() or 1
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    # -- fan-out primitives ----------------------------------------------------
+
+    def map_ordered(self, function: Callable, items: Sequence) -> List:
+        """Apply ``function`` to ``items``, preserving order."""
+        return [function(item) for item in items]
+
+    def run_units(self, units: Sequence[WorkUnit]) -> List[PartialDecomposition]:
+        """Compute every work unit, preserving shard order."""
+        return [compute_shard(unit) for unit in units]
+
+    # -- grid-point decomposition ----------------------------------------------
+
+    def shard_count(self, total_items: int) -> int:
+        """How many shards to split an outer enumeration of ``total_items`` into."""
+        if self._max_workers <= 1 or total_items < 2 * MIN_ITEMS_PER_SHARD:
+            return 1
+        return max(1, min(self._max_workers * OVERSHARD, total_items // MIN_ITEMS_PER_SHARD))
+
+    def plan_units(
+        self,
+        counter,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> List[WorkUnit]:
+        """Split one grid point into work units sized for this backend."""
+        if counter.SHARDABLE:
+            num_shards = self.shard_count(counter.enumeration_size(domain_size))
+        else:
+            num_shards = 1
+        return [
+            WorkUnit(
+                engine=counter.ENGINE,
+                vocabulary=counter.vocabulary,
+                knowledge_base=knowledge_base,
+                domain_size=domain_size,
+                tolerance=tolerance,
+                extra=counter.cache_key_extra(),
+                shard_index=index,
+                num_shards=num_shards,
+            )
+            for index in range(num_shards)
+        ]
+
+    def decompose(
+        self,
+        counter,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> ClassDecomposition:
+        """Materialise a grid point through the counter's cache by fanning out shards.
+
+        The cache protocol runs entirely in the calling process: one caller
+        holds the per-key in-flight lock and dispatches shards, everyone else
+        is served the merged result (or, for oversized keys, the negative
+        sentinel, after which callers recompute concurrently without the
+        lock).
+        """
+        cache = counter.cache
+        if cache is None:
+            return merge_partials(
+                self.run_units(self.plan_units(counter, knowledge_base, domain_size, tolerance))
+            )
+        key = counter.cache_key(knowledge_base, domain_size, tolerance)
+        with cache.computing(key) as found:
+            if isinstance(found, ClassDecomposition):
+                return found
+            value = merge_partials(
+                self.run_units(self.plan_units(counter, knowledge_base, domain_size, tolerance))
+            )
+            if value.num_classes <= _counting.CACHE_CLASS_LIMIT:
+                cache.store(key, value)
+            elif found is None:
+                cache.store_oversized(key)
+            return value
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pool resources (idempotent; a no-op for inline backends)."""
+
+    def __enter__(self) -> "CountingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self._max_workers})"
+
+
+class SerialExecutor(CountingExecutor):
+    """Everything inline, single-shard: the reference backend."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        super().__init__(1)
+
+    def shard_count(self, total_items: int) -> int:
+        return 1
+
+
+class ThreadExecutor(CountingExecutor):
+    """Coarse fan-out over a thread pool.
+
+    Threads cannot speed up the pure-Python counting itself (the GIL keeps
+    one core busy), so this backend parallelises at the curve/batch level via
+    :meth:`map_ordered` and leaves grid-point decomposition inline — fanning
+    shards out to GIL-bound threads would only add overhead, and nesting both
+    levels on one pool risks deadlock.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        super().__init__(max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def map_ordered(self, function: Callable, items: Sequence) -> List:
+        if self._max_workers > 1 and len(items) > 1:
+            return list(self._ensure_pool().map(function, items))
+        return [function(item) for item in items]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(CountingExecutor):
+    """Shard-level fan-out over a process pool: true multi-core counting.
+
+    Work units are pickled to workers, partial decompositions are pickled
+    back, and the merge + cache fold stays in the parent.  ``map_ordered``
+    deliberately runs inline — the coarse fan-out callables close over
+    engines and caches, which are not picklable, and the parallelism already
+    lives at the shard level.
+    """
+
+    name = "processes"
+    dispatches_shards = True
+
+    def __init__(self, max_workers: Optional[int] = None):
+        super().__init__(max_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run_units(self, units: Sequence[WorkUnit]) -> List[PartialDecomposition]:
+        if len(units) <= 1 or self._max_workers <= 1:
+            return [compute_shard(unit) for unit in units]
+        return list(self._ensure_pool().map(compute_shard, units))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+BackendLike = Union[str, CountingExecutor, None]
+
+
+def resolve_backend(backend: BackendLike, max_workers: Optional[int]) -> BackendLike:
+    """Fill in the legacy default: bare ``max_workers > 1`` means threads."""
+    if backend is None:
+        return "threads" if (max_workers or 0) > 1 else "serial"
+    return backend
+
+
+def make_executor(backend: BackendLike, max_workers: Optional[int] = None) -> CountingExecutor:
+    """Build (or pass through) the executor for a backend spec."""
+    if isinstance(backend, CountingExecutor):
+        return backend
+    if backend is None or backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(max_workers)
+    if backend == "processes":
+        return ProcessExecutor(max_workers)
+    raise ValueError(f"unknown counting backend {backend!r}; expected one of {BACKENDS}")
+
+
+@contextmanager
+def executor_scope(
+    backend: BackendLike, max_workers: Optional[int] = None
+) -> Iterator[CountingExecutor]:
+    """Resolve a backend spec into an executor, closing it on exit only if owned.
+
+    A caller-supplied :class:`CountingExecutor` instance is yielded untouched
+    (its owner manages the pool lifetime); a string spec builds a fresh
+    executor whose pool is shut down when the scope ends.
+    """
+    if isinstance(backend, CountingExecutor):
+        yield backend
+        return
+    executor = make_executor(backend, max_workers)
+    try:
+        yield executor
+    finally:
+        executor.close()

@@ -29,3 +29,38 @@ def engine() -> RandomWorlds:
 def small_engine() -> RandomWorlds:
     """An engine with small domain sizes for counting-heavy tests."""
     return RandomWorlds(domain_sizes=(6, 8, 10, 12))
+
+
+def pytest_addoption(parser) -> None:
+    """Options for the cross-backend equality suite (tests/test_worlds_parallel.py).
+
+    CI runs one matrix leg with ``--backend processes --backend-workers 2`` so
+    the process pool is exercised with real multi-worker fan-out; by default
+    the suite covers all three backends with 2 workers.
+    """
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=("serial", "threads", "processes"),
+        help="restrict the cross-backend equality suite to one counting backend",
+    )
+    parser.addoption(
+        "--backend-workers",
+        action="store",
+        type=int,
+        default=2,
+        help="worker-pool width used by the cross-backend equality suite",
+    )
+
+
+def pytest_generate_tests(metafunc) -> None:
+    if "counting_backend" in metafunc.fixturenames:
+        selected = metafunc.config.getoption("--backend")
+        backends = [selected] if selected else ["serial", "threads", "processes"]
+        metafunc.parametrize("counting_backend", backends)
+
+
+@pytest.fixture(scope="session")
+def backend_workers(request) -> int:
+    return request.config.getoption("--backend-workers")

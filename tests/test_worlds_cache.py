@@ -163,7 +163,9 @@ class TestAccounting:
         assert len(enumerations) == 1
         assert len(cache) == 1
 
-    def test_oversized_decomposition_streams_without_storing(self, monkeypatch):
+    def test_oversized_decomposition_streams_and_is_negative_cached(self, monkeypatch):
+        from repro.worlds.cache import OVERSIZED
+
         import repro.worlds.counting as counting_module
 
         monkeypatch.setattr(counting_module, "CACHE_CLASS_LIMIT", 1)
@@ -171,9 +173,13 @@ class TestAccounting:
         cache = WorldCountCache()
         counter = UnaryWorldCounter(vocabulary, cache=cache)
         first = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
-        assert len(cache) == 0  # too many classes for the limit: not stored
+        # the decomposition itself is too large to store; the key is
+        # negative-cached so later queries stream lock-free
+        key = counter.cache_key(kb_formula, 6, TAU)
+        assert cache.peek(key) is OVERSIZED
+        assert cache.cache_info().total_classes == 0  # sentinel costs nothing
         second = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
-        assert cache.misses == 2 and cache.hits == 0
+        assert cache.misses == 1 and cache.hits == 1  # sentinel served as a hit
         assert first == second
         plain = UnaryWorldCounter(vocabulary).count(parse("Hep(Eric)"), kb_formula, 6, TAU)
         assert first.probability == plain.probability

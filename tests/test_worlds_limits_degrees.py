@@ -27,8 +27,26 @@ class TestSequenceEstimates:
         estimate = estimate_sequence_limit([0.2, 0.8, 0.2, 0.8], tolerance=0.01)
         assert not estimate.converged
 
-    def test_short_sequence_is_not_declared_converged(self):
-        assert not estimate_sequence_limit([0.5, 0.5]).converged
+    def test_short_constant_sequence_converges_with_a_note(self):
+        # Regression: engines configured with 1-2 domain sizes used to report
+        # exists=False even for exactly constant sequences.
+        for values in ([0.5], [0.5, 0.5]):
+            estimate = estimate_sequence_limit(values)
+            assert estimate.converged
+            assert estimate.estimate == pytest.approx(0.5)
+            assert "short sequence" in estimate.note
+
+    def test_short_nonconstant_sequence_is_not_declared_converged(self):
+        estimate = estimate_sequence_limit([0.5, 0.5004])
+        assert not estimate.converged
+        assert estimate.note == ""
+
+    def test_full_window_keeps_the_tolerance_rule(self):
+        # At or beyond the window the old spread-within-tolerance rule (not
+        # exact constancy) still decides convergence, without the note.
+        estimate = estimate_sequence_limit([0.5, 0.5004, 0.5001])
+        assert estimate.converged
+        assert estimate.note == ""
 
     def test_richardson_extrapolation_removes_1_over_n_tail(self):
         domain_sizes = [10, 20, 40]
@@ -103,6 +121,19 @@ class TestCountingDegrees:
         )
         assert report.exists
         assert report.value == pytest.approx(0.8, abs=0.02)
+
+    def test_engine_with_one_or_two_domain_sizes_can_report_existence(self):
+        # Regression: the lottery query is exactly 1/5 at every N, yet engines
+        # with fewer domain sizes than the convergence window always came back
+        # exists=False before the short-sequence rule.
+        from repro.core import RandomWorlds
+        from repro.workloads import paper_kbs
+
+        kb = paper_kbs.lottery(5)
+        for domain_sizes in ((8,), (8, 12)):
+            result = RandomWorlds(domain_sizes=domain_sizes).degree_of_belief("Winner(C)", kb)
+            assert result.exists
+            assert result.value == pytest.approx(0.2)
 
     def test_vocabulary_expansion_does_not_change_the_answer(self):
         # Footnote 8: degrees of belief are insensitive to enlarging the vocabulary.

@@ -1,0 +1,53 @@
+"""E21 — per-query memoisation and sharded evaluation on the warm path.
+
+PR 2 made a warm batch skip the class *enumeration*; this experiment gates
+the two levers layered on top of it: a :class:`QueryMemoTable` that answers
+an identical repeated query in O(1) (>= 2x over the memo-less warm path,
+measured far higher), and evaluation sharding that re-walks a large cached
+decomposition's class blocks across worker processes (Fraction-identical
+merge, wall-clock gated on 4+ core hosts only).  The engine-level test keeps
+the end-to-end batch honest: a memoised engine's warm batch must equal the
+memo-less engine's answers with exactly one evaluation per (grid point,
+distinct query) pair.
+"""
+
+from conftest import assert_rows_pass
+
+from repro.core import RandomWorlds
+from repro.experiments import run_experiment
+from repro.experiments.definitions import (
+    E19_DISTINCT_QUERIES,
+    E19_DOMAIN_SIZES,
+    E19_REPEATS,
+)
+from repro.workloads import paper_kbs
+
+
+def test_e21_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E21"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e21_engine_memo_batch_matches_memoless(benchmark):
+    """A warm memoised engine batch equals the PR 2 (memo-less) warm batch."""
+    kb = paper_kbs.lottery(5)
+    queries = list(E19_DISTINCT_QUERIES) * E19_REPEATS
+    memoless_engine = RandomWorlds(domain_sizes=E19_DOMAIN_SIZES, memo=False)
+    expected = memoless_engine.degree_of_belief_batch(queries, kb)
+
+    engine = RandomWorlds(domain_sizes=E19_DOMAIN_SIZES)  # memo on by default
+    engine.degree_of_belief_batch(queries, kb)  # warm the decompositions + memo
+    results = benchmark.pedantic(
+        engine.degree_of_belief_batch, args=(queries, kb), rounds=1, iterations=1
+    )
+
+    assert [r.value for r in results] == [r.value for r in expected]
+    assert [r.method for r in results] == [r.method for r in expected]
+    info = engine.cache_info()
+    grid_points = len(E19_DOMAIN_SIZES) * len(tuple(engine.tolerances))
+    distinct = len(E19_DISTINCT_QUERIES)
+    # one evaluation per (grid point, distinct query); every repeat — and the
+    # entire second batch — is served from the memo in O(1)
+    assert info is not None and info.memo_misses == distinct * grid_points
+    assert info.memo_hits == (2 * E19_REPEATS - 1) * distinct * grid_points
+    assert info.memo_entries == distinct * grid_points

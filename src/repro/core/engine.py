@@ -30,7 +30,7 @@ from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
 from ..maxent.beliefs import degree_of_belief_maxent
 from ..maxent.solver import MaxEntInfeasible
-from ..worlds.cache import CacheInfo, WorldCountCache
+from ..worlds.cache import DEFAULT_MEMO_SIZE, CacheInfo, QueryMemoTable, WorldCountCache
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.degrees import degree_of_belief_by_counting
 from ..worlds.enumeration import EnumerationTooLarge, world_space_size
@@ -89,6 +89,20 @@ class RandomWorlds:
         :class:`WorldCountCache` instance shares an existing cache between
         engines; ``False``/``None`` disables memoisation entirely, so every
         query re-enumerates the KB classes from scratch.
+    memo:
+        Per-query memoisation layered on the world-count cache: finished
+        counts are keyed by ``(decomposition key, canonical query,
+        tolerance)`` so an identical repeated query — including
+        alpha-equivalent or commutatively reordered phrasings — is O(1) on a
+        warm cache.  ``True`` (the default) attaches a private
+        :class:`~repro.worlds.cache.QueryMemoTable` to the engine's private
+        cache; ``False`` restores the PR 2 behaviour (every query re-walks
+        the cached classes).  Only consulted when the engine builds its own
+        cache — a caller-supplied :class:`WorldCountCache` brings (or omits)
+        its own memo table.
+    memo_size:
+        LRU bound of the private memo table (4096 rows by default; ``None``
+        for unbounded).
     backend:
         Execution backend for the exact-counting path: ``"serial"`` (the
         default), ``"threads"`` (coarse thread fan-out of batch queries —
@@ -111,6 +125,8 @@ class RandomWorlds:
         counting_fallback: bool = True,
         assume_small_overlap: bool = False,
         cache: Union[WorldCountCache, bool, None] = True,
+        memo: Union[QueryMemoTable, bool, None] = True,
+        memo_size: Optional[int] = DEFAULT_MEMO_SIZE,
         backend: BackendLike = None,
         max_workers: Optional[int] = None,
     ):
@@ -121,7 +137,7 @@ class RandomWorlds:
         if isinstance(cache, WorldCountCache):
             self._world_cache: Optional[WorldCountCache] = cache
         elif cache:
-            self._world_cache = WorldCountCache()
+            self._world_cache = WorldCountCache(memo=memo, memo_size=memo_size)
         else:
             self._world_cache = None
         if isinstance(backend, str) and backend not in BACKENDS:
@@ -194,16 +210,24 @@ class RandomWorlds:
         decomposition at each ``(N, tau)`` grid point, and every later query
         merely re-evaluates its formula on those cached classes.
 
+        With the engine's default ``memo=True``, the finished counts are
+        additionally memoised per ``(grid point, canonical query)``: a batch
+        containing repeated (or alpha-equivalent / reordered) queries answers
+        the repeats in O(1) instead of re-walking the cached classes.
+
         With the ``threads`` backend (or legacy ``max_workers > 1``) the
         queries fan out over a thread pool; the cache is thread-safe and
         serialises concurrent misses per grid point, so threads never
         duplicate an enumeration — but the counting itself is pure CPU-bound
         Python, so on CPython the GIL bounds the win.  With the
-        ``processes`` backend the query loop stays sequential and each
-        counting grid point — not each query — is sharded across the
-        engine's process pool, which is where the multi-core speedup lives.
-        Results are returned in query order and are identical to issuing the
-        queries one at a time through :meth:`degree_of_belief`.
+        ``processes`` backend the query loop stays sequential and the
+        counting work — not each query — goes to the engine's process pool:
+        cold grid points shard their *enumeration* across workers, and warm
+        keys whose cached decomposition is large ship *evaluation* shards
+        (contiguous class blocks plus the query) instead, which is where the
+        multi-core speedup lives on a warm cache.  Results are returned in
+        query order and are identical to issuing the queries one at a time
+        through :meth:`degree_of_belief`.
         """
         kb = self._as_knowledge_base(knowledge_base)
         formulas = [self._as_query(query) for query in queries]

@@ -6,7 +6,9 @@ from .cache import (
     CacheKey,
     ClassDecomposition,
     OversizedSentinel,
+    QueryMemoTable,
     WorldCountCache,
+    query_fingerprint,
     tolerance_fingerprint,
     vocabulary_fingerprint,
 )
@@ -22,6 +24,7 @@ from .counting import (
 from .parallel import (
     BACKENDS,
     CountingExecutor,
+    PartialCount,
     PartialDecomposition,
     ProcessExecutor,
     SerialExecutor,
@@ -30,6 +33,7 @@ from .parallel import (
     compute_shard,
     executor_scope,
     make_executor,
+    merge_counts,
     merge_partials,
     resolve_backend,
 )

@@ -15,6 +15,14 @@ structural: changing the knowledge base, the vocabulary, the domain size or
 the tolerance vector changes the key, so stale entries can never be returned.
 The cache is a bounded LRU and is safe to share between threads (the batch
 API may fan counting out with ``concurrent.futures``).
+
+:class:`QueryMemoTable` is the second memoisation layer: finished per-query
+counts keyed by ``(decomposition key, canonical query, tolerance)``, so an
+*identical repeated* query skips even the re-evaluation and returns in O(1).
+:func:`query_fingerprint` supplies the canonical query form (bound variables
+renamed positionally, commutative connectives sorted), so alpha-equivalent or
+reordered phrasings share one row.  Memo rows are purged with their parent
+decomposition and inherit the same structural invalidation.
 """
 
 from __future__ import annotations
@@ -25,7 +33,34 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Tuple, Union
 
-from ..logic.syntax import Formula
+from ..logic.syntax import (
+    And,
+    ApproxEq,
+    ApproxLeq,
+    Atom,
+    Bottom,
+    CondProportion,
+    Const,
+    Equals,
+    ExactCompare,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Not,
+    Number,
+    Or,
+    Product,
+    Proportion,
+    ProportionExpr,
+    Sum,
+    Term,
+    Top,
+    Var,
+)
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 
@@ -53,6 +88,122 @@ def tolerance_fingerprint(tolerance: ToleranceVector) -> Tuple:
     therefore not hashable itself; the fingerprint flattens it canonically.
     """
     return (tolerance.default, tuple(sorted(tolerance.values.items())))
+
+
+def query_fingerprint(query: Formula) -> Formula:
+    """A canonical form of a query, used as its memo identity.
+
+    Two queries that are alpha-equivalent (bound variables renamed) or differ
+    only in the order of commutative connectives (``And``/``Or`` operands,
+    ``Iff`` sides, ``Equals`` sides, ``Sum``/``Product`` factors) fingerprint
+    identically, so they share one :class:`QueryMemoTable` row instead of
+    splitting the table.  Bound variables are renamed positionally (de
+    Bruijn-style, by binder depth along the path from the root), which makes
+    the canonical form independent of the names the query happened to use;
+    commutative operands are then sorted by their canonical ``repr``.  The
+    result is itself a :class:`~repro.logic.syntax.Formula` (hashable,
+    structurally comparable) that is logically equivalent to the input.
+    """
+    return _canonical_formula(query, {}, 0)
+
+
+def _canonical_formula(formula: Formula, env: dict, depth: int) -> Formula:
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(_canonical_term(a, env) for a in formula.args))
+    if isinstance(formula, Equals):
+        sides = sorted(
+            (_canonical_term(formula.left, env), _canonical_term(formula.right, env)),
+            key=repr,
+        )
+        return Equals(sides[0], sides[1])
+    if isinstance(formula, Not):
+        return Not(_canonical_formula(formula.operand, env, depth))
+    if isinstance(formula, And):
+        operands = sorted(
+            (_canonical_formula(o, env, depth) for o in formula.operands), key=repr
+        )
+        return And(tuple(operands))
+    if isinstance(formula, Or):
+        operands = sorted(
+            (_canonical_formula(o, env, depth) for o in formula.operands), key=repr
+        )
+        return Or(tuple(operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            _canonical_formula(formula.antecedent, env, depth),
+            _canonical_formula(formula.consequent, env, depth),
+        )
+    if isinstance(formula, Iff):
+        sides = sorted(
+            (
+                _canonical_formula(formula.left, env, depth),
+                _canonical_formula(formula.right, env, depth),
+            ),
+            key=repr,
+        )
+        return Iff(sides[0], sides[1])
+    if isinstance(formula, (Forall, Exists)):
+        name = f"?{depth}"
+        inner = {**env, formula.variable: name}
+        body = _canonical_formula(formula.body, inner, depth + 1)
+        return type(formula)(name, body)
+    if isinstance(formula, ExistsExactly):
+        name = f"?{depth}"
+        inner = {**env, formula.variable: name}
+        return ExistsExactly(
+            formula.count, name, _canonical_formula(formula.body, inner, depth + 1)
+        )
+    if isinstance(formula, (ApproxEq, ApproxLeq)):
+        return type(formula)(
+            _canonical_expr(formula.left, env, depth),
+            _canonical_expr(formula.right, env, depth),
+            formula.index,
+        )
+    if isinstance(formula, ExactCompare):
+        return ExactCompare(
+            _canonical_expr(formula.left, env, depth),
+            _canonical_expr(formula.right, env, depth),
+            formula.op,
+        )
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _canonical_term(term: Term, env: dict) -> Term:
+    if isinstance(term, Var):
+        renamed = env.get(term.name)
+        return Var(renamed) if renamed is not None else term
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, FuncApp):
+        return FuncApp(term.name, tuple(_canonical_term(a, env) for a in term.args))
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _canonical_expr(expr: ProportionExpr, env: dict, depth: int) -> ProportionExpr:
+    if isinstance(expr, Number):
+        return expr
+    if isinstance(expr, (Proportion, CondProportion)):
+        # Proportion subscripts bind their variables; rename them positionally
+        # in subscript order so ``||P(x)||_x`` and ``||P(y)||_y`` coincide.
+        names = tuple(f"?{depth + offset}" for offset in range(len(expr.variables)))
+        inner = {**env, **dict(zip(expr.variables, names))}
+        body_depth = depth + len(expr.variables)
+        if isinstance(expr, Proportion):
+            return Proportion(_canonical_formula(expr.formula, inner, body_depth), names)
+        return CondProportion(
+            _canonical_formula(expr.formula, inner, body_depth),
+            _canonical_formula(expr.condition, inner, body_depth),
+            names,
+        )
+    if isinstance(expr, (Sum, Product)):
+        sides = sorted(
+            (_canonical_expr(expr.left, env, depth), _canonical_expr(expr.right, env, depth)),
+            key=repr,
+        )
+        return type(expr)(sides[0], sides[1])
+    raise TypeError(f"unknown proportion expression {expr!r}")
 
 
 @dataclass(frozen=True)
@@ -143,18 +294,35 @@ CacheEntry = Union[ClassDecomposition, OversizedSentinel]
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """A snapshot of cache effectiveness counters."""
+    """A snapshot of cache effectiveness counters.
+
+    The ``memo_*`` fields mirror the decomposition counters for the attached
+    :class:`QueryMemoTable` (all zero / ``None`` when no memo is attached): a
+    memo hit answers a repeated query in O(1) without touching the
+    decomposition entries at all, so the two counter families partition the
+    work — ``memo_misses`` counts actual query evaluations, ``misses`` counts
+    actual class enumerations.
+    """
 
     hits: int
     misses: int
     entries: int
     maxsize: Optional[int]
     total_classes: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_entries: int = 0
+    memo_maxsize: Optional[int] = None
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
 
 class _InFlight:
@@ -174,6 +342,160 @@ class _InFlight:
         self.waiters = 0
 
 
+# A memo row's identity: the parent decomposition's cache key, the canonical
+# query fingerprint, and the tolerance fingerprint the query was evaluated at
+# (the decomposition and the evaluation normally share one tolerance, but
+# ``evaluate_query`` does not require it, so the key keeps them distinct).
+MemoKey = Tuple[CacheKey, Formula, Tuple]
+
+DEFAULT_MEMO_SIZE = 4096
+
+_ABSENT = object()
+
+
+class QueryMemoTable:
+    """A bounded LRU of per-query count results, layered on the class cache.
+
+    Re-walking a cached :class:`ClassDecomposition` costs O(classes) pure
+    Python per query; for *repeated* queries even that is waste.  The memo
+    stores the finished ``(satisfying_kb, satisfying_both)`` counts keyed by
+    :data:`MemoKey`, so an identical repeated query is O(1).  Rows are tiny
+    (a key plus two integers), so the default bound is generous.
+
+    Invalidation is structural, exactly like the decomposition cache: a KB,
+    vocabulary, domain-size or tolerance change produces a different parent
+    :class:`CacheKey` and therefore different memo keys — a stale answer can
+    never be served.  Additionally each row is indexed by its parent key so
+    :meth:`purge_parent` can drop a decomposition's rows with it (the owning
+    :class:`WorldCountCache` does this on eviction and on :meth:`clear`).
+
+    Concurrent misses on one key are serialised by the same refcounted
+    per-key in-flight protocol the decomposition cache uses, so the miss
+    total equals the number of evaluations actually performed — deterministic
+    under any interleaving, which lets the cross-backend equality suite
+    compare memo counters across serial, thread and process backends.
+    """
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_MEMO_SIZE):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[MemoKey, Any]" = OrderedDict()
+        self._parents: dict[CacheKey, set] = {}
+        self._lock = threading.Lock()
+        self._inflight: dict[MemoKey, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        return self._maxsize
+
+    def _served(self, key: MemoKey) -> Any:
+        """A lookup that counts a hit when present and nothing when absent."""
+        with self._lock:
+            found = self._entries.get(key, _ABSENT)
+            if found is not _ABSENT:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            return found
+
+    def store(self, key: MemoKey, value: Any) -> None:
+        """Insert a memo row, evicting least recently used rows beyond the bound."""
+        with self._lock:
+            if key not in self._entries:
+                self._parents.setdefault(key[0], set()).add(key)
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self._maxsize is not None:
+                while len(self._entries) > self._maxsize:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._unindex(evicted_key)
+
+    def _unindex(self, key: MemoKey) -> None:
+        rows = self._parents.get(key[0])
+        if rows is not None:
+            rows.discard(key)
+            if not rows:
+                del self._parents[key[0]]
+
+    def get_or_compute(self, key: MemoKey, compute: Callable[[], Any]) -> Any:
+        """Return the memoised value for ``key``, computing and storing it on a miss.
+
+        Concurrent misses on one key are serialised behind a refcounted
+        per-key lock (one caller evaluates, the rest are served its stored
+        result), so exactly one evaluation happens per key whichever backend
+        or thread interleaving drives the calls.
+        """
+        found = self._served(key)
+        if found is not _ABSENT:
+            return found
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+            entry.waiters += 1
+        try:
+            with entry.lock:
+                found = self._served(key)
+                if found is not _ABSENT:
+                    return found
+                with self._lock:
+                    self._misses += 1
+                value = compute()
+                self.store(key, value)
+                return value
+        finally:
+            with self._lock:
+                entry.waiters -= 1
+                if entry.waiters == 0 and self._inflight.get(key) is entry:
+                    del self._inflight[key]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def purge_parent(self, cache_key: CacheKey) -> None:
+        """Drop every memo row whose parent decomposition is ``cache_key``."""
+        with self._lock:
+            for key in self._parents.pop(cache_key, ()):
+                self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every row (hit/miss counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+            self._parents.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: MemoKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryMemoTable(entries={len(self)}, hits={self._hits}, "
+            f"misses={self._misses}, maxsize={self._maxsize})"
+        )
+
+
 class WorldCountCache:
     """A bounded, thread-safe LRU cache of :class:`ClassDecomposition` values.
 
@@ -191,21 +513,50 @@ class WorldCountCache:
         long-lived engine sweeping many knowledge bases stays bounded even
         though individual decompositions vary wildly in size.  ``None``
         disables the budget.
+    memo:
+        Per-query memoisation layered on the decomposition entries.  ``True``
+        attaches a private :class:`QueryMemoTable` (sized by ``memo_size``);
+        a :class:`QueryMemoTable` instance shares an existing table; the
+        default ``False``/``None`` keeps the historical behaviour — every
+        query re-evaluates on the cached classes.  Memo rows are purged with
+        their parent decomposition (LRU eviction, :meth:`clear`), and the
+        decomposition hit/miss counters stay identical to a memo-less cache
+        for workloads with no repeated queries.
+    memo_size:
+        LRU bound of a privately created memo table (``None`` for unbounded;
+        ignored when ``memo`` is an existing instance).
     """
 
-    def __init__(self, maxsize: Optional[int] = 256, max_total_classes: Optional[int] = 500_000):
+    def __init__(
+        self,
+        maxsize: Optional[int] = 256,
+        max_total_classes: Optional[int] = 500_000,
+        memo: Union[QueryMemoTable, bool, None] = False,
+        memo_size: Optional[int] = DEFAULT_MEMO_SIZE,
+    ):
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive (or None for unbounded)")
         if max_total_classes is not None and max_total_classes <= 0:
             raise ValueError("max_total_classes must be positive (or None for unbounded)")
         self._maxsize = maxsize
         self._max_total_classes = max_total_classes
+        if isinstance(memo, QueryMemoTable):
+            self._memo: Optional[QueryMemoTable] = memo
+        elif memo:
+            self._memo = QueryMemoTable(memo_size)
+        else:
+            self._memo = None
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._total_classes = 0
         self._lock = threading.Lock()
         self._inflight: dict[CacheKey, _InFlight] = {}
         self._hits = 0
         self._misses = 0
+
+    @property
+    def memo(self) -> Optional[QueryMemoTable]:
+        """The attached per-query memo table (``None`` when memoisation is off)."""
+        return self._memo
 
     # -- core operations -----------------------------------------------------
 
@@ -227,6 +578,18 @@ class WorldCountCache:
             if found is not None:
                 self._entries.move_to_end(key)
             return found
+
+    def touch(self, key: CacheKey) -> None:
+        """Refresh ``key``'s LRU recency without counters (no-op when absent).
+
+        The counters call this on every memoised count: a memo hit never
+        reads the parent decomposition, so without the touch a grid point
+        serving pure memo traffic would look idle to the LRU and age out —
+        taking its hot memo rows with it.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
 
     def _served(self, key: CacheKey) -> Optional[CacheEntry]:
         """An entry lookup that counts a hit when present and nothing when absent.
@@ -301,7 +664,15 @@ class WorldCountCache:
                     del self._inflight[key]
 
     def store(self, key: CacheKey, value: CacheEntry) -> None:
-        """Insert a decomposition, evicting least recently used entries beyond the bounds."""
+        """Insert a decomposition, evicting least recently used entries beyond the bounds.
+
+        Evicting an entry also purges its memo rows: a memoised answer whose
+        parent decomposition was re-enumerated after eviction would still be
+        structurally correct, but tying the lifetimes keeps "what the cache
+        knows" to one rule and stops a large memo from outliving the
+        decompositions that justified it.
+        """
+        evicted_keys = []
         with self._lock:
             previous = self._entries.get(key)
             if previous is not None:
@@ -311,12 +682,17 @@ class WorldCountCache:
             self._total_classes += value.num_classes
             if self._maxsize is not None:
                 while len(self._entries) > self._maxsize:
-                    _, evicted = self._entries.popitem(last=False)
+                    evicted_key, evicted = self._entries.popitem(last=False)
                     self._total_classes -= evicted.num_classes
+                    evicted_keys.append(evicted_key)
             if self._max_total_classes is not None:
                 while len(self._entries) > 1 and self._total_classes > self._max_total_classes:
-                    _, evicted = self._entries.popitem(last=False)
+                    evicted_key, evicted = self._entries.popitem(last=False)
                     self._total_classes -= evicted.num_classes
+                    evicted_keys.append(evicted_key)
+        if self._memo is not None:
+            for evicted_key in evicted_keys:
+                self._memo.purge_parent(evicted_key)
 
     def store_oversized(self, key: CacheKey) -> None:
         """Remember that ``key``'s decomposition is too large to store.
@@ -358,6 +734,9 @@ class WorldCountCache:
     def clear(self) -> None:
         """Drop every entry (the hit/miss counters are kept; see ``reset_stats``).
 
+        The attached memo table (when present) is cleared with the
+        decompositions: memo rows live and die with their parents.
+
         In-flight locks are deliberately left alone: computations that are
         mid-enumeration still hold references to them, and wiping the table
         would let a fresh caller start a duplicate, concurrent enumeration of
@@ -367,18 +746,31 @@ class WorldCountCache:
         with self._lock:
             self._entries.clear()
             self._total_classes = 0
+        if self._memo is not None:
+            self._memo.clear()
 
     def reset_stats(self) -> None:
         with self._lock:
             self._hits = 0
             self._misses = 0
+        if self._memo is not None:
+            self._memo.reset_stats()
 
     # -- introspection ---------------------------------------------------------
 
     def cache_info(self) -> CacheInfo:
+        memo = self._memo
         with self._lock:
             return CacheInfo(
-                self._hits, self._misses, len(self._entries), self._maxsize, self._total_classes
+                self._hits,
+                self._misses,
+                len(self._entries),
+                self._maxsize,
+                self._total_classes,
+                memo_hits=memo.hits if memo is not None else 0,
+                memo_misses=memo.misses if memo is not None else 0,
+                memo_entries=len(memo) if memo is not None else 0,
+                memo_maxsize=memo.maxsize if memo is not None else None,
             )
 
     @property

@@ -33,7 +33,14 @@ from ..logic.substitution import constants_of
 from ..logic.syntax import Formula, conj, conjuncts
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
-from .cache import CacheKey, ClassDecomposition, WorldCountCache
+from .cache import (
+    CacheKey,
+    ClassDecomposition,
+    QueryMemoTable,
+    WorldCountCache,
+    query_fingerprint,
+    tolerance_fingerprint,
+)
 from .enumeration import DEFAULT_LIMIT, enumerate_worlds, world_space_size
 from .unary import (
     AtomTable,
@@ -216,13 +223,32 @@ class _DecomposingCounter:
         decomposition: ClassDecomposition,
         query: Formula,
         tolerance: ToleranceVector,
+        shard: Optional[Shard] = None,
     ) -> CountResult:
-        """Count the query on already-enumerated KB classes (no re-enumeration)."""
+        """Count the query on already-enumerated KB classes (no re-enumeration).
+
+        ``shard`` restricts the walk to one contiguous block of the
+        decomposition's classes (see :func:`shard_bounds`); the partial
+        result then reports the *block's* KB weight as ``satisfying_kb``, so
+        summing both fields over a complete shard set reproduces the full
+        totals exactly — this is what lets the processes backend fan the
+        evaluation of one large cached decomposition across workers.
+        """
+        classes: Iterable[Tuple[Any, int]] = decomposition.classes
+        if shard is None:
+            kb_total = decomposition.kb_total
+        else:
+            start, stop = shard_bounds(decomposition.num_classes, *shard)
+            classes = decomposition.classes[start:stop]
+            kb_total = sum(weight for _, weight in classes)
         both_total = 0
-        for element, weight in decomposition.classes:
+        for element, weight in classes:
             if self._satisfies(element, query, tolerance):
                 both_total += weight
-        return CountResult(decomposition.domain_size, decomposition.kb_total, both_total)
+        return CountResult(decomposition.domain_size, kb_total, both_total)
+
+    def _memo(self) -> Optional[QueryMemoTable]:
+        return self._cache.memo if self._cache is not None else None
 
     def count(
         self,
@@ -233,6 +259,13 @@ class _DecomposingCounter:
     ) -> CountResult:
         """Count worlds of ``domain_size`` satisfying the KB, and KB ∧ query.
 
+        When the attached cache carries a :class:`QueryMemoTable`, the
+        finished counts are memoised by ``(cache key, canonical query,
+        tolerance)`` — an identical (or alpha-equivalent / commutatively
+        reordered) repeated query returns in O(1) without touching the
+        decomposition entries; concurrent misses on one memo key are
+        serialised so exactly one evaluation happens per key.
+
         With a cache attached this is a single streaming pass that answers
         the query *and* buffers the KB classes for the cache as it goes; a
         decomposition that grows past :data:`CACHE_CLASS_LIMIT` drops its
@@ -241,11 +274,34 @@ class _DecomposingCounter:
         on the key stream concurrently instead of queueing on the in-flight
         lock.  With a shard-dispatching executor attached the decomposition
         is instead fanned out across worker processes and the query evaluated
-        on the merged result.
+        on the merged result (itself sharded across the pool when the
+        decomposition is large; see ``CountingExecutor.evaluate``).
         """
+        memo = self._memo()
+        if memo is None:
+            return self._count_unmemoised(query, knowledge_base, domain_size, tolerance)
+        key = self.cache_key(knowledge_base, domain_size, tolerance)
+        # A memo hit never reads the decomposition entry, so refresh its LRU
+        # recency here — otherwise a grid point serving pure repeated-query
+        # traffic ages out of the cache and its eviction purges the very memo
+        # rows carrying the load.
+        self._cache.touch(key)
+        memo_key = (key, query_fingerprint(query), tolerance_fingerprint(tolerance))
+        return memo.get_or_compute(
+            memo_key,
+            lambda: self._count_unmemoised(query, knowledge_base, domain_size, tolerance),
+        )
+
+    def _count_unmemoised(
+        self,
+        query: Formula,
+        knowledge_base: Formula,
+        domain_size: int,
+        tolerance: ToleranceVector,
+    ) -> CountResult:
         if self._dispatches_shards():
             decomposition = self.decompose(knowledge_base, domain_size, tolerance)
-            return self.evaluate_query(decomposition, query, tolerance)
+            return self._executor.evaluate(self, decomposition, query, tolerance)
         if self._cache is None:
             return self._stream_count(query, knowledge_base, domain_size, tolerance)
         key = self.cache_key(knowledge_base, domain_size, tolerance)

@@ -11,11 +11,14 @@ All entry points accept an optional :class:`~repro.worlds.cache.WorldCountCache`
 and a ``backend`` (``"serial"`` / ``"threads"`` / ``"processes"``, or a
 :class:`~repro.worlds.parallel.CountingExecutor` instance).  With a cache, the
 KB class decomposition for each ``(N, tau)`` grid point is enumerated at most
-once across every query sharing it; the ``threads`` backend fans the
+once across every query sharing it; a cache constructed with ``memo=True``
+further memoises the finished counts per ``(grid point, canonical query)`` so
+identical repeated queries are O(1).  The ``threads`` backend fans the
 per-domain-size counts out over a thread pool (latency hiding only — the
 counting is GIL-bound), while ``processes`` shards each grid point's
-enumeration across worker processes for true multi-core counting.  Answers
-are ``Fraction``-identical across all backends.
+enumeration — and, on warm caches with large decompositions, each query's
+*evaluation* — across worker processes for true multi-core counting.  Answers
+are ``Fraction``-identical across all backends and memo settings.
 """
 
 from __future__ import annotations
@@ -98,12 +101,15 @@ def counting_curve(
     ``backend`` selects the execution strategy: ``"threads"`` computes the
     domain sizes concurrently on a thread pool (GIL-limited — latency hiding,
     not a CPU speedup), ``"processes"`` keeps this loop serial but shards
-    each grid point's enumeration across worker processes, and ``"serial"``
+    each grid point's enumeration (and each warm query's evaluation over a
+    large cached decomposition) across worker processes, and ``"serial"``
     runs everything inline.  ``max_workers`` sets the pool width; for
     backward compatibility, ``max_workers > 1`` with no explicit backend
     selects ``"threads"``.  The counter's cache (when given) is thread-safe
     and serialises concurrent misses per grid point, so each decomposition is
-    enumerated exactly once whichever backend runs.
+    enumerated exactly once whichever backend runs; a cache with an attached
+    :class:`~repro.worlds.cache.QueryMemoTable` additionally serves repeated
+    queries against it in O(1).
     """
     with executor_scope(resolve_backend(backend, max_workers), max_workers) as executor:
         counter = make_counter(

@@ -24,6 +24,14 @@ so class order matches a serial enumeration exactly — into one
 all cache bookkeeping (including the in-flight lock protocol and the
 oversized negative-cache) happens in the parent process, so answers and
 ``CacheInfo`` totals are identical across all three backends.
+
+Work units come in a second flavour since PR 3: *evaluation* units ship a
+contiguous block of an already-cached decomposition's classes (plus the query
+formula) to workers, which send back a :class:`PartialCount`; the parent sums
+the per-block ``(satisfying_kb, satisfying_both)`` pairs — plain integer
+addition, so the merged count is Fraction-identical to a serial re-walk.
+This is how the processes backend parallelises *warm* queries, whose cost is
+the pure-Python class walk rather than the enumeration.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..logic.syntax import Formula
+from ..logic.syntax import TRUE, Formula
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 from . import counting as _counting
@@ -56,11 +64,21 @@ OVERSHARD = 4
 class WorkUnit:
     """A picklable shard of one counting grid point.
 
-    Carries everything a worker process needs to rebuild a counter and
-    enumerate its slice: the engine kind, the (vocabulary, KB, N, tau) grid
-    point, the engine-specific ``extra`` configuration (the brute-force
-    enumeration limit), and the ``shard_index / num_shards`` block of the
-    outer enumeration this unit owns.
+    Two kinds of unit share this envelope, distinguished by ``query``:
+
+    * **enumeration** (``query is None``, the PR 2 shape) — rebuild a counter
+      and stream one ``shard_index / num_shards`` block of the grid point's
+      outer enumeration, returning the KB-satisfying classes found there as a
+      :class:`PartialDecomposition`;
+    * **evaluation** (``query`` set) — walk the already-enumerated
+      ``classes`` block of a cached decomposition and count the classes
+      satisfying ``query``, returning a :class:`PartialCount`.  The parent
+      slices the decomposition, so ``shard_index / num_shards`` is merge
+      bookkeeping only and ``knowledge_base`` is not consulted.
+
+    Both kinds carry the engine kind, vocabulary, tolerance and the
+    engine-specific ``extra`` configuration (the brute-force enumeration
+    limit) so a worker can rebuild an equivalent cache-less counter.
     """
 
     engine: str
@@ -71,6 +89,8 @@ class WorkUnit:
     extra: Tuple = ()
     shard_index: int = 0
     num_shards: int = 1
+    query: Optional[Formula] = None
+    classes: Optional[Tuple[Tuple[Any, int], ...]] = None
 
 
 @dataclass(frozen=True)
@@ -84,9 +104,46 @@ class PartialDecomposition:
     classes: Tuple[Tuple[Any, int], ...]
 
 
-def compute_shard(unit: WorkUnit) -> PartialDecomposition:
-    """Enumerate one work unit's shard (this is what runs inside workers)."""
+@dataclass(frozen=True)
+class PartialCount:
+    """The query-satisfying weight found in one class block of a decomposition.
+
+    ``satisfying_kb`` is the *block's* total KB weight (not the full
+    decomposition's), so summing both fields over a complete shard set
+    reproduces the full ``(satisfying_kb, satisfying_both)`` pair exactly —
+    the merge is plain integer addition and therefore Fraction-identical to
+    a serial walk.
+    """
+
+    shard_index: int
+    num_shards: int
+    domain_size: int
+    satisfying_kb: int
+    satisfying_both: int
+
+
+def compute_shard(unit: WorkUnit) -> Union[PartialDecomposition, PartialCount]:
+    """Compute one work unit (this is what runs inside workers).
+
+    Enumeration units stream their block of the outer enumeration;
+    evaluation units re-walk their shipped class block for the unit's query.
+    """
     counter = _counting.counter_for_work_unit(unit.engine, unit.vocabulary, unit.extra)
+    if unit.query is not None:
+        block = unit.classes or ()
+        block_decomposition = _counting.ClassDecomposition(
+            domain_size=unit.domain_size,
+            kb_total=sum(weight for _, weight in block),
+            classes=tuple(block),
+        )
+        result = counter.evaluate_query(block_decomposition, unit.query, unit.tolerance)
+        return PartialCount(
+            shard_index=unit.shard_index,
+            num_shards=unit.num_shards,
+            domain_size=unit.domain_size,
+            satisfying_kb=result.satisfying_kb,
+            satisfying_both=result.satisfying_both,
+        )
     kb_total = 0
     classes: List[Tuple[Any, int]] = []
     for element, weight in counter.iter_kb_classes(
@@ -134,6 +191,31 @@ def merge_partials(partials: Sequence[PartialDecomposition]) -> ClassDecompositi
     )
 
 
+def merge_counts(partials: Sequence[PartialCount]) -> "_counting.CountResult":
+    """Fold per-worker evaluation partials back into one exact count.
+
+    The partials must form a complete shard set over one decomposition's
+    classes; both totals are plain integer sums, so the merged
+    :class:`~repro.worlds.counting.CountResult` is indistinguishable from a
+    serial walk of the full class list.
+    """
+    if not partials:
+        raise ValueError("cannot merge an empty set of partial counts")
+    ordered = sorted(partials, key=lambda partial: partial.shard_index)
+    num_shards = ordered[0].num_shards
+    domain_size = ordered[0].domain_size
+    if [partial.shard_index for partial in ordered] != list(range(num_shards)) or any(
+        partial.num_shards != num_shards or partial.domain_size != domain_size
+        for partial in ordered
+    ):
+        raise ValueError("partial counts do not form a complete shard set")
+    return _counting.CountResult(
+        domain_size=domain_size,
+        satisfying_kb=sum(partial.satisfying_kb for partial in ordered),
+        satisfying_both=sum(partial.satisfying_both for partial in ordered),
+    )
+
+
 class CountingExecutor:
     """Execution backend for exact counting (base class doubles as ``serial``).
 
@@ -162,7 +244,7 @@ class CountingExecutor:
         """Apply ``function`` to ``items``, preserving order."""
         return [function(item) for item in items]
 
-    def run_units(self, units: Sequence[WorkUnit]) -> List[PartialDecomposition]:
+    def run_units(self, units: Sequence[WorkUnit]) -> List[Union[PartialDecomposition, PartialCount]]:
         """Compute every work unit, preserving shard order."""
         return [compute_shard(unit) for unit in units]
 
@@ -232,6 +314,64 @@ class CountingExecutor:
             elif found is None:
                 cache.store_oversized(key)
             return value
+
+    # -- query evaluation -------------------------------------------------------
+
+    def plan_evaluation_units(
+        self,
+        counter,
+        decomposition: ClassDecomposition,
+        query: Formula,
+        tolerance: ToleranceVector,
+    ) -> List[WorkUnit]:
+        """Split one decomposition's class list into evaluation work units.
+
+        The blocks are contiguous (:func:`~repro.worlds.counting.shard_bounds`
+        over ``num_classes``), so the merged totals are order-independent
+        integer sums.  Unlike enumeration sharding there is no ``SHARDABLE``
+        gate: the classes are already materialised, so slicing costs nothing
+        for either engine.
+        """
+        num_shards = self.shard_count(decomposition.num_classes)
+        units = []
+        for index in range(num_shards):
+            start, stop = _counting.shard_bounds(decomposition.num_classes, index, num_shards)
+            units.append(
+                WorkUnit(
+                    engine=counter.ENGINE,
+                    vocabulary=counter.vocabulary,
+                    knowledge_base=TRUE,  # unused by evaluation units
+                    domain_size=decomposition.domain_size,
+                    tolerance=tolerance,
+                    extra=counter.cache_key_extra(),
+                    shard_index=index,
+                    num_shards=num_shards,
+                    query=query,
+                    classes=decomposition.classes[start:stop],
+                )
+            )
+        return units
+
+    def evaluate(
+        self,
+        counter,
+        decomposition: ClassDecomposition,
+        query: Formula,
+        tolerance: ToleranceVector,
+    ) -> "_counting.CountResult":
+        """Evaluate a query on a cached decomposition, sharding when it pays.
+
+        Shard-dispatching backends split the class list into blocks and ship
+        each block (plus the query) to the worker pool; inline backends — and
+        decompositions too small for :meth:`shard_count` to split — re-walk
+        the classes in-process.  Either way the result is Fraction-identical
+        to :meth:`~repro.worlds.counting._DecomposingCounter.evaluate_query`.
+        """
+        if self.dispatches_shards:
+            units = self.plan_evaluation_units(counter, decomposition, query, tolerance)
+            if len(units) > 1:
+                return merge_counts(self.run_units(units))
+        return counter.evaluate_query(decomposition, query, tolerance)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -314,7 +454,7 @@ class ProcessExecutor(CountingExecutor):
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
-    def run_units(self, units: Sequence[WorkUnit]) -> List[PartialDecomposition]:
+    def run_units(self, units: Sequence[WorkUnit]) -> List[Union[PartialDecomposition, PartialCount]]:
         if len(units) <= 1 or self._max_workers <= 1:
             return [compute_shard(unit) for unit in units]
         return list(self._ensure_pool().map(compute_shard, units))

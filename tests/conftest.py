@@ -17,6 +17,7 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
         sys.path.insert(0, _SRC)
 
 from repro.core import RandomWorlds  # noqa: E402
+from repro.worlds.parallel import CountingExecutor, ProcessExecutor, make_executor  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -64,3 +65,26 @@ def pytest_generate_tests(metafunc) -> None:
 @pytest.fixture(scope="session")
 def backend_workers(request) -> int:
     return request.config.getoption("--backend-workers")
+
+
+@pytest.fixture(scope="session")
+def shared_process_executor(backend_workers):
+    """One process pool for the whole session (forking per test would dominate).
+
+    Shared by the cross-backend equality suite and the metamorphic suite.
+    """
+    executor = ProcessExecutor(max_workers=backend_workers)
+    yield executor
+    executor.close()
+
+
+@pytest.fixture(scope="session")
+def executor_for(backend_workers, shared_process_executor):
+    """Build (or re-use) the executor for a backend name."""
+
+    def build(backend: str) -> CountingExecutor:
+        if backend == "processes":
+            return shared_process_executor
+        return make_executor(backend, backend_workers)
+
+    return build

@@ -1,0 +1,183 @@
+"""Metamorphic probability-law suite for the exact counting subsystem.
+
+The random-worlds method's own identities give a free oracle: whatever the
+knowledge base and query, the exact ``Pr^tau_N`` measure must satisfy, at
+every *defined* grid point,
+
+* complement:      ``Pr(phi) + Pr(not phi) == 1``,
+* entailment monotonicity: ``Pr(phi and psi) <= min(Pr(phi), Pr(psi))``,
+* tautology:       ``Pr(phi or not phi) == 1``,
+* contradiction:   ``Pr(phi and not phi) == 0``,
+
+with exact :class:`~fractions.Fraction` arithmetic — no tolerance for float
+drift.  Hypothesis draws a benchmark knowledge base and random queries over
+its vocabulary, and the whole suite runs identically with the query memo on
+and off and on all three counting backends (``--backend processes
+--backend-workers 2`` pins it to real multi-process fan-out in CI).
+
+Every test here carries the ``metamorphic`` pytest marker, so
+``pytest -m metamorphic`` selects exactly this oracle suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_worlds_cache import BENCHMARK_KBS
+
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom, Const, Equals, Exists, Forall, Not, Var, conj, disj
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.worlds.cache import WorldCountCache
+from repro.worlds.counting import make_counter
+from repro.worlds.enumeration import world_space_size
+
+pytestmark = pytest.mark.metamorphic
+
+TAU = ToleranceVector.uniform(0.1)
+
+# Tighter budgets than the equality suites: hypothesis runs its full default
+# example budget against every configuration, so each individual count must
+# stay in the low milliseconds.  (The budget bounds the *enumeration*, paid
+# once per KB and cached; per-example evaluation walks only the KB-satisfying
+# classes, which are far fewer.)
+UNARY_CLASS_BUDGET = 5_000
+BRUTE_WORLD_BUDGET = 3_000
+
+
+def _metamorphic_domain_size(vocabulary: Vocabulary) -> int:
+    from repro.core.engine import _unary_class_count
+
+    for domain_size in (6, 5, 4, 3, 2, 1):
+        if vocabulary.is_unary:
+            if _unary_class_count(vocabulary, domain_size) <= UNARY_CLASS_BUDGET:
+                return domain_size
+        elif world_space_size(vocabulary, domain_size) <= BRUTE_WORLD_BUDGET:
+            return domain_size
+    raise AssertionError(f"no feasible domain size for {vocabulary!r}")
+
+
+def _atom_pool(vocabulary: Vocabulary) -> list:
+    """Ground and singly-quantified atoms over the KB's own vocabulary."""
+    constants = tuple(Const(name) for name in tuple(vocabulary.constants)[:3])
+    atoms = []
+    for name, arity in sorted(vocabulary.predicates.items()):
+        for args in itertools.product(constants, repeat=arity):
+            atoms.append(Atom(name, tuple(args)))
+            if len(atoms) >= 10:
+                break
+        if arity == 1:
+            atoms.append(Exists("x", Atom(name, (Var("x"),))))
+            atoms.append(Forall("x", Atom(name, (Var("x"),))))
+    # Equality literals keep the pool non-empty for predicate-free KBs
+    # (lifschitz_names) and add a second kind of ground atom elsewhere.
+    for left, right in itertools.combinations(constants, 2):
+        atoms.append(Equals(left, right))
+    return atoms[:16]
+
+
+def _query_strategy(vocabulary: Vocabulary):
+    atoms = _atom_pool(vocabulary)
+    base = st.sampled_from(atoms)
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: conj(*pair)),
+            st.tuples(children, children).map(lambda pair: disj(*pair)),
+        ),
+        max_leaves=4,
+    )
+
+
+# One shared counter per (backend, memo, KB): the decomposition is enumerated
+# once and every hypothesis example after that only evaluates queries — which
+# is also exactly the warm path the memo and the evaluation shards cover.
+_CONTEXTS: dict = {}
+
+
+def _context(backend: str, memo: bool, entry, executor_for):
+    name, factory, query_text = entry
+    key = (backend, memo, name)
+    found = _CONTEXTS.get(key)
+    if found is None:
+        kb = factory()
+        vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([parse(query_text)]))
+        domain_size = _metamorphic_domain_size(vocabulary)
+        executor = executor_for(backend)
+        counter = make_counter(
+            vocabulary,
+            cache=WorldCountCache(memo=memo),
+            executor=executor if executor.dispatches_shards else None,
+        )
+        found = (kb.formula, domain_size, counter, executor)
+        _CONTEXTS[key] = found
+    return found
+
+
+@pytest.mark.parametrize("memo", [True, False], ids=["memo", "memoless"])
+@given(data=st.data())
+@settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_probability_laws_hold_on_every_kb(counting_backend, memo, executor_for, data):
+    entry = data.draw(st.sampled_from(BENCHMARK_KBS), label="kb")
+    kb_formula, domain_size, counter, executor = _context(
+        counting_backend, memo, entry, executor_for
+    )
+    strategy = _query_strategy(counter.vocabulary)
+    phi = data.draw(strategy, label="phi")
+    psi = data.draw(strategy, label="psi")
+
+    for n in {max(1, domain_size - 1), domain_size}:
+        # the thread backend fans the counts out concurrently (stressing the
+        # memo's in-flight protocol); serial/processes run them in order
+        results = executor.map_ordered(
+            lambda query: counter.count(query, kb_formula, n, TAU),
+            [
+                phi,
+                Not(phi),
+                psi,
+                conj(phi, psi),
+                disj(phi, Not(phi)),
+                conj(phi, Not(phi)),
+            ],
+        )
+        r_phi, r_not_phi, r_psi, r_and, r_taut, r_contra = results
+        assert (
+            r_phi.satisfying_kb
+            == r_not_phi.satisfying_kb
+            == r_psi.satisfying_kb
+            == r_and.satisfying_kb
+        )
+        if not r_phi.is_defined:
+            continue  # no world of this size satisfies the KB: undefined point
+        for result in results:
+            assert isinstance(result.probability, Fraction)
+        assert r_phi.probability + r_not_phi.probability == Fraction(1)
+        assert r_and.probability <= min(r_phi.probability, r_psi.probability)
+        assert r_taut.probability == Fraction(1)
+        assert r_contra.probability == Fraction(0)
+
+
+@pytest.mark.parametrize("memo", [True, False], ids=["memo", "memoless"])
+@given(data=st.data())
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_memo_and_memoless_agree_exactly(counting_backend, memo, executor_for, data):
+    """The memoised answer for any drawn query equals a fresh uncached count."""
+    entry = data.draw(st.sampled_from(BENCHMARK_KBS), label="kb")
+    kb_formula, domain_size, counter, _ = _context(counting_backend, memo, entry, executor_for)
+    phi = data.draw(_query_strategy(counter.vocabulary), label="phi")
+    memoised = counter.count(phi, kb_formula, domain_size, TAU)
+    reference = make_counter(counter.vocabulary).count(phi, kb_formula, domain_size, TAU)
+    assert memoised == reference

@@ -18,7 +18,7 @@ from repro.core.engine import _unary_class_count
 from repro.logic.parser import parse
 from repro.logic.tolerance import ToleranceVector
 from repro.logic.vocabulary import Vocabulary
-from repro.worlds.cache import CacheKey, WorldCountCache
+from repro.worlds.cache import CacheKey, QueryMemoTable, WorldCountCache, query_fingerprint
 from repro.worlds.counting import BruteForceCounter, UnaryWorldCounter, make_counter
 from repro.worlds.enumeration import world_space_size
 from repro.workloads import paper_kbs
@@ -265,6 +265,224 @@ class TestDecomposition:
         key_a = CacheKey.for_counter("unary", kb.vocabulary, kb.formula, 3, TAU)
         key_b = CacheKey.for_counter("unary", kb.vocabulary, kb.formula, 3, ToleranceVector.uniform(0.1))
         assert key_a == key_b and hash(key_a) == hash(key_b)
+
+
+# ---------------------------------------------------------------------------
+# The query memo table
+# ---------------------------------------------------------------------------
+
+
+class TestQueryMemo:
+    def test_repeated_query_is_served_from_the_memo(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        first = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        second = counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert first == second
+        info = cache.cache_info()
+        # the repeat is answered by the memo and never reaches the
+        # decomposition entries (contrast the memo-less accounting tests)
+        assert (info.misses, info.hits) == (1, 0)
+        assert (info.memo_misses, info.memo_hits, info.memo_entries) == (1, 1, 1)
+
+    def test_memo_answers_are_fraction_identical(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        plain = UnaryWorldCounter(vocabulary)
+        memoised = UnaryWorldCounter(vocabulary, cache=WorldCountCache(memo=True))
+        for query_text in ("Hep(Eric)", "Jaun(Eric)", "Hep(Eric) and Jaun(Eric)"):
+            query = parse(query_text)
+            expected = plain.count(query, kb_formula, 6, TAU)
+            for _ in range(2):
+                result = memoised.count(query, kb_formula, 6, TAU)
+                assert result == expected
+                assert result.probability == expected.probability
+                assert isinstance(result.probability, Fraction)
+
+    def test_lru_bound_is_respected(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True, memo_size=2)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        queries = [parse(q) for q in ("Hep(Eric)", "Jaun(Eric)", "Hep(Eric) or Jaun(Eric)")]
+        for query in queries:
+            counter.count(query, kb_formula, 6, TAU)
+        info = cache.cache_info()
+        assert info.memo_entries == 2 and info.memo_maxsize == 2
+        # the first query's row was evicted: counting it again re-evaluates
+        counter.count(queries[0], kb_formula, 6, TAU)
+        assert cache.cache_info().memo_misses == 4
+
+    def test_clear_drops_memo_rows_with_their_parents(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        assert cache.cache_info().memo_entries == 1
+        cache.clear()
+        assert cache.cache_info().memo_entries == 0
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        info = cache.cache_info()
+        assert info.memo_misses == 2  # re-evaluated after clear, not served stale
+
+    def test_parent_eviction_purges_its_memo_rows(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(maxsize=1, memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 5, TAU)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)  # evicts the N=5 entry
+        info = cache.cache_info()
+        assert info.entries == 1
+        assert info.memo_entries == 1  # the N=5 row left with its parent
+        counter.count(parse("Hep(Eric)"), kb_formula, 5, TAU)
+        assert cache.cache_info().memo_misses == 3  # N=5 was re-evaluated
+
+    def test_kb_change_never_serves_a_stale_answer(self):
+        vocabulary = Vocabulary({"P": 1}, {}, ("C",))
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        query = parse("P(C)")
+        positive = counter.count(query, parse("P(C)"), 4, TAU)
+        negative = counter.count(query, parse("not P(C)"), 4, TAU)
+        assert positive.probability == Fraction(1)
+        assert negative.probability == Fraction(0)  # not the memoised 1
+        assert cache.cache_info().memo_entries == 2  # distinct parents, distinct rows
+
+    def test_tolerance_change_is_a_distinct_memo_row(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU)
+        counter.count(parse("Hep(Eric)"), kb_formula, 6, TAU_FINER)
+        info = cache.cache_info()
+        assert info.memo_misses == 2 and info.memo_hits == 0
+
+    def test_memo_table_validates_maxsize(self):
+        with pytest.raises(ValueError):
+            QueryMemoTable(maxsize=0)
+
+    def test_concurrent_misses_evaluate_once(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        memo = QueryMemoTable()
+        evaluations = []
+
+        def compute():
+            evaluations.append(1)
+            return 42
+
+        key = (CacheKey("unary", (), None, 1, ()), parse("P(C)"), ())
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(lambda _: memo.get_or_compute(key, compute), range(8)))
+        assert results == [42] * 8
+        assert len(evaluations) == 1  # the per-key in-flight lock serialised the race
+        assert (memo.misses, memo.hits) == (1, 7)
+        assert not memo._inflight
+
+    def test_engine_memo_param_controls_the_private_cache(self):
+        memoised = RandomWorlds()
+        memoless = RandomWorlds(memo=False)
+        sized = RandomWorlds(memo_size=7)
+        unbounded = RandomWorlds(memo_size=None)
+        assert memoised.world_cache.memo is not None
+        assert memoless.world_cache.memo is None
+        assert sized.world_cache.memo.maxsize == 7
+        assert unbounded.world_cache.memo.maxsize is None
+        # a caller-supplied cache brings its own memo configuration
+        shared = WorldCountCache()
+        assert RandomWorlds(cache=shared).world_cache.memo is None
+
+    def test_memo_traffic_keeps_the_parent_decomposition_warm(self):
+        """Regression: a memo hit must refresh the parent's LRU recency.
+
+        Without the touch, a grid point serving pure repeated-query traffic
+        looks idle to the decomposition LRU, ages out under eviction
+        pressure, and its eviction purges the hot memo rows with it.
+        """
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(maxsize=2, memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        hot = parse("Hep(Eric)")
+        counter.count(hot, kb_formula, 4, TAU)  # the hot grid point
+        for cold_size in (5, 6, 7):
+            counter.count(hot, kb_formula, 4, TAU)  # pure memo traffic
+            counter.count(parse("Hep(Eric)"), kb_formula, cold_size, TAU)  # eviction pressure
+        # the hot parent survived every eviction round, so its memo row was
+        # never purged: exactly one evaluation of the hot query ever happened
+        info = cache.cache_info()
+        assert cache.peek(counter.cache_key(kb_formula, 4, TAU)) is not None
+        assert info.memo_misses == 4  # one per distinct grid point, none repeated
+        assert info.memo_hits == 3  # every hot repeat served from the memo
+
+
+# ---------------------------------------------------------------------------
+# Query fingerprints: alpha-equivalence and commutative reordering
+# ---------------------------------------------------------------------------
+
+
+class TestQueryFingerprint:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("Hep(Eric) and Jaun(Eric)", "Jaun(Eric) and Hep(Eric)"),
+            ("Hep(Eric) or Jaun(Eric)", "Jaun(Eric) or Hep(Eric)"),
+            ("exists x. Hep(x)", "exists y. Hep(y)"),
+            ("forall x. (Hep(x) or Jaun(x))", "forall z. (Jaun(z) or Hep(z))"),
+            ("exists x. exists y. (Hep(x) and Jaun(y))", "exists u. exists v. (Jaun(v) and Hep(u))"),
+            ("Eric = Tom", "Tom = Eric"),
+            ("not (Hep(Eric) and Jaun(Eric))", "not (Jaun(Eric) and Hep(Eric))"),
+        ],
+    )
+    def test_equivalent_queries_share_a_fingerprint(self, left, right):
+        assert query_fingerprint(parse(left)) == query_fingerprint(parse(right))
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("Hep(Eric) and Jaun(Eric)", "Hep(Eric) or Jaun(Eric)"),
+            ("Hep(Eric)", "Jaun(Eric)"),
+            ("exists x. Hep(x)", "forall x. Hep(x)"),
+            ("Hep(Eric)", "not Hep(Eric)"),
+            ("Hep(Eric) -> Jaun(Eric)", "Jaun(Eric) -> Hep(Eric)"),  # not commutative
+        ],
+    )
+    def test_distinct_queries_keep_distinct_fingerprints(self, left, right):
+        assert query_fingerprint(parse(left)) != query_fingerprint(parse(right))
+
+    def test_proportion_subscripts_are_alpha_renamed(self):
+        from fractions import Fraction as F
+
+        from repro.logic.syntax import ApproxEq, Atom, CondProportion, Number, Var
+
+        def statistical(var):
+            return ApproxEq(
+                CondProportion(Atom("Hep", (Var(var),)), Atom("Jaun", (Var(var),)), (var,)),
+                Number(F(4, 5)),
+                1,
+            )
+
+        assert query_fingerprint(statistical("x")) == query_fingerprint(statistical("y"))
+
+    def test_reordered_queries_share_one_memo_row(self):
+        """Regression: commuted conjunctions must not split the memo table."""
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        first = counter.count(parse("Hep(Eric) and Jaun(Eric)"), kb_formula, 6, TAU)
+        second = counter.count(parse("Jaun(Eric) and Hep(Eric)"), kb_formula, 6, TAU)
+        third = counter.count(parse("Hep(Eric) and Jaun(Eric)"), kb_formula, 6, TAU)
+        assert first == second == third
+        info = cache.cache_info()
+        assert (info.memo_misses, info.memo_hits, info.memo_entries) == (1, 2, 1)
+
+    def test_alpha_equivalent_queries_share_one_memo_row(self):
+        kb_formula, vocabulary = _hepatitis_setup()
+        cache = WorldCountCache(memo=True)
+        counter = UnaryWorldCounter(vocabulary, cache=cache)
+        first = counter.count(parse("exists x. Hep(x)"), kb_formula, 6, TAU)
+        second = counter.count(parse("exists y. Hep(y)"), kb_formula, 6, TAU)
+        assert first == second
+        info = cache.cache_info()
+        assert (info.memo_misses, info.memo_hits, info.memo_entries) == (1, 1, 1)
 
 
 # ---------------------------------------------------------------------------

@@ -37,7 +37,6 @@ from repro.worlds.counting import (
 )
 from repro.worlds.degrees import counting_curve, degree_of_belief_by_counting
 from repro.worlds.parallel import (
-    CountingExecutor,
     PartialDecomposition,
     ProcessExecutor,
     SerialExecutor,
@@ -46,29 +45,15 @@ from repro.worlds.parallel import (
     compute_shard,
     executor_scope,
     make_executor,
+    merge_counts,
     merge_partials,
     resolve_backend,
 )
 
 TAU = ToleranceVector.uniform(0.1)
 
-
-@pytest.fixture(scope="session")
-def shared_process_executor(backend_workers):
-    """One process pool for the whole session (forking per test would dominate)."""
-    executor = ProcessExecutor(max_workers=backend_workers)
-    yield executor
-    executor.close()
-
-
-@pytest.fixture
-def executor_for(backend_workers, shared_process_executor):
-    def build(backend: str) -> CountingExecutor:
-        if backend == "processes":
-            return shared_process_executor
-        return make_executor(backend, backend_workers)
-
-    return build
+# The shared_process_executor / executor_for fixtures live in conftest.py so
+# the metamorphic suite shares this suite's session-wide process pool.
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +382,138 @@ def test_legacy_max_workers_still_means_threads():
     threaded = counting_curve(query, kb.formula, vocabulary, (6, 8, 10), TAU, max_workers=3)
     serial = counting_curve(query, kb.formula, vocabulary, (6, 8, 10), TAU)
     assert threaded.probabilities == serial.probabilities
+
+
+# ---------------------------------------------------------------------------
+# Evaluation sharding: every benchmark KB, forced shard dispatch, memo on
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,factory,query_text", BENCHMARK_KBS, ids=[entry[0] for entry in BENCHMARK_KBS]
+)
+def test_eval_sharding_matches_serial_reference(
+    name, factory, query_text, counting_backend, executor_for, monkeypatch
+):
+    """Sharded warm evaluation + memo reproduce the serial Fractions and counters.
+
+    ``MIN_ITEMS_PER_SHARD`` is forced to 1 so even the small benchmark
+    decompositions genuinely split into multiple evaluation work units on the
+    process backend (instead of falling back to the inline walk), and the
+    memo counters must come out identical on every backend.
+    """
+    import repro.worlds.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module, "MIN_ITEMS_PER_SHARD", 1)
+    kb = factory()
+    query = parse(query_text)
+    vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([query]))
+    domain_size = _pick_domain_size(vocabulary)
+
+    reference = make_counter(vocabulary).count(query, kb.formula, domain_size, TAU)
+
+    executor = executor_for(counting_backend)
+    cache = WorldCountCache(memo=True)
+    counter = make_counter(
+        vocabulary,
+        cache=cache,
+        executor=executor if executor.dispatches_shards else None,
+    )
+    cold = counter.count(query, kb.formula, domain_size, TAU)
+    warm = counter.count(query, kb.formula, domain_size, TAU)  # memo O(1) hit
+
+    for result in (cold, warm):
+        assert result.satisfying_kb == reference.satisfying_kb
+        assert result.satisfying_both == reference.satisfying_both
+        if reference.is_defined:
+            assert isinstance(result.probability, Fraction)
+            assert result.probability == reference.probability
+    info = cache.cache_info()
+    # deterministic on every backend: one enumeration, one evaluation, one
+    # memo row; the repeat never reaches the decomposition entries at all
+    assert (info.misses, info.hits) == (1, 0)
+    assert (info.memo_misses, info.memo_hits, info.memo_entries) == (1, 1, 1)
+
+
+def test_evaluation_units_split_and_merge_exactly(shared_process_executor, monkeypatch):
+    """Forced evaluation shards partition the class list and sum to the serial count."""
+    import repro.worlds.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module, "MIN_ITEMS_PER_SHARD", 1)
+    kb = paper_kbs.hepatitis_simple()
+    query = parse("Hep(Eric) or Jaun(Eric)")
+    counter = UnaryWorldCounter(kb.vocabulary, cache=WorldCountCache())
+    decomposition = counter.decompose(kb.formula, 8, TAU)
+    serial = counter.evaluate_query(decomposition, query, TAU)
+
+    units = shared_process_executor.plan_evaluation_units(counter, decomposition, query, TAU)
+    assert len(units) > 1
+    assert sum(len(unit.classes) for unit in units) == decomposition.num_classes
+    partials = [compute_shard(unit) for unit in units]
+    merged = merge_counts(partials)
+    assert merged == serial
+    # per-shard kb weights partition the decomposition's total exactly
+    assert sum(partial.satisfying_kb for partial in partials) == decomposition.kb_total
+
+
+def test_evaluate_query_shard_blocks_partition_the_walk():
+    kb = paper_kbs.hepatitis_simple()
+    counter = UnaryWorldCounter(kb.vocabulary, cache=WorldCountCache())
+    decomposition = counter.decompose(kb.formula, 8, TAU)
+    query = parse("Hep(Eric)")
+    full = counter.evaluate_query(decomposition, query, TAU)
+    for num_shards in (1, 2, 3, 5):
+        blocks = [
+            counter.evaluate_query(decomposition, query, TAU, shard=(index, num_shards))
+            for index in range(num_shards)
+        ]
+        assert sum(block.satisfying_kb for block in blocks) == full.satisfying_kb
+        assert sum(block.satisfying_both for block in blocks) == full.satisfying_both
+
+
+def test_merge_counts_rejects_incomplete_or_mixed_shard_sets():
+    from repro.worlds.parallel import PartialCount
+
+    def partial(index, num_shards, domain_size=6):
+        return PartialCount(index, num_shards, domain_size, 0, 0)
+
+    with pytest.raises(ValueError):
+        merge_counts([])
+    with pytest.raises(ValueError):
+        merge_counts([partial(0, 2)])  # shard 1 missing
+    with pytest.raises(ValueError):
+        merge_counts([partial(0, 2), partial(1, 3)])  # mixed shard counts
+    with pytest.raises(ValueError):
+        merge_counts([partial(0, 2), partial(1, 2, domain_size=7)])  # mixed N
+
+
+def test_evaluation_work_units_are_picklable(shared_process_executor):
+    kb = paper_kbs.hepatitis_simple()
+    counter = UnaryWorldCounter(kb.vocabulary, cache=WorldCountCache())
+    decomposition = counter.decompose(kb.formula, 6, TAU)
+    units = shared_process_executor.plan_evaluation_units(
+        counter, decomposition, parse("Hep(Eric)"), TAU
+    )
+    for unit in units:
+        revived = pickle.loads(pickle.dumps(unit))
+        assert compute_shard(revived) == compute_shard(unit)
+
+
+def test_engine_batch_memo_counters_identical_across_backends(backend_workers):
+    """Memo counters, like the decomposition counters, are backend-independent."""
+    kb = paper_kbs.lottery(3)
+    queries = ["Winner(C)", "Ticket(C)", "Winner(C)", "not Winner(C)", "Ticket(C)"]
+    infos = {}
+    for backend in ("serial", "threads", "processes"):
+        with RandomWorlds(domain_sizes=(6, 8), backend=backend, max_workers=backend_workers) as engine:
+            engine.degree_of_belief_batch(queries, kb)
+            infos[backend] = engine.cache_info()
+    assert infos["serial"] == infos["threads"] == infos["processes"]
+    grid_points = 2 * len(tuple(RandomWorlds(domain_sizes=(6, 8)).tolerances))
+    distinct = 3
+    info = infos["serial"]
+    assert info.memo_misses == distinct * grid_points
+    assert info.memo_hits == (len(queries) - distinct) * grid_points
 
 
 # ---------------------------------------------------------------------------

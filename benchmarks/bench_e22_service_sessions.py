@@ -1,0 +1,50 @@
+"""E22 — the belief-service session API: warm sessions over every family.
+
+Gates the serve-layer shape of the service: a warm
+:class:`~repro.service.BeliefSession` answers a mixed 100-query workload at
+least 2x faster than constructing a fresh engine per query, with answers
+identical to the legacy per-query path; ``reference-class:*`` and
+``defaults:*`` requests flow through the same ``submit`` path and the same
+response schema; and every response survives a real JSON round trip.  The
+engine-level test keeps the shim honest: ``degree_of_belief_batch`` (now a
+thin shim over a private session) and an explicit session must agree answer
+for answer, with identical cache counters.
+"""
+
+from conftest import assert_rows_pass
+
+from repro.core import RandomWorlds
+from repro.experiments import run_experiment
+from repro.experiments.definitions import (
+    E19_DISTINCT_QUERIES,
+    E19_DOMAIN_SIZES,
+    E19_REPEATS,
+)
+from repro.service import QueryRequest, open_session
+from repro.workloads import paper_kbs
+
+
+def test_e22_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E22"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e22_session_matches_legacy_batch(benchmark):
+    """An explicit session and the legacy batch shim agree exactly."""
+    kb = paper_kbs.lottery(5)
+    queries = list(E19_DISTINCT_QUERIES) * E19_REPEATS
+
+    legacy_engine = RandomWorlds(domain_sizes=E19_DOMAIN_SIZES)
+    expected = legacy_engine.degree_of_belief_batch(queries, kb)
+
+    session = open_session(kb, domain_sizes=E19_DOMAIN_SIZES)
+    responses = benchmark.pedantic(
+        session.submit_many,
+        args=([QueryRequest(query=text) for text in queries],),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert [r.result for r in responses] == expected
+    assert session.cache_info() == legacy_engine.cache_info()
+    assert all(r.solver == "random-worlds" for r in responses)

@@ -1,8 +1,9 @@
-"""Medical diagnosis: direct inference, specificity, irrelevance and independence.
+"""Medical diagnosis through the session API: one KB, many solvers.
 
 This example walks through the hepatitis scenario that motivates the paper's
 introduction (a doctor deciding how to treat Eric), showing how the different
-closed-form theorems and the semantic engines cooperate:
+closed-form theorems and the semantic engines cooperate — and how every
+inference family answers through the same ``submit`` path:
 
 * direct inference (Theorem 5.6) uses the statistics for exactly the class of
   patients matching what is known about Eric;
@@ -10,63 +11,63 @@ closed-form theorems and the semantic engines cooperate:
   switches to more specific statistics when they exist;
 * the independence theorem (5.27) multiplies degrees of belief for medically
   unrelated questions;
-* the max-entropy and exact-counting engines confirm the analytic numbers.
+* the max-entropy and exact-counting engines confirm the analytic numbers;
+* the reference-class baselines of Section 2 answer the same request schema
+  under their own solver keys.
 """
 
 from __future__ import annotations
 
-from repro.core import KnowledgeBase, RandomWorlds
-from repro.logic import parse
+from repro.core import KnowledgeBase
+from repro.service import BeliefSession, QueryRequest, open_session
 
 
-def show(engine: RandomWorlds, label: str, query: str, knowledge_base: KnowledgeBase) -> None:
-    result = engine.degree_of_belief(query, knowledge_base)
+def show(session: BeliefSession, label: str, query: str, method: str = "auto") -> None:
+    response = session.submit(QueryRequest(query=query, method=method))
+    result = response.result
     value = "undefined" if result.value is None else f"{result.value:.4f}"
     print(f"  {label:<58} {value:<10} [{result.method}]")
 
 
 def main() -> None:
-    engine = RandomWorlds()
-
     base = KnowledgeBase.from_strings(
         "%(Hep(x) | Jaun(x); x) ~=[1] 0.8",
         "%(Hep(x); x) <~[2] 0.05",
         "%(Hep(x) | Jaun(x) and Fever(x); x) ~=[3] 1",
         "Jaun(Eric)",
     )
+    session = open_session(base)
 
     print("1. Direct inference and specificity")
-    show(engine, "Pr(Hep(Eric) | jaundice)", "Hep(Eric)", base)
-    show(
-        engine,
-        "Pr(Hep(Eric) | jaundice, fever)  -- more specific class",
-        "Hep(Eric)",
-        base.conjoin("Fever(Eric)"),
-    )
-    show(
-        engine,
-        "Pr(Hep(Eric) | jaundice, tall, smoker) -- irrelevant info",
-        "Hep(Eric)",
-        base.conjoin("Tall(Eric)", "Smoker(Eric)"),
-    )
+    show(session, "Pr(Hep(Eric) | jaundice)", "Hep(Eric)")
+    with open_session(base.conjoin("Fever(Eric)")) as fever_session:
+        show(fever_session, "Pr(Hep(Eric) | jaundice, fever)  -- more specific class", "Hep(Eric)")
+    with open_session(base.conjoin("Tall(Eric)", "Smoker(Eric)")) as noisy_session:
+        show(noisy_session, "Pr(Hep(Eric) | jaundice, tall, smoker) -- irrelevant info", "Hep(Eric)")
 
     print()
     print("2. Information about other patients does not interfere")
-    show(engine, "Pr(Hep(Eric) | ... and Hep(Tom))", "Hep(Eric)", base.conjoin("Hep(Tom)"))
+    with open_session(base.conjoin("Hep(Tom)")) as tom_session:
+        show(tom_session, "Pr(Hep(Eric) | ... and Hep(Tom))", "Hep(Eric)")
 
     print()
     print("3. Independence across unrelated findings (Theorem 5.27)")
     with_age = base.conjoin("Patient(Eric)", "%(Over60(x) | Patient(x); x) ~=[5] 0.4")
-    show(engine, "Pr(Over60(Eric))", "Over60(Eric)", with_age)
-    result = engine.degree_of_belief(parse("Hep(Eric) and Over60(Eric)"), with_age)
-    print(f"  {'Pr(Hep(Eric) and Over60(Eric)) = 0.8 x 0.4':<58} {result.value:.4f}     [{result.method}]")
+    with open_session(with_age) as age_session:
+        show(age_session, "Pr(Over60(Eric))", "Over60(Eric)")
+        response = age_session.submit("Hep(Eric) and Over60(Eric)")
+        print(
+            f"  {'Pr(Hep(Eric) and Over60(Eric)) = 0.8 x 0.4':<58} "
+            f"{response.value:.4f}     [{response.result.method}]"
+        )
 
     print()
-    print("4. Cross-checking the analytic answer with the semantic engines")
-    for method in ("analytic", "maxent", "counting"):
-        result = engine.degree_of_belief("Hep(Eric)", base, method=method)
-        value = "undefined" if result.value is None else f"{result.value:.4f}"
-        print(f"  method={method:<10} Pr(Hep(Eric)) = {value}")
+    print("4. Every solver answers the same request schema")
+    print(f"  applicable solvers: {', '.join(session.solvers_for('Hep(Eric)'))}")
+    for method in ("analytic", "maxent", "counting", "reference-class:reichenbach", "reference-class:kyburg"):
+        show(session, f"method={method}", "Hep(Eric)", method=method)
+
+    session.close()
 
 
 if __name__ == "__main__":

@@ -1,16 +1,22 @@
-"""Quickstart: induce degrees of belief from a small statistical knowledge base.
+"""Quickstart: open a belief session and submit queries to it.
 
 Run with ``python examples/quickstart.py``.
 
-The knowledge base mixes the three kinds of information the random-worlds
-method is designed for: a statistical assertion, a first-order (taxonomic)
-fact, and ground facts about a particular individual.  The engine picks the
-appropriate computation path automatically and reports which one it used.
+The session API is the canonical surface: ``open_session(kb)`` normalises,
+fingerprints and consistency-checks the knowledge base once, and every
+``submit`` reuses the session's warm caches.  Requests and responses are
+plain dataclasses that round-trip losslessly through JSON, so the same shape
+works in-process and over the wire.  The classic
+``RandomWorlds().degree_of_belief(query, kb)`` surface still works — it is a
+thin shim over a private session.
 """
 
 from __future__ import annotations
 
-from repro.core import KnowledgeBase, RandomWorlds
+import json
+
+from repro.core import KnowledgeBase
+from repro.service import QueryRequest, open_session
 
 
 def main() -> None:
@@ -25,30 +31,32 @@ def main() -> None:
         "Jaun(Eric)",
     )
 
-    engine = RandomWorlds()
-
-    queries = [
-        "Hep(Eric)",
-        "Fever(Eric)",
-        "Jaun(Eric)",
-        "not Hep(Eric)",
-    ]
-
     print("Knowledge base:")
     for sentence in knowledge_base:
         print(f"  {sentence!r}")
     print()
 
-    for query in queries:
-        result = engine.degree_of_belief(query, knowledge_base)
-        value = "undefined" if result.value is None else f"{result.value:.4f}"
-        print(f"Pr({query}) = {value:<10}  [{result.method}]")
+    with open_session(knowledge_base) as session:
+        print(f"Session open (KB fingerprint {session.fingerprint})")
+        print()
 
-    print()
-    print("Adding irrelevant information about Eric does not change the answer:")
-    extended = knowledge_base.conjoin("Tall(Eric)", "Smoker(Eric)")
-    result = engine.degree_of_belief("Hep(Eric)", extended)
-    print(f"Pr(Hep(Eric) | ... and Tall(Eric) and Smoker(Eric)) = {result.value:.4f}  [{result.method}]")
+        queries = ["Hep(Eric)", "Fever(Eric)", "Jaun(Eric)", "not Hep(Eric)"]
+        for query, response in zip(queries, session.submit_many(queries)):
+            result = response.result
+            value = "undefined" if result.value is None else f"{result.value:.4f}"
+            print(f"Pr({query}) = {value:<10} [{result.method}]")
+
+        print()
+        print("Adding irrelevant information about Eric does not change the answer:")
+        extended = session.knowledge_base.conjoin("Tall(Eric)", "Smoker(Eric)")
+        with open_session(extended) as extended_session:
+            response = extended_session.submit("Hep(Eric)")
+            print(f"Pr(Hep(Eric) | ... and Tall(Eric) and Smoker(Eric)) = {response.value:.4f}")
+
+        print()
+        print("Responses serialize losslessly — the same schema works over the wire:")
+        response = session.submit(QueryRequest(query="Hep(Eric)", request_id="wire-demo"))
+        print(json.dumps(response.to_dict(), indent=2, default=str)[:400], "...")
 
 
 if __name__ == "__main__":

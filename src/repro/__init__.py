@@ -41,4 +41,8 @@ def __getattr__(name: str):
         from . import core
 
         return getattr(core, name)
+    if name in {"BeliefSession", "QueryRequest", "BeliefResponse", "open_session"}:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -19,7 +19,7 @@ from .properties import (
     check_reflexivity,
     check_right_weakening,
 )
-from .result import BeliefResult, PropertyCheckResult
+from .result import POINT_TOLERANCE, BeliefResult, PropertyCheckResult
 from .specificity import specificity_inference
 from .strength import strength_inference
 

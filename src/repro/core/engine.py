@@ -21,6 +21,9 @@ engine records which path produced the value so experiments can compare them.
 from __future__ import annotations
 
 import math
+import threading
+import warnings
+from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..logic.parser import parse
@@ -30,7 +33,13 @@ from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
 from ..maxent.beliefs import degree_of_belief_maxent
 from ..maxent.solver import MaxEntInfeasible
-from ..worlds.cache import DEFAULT_MEMO_SIZE, CacheInfo, QueryMemoTable, WorldCountCache
+from ..worlds.cache import (
+    DEFAULT_MEMO_SIZE,
+    CacheInfo,
+    QueryMemoTable,
+    WorldCountCache,
+    vocabulary_fingerprint,
+)
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.degrees import degree_of_belief_by_counting
 from ..worlds.enumeration import EnumerationTooLarge, world_space_size
@@ -38,7 +47,6 @@ from ..worlds.parallel import (
     BACKENDS,
     BackendLike,
     CountingExecutor,
-    executor_scope,
     make_executor,
     resolve_backend,
 )
@@ -56,6 +64,11 @@ QueryLike = Union[Formula, str]
 KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
 
 AUTO_METHODS = ("independence", "analytic", "maxent", "counting")
+# How many private shim sessions an engine keeps warm: degree_of_belief
+# delegates to a per-KB BeliefSession, and this bounds the KB->session map
+# (evicting one only loses its fingerprint; the world-count cache is
+# engine-level and survives).
+SHIM_SESSION_LIMIT = 8
 BRUTE_FORCE_WORLD_LIMIT = 300_000
 # Upper bound on the number of isomorphism classes the unary counter may visit
 # per (domain size, tolerance) pair; larger domain sizes are skipped so a query
@@ -145,6 +158,28 @@ class RandomWorlds:
         self._backend = backend
         self._max_workers = max_workers
         self._owned_executor: Optional[CountingExecutor] = None
+        self._warned_legacy_threads = False
+        self._sessions: "OrderedDict" = OrderedDict()
+        self._sessions_lock = threading.Lock()
+        if backend is None and (max_workers or 0) > 1:
+            self.warn_legacy_threads()
+
+    def warn_legacy_threads(self) -> None:
+        """Deprecate the bare ``max_workers > 1``-implies-threads spelling.
+
+        Emitted at most once per engine; behaviour is unchanged (the batch
+        still fans out over a thread pool).  Spell the intent with
+        ``backend="threads"`` instead.
+        """
+        if self._warned_legacy_threads:
+            return
+        self._warned_legacy_threads = True
+        warnings.warn(
+            'bare max_workers > 1 implying the threads backend is deprecated; '
+            'pass backend="threads" explicitly',
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     # -- normalisation ---------------------------------------------------------
 
@@ -174,7 +209,35 @@ class RandomWorlds:
         knowledge_base: KnowledgeBaseLike,
         method: str = "auto",
     ) -> BeliefResult:
-        """``Pr_infinity(query | KB)`` with the requested computation method."""
+        """``Pr_infinity(query | KB)`` with the requested computation method.
+
+        A thin shim over the session API: the query flows through a private
+        per-KB :class:`~repro.service.BeliefSession` bound to this engine, so
+        the legacy surface and :meth:`repro.service.BeliefSession.submit`
+        share one dispatch path (and one warm cache).  ``method`` accepts any
+        solver-registry key — the historical ``"auto"`` / ``"independence"``
+        / ``"analytic"`` / ``"maxent"`` / ``"counting"`` spellings plus e.g.
+        ``"reference-class:kyburg"`` or ``"defaults:system-z"``.
+        """
+        from ..service.messages import QueryRequest
+
+        kb = self._as_knowledge_base(knowledge_base)
+        request = QueryRequest(query=self._as_query(query), method=method)
+        return self._shim_session(kb).submit(request).result
+
+    def dispatch(
+        self,
+        query: QueryLike,
+        knowledge_base: KnowledgeBaseLike,
+        method: str = "auto",
+    ) -> BeliefResult:
+        """The raw engine dispatch (no session wrapping).
+
+        This is the computation behind the ``random-worlds*`` solver keys:
+        the automatic method order of the module docstring for ``"auto"``,
+        or one forced path.  Raises :class:`RandomWorldsError` when the
+        requested path does not apply.
+        """
         query_formula = self._as_query(query)
         kb = self._as_knowledge_base(knowledge_base)
 
@@ -193,6 +256,30 @@ class RandomWorlds:
         if result is None:
             raise RandomWorldsError(f"method {method!r} does not apply to this query")
         return result
+
+    def _shim_session(self, kb: KnowledgeBase):
+        """The private per-KB session behind the legacy entry points.
+
+        Sessions share this engine (hence its cache, memo table and worker
+        pool); the map is a small LRU because evicting a session only loses
+        its fingerprint, never the warm counts.  The shim skips the session
+        consistency check to keep legacy error behaviour byte-identical.
+        """
+        from ..service.session import BeliefSession
+
+        # KnowledgeBase equality ignores the (extensible) vocabulary, but the
+        # counting and maxent paths depend on it, so the key must carry both.
+        key = (kb, vocabulary_fingerprint(kb.vocabulary))
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+            session = BeliefSession(kb, engine=self, consistency_check=False)
+            self._sessions[key] = session
+            while len(self._sessions) > SHIM_SESSION_LIMIT:
+                self._sessions.popitem(last=False)
+            return session
 
     def degree_of_belief_batch(
         self,
@@ -229,20 +316,12 @@ class RandomWorlds:
         query order and are identical to issuing the queries one at a time
         through :meth:`degree_of_belief`.
         """
+        from ..service.messages import QueryRequest
+
         kb = self._as_knowledge_base(knowledge_base)
-        formulas = [self._as_query(query) for query in queries]
-        workers = max_workers if max_workers is not None else self._max_workers
-        supplied = isinstance(self._backend, CountingExecutor)
-        resolved = resolve_backend(self._backend.name if supplied else self._backend, workers)
-        if resolved == "threads" and len(formulas) > 1:
-            # A caller-supplied executor instance is used as-is (its pool and
-            # width belong to the caller); a string spec builds a per-call
-            # pool that executor_scope shuts down on exit.
-            with executor_scope(self._backend if supplied else "threads", workers) as executor:
-                return executor.map_ordered(
-                    lambda formula: self.degree_of_belief(formula, kb, method=method), formulas
-                )
-        return [self.degree_of_belief(formula, kb, method=method) for formula in formulas]
+        requests = [QueryRequest(query=self._as_query(query), method=method) for query in queries]
+        responses = self._shim_session(kb).submit_many(requests, max_workers=max_workers)
+        return [response.result for response in responses]
 
     @property
     def tolerances(self) -> Sequence[ToleranceVector]:
@@ -263,6 +342,40 @@ class RandomWorlds:
     def backend(self) -> BackendLike:
         """The configured counting backend (``None`` means the legacy default)."""
         return self._backend
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """The configured pool width (``None`` means the backend's default)."""
+        return self._max_workers
+
+    def derive(
+        self,
+        tolerances: Optional[Iterable[ToleranceVector]] = None,
+        domain_sizes: Optional[Sequence[int]] = None,
+    ) -> "RandomWorlds":
+        """A sibling engine with overridden schedules but shared warm state.
+
+        The derived engine reuses this engine's world-count cache (cache keys
+        include the tolerance and domain-size fingerprints, so sharing is
+        safe) and, for the ``processes`` backend, its worker pool.  Sessions
+        use this for per-request tolerance/domain overrides.
+        """
+        backend = self._backend
+        if isinstance(backend, str) and backend == "processes":
+            backend = self._counting_executor() or backend
+        elif backend is None and (self._max_workers or 0) > 1:
+            # Spell the legacy implied-threads default explicitly so the
+            # derived engine does not re-emit the deprecation warning.
+            backend = "threads"
+        return RandomWorlds(
+            tolerances=self._tolerances if tolerances is None else tolerances,
+            domain_sizes=self._domain_sizes if domain_sizes is None else domain_sizes,
+            counting_fallback=self._counting_fallback,
+            assume_small_overlap=self._assume_small_overlap,
+            cache=self._world_cache if self._world_cache is not None else False,
+            backend=backend,
+            max_workers=self._max_workers,
+        )
 
     def cache_info(self) -> Optional[CacheInfo]:
         """Hit/miss counters of the world-count cache, or ``None`` when disabled."""

@@ -5,6 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+# The shared numerical tolerance for point/interval decisions on results:
+# an interval narrower than this counts as a point answer, and ``within``
+# allows this much slack at each interval endpoint.
+POINT_TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True)
 class BeliefResult:
@@ -49,13 +54,13 @@ class BeliefResult:
         if self.interval is None:
             return self.value is not None
         low, high = self.interval
-        return abs(high - low) < 1e-9
+        return abs(high - low) < POINT_TOLERANCE
 
     def approximately(self, target: float, tolerance: float = 1e-3) -> bool:
         """True when the computed value is within ``tolerance`` of ``target``."""
         return self.value is not None and abs(self.value - target) <= tolerance
 
-    def within(self, low: float, high: float, slack: float = 1e-6) -> bool:
+    def within(self, low: float, high: float, slack: float = POINT_TOLERANCE) -> bool:
         """True when the computed value lies inside ``[low, high]``."""
         return self.value is not None and low - slack <= self.value <= high + slack
 

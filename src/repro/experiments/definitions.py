@@ -1,4 +1,4 @@
-"""Definitions of experiments E1–E21: the paper's worked examples and theorems.
+"""Definitions of experiments E1–E22: the paper's worked examples and theorems.
 
 Each function reproduces the quantitative or crisp qualitative predictions the
 paper states for one example / theorem and returns paper-vs-measured rows.
@@ -7,6 +7,7 @@ See DESIGN.md for the index and EXPERIMENTS.md for the recorded outcomes.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import List
@@ -35,6 +36,7 @@ from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 from ..maxent.solver import solve_knowledge_base
 from ..reference_class import BaselineComparison
+from ..service import BeliefResponse, QueryRequest, open_session
 from ..workloads import generators, paper_kbs
 from ..worlds.cache import WorldCountCache
 from ..worlds.counting import make_counter
@@ -1175,6 +1177,113 @@ def experiment_e21() -> List[ExperimentRow]:
             measured,
             cpus < 4 or eval_speedup >= 1.2,
             method="parallel-eval",
+        )
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E22 — belief-service sessions
+# ---------------------------------------------------------------------------
+
+
+E22_DOMAIN_SIZES = E19_DOMAIN_SIZES
+E22_WORKLOAD_SIZE = 100
+
+
+@register(
+    "E22",
+    "A warm belief session amortises per-KB work across a mixed query workload",
+    "ROADMAP serve layer; Definition 4.3 hot path",
+    slow=True,
+)
+def experiment_e22() -> List[ExperimentRow]:
+    """The session API gates of the service layer, end to end.
+
+    *Amortisation*: a warm :class:`~repro.service.BeliefSession` must answer
+    a mixed 100-query workload at least 2x faster than constructing a fresh
+    engine per query, with answers identical (same floats from the same
+    ``Fraction`` counts, same methods) to the legacy per-query path.  The
+    lottery KB forces exact counting, so the per-query baseline pays the
+    class enumeration 100 times while the session pays it once.
+
+    *One request path*: ``reference-class:*`` and ``defaults:*`` requests
+    must flow through the same ``submit`` call as random-worlds ones and
+    return the same :class:`~repro.service.BeliefResponse` schema.
+
+    *Wire format*: every workload response must survive a real JSON
+    round-trip (``json.dumps``/``loads``) losslessly.
+    """
+    kb = paper_kbs.lottery(5)
+    workload = [E19_DISTINCT_QUERIES[i % len(E19_DISTINCT_QUERIES)] for i in range(E22_WORKLOAD_SIZE)]
+
+    start = time.perf_counter()
+    fresh_results = []
+    for text in workload:
+        fresh_engine = _engine(domain_sizes=E22_DOMAIN_SIZES)
+        fresh_results.append(fresh_engine.degree_of_belief(text, kb))
+    fresh_elapsed = time.perf_counter() - start
+
+    session = open_session(kb, domain_sizes=E22_DOMAIN_SIZES)
+    for text in E19_DISTINCT_QUERIES:
+        session.submit(text)  # warm the decompositions and the query memo
+    start = time.perf_counter()
+    responses = session.submit_many(workload)
+    warm_elapsed = time.perf_counter() - start
+
+    identical = [r.result.value for r in responses] == [r.value for r in fresh_results] and [
+        r.result.method for r in responses
+    ] == [r.method for r in fresh_results]
+    speedup = fresh_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf")
+    rows = [
+        boolean_row(
+            "warm session answers are identical to fresh-engine-per-query answers",
+            True,
+            identical,
+            method="service",
+        ),
+        qualitative_row(
+            "warm session is >= 2x faster than a fresh engine per query",
+            ">= 2x",
+            f"{speedup:.1f}x (fresh-per-query {fresh_elapsed * 1000:.0f} ms, "
+            f"warm session {warm_elapsed * 1000:.0f} ms, {E22_WORKLOAD_SIZE} queries)",
+            speedup >= 2.0,
+            method="service",
+        ),
+    ]
+
+    with open_session(paper_kbs.hepatitis_simple()) as hep_session:
+        kyburg = hep_session.submit(QueryRequest(query="Hep(Eric)", method="reference-class:kyburg"))
+    with open_session(paper_kbs.tweety_fly()) as tweety_session:
+        system_z = tweety_session.submit(QueryRequest(query="Fly(Tweety)", method="defaults:system-z"))
+        epsilon = tweety_session.submit(QueryRequest(query="Bird(Tweety)", method="defaults:epsilon"))
+    same_path = (
+        isinstance(kyburg, BeliefResponse)
+        and isinstance(system_z, BeliefResponse)
+        and kyburg.solver == "reference-class:kyburg"
+        and kyburg.result.method == "reference-class:kyburg"
+        and kyburg.result.value == 0.8
+        and system_z.solver == "defaults:system-z"
+        and system_z.result.value == 0.0
+        and epsilon.solver == "defaults:epsilon"
+        and epsilon.result.value == 1.0
+    )
+    rows.append(
+        boolean_row(
+            "reference-class and defaults requests answer through the same submit path",
+            True,
+            same_path,
+            method="service",
+        )
+    )
+
+    wire = [BeliefResponse.from_dict(json.loads(json.dumps(r.to_dict()))) for r in responses]
+    rows.append(
+        boolean_row(
+            "every workload response JSON round-trips losslessly",
+            True,
+            wire == list(responses),
+            method="service",
         )
     )
     return rows

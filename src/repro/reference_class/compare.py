@@ -45,7 +45,12 @@ class ComparisonRow:
 
 
 class BaselineComparison:
-    """Run the same queries through the baselines and the random-worlds engine."""
+    """Run the same queries through the baselines and the random-worlds engine.
+
+    The random-worlds column flows through the engine's per-KB
+    :class:`~repro.service.BeliefSession` shim, so repeated comparisons over
+    one KB reuse one warm session (and the engine's world-count cache).
+    """
 
     def __init__(self, engine: Optional[RandomWorlds] = None):
         self._engine = engine or RandomWorlds(assume_small_overlap=True)
@@ -60,6 +65,9 @@ class BaselineComparison:
             query=query_formula,
             reichenbach=self._reichenbach.answer(query_formula, knowledge_base),
             kyburg=self._kyburg.answer(query_formula, knowledge_base),
+            # degree_of_belief is itself a shim over the engine's bounded
+            # per-KB session map, so repeated comparisons on one KB reuse
+            # one warm session without this class keeping its own.
             random_worlds=self._engine.degree_of_belief(query_formula, knowledge_base),
         )
 

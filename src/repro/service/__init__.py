@@ -1,0 +1,54 @@
+"""The belief service: one session-oriented API over every inference family.
+
+``open_session(kb)`` normalises, fingerprints and consistency-checks a
+knowledge base once and binds it to a warm engine stack; ``submit`` /
+``submit_many`` / ``stream`` then answer :class:`QueryRequest` objects —
+random-worlds, maximum-entropy, reference-class and default-reasoning
+requests alike — with :class:`BeliefResponse` objects that serialize
+losslessly to JSON.  See ``docs/API.md`` for the schema and solver keys.
+"""
+
+from .messages import (
+    SCHEMA_VERSION,
+    BeliefResponse,
+    CacheDelta,
+    Opaque,
+    QueryRequest,
+    decode_value,
+    encode_value,
+    result_from_dict,
+    result_to_dict,
+)
+from .registry import (
+    DefaultProblem,
+    Solver,
+    SolverRegistry,
+    UnsupportedRequest,
+    build_default_registry,
+    default_registry,
+    extract_default_problem,
+)
+from .session import BeliefSession, check_consistency, kb_fingerprint, open_session
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BeliefResponse",
+    "BeliefSession",
+    "CacheDelta",
+    "DefaultProblem",
+    "Opaque",
+    "QueryRequest",
+    "Solver",
+    "SolverRegistry",
+    "UnsupportedRequest",
+    "build_default_registry",
+    "check_consistency",
+    "decode_value",
+    "default_registry",
+    "encode_value",
+    "extract_default_problem",
+    "kb_fingerprint",
+    "open_session",
+    "result_from_dict",
+    "result_to_dict",
+]

@@ -1,0 +1,311 @@
+"""KB-scoped sessions: the canonical entry point of the belief service.
+
+A :class:`BeliefSession` binds one normalised knowledge base to one engine
+stack.  The KB is parsed, vocabulary-fingerprinted and consistency-checked
+exactly once at :func:`open_session`; every :meth:`~BeliefSession.submit`,
+:meth:`~BeliefSession.submit_many` and :meth:`~BeliefSession.stream` call
+then reuses the session's :class:`~repro.worlds.cache.WorldCountCache`, query
+memo table and counting backend, so a warm session amortises all per-KB work
+across arbitrarily many requests (experiment E22 gates the speedup).
+
+Requests carry a solver-registry method key, so every inference family —
+random worlds, maximum entropy, the reference-class baselines, the
+default-reasoning systems — answers through the same request path and
+returns the same response schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.engine import RandomWorlds
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.syntax import Formula, Not
+from ..logic.tolerance import ToleranceVector
+from ..worlds.cache import CacheInfo, vocabulary_fingerprint
+from ..worlds.counting import InconsistentKnowledgeBase
+from ..worlds.parallel import CountingExecutor, executor_scope, resolve_backend
+from .messages import BeliefResponse, CacheDelta, QueryRequest
+from .registry import SolverRegistry, default_registry
+
+RequestLike = Union[QueryRequest, Formula, str]
+KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
+
+# Bounds accepted by the structural consistency check: proportions live in
+# [0, 1], with a little slack for tolerance-widened interval statistics.
+_BOUND_SLACK = 1e-9
+
+# How many derived engines (one per distinct per-request tolerance/domain
+# override pair) a session keeps warm.  Override values arrive off the wire,
+# so the map must be bounded; evicting one only loses the engine shell — the
+# world-count cache is shared and survives.
+DERIVED_ENGINE_LIMIT = 8
+
+
+def check_consistency(knowledge_base: KnowledgeBase) -> None:
+    """Structurally reject obviously unsatisfiable knowledge bases.
+
+    Catches malformed statistics (empty or out-of-range intervals) and
+    directly contradictory ground facts.  Deliberately cheap — deep
+    (model-theoretic) inconsistency still surfaces as
+    :class:`InconsistentKnowledgeBase` from the counting engine at query
+    time, exactly as on the legacy path.
+    """
+    for statistic in knowledge_base.statistics():
+        if statistic.low > statistic.high + _BOUND_SLACK:
+            raise InconsistentKnowledgeBase(
+                f"statistic {statistic.source!r} asserts the empty interval "
+                f"[{statistic.low}, {statistic.high}]"
+            )
+        if statistic.high < -_BOUND_SLACK or statistic.low > 1.0 + _BOUND_SLACK:
+            raise InconsistentKnowledgeBase(
+                f"statistic {statistic.source!r} places a proportion outside [0, 1]"
+            )
+    facts = set(knowledge_base.ground_facts())
+    for fact in facts:
+        if isinstance(fact, Not) and fact.operand in facts:
+            raise InconsistentKnowledgeBase(
+                f"the knowledge base asserts both {fact.operand!r} and its negation"
+            )
+
+
+def kb_fingerprint(knowledge_base: KnowledgeBase) -> str:
+    """A stable hex fingerprint of the KB's vocabulary and sentences."""
+    payload = repr(
+        (
+            vocabulary_fingerprint(knowledge_base.vocabulary),
+            tuple(repr(sentence) for sentence in knowledge_base.sentences),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class BeliefSession:
+    """One knowledge base bound to one warm engine stack.
+
+    Parameters
+    ----------
+    knowledge_base:
+        The KB (a :class:`KnowledgeBase`, a formula, or text), normalised
+        once at construction.
+    engine:
+        An existing :class:`RandomWorlds` engine to bind (its cache, memo
+        table and backend become the session's warm state).  ``None`` builds
+        a private engine from ``engine_options``.
+    registry:
+        The solver registry to dispatch through; defaults to the shared
+        :func:`~repro.service.registry.default_registry`.
+    consistency_check:
+        Run :func:`check_consistency` once at open (the default).
+    engine_options:
+        Passed to :class:`RandomWorlds` when no engine is supplied
+        (``tolerances``, ``domain_sizes``, ``cache``, ``memo``, ``backend``,
+        ``max_workers``, ...).
+    """
+
+    def __init__(
+        self,
+        knowledge_base: KnowledgeBaseLike,
+        *,
+        engine: Optional[RandomWorlds] = None,
+        registry: Optional[SolverRegistry] = None,
+        consistency_check: bool = True,
+        **engine_options: Any,
+    ):
+        # One normalisation path for both surfaces: the engine's own.
+        self._kb = RandomWorlds._as_knowledge_base(knowledge_base)
+        self._registry = registry if registry is not None else default_registry()
+        if engine is None:
+            engine = RandomWorlds(**engine_options)
+            self._owns_engine = True
+        elif engine_options:
+            raise ValueError("pass engine options or an engine instance, not both")
+        else:
+            self._owns_engine = False
+        self._engine = engine
+        self._fingerprint = kb_fingerprint(self._kb)
+        if consistency_check:
+            check_consistency(self._kb)
+        self._derived: "OrderedDict[Tuple, RandomWorlds]" = OrderedDict()
+        self._state: Dict[Tuple, Any] = {}
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def knowledge_base(self) -> KnowledgeBase:
+        """The session's normalised knowledge base."""
+        return self._kb
+
+    @property
+    def engine(self) -> RandomWorlds:
+        """The bound random-worlds engine (the session's warm state)."""
+        return self._engine
+
+    @property
+    def registry(self) -> SolverRegistry:
+        """The solver registry requests dispatch through."""
+        return self._registry
+
+    @property
+    def fingerprint(self) -> str:
+        """The KB fingerprint computed once at open."""
+        return self._fingerprint
+
+    def cache_info(self) -> Optional[CacheInfo]:
+        """Counter totals of the session's world-count cache."""
+        return self._engine.cache_info()
+
+    def solvers_for(self, request: RequestLike) -> Tuple[str, ...]:
+        """The registry keys whose ``supports`` probe accepts the request."""
+        return self._registry.supporting(self._as_request(request), self._kb)
+
+    # -- the request path ------------------------------------------------------
+
+    def _as_request(self, request: RequestLike) -> QueryRequest:
+        if isinstance(request, QueryRequest):
+            return request
+        return QueryRequest(query=request)
+
+    def _with_id(self, request: QueryRequest) -> QueryRequest:
+        """Assign the next sequential request id unless the caller chose one.
+
+        Ids are assigned before any fan-out so they follow request order even
+        when a batch answers on a thread pool.
+        """
+        if request.request_id:
+            return request
+        return replace(request, request_id=f"q{next(self._request_ids)}")
+
+    def engine_for(self, request: QueryRequest) -> RandomWorlds:
+        """The engine answering this request: the base one, or a derived
+        sibling sharing the session's cache and worker pool when the request
+        overrides the tolerance ladder or domain-size schedule."""
+        if request.tolerances is None and request.domain_sizes is None:
+            return self._engine
+        key = (request.tolerances, request.domain_sizes)
+        with self._lock:
+            derived = self._derived.get(key)
+            if derived is None:
+                tolerances = (
+                    None
+                    if request.tolerances is None
+                    else [ToleranceVector.uniform(tau) for tau in request.tolerances]
+                )
+                derived = self._engine.derive(tolerances=tolerances, domain_sizes=request.domain_sizes)
+                self._derived[key] = derived
+                while len(self._derived) > DERIVED_ENGINE_LIMIT:
+                    self._derived.popitem(last=False)
+            else:
+                self._derived.move_to_end(key)
+            return derived
+
+    def solver_state(self, solver_key: str, state_key: Any, build: Callable[[], Any]) -> Any:
+        """Per-session memo for solver-owned warm state (built once per key)."""
+        key = (solver_key, state_key)
+        with self._lock:
+            if key not in self._state:
+                self._state[key] = build()
+            return self._state[key]
+
+    def submit(self, request: RequestLike) -> BeliefResponse:
+        """Answer one request through the solver its ``method`` key names."""
+        request = self._with_id(self._as_request(request))
+        solver = self._registry.resolve(request.method)
+        before = self._engine.cache_info()
+        start = time.perf_counter()
+        result = solver.solve(request, self)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        after = self._engine.cache_info()
+        delta = CacheDelta.between(before, after) if before is not None and after is not None else None
+        return BeliefResponse(
+            request_id=request.request_id,
+            result=result,
+            solver=solver.key,
+            elapsed_ms=elapsed_ms,
+            cache_delta=delta,
+            metadata=request.metadata,
+        )
+
+    def submit_many(
+        self,
+        requests: Sequence[RequestLike],
+        max_workers: Optional[int] = None,
+    ) -> List[BeliefResponse]:
+        """Answer many requests, sharing all per-KB warm state.
+
+        Mirrors the legacy batch semantics exactly: with the ``threads``
+        backend (or the deprecated bare ``max_workers > 1`` spelling) the
+        requests fan out over a thread pool; with ``processes`` the request
+        loop stays sequential and the counting layer shards across the
+        engine's process pool; otherwise the loop is serial.  Responses come
+        back in request order.
+        """
+        items = [self._with_id(self._as_request(request)) for request in requests]
+        engine = self._engine
+        workers = max_workers if max_workers is not None else engine.max_workers
+        supplied = isinstance(engine.backend, CountingExecutor)
+        resolved = resolve_backend(engine.backend.name if supplied else engine.backend, workers)
+        if resolved == "threads" and len(items) > 1:
+            if engine.backend is None:
+                engine.warn_legacy_threads()
+            # A caller-supplied executor instance is used as-is (its pool and
+            # width belong to the caller); a string spec builds a per-call
+            # pool that executor_scope shuts down on exit.
+            with executor_scope(engine.backend if supplied else "threads", workers) as executor:
+                return executor.map_ordered(self.submit, items)
+        return [self.submit(item) for item in items]
+
+    def stream(self, requests: Iterable[RequestLike]) -> Iterator[BeliefResponse]:
+        """Lazily answer an iterable of requests on the warm session."""
+        for request in requests:
+            yield self.submit(request)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's worker pool if the session owns the engine."""
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "BeliefSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"BeliefSession(kb={len(self._kb)} sentences, fingerprint={self._fingerprint!r}, "
+            f"owns_engine={self._owns_engine})"
+        )
+
+
+def open_session(
+    knowledge_base: KnowledgeBaseLike,
+    *,
+    engine: Optional[RandomWorlds] = None,
+    registry: Optional[SolverRegistry] = None,
+    consistency_check: bool = True,
+    **engine_options: Any,
+) -> BeliefSession:
+    """Open a :class:`BeliefSession` over a knowledge base.
+
+    The KB is normalised, fingerprinted and consistency-checked here, once;
+    every later request reuses the session's warm caches.  Close the session
+    (or use it as a context manager) to release an engine-owned worker pool.
+    """
+    return BeliefSession(
+        knowledge_base,
+        engine=engine,
+        registry=registry,
+        consistency_check=consistency_check,
+        **engine_options,
+    )

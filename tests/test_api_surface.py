@@ -1,0 +1,194 @@
+"""Public-API snapshot: the exported names and signatures of the service.
+
+These tests freeze the surface of ``repro.service`` and ``repro.core`` — the
+two modules external callers program against.  A failing test here means the
+public API drifted; either restore compatibility or update the snapshot *and*
+``docs/API.md`` together, deliberately.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.core as core
+import repro.service as service
+
+# ---------------------------------------------------------------------------
+# Exported names
+# ---------------------------------------------------------------------------
+
+SERVICE_EXPORTS = [
+    "BeliefResponse",
+    "BeliefSession",
+    "CacheDelta",
+    "DefaultProblem",
+    "Opaque",
+    "QueryRequest",
+    "SCHEMA_VERSION",
+    "Solver",
+    "SolverRegistry",
+    "UnsupportedRequest",
+    "build_default_registry",
+    "check_consistency",
+    "decode_value",
+    "default_registry",
+    "encode_value",
+    "extract_default_problem",
+    "kb_fingerprint",
+    "open_session",
+    "result_from_dict",
+    "result_to_dict",
+]
+
+CORE_EXPORTS = [
+    "BeliefResult",
+    "CacheInfo",
+    "DefaultConclusion",
+    "DefaultReasoner",
+    "DirectInferenceMatch",
+    "GroundContext",
+    "KnowledgeBase",
+    "POINT_TOLERANCE",
+    "PropertyCheckResult",
+    "RandomWorlds",
+    "RandomWorldsError",
+    "StatisticalAssertion",
+    "WorldCountCache",
+    "check_and",
+    "check_cautious_monotonicity",
+    "check_conditioning_invariance",
+    "check_cut",
+    "check_left_logical_equivalence",
+    "check_or",
+    "check_rational_monotonicity",
+    "check_reflexivity",
+    "check_right_weakening",
+    "class_relation",
+    "combination",
+    "combination_inference",
+    "defaults",
+    "direct_inference",
+    "engine",
+    "entailment",
+    "entails_membership",
+    "find_matches",
+    "independence",
+    "independence_inference",
+    "kb_entails_ground",
+    "knowledge_base",
+    "properties",
+    "result",
+    "specificity",
+    "specificity_inference",
+    "split_independent",
+    "strength",
+    "strength_inference",
+]
+
+SOLVER_KEYS = [
+    "defaults:epsilon",
+    "defaults:maxent",
+    "defaults:system-z",
+    "random-worlds",
+    "random-worlds:analytic",
+    "random-worlds:counting",
+    "random-worlds:independence",
+    "random-worlds:maxent",
+    "reference-class:kyburg",
+    "reference-class:reichenbach",
+]
+
+SOLVER_ALIASES = {
+    "auto": "random-worlds",
+    "independence": "random-worlds:independence",
+    "analytic": "random-worlds:analytic",
+    "maxent": "random-worlds:maxent",
+    "counting": "random-worlds:counting",
+}
+
+# ---------------------------------------------------------------------------
+# Signatures (rendered with inspect.signature; stringly-frozen on purpose)
+# ---------------------------------------------------------------------------
+
+SIGNATURES = {
+    (core.RandomWorlds, "__init__"): (
+        "(self, tolerances: 'Optional[Iterable[ToleranceVector]]' = None, "
+        "domain_sizes: 'Sequence[int]' = (8, 12, 16, 24, 32), counting_fallback: 'bool' = True, "
+        "assume_small_overlap: 'bool' = False, cache: 'Union[WorldCountCache, bool, None]' = True, "
+        "memo: 'Union[QueryMemoTable, bool, None]' = True, memo_size: 'Optional[int]' = 4096, "
+        "backend: 'BackendLike' = None, max_workers: 'Optional[int]' = None)"
+    ),
+    (core.RandomWorlds, "degree_of_belief"): (
+        "(self, query: 'QueryLike', knowledge_base: 'KnowledgeBaseLike', "
+        "method: 'str' = 'auto') -> 'BeliefResult'"
+    ),
+    (core.RandomWorlds, "degree_of_belief_batch"): (
+        "(self, queries: 'Sequence[QueryLike]', knowledge_base: 'KnowledgeBaseLike', "
+        "method: 'str' = 'auto', max_workers: 'Optional[int]' = None) -> 'List[BeliefResult]'"
+    ),
+    (core.RandomWorlds, "dispatch"): (
+        "(self, query: 'QueryLike', knowledge_base: 'KnowledgeBaseLike', "
+        "method: 'str' = 'auto') -> 'BeliefResult'"
+    ),
+    (service.BeliefSession, "submit"): "(self, request: 'RequestLike') -> 'BeliefResponse'",
+    (service.BeliefSession, "submit_many"): (
+        "(self, requests: 'Sequence[RequestLike]', "
+        "max_workers: 'Optional[int]' = None) -> 'List[BeliefResponse]'"
+    ),
+    (service.BeliefSession, "stream"): (
+        "(self, requests: 'Iterable[RequestLike]') -> 'Iterator[BeliefResponse]'"
+    ),
+    (service, "open_session"): (
+        "(knowledge_base: 'KnowledgeBaseLike', *, engine: 'Optional[RandomWorlds]' = None, "
+        "registry: 'Optional[SolverRegistry]' = None, consistency_check: 'bool' = True, "
+        "**engine_options: 'Any') -> 'BeliefSession'"
+    ),
+}
+
+REQUEST_FIELDS = ["query", "method", "request_id", "tolerances", "domain_sizes", "metadata"]
+RESPONSE_FIELDS = ["request_id", "result", "solver", "elapsed_ms", "cache_delta", "metadata"]
+RESULT_FIELDS = ["value", "interval", "exists", "method", "diagnostics", "note"]
+
+
+class TestExportedNames:
+    def test_service_exports(self):
+        assert sorted(service.__all__) == SERVICE_EXPORTS
+        for name in service.__all__:
+            assert getattr(service, name) is not None
+
+    def test_core_exports(self):
+        assert sorted(core.__all__) == CORE_EXPORTS
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_top_level_lazy_exports(self):
+        import repro
+
+        for name in ("RandomWorlds", "KnowledgeBase", "BeliefResult", "BeliefSession", "open_session"):
+            assert getattr(repro, name) is not None
+
+    def test_point_tolerance_value(self):
+        assert core.POINT_TOLERANCE == 1e-9
+        assert core.result.POINT_TOLERANCE is core.POINT_TOLERANCE
+
+
+class TestSignatures:
+    def test_frozen_signatures(self):
+        for (owner, name), expected in SIGNATURES.items():
+            target = getattr(owner, name)
+            assert str(inspect.signature(target)) == expected, f"{owner.__name__}.{name} drifted"
+
+    def test_message_schemas(self):
+        assert list(service.QueryRequest.__dataclass_fields__) == REQUEST_FIELDS
+        assert list(service.BeliefResponse.__dataclass_fields__) == RESPONSE_FIELDS
+        assert list(core.BeliefResult.__dataclass_fields__) == RESULT_FIELDS
+
+
+class TestSolverRegistry:
+    def test_registered_keys(self):
+        assert list(service.default_registry().keys()) == SOLVER_KEYS
+
+    def test_legacy_aliases(self):
+        registry = service.default_registry()
+        for alias, key in SOLVER_ALIASES.items():
+            assert registry.resolve(alias).key == key

@@ -1,0 +1,208 @@
+"""Serialization tests for the service request/response surface.
+
+The load-bearing property: ``from_dict(to_dict(x))`` is the identity for
+every payload the service produces — through a *real* JSON round trip
+(``json.dumps``/``json.loads``), with exact ``Fraction`` diagnostics,
+intervals, non-existence results and arbitrarily nested containers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BeliefResult
+from repro.logic.parser import parse
+from repro.service import (
+    BeliefResponse,
+    CacheDelta,
+    Opaque,
+    QueryRequest,
+    decode_value,
+    encode_value,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**15), max_value=10**15),
+    st.floats(allow_nan=False),  # inf/-inf included: they take the tagged-float path
+    st.text(max_size=12),
+    st.fractions(),
+)
+
+# Dictionary keys: ordinary strings, strings that collide with the codec's
+# tags (forcing the tagged-items encoding), and non-string hashables.
+string_keys = st.one_of(st.text(max_size=8), st.sampled_from(["__fraction__", "__tuple__", "__x"]))
+nonstring_keys = st.one_of(st.integers(-100, 100), st.fractions(), st.booleans())
+
+
+def containers(children):
+    return st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(string_keys, children, max_size=4),
+        st.dictionaries(nonstring_keys, children, max_size=3),
+    )
+
+
+payloads = st.recursive(scalars, containers, max_leaves=25)
+
+diagnostics = st.dictionaries(string_keys, payloads, max_size=4)
+
+values = st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+
+intervals = st.one_of(
+    st.none(),
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+)
+
+results = st.builds(
+    BeliefResult,
+    value=values,
+    interval=intervals,
+    exists=st.booleans(),
+    method=st.sampled_from(["counting", "maxent", "direct-inference", "defaults:system-z"]),
+    diagnostics=diagnostics,
+    note=st.text(max_size=20),
+)
+
+cache_deltas = st.one_of(
+    st.none(),
+    st.builds(
+        CacheDelta,
+        hits=st.integers(0, 1000),
+        misses=st.integers(0, 1000),
+        memo_hits=st.integers(0, 1000),
+        memo_misses=st.integers(0, 1000),
+    ),
+)
+
+responses = st.builds(
+    BeliefResponse,
+    request_id=st.text(max_size=12),
+    result=results,
+    solver=st.sampled_from(["random-worlds", "reference-class:kyburg", "defaults:epsilon"]),
+    elapsed_ms=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    cache_delta=cache_deltas,
+    metadata=diagnostics,
+)
+
+requests = st.builds(
+    QueryRequest,
+    query=st.sampled_from(["Hep(Eric)", "not Fly(Tweety)", "exists x. Winner(x)"]),
+    method=st.sampled_from(["auto", "counting", "reference-class:kyburg"]),
+    request_id=st.text(max_size=12),
+    tolerances=st.one_of(st.none(), st.lists(st.floats(1e-6, 0.5), min_size=1, max_size=4).map(tuple)),
+    domain_sizes=st.one_of(st.none(), st.lists(st.integers(1, 40), min_size=1, max_size=4).map(tuple)),
+    metadata=diagnostics,
+)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=200)
+    @given(payload=payloads)
+    def test_payload_round_trip(self, payload):
+        assert decode_value(json_round_trip(encode_value(payload))) == payload
+
+    @settings(max_examples=100)
+    @given(result=results)
+    def test_result_round_trip(self, result):
+        assert result_from_dict(json_round_trip(result_to_dict(result))) == result
+
+    @settings(max_examples=100)
+    @given(response=responses)
+    def test_response_round_trip(self, response):
+        assert BeliefResponse.from_dict(json_round_trip(response.to_dict())) == response
+
+    @settings(max_examples=100)
+    @given(request=requests)
+    def test_request_round_trip(self, request):
+        assert QueryRequest.from_dict(json_round_trip(request.to_dict())) == request
+
+
+class TestCodecCornerCases:
+    def test_fraction_is_exact(self):
+        giant = Fraction(3**120 + 1, 2**200)
+        assert decode_value(json_round_trip(encode_value(giant))) == giant
+
+    def test_nonfinite_floats(self):
+        for value in (math.inf, -math.inf):
+            assert decode_value(json_round_trip(encode_value(value))) == value
+        decoded = decode_value(json_round_trip(encode_value(math.nan)))
+        assert isinstance(decoded, float) and math.isnan(decoded)
+
+    def test_formula_payload_parses_back(self):
+        formula = parse("forall x. (Penguin(x) -> Bird(x))")
+        assert decode_value(json_round_trip(encode_value(formula))) == formula
+
+    def test_unencodable_object_degrades_to_stable_opaque(self):
+        class Strange:
+            def __repr__(self):
+                return "<strange>"
+
+        once = decode_value(json_round_trip(encode_value(Strange())))
+        assert once == Opaque("<strange>")
+        # A second round trip is the identity.
+        assert decode_value(json_round_trip(encode_value(once))) == once
+
+    def test_tag_colliding_string_keys_survive(self):
+        payload = {"__fraction__": [1, 2], "__tuple__": "not a tuple"}
+        assert decode_value(json_round_trip(encode_value(payload))) == payload
+
+    def test_non_string_keys_survive(self):
+        payload = {1: "one", Fraction(1, 3): "third", (1, 2): "pair"}
+        assert decode_value(json_round_trip(encode_value(payload))) == payload
+
+    def test_non_existence_result(self):
+        result = BeliefResult(
+            value=None,
+            interval=(0.0, 1.0),
+            exists=False,
+            method="combination",
+            diagnostics={"values": [Fraction(1, 3), Fraction(2, 3)]},
+            note="the limit does not exist",
+        )
+        decoded = result_from_dict(json_round_trip(result_to_dict(result)))
+        assert decoded == result
+        assert decoded.exists is False
+        assert decoded.diagnostics["values"] == [Fraction(1, 3), Fraction(2, 3)]
+
+    def test_counting_style_nested_diagnostics(self):
+        result = BeliefResult(
+            value=0.25,
+            method="counting",
+            diagnostics={
+                "curves": [
+                    {"tolerance": 0.02, "points": [(8, 0.25), (12, 0.25)]},
+                    {"tolerance": 0.01, "points": [(8, Fraction(1, 4))]},
+                ],
+                "note": "",
+            },
+        )
+        decoded = result_from_dict(json_round_trip(result_to_dict(result)))
+        assert decoded == result
+        assert decoded.diagnostics["curves"][0]["points"][0] == (8, 0.25)

@@ -1,0 +1,319 @@
+"""Session API tests: legacy equivalence, lifecycle, overrides, deprecation.
+
+The heart of the file is the equivalence suite: on every benchmark KB, for
+every counting backend and with the query memo on and off,
+``BeliefSession.submit_many`` must produce exactly the answers — and exactly
+the cache counters — of the legacy ``degree_of_belief_batch``.  (Both
+surfaces now share one dispatch path; this suite is what keeps that true.)
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from test_worlds_cache import BENCHMARK_KBS
+
+from repro.core import RandomWorlds, RandomWorldsError
+from repro.service import (
+    BeliefResponse,
+    QueryRequest,
+    UnsupportedRequest,
+    default_registry,
+    open_session,
+)
+from repro.workloads import paper_kbs
+from repro.worlds.counting import InconsistentKnowledgeBase
+
+# Small enough that the counting-path KBs (lottery, lifschitz_names, ...)
+# stay fast; both sides of every comparison use the same schedule, so the
+# equality statements are independent of the choice.
+DOMAIN_SIZES = (4, 6)
+
+
+# ---------------------------------------------------------------------------
+# Session/legacy equivalence on every benchmark KB
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("memo", [True, False], ids=["memo", "memoless"])
+@pytest.mark.parametrize("name,factory,query_text", BENCHMARK_KBS, ids=[b[0] for b in BENCHMARK_KBS])
+def test_session_matches_legacy_batch(
+    name, factory, query_text, memo, counting_backend, backend_workers, executor_for
+):
+    kb = factory()
+    # A repeat and a negation: exercises the memo row and the evaluate path.
+    queries = [query_text, f"not ({query_text})", query_text]
+
+    legacy_engine = RandomWorlds(
+        domain_sizes=DOMAIN_SIZES,
+        memo=memo,
+        backend=executor_for(counting_backend),
+        max_workers=backend_workers,
+    )
+    try:
+        expected = legacy_engine.degree_of_belief_batch(queries, kb)
+        legacy_error = None
+    except RandomWorldsError as error:
+        # On a few non-unary KBs the negated query has no computation path;
+        # the session surface must then fail identically, not differently.
+        expected = None
+        legacy_error = str(error)
+
+    session = open_session(
+        kb,
+        domain_sizes=DOMAIN_SIZES,
+        memo=memo,
+        backend=executor_for(counting_backend),
+        max_workers=backend_workers,
+    )
+    requests = [QueryRequest(query=text) for text in queries]
+    if legacy_error is not None:
+        with pytest.raises(RandomWorldsError) as excinfo:
+            session.submit_many(requests)
+        assert str(excinfo.value) == legacy_error
+        return
+
+    responses = session.submit_many(requests)
+    assert [r.result for r in responses] == expected
+    assert session.cache_info() == legacy_engine.cache_info()
+    assert [r.request_id for r in responses] == ["q1", "q2", "q3"]
+    assert all(r.solver == "random-worlds" for r in responses)
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle and warm state
+# ---------------------------------------------------------------------------
+
+
+class TestSessionLifecycle:
+    def test_open_session_fingerprints_once(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        assert session.fingerprint == open_session(paper_kbs.hepatitis_simple()).fingerprint
+        assert session.fingerprint != open_session(paper_kbs.tweety_fly()).fingerprint
+
+    def test_consistency_check_rejects_contradictory_facts(self):
+        with pytest.raises(InconsistentKnowledgeBase):
+            open_session("Jaun(Eric) and not Jaun(Eric)")
+
+    def test_consistency_check_rejects_empty_interval_statistic(self):
+        kb = paper_kbs.hepatitis_simple().conjoin("0.9 <~[2] %(Hep(x); x)", "%(Hep(x); x) <~[3] 0.1")
+        with pytest.raises(InconsistentKnowledgeBase):
+            open_session(kb)
+        # The check is opt-out for callers that want legacy lenience.
+        open_session(kb, consistency_check=False)
+
+    def test_warm_session_reuses_the_cache(self):
+        session = open_session(paper_kbs.lottery(5), domain_sizes=DOMAIN_SIZES)
+        first = session.submit("Winner(C)")
+        second = session.submit("Winner(C)")
+        assert first.result == second.result
+        assert first.cache_delta is not None and first.cache_delta.misses > 0
+        assert second.cache_delta is not None and second.cache_delta.misses == 0
+        info = session.cache_info()
+        assert info is not None and info.memo_hits > 0
+
+    def test_stream_answers_lazily_in_order(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        texts = ["Hep(Eric)", "Jaun(Eric)", "not Hep(Eric)"]
+        streamed = list(session.stream(texts))
+        assert [r.result for r in streamed] == [session.submit(t).result for t in texts]
+
+    def test_context_manager_closes_owned_engine(self):
+        with open_session(paper_kbs.hepatitis_simple(), backend="processes", max_workers=2) as session:
+            session.submit("Hep(Eric)")
+        # Owned pool released; the engine rebuilds it lazily if reused.
+        assert session.engine._owned_executor is None
+
+    def test_bound_engine_is_shared_not_owned(self):
+        engine = RandomWorlds(domain_sizes=DOMAIN_SIZES)
+        session = open_session(paper_kbs.hepatitis_simple(), engine=engine)
+        assert session.engine is engine
+        with pytest.raises(ValueError):
+            open_session(paper_kbs.hepatitis_simple(), engine=engine, domain_sizes=DOMAIN_SIZES)
+
+    def test_shim_sessions_distinguish_vocabulary_variants(self):
+        """KnowledgeBase equality ignores vocabulary; the shim-session map must not.
+
+        Regression: two formula-equal KBs whose vocabularies differ (the
+        second carries eight extra predicates, pushing exact counting past
+        the unary class limit) must not share a private session — the second
+        KB has to fail exactly as it does on a fresh engine.
+        """
+        from repro.core import KnowledgeBase
+
+        kb1 = KnowledgeBase.from_strings("%(P(x); x) ~=[1] 0.3", "P(C)")
+        extra = " and ".join(f"Q{i}(C)" for i in range(8))
+        kb2 = kb1.with_vocabulary_of(extra)
+        assert kb1 == kb2  # equality ignores the vocabulary, by design
+
+        engine = RandomWorlds()
+        assert engine.degree_of_belief("P(C)", kb1, method="counting").value is not None
+        with pytest.raises(RandomWorldsError):
+            engine.degree_of_belief("P(C)", kb2, method="counting")
+
+    def test_request_id_and_metadata_echo(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        response = session.submit(QueryRequest(query="Hep(Eric)", request_id="corr-7", metadata={"k": 1}))
+        assert response.request_id == "corr-7"
+        assert response.metadata == {"k": 1}
+
+
+# ---------------------------------------------------------------------------
+# Per-request overrides
+# ---------------------------------------------------------------------------
+
+
+class TestRequestOverrides:
+    def test_domain_size_override_uses_derived_engine(self):
+        session = open_session(paper_kbs.lottery(5), domain_sizes=(8, 12, 16, 20))
+        default = session.submit(QueryRequest(query="Winner(C)"))
+        overridden = session.submit(QueryRequest(query="Winner(C)", domain_sizes=(4, 6)))
+        assert default.result.value == pytest.approx(overridden.result.value, abs=0.05)
+        # The derived engine is cached and shares the session cache.
+        again = session.submit(QueryRequest(query="Winner(C)", domain_sizes=(4, 6)))
+        assert again.result == overridden.result
+        assert again.cache_delta is not None and again.cache_delta.misses == 0
+
+    def test_tolerance_override_answers(self):
+        session = open_session(paper_kbs.lottery(5), domain_sizes=(4, 6))
+        response = session.submit(QueryRequest(query="Winner(C)", tolerances=(0.05, 0.02)))
+        assert response.result.value is not None
+
+
+# ---------------------------------------------------------------------------
+# Registry behaviour through the session
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryDispatch:
+    def test_unknown_method_raises_value_error(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        with pytest.raises(ValueError, match="unknown method"):
+            session.submit(QueryRequest(query="Hep(Eric)", method="magic"))
+
+    def test_legacy_method_names_are_aliases(self):
+        registry = default_registry()
+        assert registry.resolve("auto").key == "random-worlds"
+        assert registry.resolve("maxent").key == "random-worlds:maxent"
+        assert registry.resolve("counting").key == "random-worlds:counting"
+
+    def test_every_family_shares_the_submit_path(self):
+        session = open_session(paper_kbs.tweety_fly())
+        for method in ("auto", "reference-class:reichenbach", "reference-class:kyburg", "defaults:system-z"):
+            response = session.submit(QueryRequest(query="Fly(Tweety)", method=method))
+            assert isinstance(response, BeliefResponse)
+            assert response.result.value == 0.0
+
+    def test_defaults_solver_rejects_non_default_kb(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        with pytest.raises(UnsupportedRequest):
+            session.submit(QueryRequest(query="Hep(Eric)", method="defaults:system-z"))
+
+    def test_defaults_solver_wraps_non_propositional_kbs(self):
+        """A binary ground fact about the query constant must surface as the
+        documented UnsupportedRequest, not leak NotPropositional."""
+        from repro.core import KnowledgeBase
+
+        kb = KnowledgeBase.from_strings("%(Fly(x) | Bird(x); x) ~=[1] 1", "Likes(Tweety, Opus)")
+        session = open_session(kb)
+        assert "defaults:system-z" not in session.solvers_for("Fly(Tweety)")
+        with pytest.raises(UnsupportedRequest):
+            session.submit(QueryRequest(query="Fly(Tweety)", method="defaults:system-z"))
+
+    def test_defaults_solvers_memoise_kb_work_per_session(self):
+        """The rule set and Z-ranking are derived from the KB once per session."""
+        session = open_session(paper_kbs.tweety_fly())
+        for _ in range(3):
+            session.submit(QueryRequest(query="Fly(Tweety)", method="defaults:system-z"))
+            session.submit(QueryRequest(query="Fly(Tweety)", method="defaults:epsilon"))
+        state_keys = sorted(key[0] for key in session._state)
+        assert state_keys == ["defaults", "defaults:system-z"]
+
+    def test_defaults_solvers_refuse_unsatisfiable_contexts(self):
+        """An impossible context vacuously entails everything; the solver must
+        answer undecided (None) rather than Pr(query) = Pr(not query) = 1."""
+        from repro.core import KnowledgeBase
+
+        kb = KnowledgeBase.from_strings(
+            "%(Fly(x) | Bird(x); x) ~=[1] 1",
+            "forall x. (Penguin(x) -> not Fly(x))",
+            "Penguin(Tweety)",
+            "Fly(Tweety)",
+        )
+        session = open_session(kb, consistency_check=False)
+        for method in ("defaults:system-z", "defaults:epsilon"):
+            for query in ("Fly(Tweety)", "not Fly(Tweety)"):
+                response = session.submit(QueryRequest(query=query, method=method))
+                assert response.result.value is None, (method, query)
+                assert "unsatisfiable" in response.result.note
+
+    def test_solvers_for_probes_applicability(self):
+        session = open_session(paper_kbs.tweety_fly())
+        keys = session.solvers_for("Fly(Tweety)")
+        assert "defaults:system-z" in keys and "reference-class:kyburg" in keys
+        hep = open_session(paper_kbs.hepatitis_simple())
+        assert "defaults:system-z" not in hep.solvers_for("Hep(Eric)")
+
+    def test_reference_class_vacuous_interval_is_preserved(self):
+        session = open_session(paper_kbs.nixon_diamond())
+        response = session.submit(QueryRequest(query="Pacifist(Nixon)", method="reference-class:reichenbach"))
+        assert response.result.interval == (0.0, 1.0)
+        assert response.result.diagnostics["vacuous"] is True
+
+
+# ---------------------------------------------------------------------------
+# The legacy threads-spelling deprecation
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyThreadsDeprecation:
+    KB = "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8"
+
+    @staticmethod
+    def _legacy_warnings(caught):
+        return [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning) and 'backend="threads"' in str(w.message)
+        ]
+
+    def test_constructor_spelling_warns_exactly_once_per_engine(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = RandomWorlds(max_workers=3)
+            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
+            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
+        assert len(self._legacy_warnings(caught)) == 1
+
+    def test_per_call_spelling_warns_exactly_once_per_engine(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = RandomWorlds()
+            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB, max_workers=3)
+            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB, max_workers=3)
+        assert len(self._legacy_warnings(caught)) == 1
+
+    def test_two_engines_warn_independently(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RandomWorlds(max_workers=2)
+            RandomWorlds(max_workers=2)
+        assert len(self._legacy_warnings(caught)) == 2
+
+    def test_explicit_threads_backend_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = RandomWorlds(backend="threads", max_workers=3)
+            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
+        assert self._legacy_warnings(caught) == []
+
+    def test_legacy_spelling_behaviour_is_unchanged(self):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            legacy = RandomWorlds(max_workers=3)
+            explicit = RandomWorlds(backend="threads", max_workers=3)
+            queries = ["Hep(Eric)", "Jaun(Eric)", "not Hep(Eric)"]
+            assert legacy.degree_of_belief_batch(queries, self.KB) == explicit.degree_of_belief_batch(
+                queries, self.KB
+            )

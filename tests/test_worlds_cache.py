@@ -577,7 +577,9 @@ class TestBatch:
 
     def test_batch_with_threads_matches_sequential(self):
         kb = paper_kbs.lottery(3)
-        threaded = RandomWorlds(domain_sizes=(6, 8, 10), max_workers=4)
+        # The bare max_workers spelling still means threads (and says so).
+        with pytest.warns(DeprecationWarning, match='backend="threads"'):
+            threaded = RandomWorlds(domain_sizes=(6, 8, 10), max_workers=4)
         plain = RandomWorlds(domain_sizes=(6, 8, 10))
         expected = plain.degree_of_belief_batch(BATCH_QUERIES, kb)
         actual = threaded.degree_of_belief_batch(BATCH_QUERIES, kb)

@@ -1,0 +1,109 @@
+"""E23 — the HTTP service front-end: served answers == in-process answers.
+
+Gates the serve layer end to end over real sockets: a warm served session
+answers the mixed lottery workload at least 2x faster than a fresh
+in-process engine per query (the HTTP framing must not eat E22's
+amortisation), a saturated admission gate answers 429 deterministically,
+and — the load-bearing property — every HTTP ``BeliefResponse`` decodes to
+a result exactly equal (same floats, same exact ``Fraction`` diagnostics)
+to in-process ``session.submit_many``.  The sweep below asserts that
+identity on every benchmark KB, so no KB fragment can drift between the
+wire codec and the in-process path.
+"""
+
+from conftest import assert_rows_pass
+
+from repro.core import RandomWorldsError
+from repro.experiments import run_experiment
+from repro.server import Client, ServerError, SessionManager, serve_in_background
+from repro.service import open_session
+from repro.workloads import paper_kbs
+
+# The cross-suite benchmark KBs (mirrors tests/test_worlds_cache.py), each
+# with a query probing its characteristic inference path.  KBs travel as
+# kb_payload wire objects (sentence text + explicit vocabulary), so the
+# served KB is fingerprint-identical to the in-process one.
+SERVED_KBS = [
+    ("hepatitis_simple", paper_kbs.hepatitis_simple, "Hep(Eric)"),
+    ("hepatitis_full", paper_kbs.hepatitis_full, "Hep(Eric)"),
+    ("tweety_fly", paper_kbs.tweety_fly, "Fly(Tweety)"),
+    ("tweety_yellow", paper_kbs.tweety_yellow, "Fly(Tweety)"),
+    ("tweety_warm_blooded", paper_kbs.tweety_warm_blooded, "WarmBlooded(Tweety)"),
+    ("tweety_easy_to_see", paper_kbs.tweety_easy_to_see, "EasyToSee(Tweety)"),
+    ("tay_sachs", paper_kbs.tay_sachs, "TS(Eric)"),
+    ("elephant_zookeeper", paper_kbs.elephant_zookeeper, "Likes(Clyde, Fred)"),
+    ("chirping_magpie", paper_kbs.chirping_magpie, "Chirps(Tweety)"),
+    ("moody_magpie", paper_kbs.moody_magpie, "Chirps(Tweety)"),
+    ("nixon_diamond", paper_kbs.nixon_diamond, "Pacifist(Nixon)"),
+    ("fred_heart_disease", paper_kbs.fred_heart_disease, "Heart(Fred)"),
+    ("hepatitis_and_age", paper_kbs.hepatitis_and_age, "Hep(Eric) and Over60(Eric)"),
+    ("black_birds", paper_kbs.black_birds, "Black(Clyde)"),
+    ("lottery", paper_kbs.lottery, "Winner(C)"),
+    ("lifschitz_names", paper_kbs.lifschitz_names, "not (Ray = Drew)"),
+    ("broken_arm", paper_kbs.broken_arm, "LeftUsable(Eric)"),
+    ("colours_two_way", paper_kbs.colours_two_way, "White(Block)"),
+    ("colours_three_way", paper_kbs.colours_three_way, "White(Block)"),
+    ("flying_birds_two_predicates", paper_kbs.flying_birds_two_predicates, "Fly(Tweety)"),
+    ("flying_birds_refined", paper_kbs.flying_birds_refined, "FlyingBird(Tweety)"),
+    ("swimming_taxonomy", paper_kbs.swimming_taxonomy, "Swims(Opus)"),
+    ("tall_parent", paper_kbs.tall_parent, "Tall(Alice)"),
+]
+
+DOMAIN_SIZES = (6, 8, 10, 12)
+
+
+def test_e23_rows_reproduce(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("E23"), rounds=1, iterations=1)
+    assert_rows_pass(result.rows)
+
+
+def test_e23_http_matches_inprocess_on_every_benchmark_kb(benchmark):
+    """One server, every benchmark KB: served results == in-process results.
+
+    Both sides open their session from the same wire payload (the sentence
+    texts), so the equality below is between two independently constructed
+    engine stacks — one behind HTTP framing — not between a session and a
+    copy of itself.  Queries run each KB's characteristic query, its
+    negation, and a repeat (to cross the memo path on both sides).  KBs the
+    engine cannot answer at these domain sizes must fail identically: an
+    in-process ``RandomWorldsError`` has to surface as HTTP 422
+    ``query-failed``, never as a different answer.
+    """
+
+    def served_and_local():
+        pairs = []
+        manager = SessionManager(max_sessions=len(SERVED_KBS), domain_sizes=DOMAIN_SIZES)
+        with serve_in_background(manager) as server:
+            client = Client(server.url)
+            for name, factory, query_text in SERVED_KBS:
+                kb = factory()
+                queries = [query_text, f"not ({query_text})", query_text]
+                with open_session(kb, domain_sizes=DOMAIN_SIZES) as local:
+                    try:
+                        expected = local.submit_many(queries)
+                    except RandomWorldsError:
+                        expected = RandomWorldsError
+                session_id = client.open_session(kb)
+                assert session_id == local.fingerprint  # the wire KB is lossless
+                try:
+                    served = client.query_batch(session_id, queries)
+                except ServerError as error:
+                    served = (error.status, error.code)
+                pairs.append((name, served, expected))
+        return pairs
+
+    pairs = benchmark.pedantic(served_and_local, rounds=1, iterations=1)
+    mismatches = []
+    for name, served, expected in pairs:
+        if expected is RandomWorldsError:
+            # The engine cannot answer this KB at these domain sizes; the
+            # server must report the same failure as 422, not diverge.
+            if served != (422, "query-failed"):
+                mismatches.append(name)
+        elif isinstance(served, tuple):
+            mismatches.append(name)
+        elif [r.result for r in served] != [r.result for r in expected] or [
+            r.solver for r in served
+        ] != [r.solver for r in expected]:
+            mismatches.append(name)
+    assert not mismatches, f"served answers diverged from in-process answers on: {mismatches}"

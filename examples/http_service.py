@@ -1,0 +1,87 @@
+"""Serve degrees of belief over HTTP: the full request path in one script.
+
+Run with ``python examples/http_service.py``.
+
+The script starts a ``repro-serve``-equivalent server on an ephemeral port,
+opens a session for the lottery-paradox knowledge base over HTTP, streams a
+mixed workload through it, and shows the three serving behaviours the
+front-end adds on top of the session API: idempotent session routing (same
+KB ⇒ same session id), warm-cache amortisation (the cache counters are
+visible over the wire), and explicit backpressure (a saturated admission
+gate answers 429 with ``Retry-After`` instead of queueing).
+
+In production you would run ``repro-serve --port 8080 ...`` as its own
+process; everything below works identically against it.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+from repro.server import Client, ServerError, SessionManager, serve_in_background
+from repro.service import QueryRequest
+from repro.workloads import paper_kbs
+
+WORKLOAD = [
+    "Winner(C)",
+    "Ticket(C)",
+    "not Winner(C)",
+    "exists x. Winner(x)",
+    "Winner(C) and Ticket(C)",
+    "Winner(C)",  # a repeat: answered by the query memo, O(1)
+]
+
+
+def main() -> None:
+    knowledge_base = paper_kbs.lottery(5)
+    manager = SessionManager(max_inflight=4, ttl_seconds=3600, domain_sizes=(8, 12, 16, 20))
+
+    with serve_in_background(manager) as server:
+        client = Client(server.url)
+        print(f"Server up at {server.url}")
+        print(f"Health: {client.healthz()['status']}")
+        print()
+
+        # Open a session: the KB is parsed, fingerprinted and bound to a warm
+        # engine stack exactly once, server-side.
+        opened = client.open_session_info(knowledge_base)
+        session_id = opened["session_id"]
+        print(f"Opened session {session_id} (created={opened['created']})")
+
+        # Re-posting the same KB is idempotent: same fingerprint, same session.
+        again = client.open_session_info(knowledge_base)
+        print(f"Re-posting the KB re-joins it: created={again['created']}")
+        print()
+
+        # Stream the workload over HTTP; every answer reuses the warm caches.
+        print("Streaming the lottery workload:")
+        for query, response in zip(WORKLOAD, client.stream(session_id, WORKLOAD)):
+            value = "undefined" if response.value is None else f"{response.value:.4f}"
+            print(f"  Pr({query}) = {value:<10} [{response.result.method}, {response.elapsed_ms:.1f} ms]")
+        print()
+
+        # One batch round trip answers many requests in request order.
+        batch = client.query_batch(session_id, [QueryRequest(query=q) for q in WORKLOAD])
+        print(f"Batch round trip answered {len(batch)} requests")
+
+        cache = client.cache_info(session_id)
+        print(
+            f"Warm session cache: {cache['entries']} decompositions, "
+            f"hit rate {cache['hit_rate']:.0%}, memo hit rate {cache['memo_hit_rate']:.0%}"
+        )
+        print()
+
+        # Backpressure is explicit: saturate the admission gate and the server
+        # answers 429 + Retry-After instead of queueing unboundedly.
+        with ExitStack() as stack:
+            for _ in range(manager.max_inflight):
+                stack.enter_context(manager.admit())
+            try:
+                client.query(session_id, "Winner(C)")
+            except ServerError as error:
+                print(f"Overloaded: HTTP {error.status} [{error.code}], retry after {error.retry_after}s")
+        print(f"After slots free up: Pr(Winner(C)) = {client.query(session_id, 'Winner(C)').value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Definitions of experiments E1–E22: the paper's worked examples and theorems.
+"""Definitions of experiments E1–E23: the paper's worked examples and theorems.
 
 Each function reproduces the quantitative or crisp qualitative predictions the
 paper states for one example / theorem and returns paper-vs-measured rows.
@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import ExitStack
 from typing import List
 
 from ..core.engine import RandomWorlds
@@ -1284,6 +1285,125 @@ def experiment_e22() -> List[ExperimentRow]:
             True,
             wire == list(responses),
             method="service",
+        )
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E23 — the HTTP service front-end
+# ---------------------------------------------------------------------------
+
+
+E23_DOMAIN_SIZES = E19_DOMAIN_SIZES
+E23_WORKLOAD_SIZE = 100
+E23_MAX_INFLIGHT = 4
+
+
+@register(
+    "E23",
+    "The HTTP front-end serves warm-session answers with explicit backpressure",
+    "ROADMAP serve layer; network front-end over the session API",
+    slow=True,
+)
+def experiment_e23() -> List[ExperimentRow]:
+    """The serving gates of the HTTP front-end, end to end over real sockets.
+
+    *Identity*: ``POST /v1/sessions/{id}/query_batch`` must return
+    :class:`~repro.service.BeliefResponse` payloads whose decoded results are
+    exactly equal — same floats, same exact ``Fraction`` diagnostics — to
+    in-process ``session.submit_many`` on the same knowledge base (the
+    benchmark-KB sweep lives in ``benchmarks/bench_e23_http_service.py``).
+
+    *Throughput*: a warm served session must answer the mixed 100-query
+    lottery workload at least 2x faster than constructing a fresh engine per
+    query in process — the HTTP framing must not eat the amortisation E22
+    established (in-process the warm session measures ~100-250x).
+
+    *Backpressure*: with the admission gate saturated, a query must be
+    rejected with HTTP 429 and a ``Retry-After`` hint — deterministically,
+    not by timing out a full queue — and succeed again once a slot frees.
+
+    *Idempotent routing*: re-posting the same KB must return the same
+    session id with ``created=false``.
+    """
+    from ..server import Client, ServerError, SessionManager, serve_in_background
+
+    kb = paper_kbs.lottery(5)
+    workload = [E19_DISTINCT_QUERIES[i % len(E19_DISTINCT_QUERIES)] for i in range(E23_WORKLOAD_SIZE)]
+
+    start = time.perf_counter()
+    fresh_results = []
+    for text in workload:
+        fresh_engine = _engine(domain_sizes=E23_DOMAIN_SIZES)
+        fresh_results.append(fresh_engine.degree_of_belief(text, kb))
+    fresh_elapsed = time.perf_counter() - start
+
+    with open_session(kb, domain_sizes=E23_DOMAIN_SIZES) as local_session:
+        local_responses = local_session.submit_many(workload)
+
+    manager = SessionManager(max_inflight=E23_MAX_INFLIGHT, domain_sizes=E23_DOMAIN_SIZES)
+    with serve_in_background(manager) as server:
+        client = Client(server.url)
+        opened = client.open_session_info(kb)
+        session_id = opened["session_id"]
+        reopened = client.open_session_info(kb)
+
+        for text in E19_DISTINCT_QUERIES:
+            client.query(session_id, text)  # warm the decompositions and the memo
+        start = time.perf_counter()
+        responses = client.query_batch(session_id, workload)
+        warm_elapsed = time.perf_counter() - start
+
+        overloaded_status = overloaded_retry_after = None
+        with ExitStack() as stack:
+            for _ in range(E23_MAX_INFLIGHT):
+                stack.enter_context(manager.admit())
+            try:
+                client.query(session_id, workload[0])
+            except ServerError as error:
+                overloaded_status = error.status
+                overloaded_retry_after = error.retry_after
+        recovered = client.query(session_id, workload[0])
+
+    identical = [response.result for response in responses] == [
+        response.result for response in local_responses
+    ]
+    rows = [
+        boolean_row(
+            "HTTP batch answers are Fraction-identical to in-process submit_many",
+            True,
+            identical,
+            method="server",
+        )
+    ]
+    speedup = fresh_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf")
+    rows.append(
+        qualitative_row(
+            "warm served session is >= 2x faster than a fresh in-process engine per query",
+            ">= 2x",
+            f"{speedup:.1f}x (fresh-per-query {fresh_elapsed * 1000:.0f} ms, "
+            f"HTTP warm batch {warm_elapsed * 1000:.0f} ms, {E23_WORKLOAD_SIZE} queries)",
+            speedup >= 2.0,
+            method="server",
+        )
+    )
+    rows.append(
+        boolean_row(
+            "a saturated admission gate answers 429 with Retry-After, then recovers",
+            True,
+            overloaded_status == 429
+            and (overloaded_retry_after or 0) > 0
+            and recovered.result == local_responses[0].result,
+            method="server",
+        )
+    )
+    rows.append(
+        boolean_row(
+            "re-posting the same KB is idempotent on the fingerprint",
+            True,
+            reopened["session_id"] == session_id and reopened["created"] is False,
+            method="server",
         )
     )
     return rows

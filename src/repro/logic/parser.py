@@ -236,10 +236,18 @@ class _Parser:
         if token.kind in ("NUMBER", "PROP_OPEN"):
             return self._comparison()
         if token.kind == "LPAREN":
-            self._advance()
-            inner = self._iff()
-            self._expect("RPAREN")
-            return inner
+            saved = self._index
+            try:
+                self._advance()
+                inner = self._iff()
+                self._expect("RPAREN")
+                return inner
+            except ParseError:
+                # Not a parenthesized formula — backtrack and read it as a
+                # parenthesized proportion expression heading a comparison,
+                # e.g. '(%(A(x); x) + %(B(x); x)) ~= 1' (the repr of Sum).
+                self._index = saved
+                return self._comparison()
         if token.kind == "TRUE":
             self._advance()
             return TRUE
@@ -334,8 +342,16 @@ class _Parser:
             return Number(_parse_number(token.text))
         if token.kind == "PROP_OPEN":
             return self._proportion()
+        if token.kind == "LPAREN":
+            # Parenthesized sums/products, matching the repr of Sum/Product
+            # so proportion expressions round-trip through their text form.
+            self._advance()
+            inner = self._prop_sum()
+            self._expect("RPAREN")
+            return inner
         raise ParseError(
-            f"expected a number or %(...) proportion but found {token.text!r}"
+            f"expected a number, %(...) proportion or parenthesized "
+            f"proportion expression but found {token.text!r}"
         )
 
     def _proportion(self) -> ProportionExpr:

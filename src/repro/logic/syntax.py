@@ -104,9 +104,26 @@ class Number(ProportionExpr):
     value: Fraction
 
     def __repr__(self) -> str:
-        if self.value.denominator == 1:
-            return str(self.value.numerator)
-        return f"{float(self.value):g}"
+        # Exact, re-parseable forms only: an integer, a finite decimal, or a
+        # num/den fraction literal — never a rounded float (reprs must
+        # round-trip for KB fingerprints and the wire codec).  The decimal
+        # form is used only when the parser reads it back exactly (its
+        # Fraction(text).limit_denominator bound is 10**12).
+        numerator, denominator = self.value.numerator, self.value.denominator
+        if denominator == 1:
+            return str(numerator)
+        reduced, places = denominator, 0
+        for prime in (2, 5):
+            count = 0
+            while reduced % prime == 0:
+                reduced //= prime
+                count += 1
+            places = max(places, count)
+        if reduced == 1 and denominator <= 10**12:
+            digits = str(abs(numerator) * 10**places // denominator).rjust(places + 1, "0")
+            text = f"{digits[:-places]}.{digits[-places:]}"
+            return ("-" if numerator < 0 else "") + text
+        return f"{numerator}/{denominator}"
 
 
 @dataclass(frozen=True)
@@ -117,8 +134,10 @@ class Proportion(ProportionExpr):
     variables: Tuple[str, ...]
 
     def __repr__(self) -> str:
-        subs = ",".join(self.variables)
-        return f"||{self.formula!r}||_{{{subs}}}"
+        # Concrete parser syntax (not the paper's ||...||_{x} notation), so
+        # reprs re-parse: the wire codec and KB fingerprints rely on it.
+        subs = ", ".join(self.variables)
+        return f"%({self.formula!r}; {subs})"
 
 
 @dataclass(frozen=True)
@@ -130,8 +149,8 @@ class CondProportion(ProportionExpr):
     variables: Tuple[str, ...]
 
     def __repr__(self) -> str:
-        subs = ",".join(self.variables)
-        return f"||{self.formula!r} | {self.condition!r}||_{{{subs}}}"
+        subs = ", ".join(self.variables)
+        return f"%({self.formula!r} | {self.condition!r}; {subs})"
 
 
 @dataclass(frozen=True)
@@ -327,7 +346,9 @@ class ExistsExactly(Formula):
     body: Formula
 
     def __repr__(self) -> str:
-        return f"exists={self.count} {self.variable}. {self.body!r}"
+        # The parser's counting-quantifier spelling, so reprs re-parse (the
+        # wire codec and the HTTP KB payload both rely on the round trip).
+        return f"exists[{self.count}] {self.variable}. {self.body!r}"
 
 
 # Comparison operators over proportion expressions -------------------------
@@ -344,7 +365,7 @@ class ApproxEq(Formula):
     index: int = 1
 
     def __repr__(self) -> str:
-        return f"{self.left!r} ~=_{self.index} {self.right!r}"
+        return f"{self.left!r} ~=[{self.index}] {self.right!r}"
 
 
 @dataclass(frozen=True)
@@ -356,7 +377,7 @@ class ApproxLeq(Formula):
     index: int = 1
 
     def __repr__(self) -> str:
-        return f"{self.left!r} <~_{self.index} {self.right!r}"
+        return f"{self.left!r} <~[{self.index}] {self.right!r}"
 
 
 @dataclass(frozen=True)

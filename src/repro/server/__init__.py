@@ -1,0 +1,57 @@
+"""The HTTP front-end over the belief service (``repro.service``).
+
+Layer contract: ``repro.server`` turns the in-process session API into a
+served one without changing a single answer — HTTP responses are the JSON
+``to_dict()`` form of the exact :class:`~repro.service.BeliefResponse` the
+session would return in process (experiment E23 gates Fraction identity on
+every benchmark KB).  The package splits into three stdlib-only modules:
+
+* :mod:`repro.server.manager` — session lifecycle policy: fingerprint-keyed
+  idempotent opens, LRU+TTL eviction with warm-cache retention, and the
+  bounded admission queue behind HTTP 429 backpressure;
+* :mod:`repro.server.app` — routing and JSON framing on
+  ``http.server.ThreadingHTTPServer``;
+* :mod:`repro.server.client` — a thin ``urllib`` client returning the same
+  dataclasses as the in-process API.
+
+``repro-serve`` (:mod:`repro.server.cli`) is the console entry point; see
+``docs/DEPLOYMENT.md`` for endpoints, schemas and operational knobs.
+"""
+
+from .app import (
+    ROUTES,
+    BeliefHTTPServer,
+    BeliefRequestHandler,
+    make_server,
+    route_paths,
+    serve_in_background,
+)
+from .client import Client, ServerError, kb_payload
+from .manager import (
+    WIRE_ENGINE_OPTIONS,
+    ExpiredSession,
+    ManagedSession,
+    Overloaded,
+    SessionManager,
+    UnknownSession,
+    normalise_engine_options,
+)
+
+__all__ = [
+    "BeliefHTTPServer",
+    "BeliefRequestHandler",
+    "Client",
+    "ExpiredSession",
+    "ManagedSession",
+    "Overloaded",
+    "ROUTES",
+    "ServerError",
+    "SessionManager",
+    "UnknownSession",
+    "WIRE_ENGINE_OPTIONS",
+    "kb_payload",
+    "make_server",
+    "normalise_engine_options",
+    "route_paths",
+    "serve_in_background",
+]

@@ -1,0 +1,392 @@
+"""The HTTP surface of the belief service: routing and JSON framing only.
+
+Layer contract: this module translates between HTTP and the session API —
+it parses request JSON, dispatches to a :class:`~repro.server.manager.SessionManager`,
+and serializes :class:`~repro.service.messages.BeliefResponse` objects with
+the same ``to_dict()`` codec the in-process API uses, so an HTTP answer is
+byte-for-byte the JSON of the in-process answer.  No inference logic and no
+eviction policy lives here; those belong to :mod:`repro.service` and
+:mod:`repro.server.manager` respectively.
+
+Routes (see ``docs/DEPLOYMENT.md`` for schemas and curl examples):
+
+* ``POST /v1/sessions`` — parse + fingerprint a KB, return its session id
+  (idempotent on the fingerprint; 201 on create, 200 on re-open);
+* ``POST /v1/sessions/{id}/query`` — one ``QueryRequest`` in, one
+  ``BeliefResponse`` out;
+* ``POST /v1/sessions/{id}/query_batch`` — ``{"requests": [...]}`` in,
+  ``{"responses": [...]}`` out via ``submit_many`` (answers in request
+  order);
+* ``GET /v1/sessions/{id}`` — session metadata; ``GET .../cache`` — the
+  session's ``cache_info()`` counters;
+* ``GET /healthz`` — liveness plus the manager's counter snapshot.
+
+Built on ``http.server.ThreadingHTTPServer`` — stdlib only, one thread per
+connection, with the manager's admission bound (HTTP 429 + ``Retry-After``)
+as the explicit backpressure valve in front of the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .. import __version__
+from ..core.engine import RandomWorldsError
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.vocabulary import Vocabulary
+from ..service.messages import QueryRequest
+from ..service.registry import UnsupportedRequest
+from ..service.session import BeliefSession
+from ..worlds.cache import CacheInfo
+from ..worlds.counting import InconsistentKnowledgeBase
+from .manager import (
+    ExpiredSession,
+    Overloaded,
+    SessionManager,
+    UnknownSession,
+    normalise_engine_options,
+)
+
+# The served surface, frozen for docs and the API-surface snapshot: every
+# endpoint the front-end answers, as (HTTP method, path template) pairs.
+ROUTES: Tuple[Tuple[str, str], ...] = (
+    ("GET", "/healthz"),
+    ("POST", "/v1/sessions"),
+    ("GET", "/v1/sessions/{id}"),
+    ("POST", "/v1/sessions/{id}/query"),
+    ("POST", "/v1/sessions/{id}/query_batch"),
+    ("GET", "/v1/sessions/{id}/cache"),
+)
+
+_SESSION_PATH = re.compile(r"^/v1/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/query_batch|/query|/cache)?$")
+
+# One request body bound (16 MiB): a KB of thousands of sentences fits with
+# room to spare; anything larger is more likely a client bug than a KB.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _HTTPFailure(Exception):
+    """Internal: carries a ready-to-send error status/payload to the handler."""
+
+    def __init__(self, status: int, code: str, message: str, headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = headers or {}
+
+
+def _cache_info_payload(info: Optional[CacheInfo]) -> Optional[Dict[str, Any]]:
+    if info is None:
+        return None
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "entries": info.entries,
+        "maxsize": info.maxsize,
+        "total_classes": info.total_classes,
+        "hit_rate": info.hit_rate,
+        "memo_hits": info.memo_hits,
+        "memo_misses": info.memo_misses,
+        "memo_entries": info.memo_entries,
+        "memo_maxsize": info.memo_maxsize,
+        "memo_hit_rate": info.memo_hit_rate,
+    }
+
+
+def _decode_kb(payload: Any) -> Any:
+    """The wire forms of a knowledge base (see :func:`repro.server.client.kb_payload`).
+
+    A string (one or more sentences), a list of sentence strings, or an
+    object ``{"sentences": [...], "vocabulary": {"predicates": {...},
+    "functions": {...}, "constants": [...]}}`` — the explicit vocabulary
+    carries symbols no sentence mentions, so object-form KBs reconstruct
+    with their exact fingerprint.
+    """
+    if isinstance(payload, str):
+        return payload
+    if isinstance(payload, list):
+        if not payload or not all(isinstance(sentence, str) for sentence in payload):
+            raise _HTTPFailure(400, "bad-request", "'kb' list items must be sentence strings")
+        return KnowledgeBase.from_strings(*payload)
+    if isinstance(payload, dict):
+        sentences = payload.get("sentences")
+        if not isinstance(sentences, list) or not all(isinstance(s, str) for s in sentences):
+            raise _HTTPFailure(400, "bad-request", "'kb.sentences' must be a list of sentence strings")
+        vocabulary = None
+        if payload.get("vocabulary") is not None:
+            spec = payload["vocabulary"]
+            if not isinstance(spec, dict):
+                raise _HTTPFailure(400, "bad-request", "'kb.vocabulary' must be an object")
+            vocabulary = Vocabulary(
+                predicates={str(k): int(v) for k, v in (spec.get("predicates") or {}).items()},
+                functions={str(k): int(v) for k, v in (spec.get("functions") or {}).items()},
+                constants=tuple(str(c) for c in (spec.get("constants") or [])),
+            )
+        return KnowledgeBase.from_strings(*sentences, vocabulary=vocabulary)
+    raise _HTTPFailure(
+        400,
+        "bad-request",
+        "'kb' must be a string, a list of sentence strings, or a {sentences, vocabulary} object",
+    )
+
+
+def _as_query_request(payload: Any) -> QueryRequest:
+    """A wire item as a request: a bare query string or a request object."""
+    if isinstance(payload, str):
+        return QueryRequest(query=payload)
+    if isinstance(payload, dict):
+        if "query" not in payload:
+            raise ValueError("a query request object needs a 'query' field")
+        return QueryRequest.from_dict(payload)
+    raise ValueError(f"expected a query string or request object, got {type(payload).__name__}")
+
+
+class BeliefRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP connection; all state lives on ``self.server.manager``."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    @property
+    def manager(self) -> SessionManager:
+        return self.server.manager
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPFailure(413, "payload-too-large", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise _HTTPFailure(400, "bad-request", "expected a JSON request body")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPFailure(400, "bad-request", f"request body is not valid JSON: {error}")
+
+    def _send_json(self, status: int, payload: Any, headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, failure: _HTTPFailure) -> None:
+        # The request body may not have been drained (bad route, oversized
+        # payload); under HTTP/1.1 keep-alive the leftover bytes would be
+        # parsed as the next request, so error responses close the connection.
+        self.close_connection = True
+        self._send_json(
+            failure.status,
+            {"error": {"code": failure.code, "message": failure.message}},
+            headers=failure.headers,
+        )
+
+    @contextmanager
+    def _translating_errors(self) -> Iterator[None]:
+        """Map service/manager exceptions onto HTTP statuses, uniformly."""
+        try:
+            yield
+        except _HTTPFailure:
+            raise
+        except Overloaded as error:
+            raise _HTTPFailure(
+                429,
+                "overloaded",
+                str(error),
+                headers={"Retry-After": str(int(math.ceil(error.retry_after)))},
+            )
+        except ExpiredSession as error:
+            raise _HTTPFailure(404, "expired-session", error.message)
+        except UnknownSession as error:
+            raise _HTTPFailure(404, "unknown-session", error.message)
+        except InconsistentKnowledgeBase as error:
+            raise _HTTPFailure(422, "inconsistent-kb", str(error))
+        except UnsupportedRequest as error:
+            raise _HTTPFailure(422, "unsupported-request", str(error))
+        except RandomWorldsError as error:
+            raise _HTTPFailure(422, "query-failed", str(error))
+        except (KeyError, TypeError, ValueError) as error:
+            raise _HTTPFailure(400, "bad-request", str(error))
+
+    # -- dispatch --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            with self._translating_errors():
+                if self.path == "/healthz":
+                    return self._handle_healthz()
+                match = _SESSION_PATH.match(self.path)
+                if match and match.group("rest") == "/cache":
+                    return self._handle_cache(match.group("sid"))
+                if match and match.group("rest") is None:
+                    return self._handle_describe(match.group("sid"))
+                raise _HTTPFailure(404, "not-found", f"no route GET {self.path}")
+        except _HTTPFailure as failure:
+            self._send_error_json(failure)
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(_HTTPFailure(500, "internal", repr(error)))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            with self._translating_errors():
+                if self.path == "/v1/sessions":
+                    return self._handle_open()
+                match = _SESSION_PATH.match(self.path)
+                if match and match.group("rest") == "/query":
+                    return self._handle_query(match.group("sid"))
+                if match and match.group("rest") == "/query_batch":
+                    return self._handle_query_batch(match.group("sid"))
+                raise _HTTPFailure(404, "not-found", f"no route POST {self.path}")
+        except _HTTPFailure as failure:
+            self._send_error_json(failure)
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(_HTTPFailure(500, "internal", repr(error)))
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        self._send_json(200, {"status": "ok", "version": __version__, **self.manager.stats()})
+
+    def _handle_open(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "kb" not in payload:
+            raise _HTTPFailure(400, "bad-request", "expected a JSON object with a 'kb' field")
+        kb = _decode_kb(payload["kb"])
+        engine_options = normalise_engine_options(payload.get("engine"))
+        consistency_check = payload.get("consistency_check")
+        if consistency_check is not None and not isinstance(consistency_check, bool):
+            raise _HTTPFailure(400, "bad-request", "'consistency_check' must be a boolean")
+        with self.manager.admit():
+            entry, created = self.manager.open(
+                kb, engine_options=engine_options, consistency_check=consistency_check
+            )
+        self._send_json(
+            201 if created else 200,
+            {
+                "session_id": entry.session_id,
+                "created": created,
+                "fingerprint": entry.session.fingerprint,
+                "sentences": len(entry.session.knowledge_base),
+            },
+        )
+
+    def _handle_query(self, session_id: str) -> None:
+        payload = self._read_json()
+        request = _as_query_request(payload)
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            response = session.submit(request)
+        self._send_json(200, response.to_dict())
+
+    def _handle_query_batch(self, session_id: str) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
+            raise _HTTPFailure(400, "bad-request", "expected a JSON object with a 'requests' list")
+        requests = [_as_query_request(item) for item in payload["requests"]]
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            responses = session.submit_many(requests)
+        self._send_json(200, {"responses": [response.to_dict() for response in responses]})
+
+    def _handle_cache(self, session_id: str) -> None:
+        with self.manager.lease(session_id) as session:
+            info = session.cache_info()
+        self._send_json(200, {"session_id": session_id, "cache": _cache_info_payload(info)})
+
+    def _handle_describe(self, session_id: str) -> None:
+        with self.manager.lease(session_id) as session:
+            payload = self._describe(session_id, session)
+        self._send_json(200, payload)
+
+    def _describe(self, session_id: str, session: BeliefSession) -> Dict[str, Any]:
+        return {
+            "session_id": session_id,
+            "fingerprint": session.fingerprint,
+            "sentences": len(session.knowledge_base),
+            "solver_keys": list(session.registry.keys()),
+        }
+
+
+class BeliefHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SessionManager`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], manager: SessionManager, *, verbose: bool = False):
+        super().__init__(address, BeliefRequestHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (useful with ephemeral ``port=0`` binds)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    manager: Optional[SessionManager] = None,
+    *,
+    verbose: bool = False,
+    **manager_options: Any,
+) -> BeliefHTTPServer:
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port).
+
+    Pass an existing manager, or manager keyword options
+    (``max_sessions``, ``ttl_seconds``, ``max_inflight``, engine options,
+    ...) to build a private one.
+    """
+    if manager is None:
+        manager = SessionManager(**manager_options)
+    elif manager_options:
+        raise ValueError("pass manager options or a manager instance, not both")
+    return BeliefHTTPServer((host, port), manager, verbose=verbose)
+
+
+@contextmanager
+def serve_in_background(
+    manager: Optional[SessionManager] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    **manager_options: Any,
+) -> Iterator[BeliefHTTPServer]:
+    """Run a server on a daemon thread for the scope of a ``with`` block.
+
+    The pattern tests, benchmarks and ``examples/http_service.py`` share:
+    bind an ephemeral port, serve until the block exits, then shut down and
+    close the manager (and every session it still holds).
+    """
+    server = make_server(host, port, manager, verbose=verbose, **manager_options)
+    thread = threading.Thread(target=server.serve_forever, name="repro-serve", daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        server.manager.close()
+
+
+def route_paths() -> List[str]:
+    """The served path templates (used by the docs-freshness checks)."""
+    return [path for _, path in ROUTES]

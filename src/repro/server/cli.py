@@ -1,0 +1,119 @@
+"""The ``repro-serve`` console entry point.
+
+Layer contract: flag parsing and process lifecycle only — every flag maps
+onto a :class:`~repro.server.manager.SessionManager` or
+:class:`~repro.server.app.BeliefHTTPServer` constructor argument, so the CLI
+adds no behaviour of its own.  ``docs/DEPLOYMENT.md`` documents the knobs;
+the docs-freshness suite validates its examples against this parser.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .app import make_server
+from .manager import SessionManager
+
+
+def _domain_sizes(text: str) -> tuple:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not sizes:
+        raise argparse.ArgumentTypeError("expected at least one domain size")
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (exposed for the docs checks)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve degrees of belief over HTTP: a session-per-KB front-end "
+        "with LRU+TTL eviction and explicit 429 backpressure.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8080, help="bind port; 0 picks an ephemeral one")
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="LRU capacity: most sessions kept warm at once (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="idle TTL per session; 0 disables expiry (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="admission bound: concurrent requests beyond this get 429 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint sent with 429 responses (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="counting backend for new sessions (default: the engine default)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker-pool width for the chosen backend",
+    )
+    parser.add_argument(
+        "--domain-sizes",
+        type=_domain_sizes,
+        default=None,
+        metavar="N,N,...",
+        help="domain-size schedule for new sessions, e.g. 8,12,16,24,32",
+    )
+    parser.add_argument("--no-memo", action="store_true", help="disable the per-query memo table")
+    parser.add_argument("--verbose", action="store_true", help="log one line per HTTP request")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    engine_options = {}
+    if args.backend is not None:
+        engine_options["backend"] = args.backend
+    if args.max_workers is not None:
+        engine_options["max_workers"] = args.max_workers
+    if args.domain_sizes is not None:
+        engine_options["domain_sizes"] = args.domain_sizes
+    if args.no_memo:
+        engine_options["memo"] = False
+    manager = SessionManager(
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.ttl if args.ttl > 0 else None,
+        max_inflight=args.max_inflight,
+        retry_after=args.retry_after,
+        **engine_options,
+    )
+    server = make_server(args.host, args.port, manager, verbose=args.verbose)
+    print(f"repro-serve listening on {server.url}  (POST /v1/sessions to begin; GET /healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        manager.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

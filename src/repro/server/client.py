@@ -1,0 +1,181 @@
+"""A thin stdlib client for the HTTP front-end.
+
+Layer contract: this module is the inverse of :mod:`repro.server.app` — it
+speaks the wire format (plain ``urllib`` + JSON) and hands back the same
+dataclasses the in-process API uses, decoding ``BeliefResponse`` payloads
+through the lossless :mod:`repro.service.messages` codec.  It holds no
+serving policy and no inference logic; it exists so tests, benchmarks and
+examples exercise the service exactly the way a remote caller would.
+
+.. code-block:: python
+
+    from repro.server import Client
+
+    client = Client("http://127.0.0.1:8080")
+    session_id = client.open_session("Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8")
+    response = client.query(session_id, "Hep(Eric)")   # a BeliefResponse
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.knowledge_base import KnowledgeBase
+from ..service.messages import BeliefResponse, QueryRequest
+
+RequestLike = Union[QueryRequest, str, Dict[str, Any]]
+KnowledgeBaseWire = Union[KnowledgeBase, str, Sequence[str]]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx answer from the server, with its decoded error payload.
+
+    ``status`` is the HTTP status, ``code`` the machine-readable error code
+    (``"overloaded"``, ``"unknown-session"``, ...) and ``retry_after`` the
+    parsed ``Retry-After`` header on 429 responses (else ``None``).
+    """
+
+    def __init__(self, status: int, code: str, message: str, retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+def kb_payload(knowledge_base: KnowledgeBaseWire) -> Union[str, List[str], Dict[str, Any]]:
+    """A knowledge base as its wire form.
+
+    A :class:`KnowledgeBase` is sent as its sentences' textual forms plus its
+    explicit vocabulary — reprs re-parse and the vocabulary rides along, so
+    the server reconstructs an identical KB (same fingerprint, even for
+    symbols no sentence mentions).  Strings and sentence lists pass through
+    unchanged.
+    """
+    if isinstance(knowledge_base, KnowledgeBase):
+        vocabulary = knowledge_base.vocabulary
+        return {
+            "sentences": [repr(sentence) for sentence in knowledge_base.sentences],
+            "vocabulary": {
+                "predicates": dict(vocabulary.predicates),
+                "functions": dict(vocabulary.functions),
+                "constants": list(vocabulary.constants),
+            },
+        }
+    if isinstance(knowledge_base, str):
+        return knowledge_base
+    return list(knowledge_base)
+
+
+def _request_payload(request: RequestLike) -> Any:
+    if isinstance(request, QueryRequest):
+        return request.to_dict()
+    return request
+
+
+class Client:
+    """Synchronous HTTP client mirroring the :class:`BeliefSession` verbs.
+
+    ``open_session`` / ``query`` / ``query_batch`` / ``stream`` /
+    ``cache_info`` correspond one-to-one to the server routes; ``call`` is
+    the raw escape hatch (method, path, optional JSON body → decoded JSON).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def call(self, method: str, path: str, payload: Optional[Any] = None) -> Any:
+        """One HTTP round trip; raises :class:`ServerError` on non-2xx."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error) from None
+
+    @staticmethod
+    def _decode_error(error: urllib.error.HTTPError) -> ServerError:
+        code, message = "unknown", ""
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+            code = payload["error"]["code"]
+            message = payload["error"]["message"]
+        except Exception:  # pragma: no cover - malformed error body
+            message = str(error)
+        retry_after = error.headers.get("Retry-After")
+        return ServerError(
+            error.code, code, message, retry_after=float(retry_after) if retry_after else None
+        )
+
+    # -- the service verbs -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/counters snapshot."""
+        return self.call("GET", "/healthz")
+
+    def open_session(
+        self,
+        knowledge_base: KnowledgeBaseWire,
+        *,
+        engine: Optional[Dict[str, Any]] = None,
+        consistency_check: Optional[bool] = None,
+    ) -> str:
+        """Open (or idempotently re-join) the session for a KB; returns its id."""
+        return self.open_session_info(
+            knowledge_base, engine=engine, consistency_check=consistency_check
+        )["session_id"]
+
+    def open_session_info(
+        self,
+        knowledge_base: KnowledgeBaseWire,
+        *,
+        engine: Optional[Dict[str, Any]] = None,
+        consistency_check: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`open_session` but returns the full open payload
+        (``session_id``, ``created``, ``fingerprint``, ``sentences``)."""
+        payload: Dict[str, Any] = {"kb": kb_payload(knowledge_base)}
+        if engine is not None:
+            payload["engine"] = engine
+        if consistency_check is not None:
+            payload["consistency_check"] = consistency_check
+        return self.call("POST", "/v1/sessions", payload)
+
+    def query(self, session_id: str, request: RequestLike) -> BeliefResponse:
+        """Answer one request on the server's warm session."""
+        raw = self.call("POST", f"/v1/sessions/{session_id}/query", _request_payload(request))
+        return BeliefResponse.from_dict(raw)
+
+    def query_batch(self, session_id: str, requests: Sequence[RequestLike]) -> List[BeliefResponse]:
+        """Answer a batch in one round trip; responses come back in order."""
+        raw = self.call(
+            "POST",
+            f"/v1/sessions/{session_id}/query_batch",
+            {"requests": [_request_payload(request) for request in requests]},
+        )
+        return [BeliefResponse.from_dict(item) for item in raw["responses"]]
+
+    def stream(self, session_id: str, requests: Iterable[RequestLike]) -> Iterator[BeliefResponse]:
+        """Lazily answer an iterable of requests, one round trip each."""
+        for request in requests:
+            yield self.query(session_id, request)
+
+    def cache_info(self, session_id: str) -> Optional[Dict[str, Any]]:
+        """The session's world-count cache / query-memo counters."""
+        return self.call("GET", f"/v1/sessions/{session_id}/cache")["cache"]
+
+    def describe_session(self, session_id: str) -> Dict[str, Any]:
+        """Session metadata: fingerprint, sentence count, solver keys."""
+        return self.call("GET", f"/v1/sessions/{session_id}")

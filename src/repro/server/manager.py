@@ -1,0 +1,437 @@
+"""Session lifecycle policy for the HTTP front-end.
+
+Layer contract: this module owns *which sessions exist and who may use them*
+— nothing about HTTP framing (that is :mod:`repro.server.app`) and nothing
+about inference (that is :mod:`repro.service`).  A :class:`SessionManager`
+maps KB fingerprints to live :class:`~repro.service.session.BeliefSession`
+objects and enforces the three serving policies the ROADMAP's network
+front-end item called for:
+
+* **routing** — ``open()`` is idempotent on the KB fingerprint: opening the
+  same knowledge base twice returns the same session id and the same warm
+  session, so any number of clients (or load-balanced replicas) converge on
+  one engine stack per KB;
+* **eviction** — sessions are kept in an LRU of at most ``max_sessions``
+  entries, each with an optional idle TTL.  Eviction never interrupts work:
+  a session is only closed when its last lease is released, and its
+  world-count cache is retained (bounded, keyed by fingerprint) so an
+  idempotent re-open after eviction starts with a warm cache;
+* **backpressure** — ``admit()`` bounds the number of in-flight requests at
+  ``max_inflight`` and raises :class:`Overloaded` (HTTP 429 upstream) instead
+  of queueing unboundedly.
+
+Everything here is plain threading + stdlib; the manager is safe to share
+across the threads of a ``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from ..core.engine import RandomWorlds
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.tolerance import ToleranceVector
+from ..service.session import BeliefSession, KnowledgeBaseLike, kb_fingerprint
+from ..worlds.cache import WorldCountCache
+
+# Engine options a network caller may set per open request.  A whitelist, not
+# introspection: the wire must not reach arbitrary constructor parameters
+# (``cache=`` in particular is owned by the manager's warm-cache retention).
+WIRE_ENGINE_OPTIONS = frozenset(
+    {"domain_sizes", "tolerances", "backend", "max_workers", "memo", "memo_size"}
+)
+
+_BACKENDS = ("serial", "threads", "processes")
+
+
+class Overloaded(RuntimeError):
+    """Raised by :meth:`SessionManager.admit` when ``max_inflight`` is reached.
+
+    Carries ``retry_after`` (seconds) so the HTTP layer can answer 429 with a
+    concrete ``Retry-After`` header instead of letting requests queue.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UnknownSession(KeyError):
+    """No live session under the requested id (HTTP 404 upstream)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class ExpiredSession(UnknownSession):
+    """The session existed but its idle TTL elapsed; re-open to continue."""
+
+
+def normalise_engine_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Coerce wire-shaped engine options into :class:`RandomWorlds` kwargs.
+
+    JSON carries lists and bare floats; the engine wants tuples and
+    :class:`ToleranceVector` ladders.  Unknown keys raise ``ValueError`` so a
+    typo in a client payload is a 400, not a silently ignored knob.
+    """
+    if not options:
+        return {}
+    unknown = sorted(set(options) - WIRE_ENGINE_OPTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown engine option(s) {', '.join(map(repr, unknown))}; "
+            f"expected a subset of {sorted(WIRE_ENGINE_OPTIONS)}"
+        )
+    coerced: Dict[str, Any] = {}
+    for key, value in options.items():
+        if value is None:
+            continue
+        if key == "domain_sizes":
+            coerced[key] = tuple(int(n) for n in value)
+        elif key == "tolerances":
+            coerced[key] = [ToleranceVector.uniform(float(tau)) for tau in value]
+        elif key == "backend":
+            if value not in _BACKENDS:
+                raise ValueError(f"unknown backend {value!r}; expected one of {_BACKENDS}")
+            coerced[key] = value
+        elif key in ("max_workers", "memo_size"):
+            coerced[key] = int(value)
+        elif key == "memo":
+            coerced[key] = bool(value)
+    return coerced
+
+
+class ManagedSession:
+    """One live session plus the bookkeeping the eviction policy needs.
+
+    ``leases`` counts in-flight requests holding the session; ``defunct``
+    marks an entry evicted (LRU or TTL) while leased — the underlying
+    session closes when the last lease is released, never mid-query.
+    """
+
+    __slots__ = ("session", "session_id", "created_at", "last_used_at", "leases", "defunct")
+
+    def __init__(self, session: BeliefSession, session_id: str, now: float) -> None:
+        self.session = session
+        self.session_id = session_id
+        self.created_at = now
+        self.last_used_at = now
+        self.leases = 0
+        self.defunct = False
+
+
+class SessionManager:
+    """Fingerprint-keyed sessions with LRU+TTL eviction and bounded admission.
+
+    Parameters
+    ----------
+    max_sessions:
+        LRU capacity; opening session ``max_sessions + 1`` evicts the least
+        recently used one (retaining its world-count cache).
+    ttl_seconds:
+        Idle time after which a session expires (checked lazily on access and
+        swept on every open).  ``None`` disables the TTL.
+    max_inflight:
+        Admission bound: concurrent ``admit()`` holders beyond this raise
+        :class:`Overloaded`.
+    retry_after:
+        The ``Retry-After`` hint (seconds) attached to overload rejections.
+    clock:
+        Monotonic time source (injectable for tests).
+    consistency_check:
+        Passed to :func:`~repro.service.session.open_session` for new
+        sessions (per-open payloads may override it).
+    engine_options:
+        Default :class:`RandomWorlds` options for new sessions; per-open
+        options override them key by key.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 64,
+        ttl_seconds: Optional[float] = None,
+        max_inflight: int = 32,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        consistency_check: bool = True,
+        **engine_options: Any,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self._max_sessions = max_sessions
+        self._ttl = ttl_seconds
+        self._max_inflight = max_inflight
+        self._retry_after = retry_after
+        self._clock = clock
+        self._consistency_check = consistency_check
+        self._engine_options = dict(engine_options)
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, ManagedSession]" = OrderedDict()
+        self._warm_caches: "OrderedDict[str, WorldCountCache]" = OrderedDict()
+        self._building: Dict[str, threading.Lock] = {}
+        self._inflight = 0
+        self._opened = 0
+        self._reopened = 0
+        self._evicted = 0
+        self._expired = 0
+        self._rejected = 0
+        self._closed = False
+
+    # -- admission (backpressure) ---------------------------------------------
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one in-flight slot; raise :class:`Overloaded` when none is free.
+
+        The check is a hard bound, not a queue: a request that cannot be
+        admitted is rejected immediately so the client (or its load balancer)
+        decides whether to retry, rather than piling threads up behind a
+        saturated engine.
+        """
+        with self._lock:
+            if self._inflight >= self._max_inflight:
+                self._rejected += 1
+                raise Overloaded(
+                    f"{self._inflight} requests in flight (max_inflight={self._max_inflight})",
+                    retry_after=self._retry_after,
+                )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    # -- open / lookup ---------------------------------------------------------
+
+    def open(
+        self,
+        knowledge_base: KnowledgeBaseLike,
+        *,
+        engine_options: Optional[Dict[str, Any]] = None,
+        consistency_check: Optional[bool] = None,
+    ) -> Tuple[ManagedSession, bool]:
+        """The session for a KB: the existing one, or a freshly opened one.
+
+        Idempotent on the KB fingerprint — the returned ``bool`` says whether
+        a session was actually created.  Engine options only apply at
+        creation; re-opening an existing fingerprint returns it unchanged.
+        A fingerprint evicted earlier re-opens with its retained world-count
+        cache, so the new session starts warm.  Concurrent opens of the same
+        fingerprint build exactly one session (a per-fingerprint build gate),
+        so the retained cache cannot be lost to an open/open race.
+        """
+        kb = RandomWorlds._as_knowledge_base(knowledge_base)
+        fingerprint = kb_fingerprint(kb)
+        while True:
+            to_close = []
+            gate: Optional[threading.Lock] = None
+            entry: Optional[ManagedSession] = None
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("the session manager is closed")
+                to_close.extend(self._sweep_expired_locked())
+                entry = self._sessions.get(fingerprint)
+                if entry is not None:
+                    self._touch_locked(entry)
+                    self._reopened += 1
+                else:
+                    gate = self._building.get(fingerprint)
+                    if gate is None:
+                        gate = threading.Lock()
+                        gate.acquire()
+                        self._building[fingerprint] = gate
+                        break  # this thread builds the session
+            for stale in to_close:
+                stale.close()
+            if entry is not None:
+                return entry, False
+            # Another thread is already building this fingerprint: wait for
+            # it to finish, then re-check the table.
+            gate.acquire()
+            gate.release()
+
+        try:
+            session = self._build_session(kb, fingerprint, engine_options, consistency_check)
+        except BaseException:
+            with self._lock:
+                self._building.pop(fingerprint, None)
+            gate.release()
+            raise
+        to_close = []
+        closed_now = False
+        with self._lock:
+            self._building.pop(fingerprint, None)
+            if self._closed:
+                closed_now = True
+            else:
+                entry = ManagedSession(session, fingerprint, self._clock())
+                self._sessions[fingerprint] = entry
+                self._warm_caches.pop(fingerprint, None)
+                self._opened += 1
+                while len(self._sessions) > self._max_sessions:
+                    evicted = self._evict_locked(next(iter(self._sessions)), expired=False)
+                    if evicted is not None:
+                        to_close.append(evicted)
+        gate.release()
+        for stale in to_close:
+            stale.close()
+        if closed_now:
+            session.close()
+            raise RuntimeError("the session manager is closed")
+        return entry, True
+
+    @contextmanager
+    def lease(self, session_id: str) -> Iterator[BeliefSession]:
+        """Borrow a live session for one request.
+
+        The lease pins the session: LRU/TTL eviction during the lease marks
+        the entry defunct but the session itself stays usable (and its
+        caches stay warm) until the last lease is released.
+        """
+        stale = None
+        expired = False
+        with self._lock:
+            if self._closed:
+                raise UnknownSession("the session manager is closed")
+            entry = self._sessions.get(session_id)
+            if entry is None:
+                raise UnknownSession(f"no session {session_id!r} (open it first, or it was evicted)")
+            if self._expired_locked(entry):
+                expired = True
+                stale = self._evict_locked(session_id, expired=True)
+            else:
+                entry.leases += 1
+                self._touch_locked(entry)
+        if expired:
+            if stale is not None:
+                stale.close()  # outside the lock: closing may join worker pools
+            raise ExpiredSession(f"session {session_id!r} expired; re-open the knowledge base")
+        to_close = None
+        try:
+            yield entry.session
+        finally:
+            with self._lock:
+                entry.leases -= 1
+                if entry.defunct and entry.leases == 0:
+                    to_close = entry.session
+            if to_close is not None:
+                to_close.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for ``/healthz`` and the CLI banner."""
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "max_sessions": self._max_sessions,
+                "ttl_seconds": self._ttl,
+                "inflight": self._inflight,
+                "max_inflight": self._max_inflight,
+                "opened": self._opened,
+                "reopened": self._reopened,
+                "evicted": self._evicted,
+                "expired": self._expired,
+                "rejected": self._rejected,
+                "warm_caches": len(self._warm_caches),
+            }
+
+    def session_ids(self) -> Tuple[str, ...]:
+        """The live session ids, least recently used first."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    def close(self) -> None:
+        """Evict everything and close every unleased session."""
+        with self._lock:
+            entries = list(self._sessions.values())
+            self._sessions.clear()
+            self._warm_caches.clear()
+            self._closed = True
+            to_close = []
+            for entry in entries:
+                if entry.leases == 0:
+                    to_close.append(entry.session)
+                else:
+                    entry.defunct = True
+        for session in to_close:
+            session.close()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _build_session(
+        self,
+        kb: KnowledgeBase,
+        fingerprint: str,
+        engine_options: Optional[Dict[str, Any]],
+        consistency_check: Optional[bool],
+    ) -> BeliefSession:
+        options = dict(self._engine_options)
+        options.update(engine_options or {})
+        with self._lock:
+            warm_cache = self._warm_caches.pop(fingerprint, None)
+        if warm_cache is not None and "cache" not in options:
+            options["cache"] = warm_cache
+        check = self._consistency_check if consistency_check is None else consistency_check
+        return BeliefSession(kb, consistency_check=check, **options)
+
+    def _touch_locked(self, entry: ManagedSession) -> None:
+        entry.last_used_at = self._clock()
+        self._sessions.move_to_end(entry.session_id)
+
+    def _expired_locked(self, entry: ManagedSession) -> bool:
+        return self._ttl is not None and self._clock() - entry.last_used_at > self._ttl
+
+    def _sweep_expired_locked(self) -> list:
+        """Evict every expired entry; the caller closes the returned sessions.
+
+        Closing happens outside the manager lock — ``session.close()`` joins
+        worker pools, and a blocking join under the lock would stall every
+        concurrent ``admit``/``lease``/``open``.
+        """
+        stale = []
+        for session_id in [sid for sid, entry in self._sessions.items() if self._expired_locked(entry)]:
+            session = self._evict_locked(session_id, expired=True)
+            if session is not None:
+                stale.append(session)
+        return stale
+
+    def _evict_locked(self, session_id: str, *, expired: bool) -> Optional[BeliefSession]:
+        """Drop an entry; return its session if the caller should close it.
+
+        The world-count cache is retained (bounded by ``max_sessions``) so a
+        later re-open of the same fingerprint starts warm.  Leased entries
+        are marked defunct instead of closed — the last lease release closes
+        them.
+        """
+        entry = self._sessions.pop(session_id)
+        self._evicted += 1
+        if expired:
+            self._expired += 1
+        cache = entry.session.engine.world_cache
+        if cache is not None:
+            self._warm_caches[session_id] = cache
+            self._warm_caches.move_to_end(session_id)
+            while len(self._warm_caches) > self._max_sessions:
+                self._warm_caches.popitem(last=False)
+        if entry.leases == 0:
+            return entry.session
+        entry.defunct = True
+        return None

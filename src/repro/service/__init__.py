@@ -1,11 +1,18 @@
 """The belief service: one session-oriented API over every inference family.
 
+Layer contract: ``repro.service`` is the canonical public surface between
+callers and the inference machinery — it owns request/response schemas,
+solver dispatch and per-KB session state, while the layers below
+(``repro.core``, ``repro.worlds``, ...) own the mathematics and the layer
+above (``repro.server``) owns HTTP framing and serving policy.
+
 ``open_session(kb)`` normalises, fingerprints and consistency-checks a
 knowledge base once and binds it to a warm engine stack; ``submit`` /
 ``submit_many`` / ``stream`` then answer :class:`QueryRequest` objects —
 random-worlds, maximum-entropy, reference-class and default-reasoning
 requests alike — with :class:`BeliefResponse` objects that serialize
-losslessly to JSON.  See ``docs/API.md`` for the schema and solver keys.
+losslessly to JSON.  See ``docs/API.md`` for the schema and solver keys,
+and ``docs/DEPLOYMENT.md`` for the served form.
 """
 
 from .messages import (

@@ -1,5 +1,10 @@
 """The serializable request/response surface of the belief service.
 
+Layer contract: this module owns the wire-facing data shapes and their
+lossless JSON codec, and nothing else — no dispatch (``registry``), no
+session state (``session``), no inference.  Everything the HTTP layer
+serves is exactly what these dataclasses ``to_dict()`` to.
+
 Every inference family — random worlds with its auto-dispatch, maximum
 entropy, the reference-class baselines, the default-reasoning systems —
 answers through the same pair of frozen dataclasses: a :class:`QueryRequest`

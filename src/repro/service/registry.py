@@ -1,5 +1,10 @@
 """The solver registry: every inference family behind one request path.
 
+Layer contract: this module owns the mapping from method keys to inference
+machinery — it adapts each family to the one ``solve(request, session) ->
+BeliefResult`` shape, and holds no session state and no wire format of its
+own.
+
 A :class:`Solver` answers a :class:`~repro.service.messages.QueryRequest`
 against a :class:`~repro.service.session.BeliefSession` and returns the same
 :class:`~repro.core.result.BeliefResult` schema regardless of machinery.  The

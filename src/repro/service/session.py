@@ -1,5 +1,11 @@
 """KB-scoped sessions: the canonical entry point of the belief service.
 
+Layer contract: this module owns per-KB lifecycle and warm state — one
+normalisation, one fingerprint, one consistency check, one engine stack per
+session — and delegates answering to the solver registry.  Multi-session
+policy (who may open, when to evict, how much runs at once) belongs one
+layer up, in :mod:`repro.server.manager`.
+
 A :class:`BeliefSession` binds one normalised knowledge base to one engine
 stack.  The KB is parsed, vocabulary-fingerprinted and consistency-checked
 exactly once at :func:`open_session`; every :meth:`~BeliefSession.submit`,

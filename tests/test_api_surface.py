@@ -1,9 +1,10 @@
 """Public-API snapshot: the exported names and signatures of the service.
 
-These tests freeze the surface of ``repro.service`` and ``repro.core`` — the
-two modules external callers program against.  A failing test here means the
-public API drifted; either restore compatibility or update the snapshot *and*
-``docs/API.md`` together, deliberately.
+These tests freeze the surface of ``repro.service``, ``repro.server`` and
+``repro.core`` — the modules external callers program against.  A failing
+test here means the public API drifted; either restore compatibility or
+update the snapshot *and* ``docs/API.md`` / ``docs/DEPLOYMENT.md``
+together, deliberately.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ from __future__ import annotations
 import inspect
 
 import repro.core as core
+import repro.server as server
 import repro.service as service
 
 # ---------------------------------------------------------------------------
@@ -85,6 +87,37 @@ CORE_EXPORTS = [
     "strength_inference",
 ]
 
+SERVER_EXPORTS = [
+    "BeliefHTTPServer",
+    "BeliefRequestHandler",
+    "Client",
+    "ExpiredSession",
+    "ManagedSession",
+    "Overloaded",
+    "ROUTES",
+    "ServerError",
+    "SessionManager",
+    "UnknownSession",
+    "WIRE_ENGINE_OPTIONS",
+    "kb_payload",
+    "make_server",
+    "normalise_engine_options",
+    "route_paths",
+    "serve_in_background",
+]
+
+# The served HTTP surface, as (method, path template) pairs.  Changing a
+# route means updating docs/DEPLOYMENT.md and the docs-freshness curl
+# validation along with this snapshot.
+SERVER_ROUTES = [
+    ("GET", "/healthz"),
+    ("POST", "/v1/sessions"),
+    ("GET", "/v1/sessions/{id}"),
+    ("POST", "/v1/sessions/{id}/query"),
+    ("POST", "/v1/sessions/{id}/query_batch"),
+    ("GET", "/v1/sessions/{id}/cache"),
+]
+
 SOLVER_KEYS = [
     "defaults:epsilon",
     "defaults:maxent",
@@ -143,6 +176,23 @@ SIGNATURES = {
         "registry: 'Optional[SolverRegistry]' = None, consistency_check: 'bool' = True, "
         "**engine_options: 'Any') -> 'BeliefSession'"
     ),
+    (server.SessionManager, "open"): (
+        "(self, knowledge_base: 'KnowledgeBaseLike', *, "
+        "engine_options: 'Optional[Dict[str, Any]]' = None, "
+        "consistency_check: 'Optional[bool]' = None) -> 'Tuple[ManagedSession, bool]'"
+    ),
+    (server.SessionManager, "lease"): "(self, session_id: 'str') -> 'Iterator[BeliefSession]'",
+    (server.Client, "query"): (
+        "(self, session_id: 'str', request: 'RequestLike') -> 'BeliefResponse'"
+    ),
+    (server.Client, "query_batch"): (
+        "(self, session_id: 'str', requests: 'Sequence[RequestLike]') -> 'List[BeliefResponse]'"
+    ),
+    (server, "make_server"): (
+        "(host: 'str' = '127.0.0.1', port: 'int' = 0, "
+        "manager: 'Optional[SessionManager]' = None, *, verbose: 'bool' = False, "
+        "**manager_options: 'Any') -> 'BeliefHTTPServer'"
+    ),
 }
 
 REQUEST_FIELDS = ["query", "method", "request_id", "tolerances", "domain_sizes", "metadata"]
@@ -160,6 +210,15 @@ class TestExportedNames:
         assert sorted(core.__all__) == CORE_EXPORTS
         for name in core.__all__:
             assert getattr(core, name) is not None
+
+    def test_server_exports(self):
+        assert sorted(server.__all__) == SERVER_EXPORTS
+        for name in server.__all__:
+            assert getattr(server, name) is not None
+
+    def test_server_routes(self):
+        assert list(server.ROUTES) == SERVER_ROUTES
+        assert server.route_paths() == [path for _, path in SERVER_ROUTES]
 
     def test_top_level_lazy_exports(self):
         import repro

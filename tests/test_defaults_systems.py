@@ -75,9 +75,9 @@ class TestRules:
 
     def test_rule_set_as_statistics_shared_and_independent(self):
         shared = PENGUIN_RULES.as_statistics(shared_index=1)
-        assert all("~=_1" in repr(statistic) for statistic in shared)
+        assert all("~=[1]" in repr(statistic) for statistic in shared)
         independent = PENGUIN_RULES.as_statistics(shared_index=None)
-        assert "~=_2" in repr(independent[1])
+        assert "~=[2]" in repr(independent[1])
 
 
 class TestEpsilonSemantics:

@@ -1,0 +1,241 @@
+"""Docs-freshness suite: the fenced examples in the documentation cannot rot.
+
+Two enforcement modes, one per fence language:
+
+* ```` ```python ```` blocks are **executed**.  Blocks within one document
+  run cumulatively in a shared namespace (so a later block may continue an
+  earlier one), and any exception — including a failed ``assert`` the doc
+  makes about an answer — fails the build.
+* ```` ```bash ```` blocks are **validated**, not executed (they contain
+  installs and long-running servers): every command must use a known CLI,
+  referenced repo paths must exist, `pip` extras must exist in
+  ``pyproject.toml``, `repro-experiments` ids must be registered,
+  `repro-serve` flags must be accepted by its real parser, and `curl` URLs
+  must match a route the server actually serves.
+
+Adding a new documented command means either making it runnable or
+teaching the validator about it — silently unchecked documentation is the
+failure mode this file exists to prevent.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+from urllib.parse import urlparse
+
+import pytest
+
+from repro.experiments import all_experiments
+from repro.server import route_paths
+from repro.server.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Every document whose fenced examples are enforced.  New top-level docs
+# should be added here (the coverage test below catches forgotten ones).
+DOCUMENTS = [
+    "README.md",
+    "ROADMAP.md",
+    "docs/API.md",
+    "docs/PERFORMANCE.md",
+    "docs/DEPLOYMENT.md",
+]
+
+_FENCE = re.compile(r"^```(?P<info>[^\n`]*)\n(?P<body>.*?)^```\s*$", re.S | re.M)
+
+
+@dataclass(frozen=True)
+class CodeBlock:
+    document: str
+    language: str
+    body: str
+    line: int
+
+
+def iter_code_blocks(document: str) -> Iterator[CodeBlock]:
+    text = (REPO_ROOT / document).read_text(encoding="utf-8")
+    for match in _FENCE.finditer(text):
+        language = match.group("info").strip().split()[0] if match.group("info").strip() else ""
+        line = text.count("\n", 0, match.start()) + 1
+        yield CodeBlock(document, language, match.group("body"), line)
+
+
+def blocks_of(document: str, language: str) -> List[CodeBlock]:
+    return [block for block in iter_code_blocks(document) if block.language == language]
+
+
+# ---------------------------------------------------------------------------
+# Python blocks: execute them
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_python_blocks_execute(document):
+    blocks = blocks_of(document, "python")
+    if not blocks:
+        pytest.skip(f"{document} has no python blocks")
+    namespace: Dict[str, object] = {"__name__": f"docs_example_{Path(document).stem}"}
+    for block in blocks:
+        code = compile(block.body, f"{document}:{block.line}", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as error:
+            pytest.fail(f"{document} line {block.line}: documented python example broke: {error!r}")
+
+
+# ---------------------------------------------------------------------------
+# Bash blocks: validate them against the real CLIs, routes and paths
+# ---------------------------------------------------------------------------
+
+_EXTRAS = re.compile(r"\.\[(?P<extras>[\w,\s-]+)\]")
+
+
+def _pyproject_extras() -> set:
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    section = text.split("[project.optional-dependencies]", 1)[1].split("[project.scripts]", 1)[0]
+    return {line.split("=", 1)[0].strip() for line in section.splitlines() if "=" in line}
+
+
+def _experiment_ids() -> set:
+    return {experiment.experiment_id for experiment in all_experiments()}
+
+
+def _serve_flags() -> set:
+    flags = set()
+    for action in build_parser()._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def _route_patterns() -> List[str]:
+    return [re.sub(r"\{id\}", r"[0-9a-f]+", path) + "$" for path in route_paths()]
+
+
+def _check_pip(tokens: List[str], errors: List[str]) -> None:
+    extras = _pyproject_extras()
+    for token in tokens:
+        match = _EXTRAS.search(token)
+        if match:
+            for extra in match.group("extras").split(","):
+                if extra.strip() not in extras:
+                    errors.append(f"pip extra {extra.strip()!r} is not defined in pyproject.toml")
+
+
+def _check_python(tokens: List[str], errors: List[str]) -> None:
+    for token in tokens[1:]:
+        if token.startswith("-") or token in ("pytest", "pip", "install"):
+            continue
+        candidate = token.split("::")[0]
+        if "/" in candidate or candidate.endswith(".py") or candidate in ("tests", "benchmarks"):
+            if not (REPO_ROOT / candidate).exists():
+                errors.append(f"documented path {candidate!r} does not exist")
+
+
+def _check_experiments(tokens: List[str], errors: List[str]) -> None:
+    known = _experiment_ids()
+    for token in tokens[1:]:
+        if token.startswith("-"):
+            continue
+        if token not in known:
+            errors.append(f"experiment id {token!r} is not registered")
+
+
+def _check_serve(tokens: List[str], errors: List[str]) -> None:
+    flags = _serve_flags()
+    for token in tokens[1:]:
+        if token.startswith("--"):
+            flag = token.split("=", 1)[0]
+            if flag not in flags:
+                errors.append(f"repro-serve has no flag {flag!r}")
+
+
+def _check_curl(tokens: List[str], errors: List[str]) -> None:
+    patterns = _route_patterns()
+    for token in tokens[1:]:
+        if token.startswith("http://") or token.startswith("https://"):
+            path = urlparse(token).path
+            if not any(re.fullmatch(pattern, path) for pattern in patterns):
+                errors.append(f"curl URL path {path!r} matches no served route {route_paths()}")
+
+
+_CHECKERS = {
+    "pip": _check_pip,
+    "python": _check_python,
+    "pytest": _check_python,
+    "repro-experiments": _check_experiments,
+    "repro-serve": _check_serve,
+    "curl": _check_curl,
+    "ruff": lambda tokens, errors: None,
+}
+
+
+def _command_lines(block: CodeBlock) -> Iterator[Tuple[int, List[str]]]:
+    for offset, raw in enumerate(block.body.splitlines()):
+        line = raw.split("#", 1)[0].strip().rstrip("\\").strip()
+        if not line:
+            continue
+        yield block.line + 1 + offset, shlex.split(line)
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_bash_blocks_validate(document):
+    blocks = blocks_of(document, "bash")
+    if not blocks:
+        pytest.skip(f"{document} has no bash blocks")
+    errors: List[str] = []
+    pending: List[str] = []
+    for block in blocks:
+        for line, tokens in _command_lines(block):
+            tokens = pending + tokens
+            pending = []
+            if block.body.splitlines()[line - block.line - 1].rstrip().endswith("\\"):
+                pending = tokens
+                continue
+            command = tokens[0]
+            checker = _CHECKERS.get(command)
+            if checker is None:
+                errors.append(f"{document} line {line}: unvetted command {command!r} — "
+                              "teach tests/test_docs_examples.py how to validate it")
+                continue
+            checker(tokens, errors)
+    assert not errors, "; ".join(errors)
+
+
+# ---------------------------------------------------------------------------
+# Coverage: the docs listed above are the docs that exist
+# ---------------------------------------------------------------------------
+
+
+def test_every_markdown_document_is_enforced():
+    """A new top-level or docs/ markdown file must opt into this suite."""
+    exempt = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "CHANGES.md", "ISSUE.md"}
+    present = {
+        str(path.relative_to(REPO_ROOT))
+        for pattern in ("*.md", "docs/*.md")
+        for path in REPO_ROOT.glob(pattern)
+    }
+    assert present - exempt == set(DOCUMENTS), (
+        "markdown documents and the enforced list drifted; update DOCUMENTS "
+        "in tests/test_docs_examples.py"
+    )
+
+
+def test_documented_fingerprints_are_real():
+    """README/DEPLOYMENT curl examples use the KB's actual fingerprint."""
+    from repro.core import RandomWorlds
+    from repro.service import kb_fingerprint
+
+    kb_text = "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8"
+    fingerprint = kb_fingerprint(RandomWorlds._as_knowledge_base(kb_text))
+    for document in ("README.md", "docs/DEPLOYMENT.md"):
+        text = (REPO_ROOT / document).read_text(encoding="utf-8")
+        documented = set(re.findall(r"/v1/sessions/([0-9a-f]{16})", text))
+        if documented:
+            assert documented == {fingerprint}, (
+                f"{document} shows session id(s) {documented} but the documented "
+                f"KB fingerprints to {fingerprint}"
+            )

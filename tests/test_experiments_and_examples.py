@@ -24,7 +24,7 @@ FAST_EXPERIMENTS = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11",
 class TestRegistry:
     def test_all_experiments_are_registered(self):
         identifiers = [e.experiment_id for e in all_experiments()]
-        assert identifiers == [f"E{i}" for i in range(1, 23)]
+        assert identifiers == [f"E{i}" for i in range(1, 24)]
 
     def test_slow_flag_filters(self):
         fast = all_experiments(include_slow=False)
@@ -63,7 +63,13 @@ class TestRegistry:
 class TestExamples:
     @pytest.mark.parametrize(
         "script",
-        ["quickstart.py", "medical_diagnosis.py", "taxonomy_defaults.py", "nixon_diamond.py"],
+        [
+            "quickstart.py",
+            "medical_diagnosis.py",
+            "taxonomy_defaults.py",
+            "nixon_diamond.py",
+            "http_service.py",
+        ],
     )
     def test_example_scripts_run(self, script, capsys):
         runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")

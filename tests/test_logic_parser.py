@@ -192,3 +192,48 @@ class TestErrors:
             """
         )
         assert len(formulas) == 2
+
+
+class TestReprRoundTrip:
+    """Formula reprs emit concrete parser syntax and re-parse exactly.
+
+    The wire codec encodes formulas as their repr and the HTTP KB payload
+    ships sentence reprs, so ``parse(repr(f)) == f`` is load-bearing — for
+    counting quantifiers, proportion expressions, approx operators and
+    numeric literals alike.
+    """
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists[5] x. Ticket(x)",
+            "exists! x. Winner(x)",
+            "%(Fly(x); x) ~=[1] 1",
+            "%(Fly(x) | Bird(x); x) ~=[2] 0.8",
+            "%(Hep(x) | Jaun(x); x) <~[1] 0.25",
+            "%(Fly(x) | Bird(x); x) ~=[1] 1/3",
+            "(%(A(x); x) + %(B(x); x)) ~= 1",
+            "(%(A(x); x) * %(B(x); x)) <= 0.5",
+            "%(Winner(x); x) == 0.2",
+        ],
+    )
+    def test_parse_repr_is_identity(self, text):
+        formula = parse(text)
+        assert parse(repr(formula)) == formula
+
+    def test_number_reprs_are_exact(self):
+        from fractions import Fraction
+
+        from repro.logic.syntax import Number
+
+        # Only non-negative values: the grammar has no unary minus (numeric
+        # literals are proportions), so negative Numbers cannot be parsed.
+        for value in (
+            Fraction(1, 3),
+            Fraction(4, 5),
+            Fraction(1, 8),
+            Fraction(1, 2**50),  # finite decimal, but beyond the parser's
+            Fraction(7),  # limit_denominator bound -> fraction form
+        ):
+            text = repr(Number(value))
+            assert parse(f"%(A(x); x) == {text}").right.value == value

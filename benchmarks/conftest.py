@@ -33,6 +33,17 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
 from repro.core import RandomWorlds  # noqa: E402
 
 _TEST_RECORDS: dict[str, dict[str, object]] = {}
+_METRICS: dict[str, object] = {}
+
+
+def record_metric(name: str, value) -> None:
+    """Record one named scalar in the ``metrics`` block of BENCH_results.json.
+
+    Benchmarks use this for derived measurements (throughput ratios, cache
+    rates) that pytest-benchmark's per-test statistics do not capture, so the
+    artifact can trend them PR-over-PR.
+    """
+    _METRICS[name] = value
 
 
 @pytest.fixture(scope="session")
@@ -113,6 +124,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         "num_tests": len(_TEST_RECORDS),
         "tests": _TEST_RECORDS,
         "benchmarks": _benchmark_records(session.config),
+        "metrics": dict(_METRICS),
     }
     try:
         with open(path, "w", encoding="utf-8") as handle:

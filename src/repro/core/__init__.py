@@ -8,6 +8,7 @@ from .engine import RandomWorlds, RandomWorldsError
 from .entailment import GroundContext, class_relation, entails_membership, kb_entails_ground
 from .independence import independence_inference, split_independent
 from .knowledge_base import KnowledgeBase, StatisticalAssertion
+from .options import EngineOptions, add_engine_cli_arguments, engine_options_from_args
 from .properties import (
     check_and,
     check_cautious_monotonicity,

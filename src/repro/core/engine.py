@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 import threading
-import warnings
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -41,7 +40,7 @@ from ..worlds.cache import (
     vocabulary_fingerprint,
 )
 from ..worlds.counting import InconsistentKnowledgeBase
-from ..worlds.degrees import degree_of_belief_by_counting
+from ..worlds.degrees import DEFAULT_DOMAIN_SIZES, degree_of_belief_by_counting
 from ..worlds.enumeration import EnumerationTooLarge, world_space_size
 from ..worlds.parallel import (
     BACKENDS,
@@ -55,6 +54,7 @@ from .combination import combination_inference
 from .direct_inference import direct_inference
 from .independence import independence_inference
 from .knowledge_base import KnowledgeBase
+from .options import EngineOptions
 from .result import BeliefResult
 from .specificity import specificity_inference
 from .strength import strength_inference
@@ -124,17 +124,28 @@ class RandomWorlds:
         true multi-core counting), or a
         :class:`~repro.worlds.parallel.CountingExecutor` instance shared
         between engines.  Answers are ``Fraction``-identical across
-        backends.  ``None`` keeps the historical behaviour: threads when
-        ``max_workers > 1``, serial otherwise.
+        backends.  ``None`` means ``"serial"``; combining it with
+        ``max_workers > 1`` raises ``ValueError`` (the old implicit-threads
+        behaviour finished its deprecation cycle).
     max_workers:
         Pool width for the chosen backend (and the default thread-pool width
         for :meth:`degree_of_belief_batch`).
+    compile:
+        Compile each counting query into a flat per-decomposition program
+        (the default).  ``False`` forces the interpreted recursive evaluator
+        everywhere; answers are ``Fraction``-identical either way.
+    options:
+        An :class:`~repro.core.options.EngineOptions` bundle carrying the
+        engine knobs (``backend``, ``max_workers``, ``memo``, ``memo_size``,
+        ``compile``, ``domain_sizes``, ``tolerances``) as one validated
+        value.  Mutually exclusive with spelling those same knobs as
+        individual keyword arguments.
     """
 
     def __init__(
         self,
         tolerances: Optional[Iterable[ToleranceVector]] = None,
-        domain_sizes: Sequence[int] = (8, 12, 16, 24, 32),
+        domain_sizes: Optional[Sequence[int]] = None,
         counting_fallback: bool = True,
         assume_small_overlap: bool = False,
         cache: Union[WorldCountCache, bool, None] = True,
@@ -142,11 +153,64 @@ class RandomWorlds:
         memo_size: Optional[int] = DEFAULT_MEMO_SIZE,
         backend: BackendLike = None,
         max_workers: Optional[int] = None,
+        compile: bool = True,
+        options: Optional[EngineOptions] = None,
     ):
-        self._tolerances = tuple(tolerances) if tolerances is not None else tuple(default_sequence())
-        self._domain_sizes = tuple(domain_sizes)
+        if options is not None:
+            legacy_overrides = [
+                name
+                for name, value, default in (
+                    ("tolerances", tolerances, None),
+                    ("domain_sizes", domain_sizes, None),
+                    ("memo", memo, True),
+                    ("backend", backend, None),
+                    ("max_workers", max_workers, None),
+                    ("compile", compile, True),
+                )
+                if value is not default
+            ]
+            if memo_size != DEFAULT_MEMO_SIZE:
+                legacy_overrides.append("memo_size")
+            if legacy_overrides:
+                raise ValueError(
+                    "pass engine knobs either via options=EngineOptions(...) or as "
+                    f"individual keywords, not both (got options plus {legacy_overrides})"
+                )
+            backend = options.backend
+            max_workers = options.max_workers
+            memo = options.memo
+            memo_size = options.memo_size
+            compile = options.compile
+            domain_sizes = options.domain_sizes
+            tolerances = options.tolerances
+            self._options = options
+        else:
+            # Route the legacy spellings through the same validation path
+            # (this is also what rejects bare max_workers > 1 with no
+            # explicit backend).
+            self._options = EngineOptions.from_legacy(
+                backend=backend,
+                max_workers=max_workers,
+                memo=memo,
+                memo_size=memo_size,
+                compile=compile,
+                domain_sizes=domain_sizes,
+                tolerances=tolerances,
+            )
+        # Bare numbers are accepted alongside ToleranceVector ladders (the
+        # wire and EngineOptions speak uniform floats).
+        self._tolerances = (
+            tuple(
+                tau if isinstance(tau, ToleranceVector) else ToleranceVector.uniform(float(tau))
+                for tau in tolerances
+            )
+            if tolerances is not None
+            else tuple(default_sequence())
+        )
+        self._domain_sizes = tuple(domain_sizes) if domain_sizes is not None else DEFAULT_DOMAIN_SIZES
         self._counting_fallback = counting_fallback
         self._assume_small_overlap = assume_small_overlap
+        self._compile = bool(compile)
         if isinstance(cache, WorldCountCache):
             self._world_cache: Optional[WorldCountCache] = cache
         elif cache:
@@ -158,28 +222,8 @@ class RandomWorlds:
         self._backend = backend
         self._max_workers = max_workers
         self._owned_executor: Optional[CountingExecutor] = None
-        self._warned_legacy_threads = False
         self._sessions: "OrderedDict" = OrderedDict()
         self._sessions_lock = threading.Lock()
-        if backend is None and (max_workers or 0) > 1:
-            self.warn_legacy_threads()
-
-    def warn_legacy_threads(self) -> None:
-        """Deprecate the bare ``max_workers > 1``-implies-threads spelling.
-
-        Emitted at most once per engine; behaviour is unchanged (the batch
-        still fans out over a thread pool).  Spell the intent with
-        ``backend="threads"`` instead.
-        """
-        if self._warned_legacy_threads:
-            return
-        self._warned_legacy_threads = True
-        warnings.warn(
-            'bare max_workers > 1 implying the threads backend is deprecated; '
-            'pass backend="threads" explicitly',
-            DeprecationWarning,
-            stacklevel=3,
-        )
 
     # -- normalisation ---------------------------------------------------------
 
@@ -340,13 +384,25 @@ class RandomWorlds:
 
     @property
     def backend(self) -> BackendLike:
-        """The configured counting backend (``None`` means the legacy default)."""
+        """The configured counting backend (``None`` means serial)."""
         return self._backend
 
     @property
     def max_workers(self) -> Optional[int]:
         """The configured pool width (``None`` means the backend's default)."""
         return self._max_workers
+
+    @property
+    def options(self) -> EngineOptions:
+        """The engine's knobs as one :class:`~repro.core.options.EngineOptions`.
+
+        Always populated: engines built from legacy keyword spellings
+        normalise them into an equivalent options bundle on construction, so
+        ``RandomWorlds(options=engine.options)`` reproduces the configuration
+        (modulo live objects — executors, caches and memo tables are reduced
+        to their option-level equivalents).
+        """
+        return self._options
 
     def derive(
         self,
@@ -363,10 +419,6 @@ class RandomWorlds:
         backend = self._backend
         if isinstance(backend, str) and backend == "processes":
             backend = self._counting_executor() or backend
-        elif backend is None and (self._max_workers or 0) > 1:
-            # Spell the legacy implied-threads default explicitly so the
-            # derived engine does not re-emit the deprecation warning.
-            backend = "threads"
         return RandomWorlds(
             tolerances=self._tolerances if tolerances is None else tolerances,
             domain_sizes=self._domain_sizes if domain_sizes is None else domain_sizes,
@@ -375,6 +427,7 @@ class RandomWorlds:
             cache=self._world_cache if self._world_cache is not None else False,
             backend=backend,
             max_workers=self._max_workers,
+            compile=self._compile,
         )
 
     def cache_info(self) -> Optional[CacheInfo]:
@@ -550,6 +603,7 @@ class RandomWorlds:
                 prefer_unary=prefer_unary,
                 cache=self._world_cache,
                 backend=self._counting_executor(),
+                compile_queries=self._compile,
             )
         except (InconsistentKnowledgeBase, EnumerationTooLarge, UnsupportedFormula):
             return None

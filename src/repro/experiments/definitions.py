@@ -1,4 +1,4 @@
-"""Definitions of experiments E1–E23: the paper's worked examples and theorems.
+"""Definitions of experiments E1–E24: the paper's worked examples and theorems.
 
 Each function reproduces the quantitative or crisp qualitative predictions the
 paper states for one example / theorem and returns paper-vs-measured rows.
@@ -1130,8 +1130,11 @@ def experiment_e21() -> List[ExperimentRow]:
         )
     )
 
+    # Both sides of the sharding comparison run interpreted: this gate
+    # measures the parallel class walk, not the compiled kernel (E24 gates
+    # that lever separately, serial-vs-serial).
     eval_queries = [parse(text) for text in E21_EVAL_QUERIES]
-    serial_counter = make_counter(vocabulary, cache=WorldCountCache())
+    serial_counter = make_counter(vocabulary, cache=WorldCountCache(), compile_queries=False)
     decomposition = serial_counter.decompose(kb.formula, E21_EVAL_DOMAIN_SIZE, tolerance)
     start = time.perf_counter()
     serial_results = [
@@ -1140,7 +1143,7 @@ def experiment_e21() -> List[ExperimentRow]:
     serial_eval_elapsed = time.perf_counter() - start
 
     with executor_scope("processes", E21_WORKERS) as executor:
-        sharded_counter = make_counter(vocabulary, executor=executor)
+        sharded_counter = make_counter(vocabulary, executor=executor, compile_queries=False)
         # Warm-up dispatch: fork/spawn cost must not be charged to the
         # steady-state comparison (one long-lived pool serves many queries).
         executor.evaluate(sharded_counter, decomposition, eval_queries[0], tolerance)
@@ -1404,6 +1407,173 @@ def experiment_e23() -> List[ExperimentRow]:
             True,
             reopened["session_id"] == session_id and reopened["created"] is False,
             method="server",
+        )
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E24 — the compiled query-evaluation kernel
+# ---------------------------------------------------------------------------
+
+
+E24_DOMAIN_SIZES = E20_DOMAIN_SIZES  # the E18 counting scaling grid
+E24_TOLERANCE = E20_TOLERANCE
+E24_REPEATS = 20
+E24_UNARY_CLASS_BUDGET = 5_000
+E24_BRUTE_WORLD_BUDGET = 20_000
+E24_SPEEDUP_GATE = 5.0
+
+
+def _e24_domain_size(vocabulary: Vocabulary) -> int:
+    """The largest small domain size whose exact count stays within budget."""
+    from ..core.engine import _unary_class_count
+    from ..worlds.enumeration import world_space_size
+
+    for domain_size in (10, 8, 6, 5, 4, 3, 2, 1):
+        if vocabulary.is_unary:
+            if _unary_class_count(vocabulary, domain_size) <= E24_UNARY_CLASS_BUDGET:
+                return domain_size
+        elif world_space_size(vocabulary, domain_size) <= E24_BRUTE_WORLD_BUDGET:
+            return domain_size
+    raise AssertionError(f"no feasible domain size for {vocabulary!r}")
+
+
+@register(
+    "E24",
+    "The compiled query kernel is Fraction-identical and >= 5x faster serially",
+    "Definition 4.3 hot path; ROADMAP per-class evaluation cost",
+    slow=True,
+)
+def experiment_e24() -> List[ExperimentRow]:
+    """The two gates of the compiled query-evaluation kernel.
+
+    *Identity*: on every benchmark knowledge base, evaluating the standard
+    query through the compiled kernel must produce ``(satisfying_kb,
+    satisfying_both)`` pairs exactly equal to the interpreted recursive
+    evaluator — across the serial, threads and processes backends (workers
+    run the shipped program, never a local recompilation).  Queries the
+    compiler does not cover fall back to the interpreted walk, so the
+    comparison is total.
+
+    *Throughput*: on the E18 scaling grid (hepatitis KB, warm
+    decompositions), the compiled serial evaluator must clear
+    ``E24_SPEEDUP_GATE`` (5x) over the interpreted serial walk, summed over
+    the grid.  Serial-vs-serial, so the gate holds on any host, single-core
+    included.
+    """
+    from ..worlds.compile import compile_query
+
+    suite = paper_kbs.benchmark_suite()
+    tolerance = ToleranceVector.uniform(E24_TOLERANCE)
+
+    mismatches = []
+    compiled_names = []
+    for backend in ("serial", "threads", "processes"):
+        with executor_scope(backend, 2) as executor:
+            for name, factory, query_text in suite:
+                kb = factory()
+                query = parse(query_text)
+                vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([query]))
+                domain_size = _e24_domain_size(vocabulary)
+                reference = make_counter(
+                    vocabulary, cache=WorldCountCache(), compile_queries=False
+                )
+                decomposition = reference.decompose(kb.formula, domain_size, tolerance)
+                interpreted = reference.evaluate_query(decomposition, query, tolerance)
+                compiled_counter = make_counter(
+                    vocabulary,
+                    cache=WorldCountCache(),
+                    executor=executor if executor.dispatches_shards else None,
+                )
+                compiled_decomposition = compiled_counter.decompose(
+                    kb.formula, domain_size, tolerance
+                )
+                compiled = executor.evaluate(
+                    compiled_counter, compiled_decomposition, query, tolerance
+                )
+                if (compiled.satisfying_kb, compiled.satisfying_both) != (
+                    interpreted.satisfying_kb,
+                    interpreted.satisfying_both,
+                ):
+                    mismatches.append(f"{name}/{backend}")
+                if backend == "serial" and compiled_counter.query_program(query) is not None:
+                    compiled_names.append(name)
+
+    rows = [
+        boolean_row(
+            "compiled answers are Fraction-identical to the interpreted evaluator "
+            "on every benchmark KB across serial/threads/processes",
+            True,
+            not mismatches,
+            method="compile",
+        ),
+        qualitative_row(
+            "the compiler covers the benchmark queries (the rest fall back)",
+            "most benchmark queries compile",
+            f"{len(compiled_names)}/{len(suite)} compiled"
+            + ("" if mismatches else "; all identical"),
+            len(compiled_names) >= len(suite) // 2,
+            method="compile",
+        ),
+    ]
+
+    # Fallback leg: a tolerance-dependent query has no compiled form by
+    # design (programs are cached without a tolerance component), and the
+    # interpreted fallback must still answer it.
+    kb = paper_kbs.hepatitis_simple()
+    statistical = parse("%(Hep(x) | Jaun(x); x) ~=[1] 0.8")
+    fallback_counter = make_counter(kb.vocabulary, cache=WorldCountCache())
+    fallback_decomposition = fallback_counter.decompose(kb.formula, 8, tolerance)
+    uncovered = compile_query(statistical, fallback_counter._table)
+    fallback_result = fallback_counter.evaluate_query(
+        fallback_decomposition, statistical, tolerance
+    )
+    reference_result = make_counter(kb.vocabulary, compile_queries=False).evaluate_query(
+        fallback_decomposition, statistical, tolerance
+    )
+    rows.append(
+        boolean_row(
+            "uncovered query shapes fall back to the interpreted evaluator",
+            True,
+            uncovered is None and fallback_result == reference_result,
+            method="compile",
+        )
+    )
+
+    # Throughput leg: warm decompositions on the E18 grid, serial-vs-serial.
+    query = parse("Hep(Eric)")
+    vocabulary = kb.vocabulary
+    compiled_elapsed = interpreted_elapsed = 0.0
+    for domain_size in E24_DOMAIN_SIZES:
+        compiled_counter = make_counter(vocabulary, cache=WorldCountCache())
+        interpreted_counter = make_counter(
+            vocabulary, cache=WorldCountCache(), compile_queries=False
+        )
+        compiled_decomposition = compiled_counter.decompose(kb.formula, domain_size, tolerance)
+        interpreted_decomposition = interpreted_counter.decompose(
+            kb.formula, domain_size, tolerance
+        )
+        compiled_counter.evaluate_query(compiled_decomposition, query, tolerance)  # warm-up
+        start = time.perf_counter()
+        for _ in range(E24_REPEATS):
+            compiled_counter.evaluate_query(compiled_decomposition, query, tolerance)
+        compiled_elapsed += time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(E24_REPEATS):
+            interpreted_counter.evaluate_query(interpreted_decomposition, query, tolerance)
+        interpreted_elapsed += time.perf_counter() - start
+
+    speedup = interpreted_elapsed / compiled_elapsed if compiled_elapsed > 0 else float("inf")
+    rows.append(
+        qualitative_row(
+            "compiled serial evaluation clears the 5x gate on the E18 grid",
+            f">= {E24_SPEEDUP_GATE:.0f}x",
+            f"{speedup:.1f}x (interpreted {interpreted_elapsed * 1000:.0f} ms, "
+            f"compiled {compiled_elapsed * 1000:.0f} ms, "
+            f"{E24_REPEATS} repeats over sizes {E24_DOMAIN_SIZES})",
+            speedup >= E24_SPEEDUP_GATE,
+            method="compile",
         )
     )
     return rows

@@ -3,8 +3,13 @@
 Layer contract: flag parsing and process lifecycle only — every flag maps
 onto a :class:`~repro.server.manager.SessionManager` or
 :class:`~repro.server.app.BeliefHTTPServer` constructor argument, so the CLI
-adds no behaviour of its own.  ``docs/DEPLOYMENT.md`` documents the knobs;
-the docs-freshness suite validates its examples against this parser.
+adds no behaviour of its own.  The engine flags (``--backend``,
+``--max-workers``, ``--memo-size``, ``--no-memo``, ``--no-compile``,
+``--domain-sizes``, ``--tolerances``) are generated from the
+:class:`~repro.core.options.EngineOptions` field metadata, so the command
+line cannot drift from the engine signature.  ``docs/DEPLOYMENT.md``
+documents the knobs; the docs-freshness suite validates its examples against
+this parser.
 """
 
 from __future__ import annotations
@@ -12,18 +17,9 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from ..core.options import add_engine_cli_arguments, engine_options_from_args
 from .app import make_server
 from .manager import SessionManager
-
-
-def _domain_sizes(text: str) -> tuple:
-    try:
-        sizes = tuple(int(part) for part in text.split(",") if part.strip())
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
-    if not sizes:
-        raise argparse.ArgumentTypeError("expected at least one domain size")
-    return sizes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,41 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="Retry-After hint sent with 429 responses (default: %(default)s)",
     )
-    parser.add_argument(
-        "--backend",
-        choices=("serial", "threads", "processes"),
-        default=None,
-        help="counting backend for new sessions (default: the engine default)",
-    )
-    parser.add_argument(
-        "--max-workers",
-        type=int,
-        default=None,
-        help="worker-pool width for the chosen backend",
-    )
-    parser.add_argument(
-        "--domain-sizes",
-        type=_domain_sizes,
-        default=None,
-        metavar="N,N,...",
-        help="domain-size schedule for new sessions, e.g. 8,12,16,24,32",
-    )
-    parser.add_argument("--no-memo", action="store_true", help="disable the per-query memo table")
+    add_engine_cli_arguments(parser)
     parser.add_argument("--verbose", action="store_true", help="log one line per HTTP request")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    engine_options = {}
-    if args.backend is not None:
-        engine_options["backend"] = args.backend
-    if args.max_workers is not None:
-        engine_options["max_workers"] = args.max_workers
-    if args.domain_sizes is not None:
-        engine_options["domain_sizes"] = args.domain_sizes
-    if args.no_memo:
-        engine_options["memo"] = False
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        engine_options = engine_options_from_args(args)
+    except ValueError as error:
+        parser.error(str(error))
     manager = SessionManager(
         max_sessions=args.max_sessions,
         ttl_seconds=args.ttl if args.ttl > 0 else None,

@@ -30,22 +30,20 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase
-from ..logic.tolerance import ToleranceVector
+from ..core.options import EngineOptions
 from ..service.session import BeliefSession, KnowledgeBaseLike, kb_fingerprint
 from ..worlds.cache import WorldCountCache
 
-# Engine options a network caller may set per open request.  A whitelist, not
-# introspection: the wire must not reach arbitrary constructor parameters
-# (``cache=`` in particular is owned by the manager's warm-cache retention).
-WIRE_ENGINE_OPTIONS = frozenset(
-    {"domain_sizes", "tolerances", "backend", "max_workers", "memo", "memo_size"}
-)
-
-_BACKENDS = ("serial", "threads", "processes")
+# Engine options a network caller may set per open request — derived from the
+# EngineOptions field metadata (``wire=True``), so the whitelist cannot drift
+# from the engine signature.  Still a whitelist, not constructor
+# introspection: the wire must not reach arbitrary parameters (``cache=`` in
+# particular is owned by the manager's warm-cache retention).
+WIRE_ENGINE_OPTIONS = frozenset(EngineOptions.wire_option_names())
 
 
 class Overloaded(RuntimeError):
@@ -72,38 +70,36 @@ class ExpiredSession(UnknownSession):
     """The session existed but its idle TTL elapsed; re-open to continue."""
 
 
-def normalise_engine_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+def normalise_engine_options(
+    options: Union[EngineOptions, Dict[str, Any], None],
+) -> Dict[str, Any]:
     """Coerce wire-shaped engine options into :class:`RandomWorlds` kwargs.
 
-    JSON carries lists and bare floats; the engine wants tuples and
-    :class:`ToleranceVector` ladders.  Unknown keys raise ``ValueError`` so a
-    typo in a client payload is a 400, not a silently ignored knob.
+    JSON carries lists and bare numbers; every per-key coercion is delegated
+    to :meth:`EngineOptions.coerce_field`, the same validation the engine
+    constructor runs, so the wire cannot accept a value the engine rejects.
+    Unknown keys raise ``ValueError`` so a typo in a client payload is a 400,
+    not a silently ignored knob.  A partial payload stays partial (server
+    defaults still apply); cross-field rules are enforced once the merged
+    combination reaches ``RandomWorlds``.  Passing an :class:`EngineOptions`
+    instance is a *full* specification: every field is taken, defaults
+    included.  Idempotent, so layered callers may each normalise.
     """
     if not options:
         return {}
+    if isinstance(options, EngineOptions):
+        return options.to_field_dict()
     unknown = sorted(set(options) - WIRE_ENGINE_OPTIONS)
     if unknown:
         raise ValueError(
             f"unknown engine option(s) {', '.join(map(repr, unknown))}; "
             f"expected a subset of {sorted(WIRE_ENGINE_OPTIONS)}"
         )
-    coerced: Dict[str, Any] = {}
-    for key, value in options.items():
-        if value is None:
-            continue
-        if key == "domain_sizes":
-            coerced[key] = tuple(int(n) for n in value)
-        elif key == "tolerances":
-            coerced[key] = [ToleranceVector.uniform(float(tau)) for tau in value]
-        elif key == "backend":
-            if value not in _BACKENDS:
-                raise ValueError(f"unknown backend {value!r}; expected one of {_BACKENDS}")
-            coerced[key] = value
-        elif key in ("max_workers", "memo_size"):
-            coerced[key] = int(value)
-        elif key == "memo":
-            coerced[key] = bool(value)
-    return coerced
+    return {
+        key: EngineOptions.coerce_field(key, value)
+        for key, value in options.items()
+        if value is not None
+    }
 
 
 class ManagedSession:
@@ -220,13 +216,14 @@ class SessionManager:
         self,
         knowledge_base: KnowledgeBaseLike,
         *,
-        engine_options: Optional[Dict[str, Any]] = None,
+        engine_options: Union[EngineOptions, Dict[str, Any], None] = None,
         consistency_check: Optional[bool] = None,
     ) -> Tuple[ManagedSession, bool]:
         """The session for a KB: the existing one, or a freshly opened one.
 
         Idempotent on the KB fingerprint — the returned ``bool`` says whether
-        a session was actually created.  Engine options only apply at
+        a session was actually created.  Engine options (a wire-shaped dict
+        or a whole :class:`~repro.core.options.EngineOptions`) only apply at
         creation; re-opening an existing fingerprint returns it unchanged.
         A fingerprint evicted earlier re-opens with its retained world-count
         cache, so the new session starts warm.  Concurrent opens of the same
@@ -380,11 +377,11 @@ class SessionManager:
         self,
         kb: KnowledgeBase,
         fingerprint: str,
-        engine_options: Optional[Dict[str, Any]],
+        engine_options: Union[EngineOptions, Dict[str, Any], None],
         consistency_check: Optional[bool],
     ) -> BeliefSession:
         options = dict(self._engine_options)
-        options.update(engine_options or {})
+        options.update(normalise_engine_options(engine_options))
         with self._lock:
             warm_cache = self._warm_caches.pop(fingerprint, None)
         if warm_cache is not None and "cache" not in options:

@@ -112,7 +112,8 @@ class BeliefSession:
     engine_options:
         Passed to :class:`RandomWorlds` when no engine is supplied
         (``tolerances``, ``domain_sizes``, ``cache``, ``memo``, ``backend``,
-        ``max_workers``, ...).
+        ``max_workers``, ``compile``, ...); pass a whole bundle at once with
+        ``options=EngineOptions(...)``.
     """
 
     def __init__(
@@ -247,12 +248,13 @@ class BeliefSession:
     ) -> List[BeliefResponse]:
         """Answer many requests, sharing all per-KB warm state.
 
-        Mirrors the legacy batch semantics exactly: with the ``threads``
-        backend (or the deprecated bare ``max_workers > 1`` spelling) the
-        requests fan out over a thread pool; with ``processes`` the request
-        loop stays sequential and the counting layer shards across the
-        engine's process pool; otherwise the loop is serial.  Responses come
-        back in request order.
+        With the ``threads`` backend the requests fan out over a thread pool;
+        with ``processes`` the request loop stays sequential and the counting
+        layer shards across the engine's process pool; otherwise the loop is
+        serial.  Passing ``max_workers > 1`` on an engine with no explicit
+        backend raises ``ValueError`` (the old implicit-threads spelling was
+        removed — configure ``EngineOptions(backend="threads")``).  Responses
+        come back in request order.
         """
         items = [self._with_id(self._as_request(request)) for request in requests]
         engine = self._engine
@@ -260,8 +262,6 @@ class BeliefSession:
         supplied = isinstance(engine.backend, CountingExecutor)
         resolved = resolve_backend(engine.backend.name if supplied else engine.backend, workers)
         if resolved == "threads" and len(items) > 1:
-            if engine.backend is None:
-                engine.warn_legacy_threads()
             # A caller-supplied executor instance is used as-is (its pool and
             # width belong to the caller); a string spec builds a per-call
             # pool that executor_scope shuts down on exit.

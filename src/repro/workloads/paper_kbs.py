@@ -285,3 +285,41 @@ def bed_late() -> KnowledgeBase:
         "%(%(RisesLate(x, y) | Day(y); y) ~=[1] 1 | %(ToBedLate(x, y2) | Day(y2); y2) ~=[2] 1; x) ~=[3] 1",
         "%(ToBedLate(Alice, y2) | Day(y2); y2) ~=[2] 1",
     )
+
+
+# -- the benchmark suite ------------------------------------------------------
+
+
+def benchmark_suite() -> list:
+    """``(name, KB factory, query text)`` for every benchmark knowledge base.
+
+    The 23 knowledge bases the e01-e18 benchmarks exercise, in one place so
+    the regression tests, the metamorphic laws and experiment E24 (the
+    compiled-evaluator identity gate) all walk the identical suite.  Each
+    entry's factory returns a fresh :class:`~repro.core.KnowledgeBase`.
+    """
+    return [
+        ("hepatitis_simple", hepatitis_simple, "Hep(Eric)"),
+        ("hepatitis_full", hepatitis_full, "Hep(Eric)"),
+        ("tweety_fly", tweety_fly, "Fly(Tweety)"),
+        ("tweety_yellow", tweety_yellow, "Fly(Tweety)"),
+        ("tweety_warm_blooded", tweety_warm_blooded, "WarmBlooded(Tweety)"),
+        ("tweety_easy_to_see", tweety_easy_to_see, "EasyToSee(Tweety)"),
+        ("tay_sachs", tay_sachs, "TS(Eric)"),
+        ("elephant_zookeeper", elephant_zookeeper, "Likes(Clyde, Fred)"),
+        ("chirping_magpie", chirping_magpie, "Chirps(Tweety)"),
+        ("moody_magpie", moody_magpie, "Chirps(Tweety)"),
+        ("nixon_diamond", nixon_diamond, "Pacifist(Nixon)"),
+        ("fred_heart_disease", fred_heart_disease, "Heart(Fred)"),
+        ("hepatitis_and_age", hepatitis_and_age, "Hep(Eric) and Over60(Eric)"),
+        ("black_birds", lambda: black_birds().with_vocabulary_of("Black(Clyde)"), "Black(Clyde)"),
+        ("lottery", lottery, "Winner(C)"),
+        ("lifschitz_names", lifschitz_names, "not (Ray = Drew)"),
+        ("broken_arm", broken_arm, "LeftUsable(Eric)"),
+        ("colours_two_way", colours_two_way, "White(Block)"),
+        ("colours_three_way", colours_three_way, "White(Block)"),
+        ("flying_birds_two_predicates", flying_birds_two_predicates, "Fly(Tweety)"),
+        ("flying_birds_refined", flying_birds_refined, "FlyingBird(Tweety)"),
+        ("swimming_taxonomy", swimming_taxonomy, "Swims(Opus)"),
+        ("tall_parent", tall_parent, "Tall(Alice)"),
+    ]

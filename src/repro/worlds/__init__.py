@@ -5,6 +5,7 @@ from .cache import (
     CacheInfo,
     CacheKey,
     ClassDecomposition,
+    CompiledProgramCache,
     OversizedSentinel,
     QueryMemoTable,
     WorldCountCache,
@@ -12,7 +13,9 @@ from .cache import (
     tolerance_fingerprint,
     vocabulary_fingerprint,
 )
+from .compile import CompiledQuery, compile_query
 from .counting import (
+    AUTO_PROGRAM,
     BruteForceCounter,
     CountResult,
     InconsistentKnowledgeBase,
@@ -20,6 +23,7 @@ from .counting import (
     counter_for_work_unit,
     make_counter,
     shard_bounds,
+    weighted_shard_bounds,
 )
 from .parallel import (
     BACKENDS,

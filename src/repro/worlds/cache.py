@@ -496,6 +496,97 @@ class QueryMemoTable:
         )
 
 
+# A compiled program's identity: the parent decomposition's cache key plus
+# the canonical query fingerprint.  No tolerance component — compiled
+# programs are tolerance-independent by construction (tolerance-dependent
+# connectives are never compiled), so one program serves every tolerance.
+ProgramKey = Tuple[CacheKey, Formula]
+
+DEFAULT_PROGRAM_CACHE_SIZE = 512
+
+
+class CompiledProgramCache:
+    """A bounded LRU of compiled query programs (including negative results).
+
+    Compiling a query is cheap (one small tree walk) but hot paths evaluate
+    the same query against the same decomposition thousands of times, so the
+    per-``(CacheKey, query_fingerprint)`` program is kept alongside the memo
+    table.  ``None`` — "this query is outside the compiled fragment" — is
+    cached too, so uncompilable queries do not retry the compiler per count.
+
+    Unlike the memo table there is no in-flight protocol: two threads
+    racing on a miss both compile (a pure, fast computation) and the second
+    store wins harmlessly.
+    """
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_PROGRAM_CACHE_SIZE):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[ProgramKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compile(self, key: ProgramKey, compile_fn: Callable[[], Any]) -> Any:
+        """The cached program for ``key``, compiling (and storing) on a miss."""
+        with self._lock:
+            found = self._entries.get(key, _ABSENT)
+            if found is not _ABSENT:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return found
+            self._misses += 1
+        program = compile_fn()
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            if self._maxsize is not None:
+                while len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+        return program
+
+    def purge_parent(self, cache_key: CacheKey) -> None:
+        """Drop every program compiled against ``cache_key``'s decomposition."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == cache_key]
+            for key in stale:
+                del self._entries[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: ProgramKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgramCache(entries={len(self)}, hits={self._hits}, "
+            f"misses={self._misses}, maxsize={self._maxsize})"
+        )
+
+
 class WorldCountCache:
     """A bounded, thread-safe LRU cache of :class:`ClassDecomposition` values.
 
@@ -546,6 +637,7 @@ class WorldCountCache:
             self._memo = QueryMemoTable(memo_size)
         else:
             self._memo = None
+        self._programs = CompiledProgramCache()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._total_classes = 0
         self._lock = threading.Lock()
@@ -557,6 +649,15 @@ class WorldCountCache:
     def memo(self) -> Optional[QueryMemoTable]:
         """The attached per-query memo table (``None`` when memoisation is off)."""
         return self._memo
+
+    @property
+    def programs(self) -> CompiledProgramCache:
+        """Compiled query programs keyed by ``(CacheKey, query_fingerprint)``.
+
+        Always present (compiling is engine-gated, not cache-gated); programs
+        live and die with their parent decomposition, like memo rows.
+        """
+        return self._programs
 
     # -- core operations -----------------------------------------------------
 
@@ -690,9 +791,10 @@ class WorldCountCache:
                     evicted_key, evicted = self._entries.popitem(last=False)
                     self._total_classes -= evicted.num_classes
                     evicted_keys.append(evicted_key)
-        if self._memo is not None:
-            for evicted_key in evicted_keys:
+        for evicted_key in evicted_keys:
+            if self._memo is not None:
                 self._memo.purge_parent(evicted_key)
+            self._programs.purge_parent(evicted_key)
 
     def store_oversized(self, key: CacheKey) -> None:
         """Remember that ``key``'s decomposition is too large to store.
@@ -748,6 +850,7 @@ class WorldCountCache:
             self._total_classes = 0
         if self._memo is not None:
             self._memo.clear()
+        self._programs.clear()
 
     def reset_stats(self) -> None:
         with self._lock:
@@ -755,6 +858,7 @@ class WorldCountCache:
             self._misses = 0
         if self._memo is not None:
             self._memo.reset_stats()
+        self._programs.reset_stats()
 
     # -- introspection ---------------------------------------------------------
 

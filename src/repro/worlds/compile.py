@@ -1,0 +1,382 @@
+"""Compiled query programs: dispatch-free evaluation over unary classes.
+
+The interpreted :class:`~repro.worlds.unary.StructureEvaluator` re-walks the
+query's ``Formula`` tree for every model class — generic-element candidate
+enumeration, isinstance dispatch and valuation threading included.  For the
+fragment that dominates real query workloads none of that is necessary: over
+a unary vocabulary a class is just its atom occupation vector plus a
+constant placement, so
+
+* a ground literal ``P(c)`` is one bit test against the atom of ``c``'s
+  block,
+* ``c = d`` is one block-index comparison,
+* a single-variable quantifier whose body mentions only unary predicate
+  atoms of the bound variable reduces to a precomputed *atom set* ``A``
+  (the atoms where the body holds): ``exists`` is ``occupied & A != 0``,
+  ``forall`` is ``occupied & ~A == 0`` and ``exists! k`` is
+  ``sum(counts[a] for a in A) == k`` — because every candidate the
+  interpreter enumerates (constant blocks and generic elements alike) is
+  decided purely by its atom, and the candidate multiplicities of one atom
+  always sum to ``counts[a]``.
+
+:func:`compile_query` turns a query into a :class:`CompiledQuery` — a tree
+of plain tuples (the picklable *program*) linked into nested closures at
+load time — or returns ``None`` for any shape outside the fragment, in
+which case callers fall back to the interpreter.  Tolerance-dependent
+connectives (``ApproxEq``/``ApproxLeq``/``ExactCompare`` and proportion
+expressions) are deliberately *not* compiled: keeping programs
+tolerance-independent lets one cached program serve every tolerance the
+memo table distinguishes.
+
+Exactness is untouched: a program only ever decides the boolean "does this
+class satisfy the query"; the weights it sums are the same exact integers
+the interpreter sums.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equals,
+    Exists,
+    ExistsExactly,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from .unary import AtomTable, UnaryStructure
+
+__all__ = ["CompiledQuery", "compile_query"]
+
+
+class _NotCompilable(Exception):
+    """Internal signal: the formula falls outside the compiled fragment."""
+
+
+# A program node is a plain tuple ("op", *operands) whose operands are ints,
+# strings or nested nodes — picklable by construction.
+Instruction = Tuple[Any, ...]
+
+# A linked node: (counts, constant_atoms, constant_blocks, occupied_mask) -> bool
+_Linked = Callable[[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], int], bool]
+
+
+def _link(node: Instruction) -> _Linked:
+    """Turn a program node into a nested closure (no dispatch at run time)."""
+    op = node[0]
+    if op == "true":
+        return lambda counts, atoms, blocks, occupied: True
+    if op == "false":
+        return lambda counts, atoms, blocks, occupied: False
+    if op == "const-in":
+        _, index, mask = node
+        return lambda counts, atoms, blocks, occupied: bool((1 << atoms[index]) & mask)
+    if op == "const-same":
+        _, left, right = node
+        return lambda counts, atoms, blocks, occupied: blocks[left] == blocks[right]
+    if op == "any-atom":
+        _, mask = node
+        return lambda counts, atoms, blocks, occupied: bool(occupied & mask)
+    if op == "all-atoms":
+        _, mask = node
+        return lambda counts, atoms, blocks, occupied: not (occupied & ~mask)
+    if op == "count-atoms":
+        _, selected, expected = node
+        return lambda counts, atoms, blocks, occupied: (
+            sum(counts[a] for a in selected) == expected
+        )
+    if op == "not":
+        sub = _link(node[1])
+        return lambda counts, atoms, blocks, occupied: not sub(counts, atoms, blocks, occupied)
+    if op == "and":
+        subs = tuple(_link(child) for child in node[1])
+        if len(subs) == 2:
+            first, second = subs
+            return lambda c, a, b, o: first(c, a, b, o) and second(c, a, b, o)
+        return lambda c, a, b, o: all(sub(c, a, b, o) for sub in subs)
+    if op == "or":
+        subs = tuple(_link(child) for child in node[1])
+        if len(subs) == 2:
+            first, second = subs
+            return lambda c, a, b, o: first(c, a, b, o) or second(c, a, b, o)
+        return lambda c, a, b, o: any(sub(c, a, b, o) for sub in subs)
+    if op == "implies":
+        antecedent = _link(node[1])
+        consequent = _link(node[2])
+        return lambda c, a, b, o: (not antecedent(c, a, b, o)) or consequent(c, a, b, o)
+    if op == "iff":
+        left = _link(node[1])
+        right = _link(node[2])
+        return lambda c, a, b, o: left(c, a, b, o) == right(c, a, b, o)
+    raise ValueError(f"unknown program opcode {op!r}")
+
+
+class CompiledQuery:
+    """A query compiled against one :class:`AtomTable`.
+
+    ``program`` is the picklable instruction tree; the linked closure is
+    rebuilt on unpickle, so ``processes`` workers can run shipped programs.
+    ``constants`` fixes the index space the ``const-in``/``const-same``
+    instructions refer to.
+    """
+
+    __slots__ = ("table", "constants", "program", "_uses_occupancy", "_uses_counts", "_linked")
+
+    def __init__(
+        self,
+        table: AtomTable,
+        constants: Tuple[str, ...],
+        program: Instruction,
+        uses_occupancy: bool,
+        uses_counts: bool,
+    ) -> None:
+        self.table = table
+        self.constants = constants
+        self.program = program
+        self._uses_occupancy = uses_occupancy
+        self._uses_counts = uses_counts
+        self._linked = _link(program)
+
+    @property
+    def placement_only(self) -> bool:
+        """True when the verdict depends only on the constant placement."""
+        return not (self._uses_occupancy or self._uses_counts)
+
+    def run(self, structure: UnaryStructure) -> bool:
+        """Does ``structure`` satisfy the compiled query?"""
+        return self.checker()(structure)
+
+    def checker(self) -> Callable[[UnaryStructure], bool]:
+        """A per-pass callable that memoises per-placement precomputation.
+
+        Classes sharing a placement (every composition does, for each of the
+        handful of placements) reuse the constant block/atom lookups; for
+        placement-only programs the entire verdict is memoised, so a ground
+        query costs one dict probe per class.  Entries pin the placement
+        object itself, so ``id()`` reuse cannot alias two placements within
+        one pass.
+        """
+        linked = self._linked
+        constants = self.constants
+        uses_occupancy = self._uses_occupancy
+        memo: Dict[int, Tuple[Any, ...]] = {}
+
+        if self.placement_only:
+            def check(structure: UnaryStructure) -> bool:
+                placement = structure.placement
+                entry = memo.get(id(placement))
+                if entry is None or entry[0] is not placement:
+                    blocks = tuple(placement.block_of(name) for name in constants)
+                    atoms = tuple(placement.block_atoms[index] for index in blocks)
+                    entry = (placement, linked(structure.counts, atoms, blocks, 0))
+                    memo[id(placement)] = entry
+                return entry[1]
+
+            return check
+
+        def check(structure: UnaryStructure) -> bool:
+            placement = structure.placement
+            entry = memo.get(id(placement))
+            if entry is None or entry[0] is not placement:
+                blocks = tuple(placement.block_of(name) for name in constants)
+                atoms = tuple(placement.block_atoms[index] for index in blocks)
+                entry = (placement, atoms, blocks)
+                memo[id(placement)] = entry
+            occupied = 0
+            if uses_occupancy:
+                for index, count in enumerate(structure.counts):
+                    if count:
+                        occupied |= 1 << index
+            return linked(structure.counts, entry[1], entry[2], occupied)
+
+        return check
+
+    def count(self, classes: Iterable[Tuple[UnaryStructure, int]]) -> int:
+        """Sum of weights of the classes satisfying the query."""
+        check = self.checker()
+        total = 0
+        for structure, weight in classes:
+            if check(structure):
+                total += weight
+        return total
+
+    # -- pickling (drop the closure, rebuild it on load) --------------------
+
+    def __getstate__(self):
+        return (self.table, self.constants, self.program, self._uses_occupancy, self._uses_counts)
+
+    def __setstate__(self, state) -> None:
+        table, constants, program, uses_occupancy, uses_counts = state
+        self.table = table
+        self.constants = constants
+        self.program = program
+        self._uses_occupancy = uses_occupancy
+        self._uses_counts = uses_counts
+        self._linked = _link(program)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledQuery):
+            return NotImplemented
+        return (
+            self.table == other.table
+            and self.constants == other.constants
+            and self.program == other.program
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.table, self.constants, self.program))
+
+    def __repr__(self) -> str:
+        return f"CompiledQuery(constants={self.constants!r}, program={self.program!r})"
+
+
+class _Compiler:
+    """Single-use compile pass collecting the constant index space."""
+
+    def __init__(self, table: AtomTable) -> None:
+        self.table = table
+        self.constants: List[str] = []
+        self._constant_index: Dict[str, int] = {}
+        self.uses_occupancy = False
+        self.uses_counts = False
+
+    def constant_index(self, name: str) -> int:
+        found = self._constant_index.get(name)
+        if found is None:
+            found = len(self.constants)
+            self._constant_index[name] = found
+            self.constants.append(name)
+        return found
+
+    def compile(self, formula: Formula) -> Instruction:
+        if isinstance(formula, Top):
+            return ("true",)
+        if isinstance(formula, Bottom):
+            return ("false",)
+        if isinstance(formula, Atom):
+            if len(formula.args) != 1:
+                raise _NotCompilable("non-unary atom")
+            argument = formula.args[0]
+            if not isinstance(argument, Const):
+                raise _NotCompilable("free or functional atom argument")
+            mask = self._predicate_mask(formula.predicate)
+            return ("const-in", self.constant_index(argument.name), mask)
+        if isinstance(formula, Equals):
+            if not (isinstance(formula.left, Const) and isinstance(formula.right, Const)):
+                raise _NotCompilable("equality over non-constant terms")
+            return (
+                "const-same",
+                self.constant_index(formula.left.name),
+                self.constant_index(formula.right.name),
+            )
+        if isinstance(formula, Not):
+            return ("not", self.compile(formula.operand))
+        if isinstance(formula, And):
+            return ("and", tuple(self.compile(operand) for operand in formula.operands))
+        if isinstance(formula, Or):
+            return ("or", tuple(self.compile(operand) for operand in formula.operands))
+        if isinstance(formula, Implies):
+            return ("implies", self.compile(formula.antecedent), self.compile(formula.consequent))
+        if isinstance(formula, Iff):
+            return ("iff", self.compile(formula.left), self.compile(formula.right))
+        if isinstance(formula, (Exists, Forall, ExistsExactly)):
+            mask, selected = self._body_atom_set(formula.body, formula.variable)
+            if isinstance(formula, Exists):
+                self.uses_occupancy = True
+                return ("any-atom", mask)
+            if isinstance(formula, Forall):
+                self.uses_occupancy = True
+                return ("all-atoms", mask)
+            self.uses_counts = True
+            return ("count-atoms", selected, formula.count)
+        # ApproxEq / ApproxLeq / ExactCompare and anything unforeseen: the
+        # interpreter owns tolerance semantics and the long tail.
+        raise _NotCompilable(type(formula).__name__)
+
+    def _predicate_mask(self, predicate: str) -> int:
+        """Bitmask over atoms: bit ``a`` set iff atom ``a`` satisfies ``predicate``."""
+        try:
+            bit = self.table.predicates.index(predicate)
+        except ValueError:
+            raise _NotCompilable(f"unknown predicate {predicate!r}") from None
+        mask = 0
+        for atom in range(self.table.num_atoms):
+            if atom & (1 << bit):
+                mask |= 1 << atom
+        return mask
+
+    def _body_atom_set(self, body: Formula, variable: str) -> Tuple[int, Tuple[int, ...]]:
+        """Atoms of the bound variable where a pure-predicate body holds.
+
+        ``_body_holds`` follows exactly the evaluator's connective
+        short-circuit order, so a successful compile proves the body's truth
+        for *every* candidate is decided by its atom alone along the very
+        paths the interpreter would take.
+        """
+        mask = 0
+        selected: List[int] = []
+        for atom in range(self.table.num_atoms):
+            if self._body_holds(body, variable, atom):
+                mask |= 1 << atom
+                selected.append(atom)
+        return mask, tuple(selected)
+
+    def _body_holds(self, body: Formula, variable: str, atom: int) -> bool:
+        if isinstance(body, Top):
+            return True
+        if isinstance(body, Bottom):
+            return False
+        if isinstance(body, Atom):
+            if len(body.args) != 1:
+                raise _NotCompilable("non-unary atom in quantifier body")
+            argument = body.args[0]
+            if not (isinstance(argument, Var) and argument.name == variable):
+                raise _NotCompilable("quantifier body mentions terms beyond its variable")
+            try:
+                bit = self.table.predicates.index(body.predicate)
+            except ValueError:
+                raise _NotCompilable(f"unknown predicate {body.predicate!r}") from None
+            return bool(atom & (1 << bit))
+        if isinstance(body, Not):
+            return not self._body_holds(body.operand, variable, atom)
+        if isinstance(body, And):
+            return all(self._body_holds(operand, variable, atom) for operand in body.operands)
+        if isinstance(body, Or):
+            return any(self._body_holds(operand, variable, atom) for operand in body.operands)
+        if isinstance(body, Implies):
+            if not self._body_holds(body.antecedent, variable, atom):
+                return True
+            return self._body_holds(body.consequent, variable, atom)
+        if isinstance(body, Iff):
+            return self._body_holds(body.left, variable, atom) == self._body_holds(
+                body.right, variable, atom
+            )
+        # Equality, nested quantifiers, proportions: candidate identity (not
+        # just its atom) matters, so the interpreter keeps these.
+        raise _NotCompilable(type(body).__name__)
+
+
+def compile_query(query: Formula, table: AtomTable) -> Optional[CompiledQuery]:
+    """Compile ``query`` against ``table``, or ``None`` outside the fragment."""
+    compiler = _Compiler(table)
+    try:
+        program = compiler.compile(query)
+    except _NotCompilable:
+        return None
+    return CompiledQuery(
+        table,
+        tuple(compiler.constants),
+        program,
+        compiler.uses_occupancy,
+        compiler.uses_counts,
+    )

@@ -22,11 +22,12 @@ the same knowledge base skip the enumeration entirely.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Iterable, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..logic.semantics import World, evaluate
 from ..logic.substitution import constants_of
@@ -41,6 +42,7 @@ from .cache import (
     query_fingerprint,
     tolerance_fingerprint,
 )
+from .compile import CompiledQuery, compile_query
 from .enumeration import DEFAULT_LIMIT, enumerate_worlds, world_space_size
 from .unary import (
     AtomTable,
@@ -66,6 +68,12 @@ CACHE_CLASS_LIMIT = 50_000
 
 Shard = Tuple[int, int]  # (shard_index, num_shards) over the outer enumeration
 
+# Sentinel default for ``evaluate_query``'s ``program`` parameter: "no program
+# supplied — compile one if this counter compiles queries".  Callers that have
+# already resolved a program (including resolving it to ``None``, meaning
+# "run interpreted") pass it explicitly.
+AUTO_PROGRAM: Any = object()
+
 
 def shard_bounds(total: int, shard_index: int, num_shards: int) -> Tuple[int, int]:
     """The contiguous ``[start, stop)`` index block one shard owns.
@@ -81,8 +89,50 @@ def shard_bounds(total: int, shard_index: int, num_shards: int) -> Tuple[int, in
     return (total * shard_index) // num_shards, (total * (shard_index + 1)) // num_shards
 
 
-def _shard_slice(source: Iterable, total: int, shard: Optional[Shard]) -> Iterable:
-    """Restrict an enumeration stream to the block a shard owns."""
+def weighted_shard_bounds(weights: Sequence[int], num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` blocks of near-equal cumulative weight.
+
+    Same partition contract as :func:`shard_bounds` — every index in exactly
+    one block, blocks contiguous and in order — but the cut points equalise
+    the *estimated cost* of the blocks instead of their lengths, so shards of
+    a skewed enumeration finish together instead of serialising on the most
+    expensive block.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    prefix: List[int] = []
+    total = 0
+    for weight in weights:
+        total += weight
+        prefix.append(total)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        if index + 1 == num_shards:
+            stop = len(prefix)
+        else:
+            target = total * (index + 1) / num_shards
+            stop = min(len(prefix), bisect.bisect_left(prefix, target) + 1)
+        stop = max(stop, start)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _shard_slice(
+    source: Iterable,
+    total: int,
+    shard: Optional[Shard],
+    bounds: Optional[Tuple[int, int]] = None,
+) -> Iterable:
+    """Restrict an enumeration stream to the block a shard owns.
+
+    Explicit ``bounds`` (from :func:`weighted_shard_bounds`, planned by the
+    dispatching side) take precedence over the even ``shard`` split.
+    """
+    if bounds is not None:
+        start, stop = bounds
+        return itertools.islice(source, start, stop)
     if shard is None:
         return source
     start, stop = shard_bounds(total, *shard)
@@ -131,6 +181,7 @@ class _DecomposingCounter:
     _vocabulary: Vocabulary
     _cache: Optional[WorldCountCache]
     _executor: Optional[Any] = None  # a CountingExecutor; duck-typed to avoid an import cycle
+    _compile_queries: bool = True
 
     @property
     def cache(self) -> Optional[WorldCountCache]:
@@ -144,8 +195,18 @@ class _DecomposingCounter:
     def executor(self):
         return self._executor
 
+    @property
+    def compiles_queries(self) -> bool:
+        """Whether this counter compiles queries into flat programs."""
+        return self._compile_queries
+
     def cache_key_extra(self) -> Tuple:
-        """Engine configuration that must participate in the cache key."""
+        """Engine configuration that must participate in the cache key.
+
+        The ``compile`` flag deliberately does NOT participate: compiled and
+        interpreted evaluation are Fraction-identical, so counters with the
+        flag on and off share decompositions and memo rows — one accounting.
+        """
         return ()
 
     def cache_key(
@@ -171,18 +232,59 @@ class _DecomposingCounter:
         domain_size: int,
         tolerance: ToleranceVector,
         shard: Optional[Shard] = None,
+        bounds: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[Any, int]]:
         """Yield ``(class, weight)`` for every class of worlds satisfying the KB.
 
         ``shard`` restricts the walk to one contiguous block of the outer
         enumeration (see :func:`shard_bounds`) so a single grid point can be
-        split across worker processes.
+        split across worker processes; explicit ``bounds`` (cost-weighted,
+        planned by the dispatching side) take precedence over the even split.
         """
         raise NotImplementedError
 
     def _satisfies(self, element: Any, query: Formula, tolerance: ToleranceVector) -> bool:
         """Truth value of a closed query on one enumerated class."""
         raise NotImplementedError
+
+    # -- compiled programs -----------------------------------------------------
+
+    def _compile_query(self, query: Formula) -> Optional[CompiledQuery]:
+        """Engine-specific compilation; ``None`` when unsupported (default)."""
+        return None
+
+    def query_program(
+        self, query: Formula, key: Optional[CacheKey] = None
+    ) -> Optional[CompiledQuery]:
+        """The compiled program for ``query``, or ``None`` for interpreted.
+
+        With a cache attached and a parent ``key`` known, the program (or the
+        negative "not compilable" result) is looked up in the cache's program
+        table keyed by ``(key, query_fingerprint)``, mirroring the memo's
+        lifetime; otherwise compilation runs afresh — it is one cheap walk.
+        """
+        if not self._compile_queries:
+            return None
+        if key is not None and self._cache is not None:
+            return self._cache.programs.get_or_compile(
+                (key, query_fingerprint(query)), lambda: self._compile_query(query)
+            )
+        return self._compile_query(query)
+
+    # -- shard cost estimation -------------------------------------------------
+
+    def shard_cost_weights(
+        self, knowledge_base: Formula, domain_size: int
+    ) -> Optional[List[int]]:
+        """Estimated per-item cost of the outer enumeration, for weighted shards.
+
+        ``None`` (the default) means "no estimate — use even splits".
+        """
+        return None
+
+    def class_cost_weights(self, decomposition: ClassDecomposition) -> Optional[List[int]]:
+        """Estimated per-class evaluation cost, for weighted evaluation shards."""
+        return None
 
     def _dispatches_shards(self) -> bool:
         return self._executor is not None and self._executor.dispatches_shards
@@ -224,6 +326,7 @@ class _DecomposingCounter:
         query: Formula,
         tolerance: ToleranceVector,
         shard: Optional[Shard] = None,
+        program: Any = AUTO_PROGRAM,
     ) -> CountResult:
         """Count the query on already-enumerated KB classes (no re-enumeration).
 
@@ -233,6 +336,11 @@ class _DecomposingCounter:
         summing both fields over a complete shard set reproduces the full
         totals exactly — this is what lets the processes backend fan the
         evaluation of one large cached decomposition across workers.
+
+        ``program`` is the compiled form of ``query``: left at the default,
+        one is compiled on the spot (when this counter compiles queries);
+        ``None`` forces the interpreted walk; a :class:`CompiledQuery` runs
+        as shipped — worker processes receive it inside their ``WorkUnit``.
         """
         classes: Iterable[Tuple[Any, int]] = decomposition.classes
         if shard is None:
@@ -241,10 +349,15 @@ class _DecomposingCounter:
             start, stop = shard_bounds(decomposition.num_classes, *shard)
             classes = decomposition.classes[start:stop]
             kb_total = sum(weight for _, weight in classes)
-        both_total = 0
-        for element, weight in classes:
-            if self._satisfies(element, query, tolerance):
-                both_total += weight
+        if program is AUTO_PROGRAM:
+            program = self.query_program(query)
+        if program is not None:
+            both_total = program.count(classes)
+        else:
+            both_total = 0
+            for element, weight in classes:
+                if self._satisfies(element, query, tolerance):
+                    both_total += weight
         return CountResult(decomposition.domain_size, kb_total, both_total)
 
     def _memo(self) -> Optional[QueryMemoTable]:
@@ -301,13 +414,21 @@ class _DecomposingCounter:
     ) -> CountResult:
         if self._dispatches_shards():
             decomposition = self.decompose(knowledge_base, domain_size, tolerance)
-            return self._executor.evaluate(self, decomposition, query, tolerance)
+            key = (
+                self.cache_key(knowledge_base, domain_size, tolerance)
+                if self._cache is not None
+                else None
+            )
+            program = self.query_program(query, key)
+            return self._executor.evaluate(self, decomposition, query, tolerance, program=program)
         if self._cache is None:
             return self._stream_count(query, knowledge_base, domain_size, tolerance)
         key = self.cache_key(knowledge_base, domain_size, tolerance)
+        program = self.query_program(query, key)
+        check = program.checker() if program is not None else None
         with self._cache.computing(key) as found:
             if isinstance(found, ClassDecomposition):
-                return self.evaluate_query(found, query, tolerance)
+                return self.evaluate_query(found, query, tolerance, program=program)
             kb_total = 0
             both_total = 0
             # found is either None (this caller holds the in-flight lock and
@@ -316,7 +437,12 @@ class _DecomposingCounter:
             buffer: Optional[list] = [] if found is None else None
             for element, weight in self.iter_kb_classes(knowledge_base, domain_size, tolerance):
                 kb_total += weight
-                if self._satisfies(element, query, tolerance):
+                satisfied = (
+                    check(element)
+                    if check is not None
+                    else self._satisfies(element, query, tolerance)
+                )
+                if satisfied:
                     both_total += weight
                 if buffer is not None:
                     buffer.append((element, weight))
@@ -334,11 +460,16 @@ class _DecomposingCounter:
         domain_size: int,
         tolerance: ToleranceVector,
     ) -> CountResult:
+        program = self.query_program(query)
+        check = program.checker() if program is not None else None
         kb_total = 0
         both_total = 0
         for element, weight in self.iter_kb_classes(knowledge_base, domain_size, tolerance):
             kb_total += weight
-            if self._satisfies(element, query, tolerance):
+            satisfied = (
+                check(element) if check is not None else self._satisfies(element, query, tolerance)
+            )
+            if satisfied:
                 both_total += weight
         return CountResult(domain_size, kb_total, both_total)
 
@@ -377,6 +508,7 @@ class UnaryWorldCounter(_DecomposingCounter):
         vocabulary: Vocabulary,
         cache: Optional[WorldCountCache] = None,
         executor: Optional[Any] = None,
+        compile_queries: bool = True,
     ):
         if not vocabulary.is_unary:
             raise UnsupportedFormula("UnaryWorldCounter requires a unary vocabulary")
@@ -385,6 +517,7 @@ class UnaryWorldCounter(_DecomposingCounter):
         self._constants = tuple(vocabulary.constants)
         self._cache = cache
         self._executor = executor
+        self._compile_queries = compile_queries
 
     @property
     def atom_table(self) -> AtomTable:
@@ -401,6 +534,7 @@ class UnaryWorldCounter(_DecomposingCounter):
         domain_size: int,
         tolerance: ToleranceVector,
         shard: Optional[Shard] = None,
+        bounds: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[UnaryStructure, int]]:
         """Yield ``(class, weight)`` for every isomorphism class satisfying the KB."""
         constant_free, constant_bound = _split_by_constants(knowledge_base)
@@ -409,6 +543,7 @@ class UnaryWorldCounter(_DecomposingCounter):
             compositions(domain_size, self._table.num_atoms),
             self.enumeration_size(domain_size),
             shard,
+            bounds,
         )
         for counts in counts_source:
             counts_structure = self._structure_for_counts(counts)
@@ -432,6 +567,53 @@ class UnaryWorldCounter(_DecomposingCounter):
         self, element: UnaryStructure, query: Formula, tolerance: ToleranceVector
     ) -> bool:
         return StructureEvaluator(element, tolerance).evaluate(query)
+
+    def _compile_query(self, query: Formula) -> Optional[CompiledQuery]:
+        return compile_query(query, self._table)
+
+    def shard_cost_weights(
+        self, knowledge_base: Formula, domain_size: int
+    ) -> Optional[List[int]]:
+        """Estimated streaming cost per composition: feasible placements × conjuncts.
+
+        A composition's enumeration cost is dominated by the constant
+        placements it admits — each feasible placement builds a structure and
+        evaluates the KB's conjuncts against it — and a placement is feasible
+        only when every one of its block atoms is occupied.  Compositions
+        near the simplex corners (few occupied atoms) admit far fewer
+        placements than interior ones, which is exactly the skew that makes
+        even splits of the lexicographic composition order unbalanced.
+        """
+        num_atoms = self._table.num_atoms
+        conjunct_cost = max(1, len(conjuncts(knowledge_base)))
+        # Placements sharing an atom-usage mask are feasible for the same
+        # compositions; grouping them keeps the per-composition check at
+        # O(distinct masks) instead of O(placements).
+        mask_multiplicity: dict = {}
+        for placement in enumerate_placements(self._constants, num_atoms):
+            mask = 0
+            for atom in placement.block_atoms:
+                mask |= 1 << atom
+            mask_multiplicity[mask] = mask_multiplicity.get(mask, 0) + 1
+        grouped = sorted(mask_multiplicity.items())
+        weights: List[int] = []
+        for counts in compositions(domain_size, num_atoms):
+            occupied = 0
+            for index, count in enumerate(counts):
+                if count:
+                    occupied |= 1 << index
+            feasible = 0
+            for mask, multiplicity in grouped:
+                if not (mask & ~occupied):
+                    feasible += multiplicity
+            weights.append(1 + conjunct_cost * feasible)
+        return weights
+
+    def class_cost_weights(self, decomposition: ClassDecomposition) -> Optional[List[int]]:
+        """Evaluation cost per class: re-walking scales with the placement size."""
+        return [
+            1 + len(element.placement.blocks) for element, _ in decomposition.classes
+        ]
 
     def _structure_for_counts(self, counts: Tuple[int, ...]) -> Optional[UnaryStructure]:
         """A constant-free structure used to pre-filter on constant-free conjuncts."""
@@ -485,11 +667,15 @@ class BruteForceCounter(_DecomposingCounter):
         limit: Optional[int] = DEFAULT_LIMIT,
         cache: Optional[WorldCountCache] = None,
         executor: Optional[Any] = None,
+        compile_queries: bool = True,
     ):
         self._vocabulary = vocabulary
         self._limit = limit
         self._cache = cache
         self._executor = executor
+        # Accepted for signature symmetry; brute-force worlds have no
+        # compiled form (``_compile_query`` stays ``None``-returning).
+        self._compile_queries = compile_queries
 
     def cache_key_extra(self) -> Tuple:
         return ("limit", self._limit)
@@ -504,6 +690,7 @@ class BruteForceCounter(_DecomposingCounter):
         domain_size: int,
         tolerance: ToleranceVector,
         shard: Optional[Shard] = None,
+        bounds: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[World, int]]:
         """Yield ``(world, 1)`` for every world satisfying the KB.
 
@@ -515,6 +702,7 @@ class BruteForceCounter(_DecomposingCounter):
             enumerate_worlds(self._vocabulary, domain_size, limit=self._limit),
             self.enumeration_size(domain_size),
             shard,
+            bounds,
         )
         for world in worlds:
             if evaluate(knowledge_base, world, tolerance):
@@ -530,11 +718,16 @@ def make_counter(
     limit: Optional[int] = DEFAULT_LIMIT,
     cache: Optional[WorldCountCache] = None,
     executor: Optional[Any] = None,
+    compile_queries: bool = True,
 ):
     """Choose the appropriate counter for a vocabulary."""
     if prefer_unary and vocabulary.is_unary:
-        return UnaryWorldCounter(vocabulary, cache=cache, executor=executor)
-    return BruteForceCounter(vocabulary, limit=limit, cache=cache, executor=executor)
+        return UnaryWorldCounter(
+            vocabulary, cache=cache, executor=executor, compile_queries=compile_queries
+        )
+    return BruteForceCounter(
+        vocabulary, limit=limit, cache=cache, executor=executor, compile_queries=compile_queries
+    )
 
 
 def counter_for_work_unit(engine: str, vocabulary: Vocabulary, extra: Tuple):
@@ -543,11 +736,13 @@ def counter_for_work_unit(engine: str, vocabulary: Vocabulary, extra: Tuple):
     Runs inside worker processes, so the counter is cache-less and
     executor-less; ``extra`` is the engine's own ``cache_key_extra`` payload
     (the brute-force enumeration limit), interpreted here so the
-    engine-specific encoding stays next to the engines.
+    engine-specific encoding stays next to the engines.  Compilation is
+    disabled: workers run exactly the program their unit ships (or the
+    interpreter when it ships none), never a locally recompiled one.
     """
     if engine == UnaryWorldCounter.ENGINE:
-        return UnaryWorldCounter(vocabulary)
+        return UnaryWorldCounter(vocabulary, compile_queries=False)
     if engine == BruteForceCounter.ENGINE:
         limit = extra[1] if len(extra) == 2 and extra[0] == "limit" else DEFAULT_LIMIT
-        return BruteForceCounter(vocabulary, limit=limit)
+        return BruteForceCounter(vocabulary, limit=limit, compile_queries=False)
     raise ValueError(f"unknown counting engine {engine!r}")

@@ -79,9 +79,12 @@ def probability_at(
     tolerance: ToleranceVector,
     prefer_unary: bool = True,
     cache: Optional[WorldCountCache] = None,
+    compile_queries: bool = True,
 ) -> Fraction:
     """Exact ``Pr^tau_N(query | KB)`` at a single domain size."""
-    counter = make_counter(vocabulary, prefer_unary=prefer_unary, cache=cache)
+    counter = make_counter(
+        vocabulary, prefer_unary=prefer_unary, cache=cache, compile_queries=compile_queries
+    )
     return counter.probability(query, knowledge_base, domain_size, tolerance)
 
 
@@ -95,6 +98,7 @@ def counting_curve(
     cache: Optional[WorldCountCache] = None,
     max_workers: Optional[int] = None,
     backend: BackendLike = None,
+    compile_queries: bool = True,
 ) -> CountingCurve:
     """``Pr^tau_N`` for several domain sizes at a fixed tolerance vector.
 
@@ -103,9 +107,10 @@ def counting_curve(
     not a CPU speedup), ``"processes"`` keeps this loop serial but shards
     each grid point's enumeration (and each warm query's evaluation over a
     large cached decomposition) across worker processes, and ``"serial"``
-    runs everything inline.  ``max_workers`` sets the pool width; for
-    backward compatibility, ``max_workers > 1`` with no explicit backend
-    selects ``"threads"``.  The counter's cache (when given) is thread-safe
+    runs everything inline.  ``max_workers`` sets the pool width; setting it
+    above 1 without an explicit backend is an error (the old threads
+    implication was removed after its deprecation cycle — pass
+    ``backend="threads"``).  The counter's cache (when given) is thread-safe
     and serialises concurrent misses per grid point, so each decomposition is
     enumerated exactly once whichever backend runs; a cache with an attached
     :class:`~repro.worlds.cache.QueryMemoTable` additionally serves repeated
@@ -117,6 +122,7 @@ def counting_curve(
             prefer_unary=prefer_unary,
             cache=cache,
             executor=executor if executor.dispatches_shards else None,
+            compile_queries=compile_queries,
         )
 
         def at_size(domain_size: int) -> Optional[Fraction]:
@@ -137,6 +143,7 @@ def degree_of_belief_by_counting(
     cache: Optional[WorldCountCache] = None,
     max_workers: Optional[int] = None,
     backend: BackendLike = None,
+    compile_queries: bool = True,
 ) -> CountingReport:
     """Estimate ``Pr_infinity(query | KB)`` from exact finite counts.
 
@@ -157,12 +164,18 @@ def degree_of_belief_by_counting(
         Optional shared :class:`WorldCountCache`; repeated queries against the
         same KB then skip the class enumeration at every grid point.
     max_workers:
-        Pool width for the chosen backend (``max_workers > 1`` with no
-        explicit backend keeps the historical thread fan-out).
+        Pool width for the chosen backend.  Setting it above 1 without an
+        explicit ``backend`` raises ``ValueError`` (the old implicit-threads
+        behaviour was removed after its deprecation cycle).
     backend:
         ``"serial"`` / ``"threads"`` / ``"processes"`` or a
         :class:`~repro.worlds.parallel.CountingExecutor`; one executor (and
         process pool) is shared across the whole tolerance ladder.
+    compile_queries:
+        Compile each query into a flat per-decomposition program before
+        walking classes (the default); ``False`` forces the interpreted
+        recursive evaluator everywhere.  Answers are Fraction-identical
+        either way.
     """
     tolerance_list = list(tolerances) if tolerances is not None else list(default_sequence())
     curves: List[CountingCurve] = []
@@ -179,6 +192,7 @@ def degree_of_belief_by_counting(
                 cache=cache,
                 max_workers=max_workers,
                 backend=executor,
+                compile_queries=compile_queries,
             )
             curves.append(curve)
             defined = curve.defined_points()

@@ -47,12 +47,18 @@ from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 from . import counting as _counting
 from .cache import ClassDecomposition
+from .compile import CompiledQuery
 
 BACKENDS = ("serial", "threads", "processes")
 
 # Grid points whose outer enumeration has fewer items than this run as a
 # single shard: dispatch and pickling would cost more than the split saves.
 MIN_ITEMS_PER_SHARD = 64
+
+# Cost-weighted shard planning walks the whole outer enumeration once to
+# estimate per-item work, so it is only worth doing when that walk is cheap
+# relative to the enumeration itself.  Larger grids fall back to even splits.
+MAX_WEIGHTED_ITEMS = 200_000
 
 # Shards per worker beyond the first.  Contiguous composition blocks filter
 # at different rates (the KB rejects some regions of the grid wholesale), so
@@ -91,6 +97,13 @@ class WorkUnit:
     num_shards: int = 1
     query: Optional[Formula] = None
     classes: Optional[Tuple[Tuple[Any, int], ...]] = None
+    # Cost-weighted planning overrides the even ``shard_index / num_shards``
+    # split with an explicit enumeration-index range (enumeration units only).
+    bounds: Optional[Tuple[int, int]] = None
+    # Evaluation units optionally ship a compiled program for the query;
+    # workers run exactly what they are shipped (they never recompile), and
+    # ``None`` means the worker interprets the query.
+    program: Optional[CompiledQuery] = None
 
 
 @dataclass(frozen=True)
@@ -136,7 +149,9 @@ def compute_shard(unit: WorkUnit) -> Union[PartialDecomposition, PartialCount]:
             kb_total=sum(weight for _, weight in block),
             classes=tuple(block),
         )
-        result = counter.evaluate_query(block_decomposition, unit.query, unit.tolerance)
+        result = counter.evaluate_query(
+            block_decomposition, unit.query, unit.tolerance, program=unit.program
+        )
         return PartialCount(
             shard_index=unit.shard_index,
             num_shards=unit.num_shards,
@@ -151,6 +166,7 @@ def compute_shard(unit: WorkUnit) -> Union[PartialDecomposition, PartialCount]:
         unit.domain_size,
         unit.tolerance,
         shard=(unit.shard_index, unit.num_shards),
+        bounds=unit.bounds,
     ):
         kb_total += weight
         classes.append((element, weight))
@@ -263,11 +279,20 @@ class CountingExecutor:
         domain_size: int,
         tolerance: ToleranceVector,
     ) -> List[WorkUnit]:
-        """Split one grid point into work units sized for this backend."""
-        if counter.SHARDABLE:
-            num_shards = self.shard_count(counter.enumeration_size(domain_size))
-        else:
-            num_shards = 1
+        """Split one grid point into work units sized for this backend.
+
+        When the counter can estimate per-item cost (placements × KB
+        conjuncts for the unary engine), the even index split is replaced by
+        cost-weighted bounds so skewed grids balance across workers; the
+        shards stay contiguous, so merge order is unaffected.
+        """
+        total_items = counter.enumeration_size(domain_size) if counter.SHARDABLE else 0
+        num_shards = self.shard_count(total_items) if counter.SHARDABLE else 1
+        bounds_list: List[Optional[Tuple[int, int]]] = [None] * num_shards
+        if num_shards > 1 and total_items <= MAX_WEIGHTED_ITEMS:
+            weights = counter.shard_cost_weights(knowledge_base, domain_size)
+            if weights is not None:
+                bounds_list = list(_counting.weighted_shard_bounds(weights, num_shards))
         return [
             WorkUnit(
                 engine=counter.ENGINE,
@@ -278,6 +303,7 @@ class CountingExecutor:
                 extra=counter.cache_key_extra(),
                 shard_index=index,
                 num_shards=num_shards,
+                bounds=bounds_list[index],
             )
             for index in range(num_shards)
         ]
@@ -323,19 +349,32 @@ class CountingExecutor:
         decomposition: ClassDecomposition,
         query: Formula,
         tolerance: ToleranceVector,
+        program: Optional[CompiledQuery] = None,
     ) -> List[WorkUnit]:
         """Split one decomposition's class list into evaluation work units.
 
-        The blocks are contiguous (:func:`~repro.worlds.counting.shard_bounds`
-        over ``num_classes``), so the merged totals are order-independent
-        integer sums.  Unlike enumeration sharding there is no ``SHARDABLE``
-        gate: the classes are already materialised, so slicing costs nothing
-        for either engine.
+        The blocks are contiguous, so the merged totals are order-independent
+        integer sums.  When the counter can estimate per-class evaluation
+        cost (placement size for the unary engine), the even split is
+        replaced by cost-weighted bounds so a few heavy classes do not
+        serialise the whole walk.  Unlike enumeration sharding there is no
+        ``SHARDABLE`` gate: the classes are already materialised, so slicing
+        costs nothing for either engine.  ``program`` (a compiled form of
+        ``query``, or ``None`` for interpreted evaluation) is shipped
+        verbatim with every unit — workers never compile queries themselves.
         """
         num_shards = self.shard_count(decomposition.num_classes)
+        bounds_list: Optional[List[Tuple[int, int]]] = None
+        if num_shards > 1:
+            weights = counter.class_cost_weights(decomposition)
+            if weights is not None:
+                bounds_list = _counting.weighted_shard_bounds(weights, num_shards)
         units = []
         for index in range(num_shards):
-            start, stop = _counting.shard_bounds(decomposition.num_classes, index, num_shards)
+            if bounds_list is not None:
+                start, stop = bounds_list[index]
+            else:
+                start, stop = _counting.shard_bounds(decomposition.num_classes, index, num_shards)
             units.append(
                 WorkUnit(
                     engine=counter.ENGINE,
@@ -348,6 +387,7 @@ class CountingExecutor:
                     num_shards=num_shards,
                     query=query,
                     classes=decomposition.classes[start:stop],
+                    program=program,
                 )
             )
         return units
@@ -358,20 +398,31 @@ class CountingExecutor:
         decomposition: ClassDecomposition,
         query: Formula,
         tolerance: ToleranceVector,
+        program: Any = _counting.AUTO_PROGRAM,
     ) -> "_counting.CountResult":
         """Evaluate a query on a cached decomposition, sharding when it pays.
 
         Shard-dispatching backends split the class list into blocks and ship
-        each block (plus the query) to the worker pool; inline backends — and
-        decompositions too small for :meth:`shard_count` to split — re-walk
-        the classes in-process.  Either way the result is Fraction-identical
-        to :meth:`~repro.worlds.counting._DecomposingCounter.evaluate_query`.
+        each block (plus the query and its compiled program, when one exists)
+        to the worker pool; inline backends — and decompositions too small
+        for :meth:`shard_count` to split — re-walk the classes in-process.
+        Either way the result is Fraction-identical to
+        :meth:`~repro.worlds.counting._DecomposingCounter.evaluate_query`.
+
+        ``program`` defaults to the :data:`~repro.worlds.counting.AUTO_PROGRAM`
+        sentinel ("compile through the counter if enabled"); pass an explicit
+        :class:`~repro.worlds.compile.CompiledQuery` to reuse one already in
+        hand, or ``None`` to force interpreted evaluation everywhere.
         """
+        if program is _counting.AUTO_PROGRAM:
+            program = counter.query_program(query)
         if self.dispatches_shards:
-            units = self.plan_evaluation_units(counter, decomposition, query, tolerance)
+            units = self.plan_evaluation_units(
+                counter, decomposition, query, tolerance, program=program
+            )
             if len(units) > 1:
                 return merge_counts(self.run_units(units))
-        return counter.evaluate_query(decomposition, query, tolerance)
+        return counter.evaluate_query(decomposition, query, tolerance, program=program)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -469,9 +520,20 @@ BackendLike = Union[str, CountingExecutor, None]
 
 
 def resolve_backend(backend: BackendLike, max_workers: Optional[int]) -> BackendLike:
-    """Fill in the legacy default: bare ``max_workers > 1`` means threads."""
+    """Resolve the default backend, rejecting the removed legacy implication.
+
+    ``max_workers > 1`` without an explicit backend used to imply threads
+    (deprecated in PR 4); that implication is now an error so the parallelism
+    knob can never silently change execution semantics.
+    """
     if backend is None:
-        return "threads" if (max_workers or 0) > 1 else "serial"
+        if (max_workers or 0) > 1:
+            raise ValueError(
+                "max_workers > 1 without an explicit backend no longer implies "
+                "the threads backend (removed after its deprecation cycle); pass "
+                'EngineOptions(backend="threads") or backend="threads" explicitly'
+            )
+        return "serial"
     return backend
 
 

@@ -9,7 +9,10 @@ together, deliberately.
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import inspect
+import json
 
 import repro.core as core
 import repro.server as server
@@ -48,6 +51,7 @@ CORE_EXPORTS = [
     "DefaultConclusion",
     "DefaultReasoner",
     "DirectInferenceMatch",
+    "EngineOptions",
     "GroundContext",
     "KnowledgeBase",
     "POINT_TOLERANCE",
@@ -56,6 +60,7 @@ CORE_EXPORTS = [
     "RandomWorldsError",
     "StatisticalAssertion",
     "WorldCountCache",
+    "add_engine_cli_arguments",
     "check_and",
     "check_cautious_monotonicity",
     "check_conditioning_invariance",
@@ -71,6 +76,7 @@ CORE_EXPORTS = [
     "defaults",
     "direct_inference",
     "engine",
+    "engine_options_from_args",
     "entailment",
     "entails_membership",
     "find_matches",
@@ -78,6 +84,7 @@ CORE_EXPORTS = [
     "independence_inference",
     "kb_entails_ground",
     "knowledge_base",
+    "options",
     "properties",
     "result",
     "specificity",
@@ -146,10 +153,11 @@ SOLVER_ALIASES = {
 SIGNATURES = {
     (core.RandomWorlds, "__init__"): (
         "(self, tolerances: 'Optional[Iterable[ToleranceVector]]' = None, "
-        "domain_sizes: 'Sequence[int]' = (8, 12, 16, 24, 32), counting_fallback: 'bool' = True, "
+        "domain_sizes: 'Optional[Sequence[int]]' = None, counting_fallback: 'bool' = True, "
         "assume_small_overlap: 'bool' = False, cache: 'Union[WorldCountCache, bool, None]' = True, "
         "memo: 'Union[QueryMemoTable, bool, None]' = True, memo_size: 'Optional[int]' = 4096, "
-        "backend: 'BackendLike' = None, max_workers: 'Optional[int]' = None)"
+        "backend: 'BackendLike' = None, max_workers: 'Optional[int]' = None, "
+        "compile: 'bool' = True, options: 'Optional[EngineOptions]' = None)"
     ),
     (core.RandomWorlds, "degree_of_belief"): (
         "(self, query: 'QueryLike', knowledge_base: 'KnowledgeBaseLike', "
@@ -178,7 +186,7 @@ SIGNATURES = {
     ),
     (server.SessionManager, "open"): (
         "(self, knowledge_base: 'KnowledgeBaseLike', *, "
-        "engine_options: 'Optional[Dict[str, Any]]' = None, "
+        "engine_options: 'Union[EngineOptions, Dict[str, Any], None]' = None, "
         "consistency_check: 'Optional[bool]' = None) -> 'Tuple[ManagedSession, bool]'"
     ),
     (server.SessionManager, "lease"): "(self, session_id: 'str') -> 'Iterator[BeliefSession]'",
@@ -198,6 +206,24 @@ SIGNATURES = {
 REQUEST_FIELDS = ["query", "method", "request_id", "tolerances", "domain_sizes", "metadata"]
 RESPONSE_FIELDS = ["request_id", "result", "solver", "elapsed_ms", "cache_delta", "metadata"]
 RESULT_FIELDS = ["value", "interval", "exists", "method", "diagnostics", "note"]
+
+# ---------------------------------------------------------------------------
+# EngineOptions schema (field order, defaults, wire whitelist, CLI flags)
+# ---------------------------------------------------------------------------
+
+# One row per EngineOptions field, in declaration order:
+# (name, default, on the HTTP wire, repro-serve flag).  The wire whitelist
+# and CLI flags are *generated* from the field metadata, so this snapshot
+# pins all three surfaces at once.
+ENGINE_OPTION_SCHEMA = [
+    ("backend", None, True, "--backend"),
+    ("max_workers", None, True, "--max-workers"),
+    ("memo", True, True, "--no-memo"),
+    ("memo_size", 4096, True, "--memo-size"),
+    ("compile", True, True, "--no-compile"),
+    ("domain_sizes", None, True, "--domain-sizes"),
+    ("tolerances", None, True, "--tolerances"),
+]
 
 
 class TestExportedNames:
@@ -241,6 +267,96 @@ class TestSignatures:
         assert list(service.QueryRequest.__dataclass_fields__) == REQUEST_FIELDS
         assert list(service.BeliefResponse.__dataclass_fields__) == RESPONSE_FIELDS
         assert list(core.BeliefResult.__dataclass_fields__) == RESULT_FIELDS
+
+
+class TestEngineOptionsSchema:
+    def test_field_schema_snapshot(self):
+        rows = [
+            (
+                f.name,
+                f.default,
+                bool(f.metadata.get("wire")),
+                f.metadata.get("flag"),
+            )
+            for f in dataclasses.fields(core.EngineOptions)
+        ]
+        assert rows == ENGINE_OPTION_SCHEMA
+
+    def test_wire_whitelist_derives_from_schema(self):
+        wired = tuple(sorted(name for name, _, wire, _ in ENGINE_OPTION_SCHEMA if wire))
+        assert core.EngineOptions.wire_option_names() == wired
+        assert server.WIRE_ENGINE_OPTIONS == frozenset(wired)
+
+    def test_cli_flags_derive_from_schema(self):
+        parser = argparse.ArgumentParser()
+        core.add_engine_cli_arguments(parser)
+        spelled = {
+            option for action in parser._actions for option in action.option_strings
+        }
+        expected = {flag for _, _, _, flag in ENGINE_OPTION_SCHEMA if flag}
+        assert expected <= spelled
+
+    def test_defaults_construct(self):
+        options = core.EngineOptions()
+        for name, default, _, _ in ENGINE_OPTION_SCHEMA:
+            assert getattr(options, name) == default
+
+
+class TestEngineOptionsRoundTrip:
+    OPTIONS = dict(
+        backend="threads",
+        max_workers=2,
+        memo=False,
+        memo_size=128,
+        compile=False,
+        domain_sizes=(6, 8),
+        tolerances=(0.2, 0.1),
+    )
+
+    def test_dict_round_trip_is_lossless_through_json(self):
+        options = core.EngineOptions(**self.OPTIONS)
+        revived = core.EngineOptions.from_dict(json.loads(json.dumps(options.to_dict())))
+        assert revived == options
+
+    def test_open_session_round_trip(self):
+        options = core.EngineOptions(**self.OPTIONS)
+        with service.open_session(
+            "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8",
+            options=options,
+            consistency_check=False,
+        ) as session:
+            assert session.engine.options == options
+
+    def test_wire_normalisation_round_trip(self):
+        options = core.EngineOptions(**self.OPTIONS)
+        normalised = server.normalise_engine_options(options)
+        assert core.EngineOptions(**normalised) == options
+        # Partial wire payloads coerce per key without inventing defaults.
+        assert server.normalise_engine_options({"domain_sizes": [6, 8]}) == {
+            "domain_sizes": (6, 8)
+        }
+
+    def test_cli_round_trip(self):
+        parser = argparse.ArgumentParser()
+        core.add_engine_cli_arguments(parser)
+        args = parser.parse_args(
+            [
+                "--backend", "threads",
+                "--max-workers", "2",
+                "--no-memo",
+                "--memo-size", "128",
+                "--no-compile",
+                "--domain-sizes", "6,8",
+                "--tolerances", "0.2,0.1",
+            ]
+        )
+        provided = core.engine_options_from_args(args)
+        assert core.EngineOptions.from_dict(provided) == core.EngineOptions(**self.OPTIONS)
+
+    def test_cli_defaults_provide_nothing(self):
+        parser = argparse.ArgumentParser()
+        core.add_engine_cli_arguments(parser)
+        assert core.engine_options_from_args(parser.parse_args([])) == {}
 
 
 class TestSolverRegistry:

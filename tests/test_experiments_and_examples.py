@@ -24,7 +24,7 @@ FAST_EXPERIMENTS = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11",
 class TestRegistry:
     def test_all_experiments_are_registered(self):
         identifiers = [e.experiment_id for e in all_experiments()]
-        assert identifiers == [f"E{i}" for i in range(1, 24)]
+        assert identifiers == [f"E{i}" for i in range(1, 25)]
 
     def test_slow_flag_filters(self):
         fast = all_experiments(include_slow=False)

@@ -110,12 +110,19 @@ def _context(backend: str, memo: bool, entry, executor_for):
         vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([parse(query_text)]))
         domain_size = _metamorphic_domain_size(vocabulary)
         executor = executor_for(backend)
+        cache = WorldCountCache(memo=memo)
         counter = make_counter(
             vocabulary,
-            cache=WorldCountCache(memo=memo),
+            cache=cache,
             executor=executor if executor.dispatches_shards else None,
         )
-        found = (kb.formula, domain_size, counter, executor)
+        # A twin with compilation off sharing the *same* cache: compiled and
+        # interpreted evaluation deliberately share decompositions and memo
+        # accounting (the compile flag is not part of the cache key), so the
+        # differential leg also pins that the two forms can serve each
+        # other's rows without conflict.
+        interpreted = make_counter(vocabulary, cache=cache, compile_queries=False)
+        found = (kb.formula, domain_size, counter, interpreted, executor)
         _CONTEXTS[key] = found
     return found
 
@@ -128,7 +135,7 @@ def _context(backend: str, memo: bool, entry, executor_for):
 )
 def test_probability_laws_hold_on_every_kb(counting_backend, memo, executor_for, data):
     entry = data.draw(st.sampled_from(BENCHMARK_KBS), label="kb")
-    kb_formula, domain_size, counter, executor = _context(
+    kb_formula, domain_size, counter, _, executor = _context(
         counting_backend, memo, entry, executor_for
     )
     strategy = _query_strategy(counter.vocabulary)
@@ -176,8 +183,36 @@ def test_probability_laws_hold_on_every_kb(counting_backend, memo, executor_for,
 def test_memo_and_memoless_agree_exactly(counting_backend, memo, executor_for, data):
     """The memoised answer for any drawn query equals a fresh uncached count."""
     entry = data.draw(st.sampled_from(BENCHMARK_KBS), label="kb")
-    kb_formula, domain_size, counter, _ = _context(counting_backend, memo, entry, executor_for)
+    kb_formula, domain_size, counter, _, _ = _context(counting_backend, memo, entry, executor_for)
     phi = data.draw(_query_strategy(counter.vocabulary), label="phi")
     memoised = counter.count(phi, kb_formula, domain_size, TAU)
     reference = make_counter(counter.vocabulary).count(phi, kb_formula, domain_size, TAU)
     assert memoised == reference
+
+
+@pytest.mark.parametrize("memo", [True, False], ids=["memo", "memoless"])
+@given(data=st.data())
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_compiled_and_interpreted_agree_exactly(counting_backend, memo, executor_for, data):
+    """The compiled kernel answers exactly like the interpreter on any query.
+
+    Three-way differential: the compiled counter, its interpreted twin on the
+    *shared* cache (same decomposition, same memo accounting), and a fresh
+    cache-less interpreted counter.  The last keeps the comparison honest
+    when the shared memo would otherwise hand the twin the compiled row.
+    """
+    entry = data.draw(st.sampled_from(BENCHMARK_KBS), label="kb")
+    kb_formula, domain_size, counter, interpreted, _ = _context(
+        counting_backend, memo, entry, executor_for
+    )
+    phi = data.draw(_query_strategy(counter.vocabulary), label="phi")
+    compiled_result = counter.count(phi, kb_formula, domain_size, TAU)
+    twin_result = interpreted.count(phi, kb_formula, domain_size, TAU)
+    reference = make_counter(counter.vocabulary, compile_queries=False).count(
+        phi, kb_formula, domain_size, TAU
+    )
+    assert compiled_result == twin_result == reference

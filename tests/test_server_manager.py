@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.logic.tolerance import ToleranceVector
 from repro.server import (
     ExpiredSession,
     Overloaded,
@@ -286,7 +285,9 @@ class TestWireEngineOptions:
             }
         )
         assert options["domain_sizes"] == (4, 6)
-        assert all(isinstance(tau, ToleranceVector) for tau in options["tolerances"])
+        # Tolerances stay plain floats on the wire; the engine coerces them
+        # into uniform ToleranceVector ladders itself.
+        assert options["tolerances"] == (0.1, 0.05)
         assert options["backend"] == "serial"
         assert options["max_workers"] == 2 and options["memo_size"] == 128
         assert options["memo"] is True

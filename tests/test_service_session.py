@@ -14,7 +14,7 @@ import warnings
 import pytest
 from test_worlds_cache import BENCHMARK_KBS
 
-from repro.core import RandomWorlds, RandomWorldsError
+from repro.core import EngineOptions, RandomWorlds, RandomWorldsError
 from repro.service import (
     BeliefResponse,
     QueryRequest,
@@ -263,57 +263,37 @@ class TestRegistryDispatch:
 
 
 # ---------------------------------------------------------------------------
-# The legacy threads-spelling deprecation
+# The legacy threads spelling: deprecation completed, now an error
 # ---------------------------------------------------------------------------
 
 
-class TestLegacyThreadsDeprecation:
+class TestLegacyThreadsRemoval:
     KB = "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8"
 
-    @staticmethod
-    def _legacy_warnings(caught):
-        return [
-            w
-            for w in caught
-            if issubclass(w.category, DeprecationWarning) and 'backend="threads"' in str(w.message)
-        ]
+    def test_constructor_spelling_raises(self):
+        with pytest.raises(ValueError, match='backend="threads"'):
+            RandomWorlds(max_workers=3)
 
-    def test_constructor_spelling_warns_exactly_once_per_engine(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine = RandomWorlds(max_workers=3)
-            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
-            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
-        assert len(self._legacy_warnings(caught)) == 1
-
-    def test_per_call_spelling_warns_exactly_once_per_engine(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine = RandomWorlds()
+    def test_per_call_spelling_raises(self):
+        engine = RandomWorlds()
+        with pytest.raises(ValueError, match='backend="threads"'):
             engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB, max_workers=3)
-            engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB, max_workers=3)
-        assert len(self._legacy_warnings(caught)) == 1
 
-    def test_two_engines_warn_independently(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            RandomWorlds(max_workers=2)
-            RandomWorlds(max_workers=2)
-        assert len(self._legacy_warnings(caught)) == 2
+    def test_engine_options_spelling_raises(self):
+        with pytest.raises(ValueError, match='backend="threads"'):
+            EngineOptions(max_workers=3)
 
-    def test_explicit_threads_backend_does_not_warn(self):
+    def test_no_spurious_deprecation_warnings_remain(self):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             engine = RandomWorlds(backend="threads", max_workers=3)
             engine.degree_of_belief_batch(["Hep(Eric)", "Jaun(Eric)"], self.KB)
-        assert self._legacy_warnings(caught) == []
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
 
-    def test_legacy_spelling_behaviour_is_unchanged(self):
-        with warnings.catch_warnings(record=True):
-            warnings.simplefilter("always")
-            legacy = RandomWorlds(max_workers=3)
-            explicit = RandomWorlds(backend="threads", max_workers=3)
-            queries = ["Hep(Eric)", "Jaun(Eric)", "not Hep(Eric)"]
-            assert legacy.degree_of_belief_batch(queries, self.KB) == explicit.degree_of_belief_batch(
-                queries, self.KB
-            )
+    def test_explicit_threads_backend_matches_serial(self):
+        explicit = RandomWorlds(backend="threads", max_workers=3)
+        serial = RandomWorlds()
+        queries = ["Hep(Eric)", "Jaun(Eric)", "not Hep(Eric)"]
+        assert explicit.degree_of_belief_batch(queries, self.KB) == serial.degree_of_belief_batch(
+            queries, self.KB
+        )

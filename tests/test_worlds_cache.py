@@ -490,32 +490,9 @@ class TestQueryFingerprint:
 # ---------------------------------------------------------------------------
 
 # (name, KB factory, query) for every knowledge base the e01-e18 benchmarks
-# exercise.  The domain size is chosen per-KB so the exact count stays small.
-BENCHMARK_KBS = [
-    ("hepatitis_simple", paper_kbs.hepatitis_simple, "Hep(Eric)"),
-    ("hepatitis_full", paper_kbs.hepatitis_full, "Hep(Eric)"),
-    ("tweety_fly", paper_kbs.tweety_fly, "Fly(Tweety)"),
-    ("tweety_yellow", paper_kbs.tweety_yellow, "Fly(Tweety)"),
-    ("tweety_warm_blooded", paper_kbs.tweety_warm_blooded, "WarmBlooded(Tweety)"),
-    ("tweety_easy_to_see", paper_kbs.tweety_easy_to_see, "EasyToSee(Tweety)"),
-    ("tay_sachs", paper_kbs.tay_sachs, "TS(Eric)"),
-    ("elephant_zookeeper", paper_kbs.elephant_zookeeper, "Likes(Clyde, Fred)"),
-    ("chirping_magpie", paper_kbs.chirping_magpie, "Chirps(Tweety)"),
-    ("moody_magpie", paper_kbs.moody_magpie, "Chirps(Tweety)"),
-    ("nixon_diamond", paper_kbs.nixon_diamond, "Pacifist(Nixon)"),
-    ("fred_heart_disease", paper_kbs.fred_heart_disease, "Heart(Fred)"),
-    ("hepatitis_and_age", paper_kbs.hepatitis_and_age, "Hep(Eric) and Over60(Eric)"),
-    ("black_birds", lambda: paper_kbs.black_birds().with_vocabulary_of("Black(Clyde)"), "Black(Clyde)"),
-    ("lottery", paper_kbs.lottery, "Winner(C)"),
-    ("lifschitz_names", paper_kbs.lifschitz_names, "not (Ray = Drew)"),
-    ("broken_arm", paper_kbs.broken_arm, "LeftUsable(Eric)"),
-    ("colours_two_way", paper_kbs.colours_two_way, "White(Block)"),
-    ("colours_three_way", paper_kbs.colours_three_way, "White(Block)"),
-    ("flying_birds_two_predicates", paper_kbs.flying_birds_two_predicates, "Fly(Tweety)"),
-    ("flying_birds_refined", paper_kbs.flying_birds_refined, "FlyingBird(Tweety)"),
-    ("swimming_taxonomy", paper_kbs.swimming_taxonomy, "Swims(Opus)"),
-    ("tall_parent", paper_kbs.tall_parent, "Tall(Alice)"),
-]
+# exercise, shared with experiment E24 via the workloads module.  The domain
+# size is chosen per-KB so the exact count stays small.
+BENCHMARK_KBS = paper_kbs.benchmark_suite()
 
 UNARY_CLASS_BUDGET = 5_000
 BRUTE_WORLD_BUDGET = 20_000
@@ -577,9 +554,10 @@ class TestBatch:
 
     def test_batch_with_threads_matches_sequential(self):
         kb = paper_kbs.lottery(3)
-        # The bare max_workers spelling still means threads (and says so).
-        with pytest.warns(DeprecationWarning, match='backend="threads"'):
-            threaded = RandomWorlds(domain_sizes=(6, 8, 10), max_workers=4)
+        # The bare max_workers spelling finished its deprecation cycle.
+        with pytest.raises(ValueError, match='backend="threads"'):
+            RandomWorlds(domain_sizes=(6, 8, 10), max_workers=4)
+        threaded = RandomWorlds(domain_sizes=(6, 8, 10), backend="threads", max_workers=4)
         plain = RandomWorlds(domain_sizes=(6, 8, 10))
         expected = plain.degree_of_belief_batch(BATCH_QUERIES, kb)
         actual = threaded.degree_of_belief_batch(BATCH_QUERIES, kb)

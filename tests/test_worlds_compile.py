@@ -1,0 +1,270 @@
+"""Unit tests for the compiled query kernel (repro.worlds.compile).
+
+The kernel's contract is differential: on every isomorphism class a compiled
+program must return exactly the interpreter's verdict, and every shape it
+cannot prove equivalent must compile to ``None`` (interpreted fallback).
+These tests pin that contract directly, plus the plumbing around it — the
+program cache's lifetime coupling to decompositions, pickling for process
+workers, and the cost-weighted shard partition.
+"""
+
+import pickle
+
+import pytest
+
+from repro.logic import parse
+from repro.logic.tolerance import ToleranceVector
+from repro.logic.vocabulary import Vocabulary
+from repro.workloads import paper_kbs
+from repro.worlds.cache import CompiledProgramCache, WorldCountCache
+from repro.worlds.compile import CompiledQuery, compile_query
+from repro.worlds.counting import make_counter, weighted_shard_bounds
+from repro.worlds.parallel import WorkUnit, compute_shard
+from repro.worlds.unary import AtomTable, enumerate_structures, structure_satisfies
+
+VOCAB = Vocabulary({"Hep": 1, "Jaun": 1}, {}, ("Eric", "Greg"))
+TABLE = AtomTable.for_vocabulary(VOCAB)
+TOLERANCE = ToleranceVector.uniform(0.1)
+
+# Every connective and quantifier shape inside the compiled fragment.
+COMPILED_SHAPES = [
+    "Hep(Eric)",
+    "not Hep(Eric)",
+    "Hep(Eric) and Jaun(Eric)",
+    "Hep(Eric) or Jaun(Greg)",
+    "Hep(Eric) -> Jaun(Eric)",
+    "Hep(Eric) <-> Jaun(Greg)",
+    "Eric = Greg",
+    "not (Eric = Greg)",
+    "exists x. Hep(x)",
+    "exists x. (Hep(x) and not Jaun(x))",
+    "forall x. (Hep(x) -> Jaun(x))",
+    "forall x. not (Hep(x) and Jaun(x))",
+    "exists! x. Hep(x)",
+    "exists[2] x. (Hep(x) or Jaun(x))",
+    "Hep(Eric) and exists x. Jaun(x)",
+    "(Eric = Greg) or (Hep(Eric) <-> not Hep(Greg))",
+]
+
+# Shapes the compiler must refuse: tolerance semantics, candidate identity
+# and the long tail belong to the interpreter.
+FALLBACK_SHAPES = [
+    "%(Hep(x); x) ~= 0.5",
+    "%(Hep(x) | Jaun(x); x) ~= 0.8 and Jaun(Eric)",
+    "exists x. exists y. (Hep(x) and Jaun(y))",
+    "exists x. (x = Eric)",
+    "exists x. Hep(Eric)",
+    "forall x. (Hep(x) -> Jaun(Eric))",
+    "Hep(x)",
+]
+
+
+def _all_structures(max_domain_size=4):
+    for domain_size in range(1, max_domain_size + 1):
+        yield from enumerate_structures(TABLE, VOCAB.constants, domain_size)
+
+
+class TestCompiledFragmentDifferential:
+    @pytest.mark.parametrize("text", COMPILED_SHAPES)
+    def test_matches_interpreter_on_every_class(self, text):
+        query = parse(text)
+        program = compile_query(query, TABLE)
+        assert program is not None, f"{text!r} should be inside the compiled fragment"
+        for structure in _all_structures():
+            assert program.run(structure) == structure_satisfies(
+                structure, query, TOLERANCE
+            ), f"{text!r} diverged on {structure!r}"
+
+    def test_count_sums_the_same_weights(self):
+        query = parse("forall x. (Hep(x) -> Jaun(x))")
+        program = compile_query(query, TABLE)
+        classes = [(s, s.weight()) for s in _all_structures()]
+        expected = sum(
+            weight
+            for structure, weight in classes
+            if structure_satisfies(structure, query, TOLERANCE)
+        )
+        assert program.count(classes) == expected
+
+
+class TestFallbackCoverage:
+    @pytest.mark.parametrize("text", FALLBACK_SHAPES)
+    def test_uncovered_shapes_compile_to_none(self, text):
+        assert compile_query(parse(text), TABLE) is None
+
+    def test_placement_only_flag(self):
+        ground = compile_query(parse("Hep(Eric) and not Jaun(Greg)"), TABLE)
+        quantified = compile_query(parse("exists x. Hep(x)"), TABLE)
+        counted = compile_query(parse("exists! x. Hep(x)"), TABLE)
+        assert ground.placement_only
+        assert not quantified.placement_only
+        assert not counted.placement_only
+
+
+class TestProgramPickling:
+    def test_round_trip_preserves_verdicts(self):
+        query = parse("Hep(Eric) and exists x. (Hep(x) and not Jaun(x))")
+        program = compile_query(query, TABLE)
+        clone = pickle.loads(pickle.dumps(program))
+        assert isinstance(clone, CompiledQuery)
+        assert clone == program
+        assert clone.placement_only == program.placement_only
+        for structure in _all_structures(3):
+            assert clone.run(structure) == program.run(structure)
+
+
+class TestProgramCache:
+    def test_counter_populates_and_hits_the_program_cache(self):
+        kb = paper_kbs.hepatitis_simple()
+        cache = WorldCountCache()
+        counter = make_counter(kb.vocabulary, cache=cache)
+        tolerance = ToleranceVector.uniform(0.1)
+        counter.decompose(kb.formula, 8, tolerance)
+        key = counter.cache_key(kb.formula, 8, tolerance)
+        query = parse("Hep(Eric)")
+
+        program = counter.query_program(query, key=key)
+        assert program is not None
+        assert len(cache.programs) == 1
+        assert cache.programs.misses == 1
+        assert counter.query_program(query, key=key) is program
+        assert cache.programs.hits == 1
+
+    def test_negative_results_are_cached_too(self):
+        kb = paper_kbs.hepatitis_simple()
+        cache = WorldCountCache()
+        counter = make_counter(kb.vocabulary, cache=cache)
+        tolerance = ToleranceVector.uniform(0.1)
+        key = counter.cache_key(kb.formula, 8, tolerance)
+        statistical = parse("%(Hep(x) | Jaun(x); x) ~= 0.8")
+
+        assert counter.query_program(statistical, key=key) is None
+        assert len(cache.programs) == 1  # the None verdict is an entry
+        assert counter.query_program(statistical, key=key) is None
+        assert cache.programs.hits == 1
+
+    def test_eviction_purges_a_decompositions_programs(self):
+        kb = paper_kbs.hepatitis_simple()
+        cache = WorldCountCache(maxsize=1)
+        counter = make_counter(kb.vocabulary, cache=cache)
+        tolerance = ToleranceVector.uniform(0.1)
+        counter.decompose(kb.formula, 6, tolerance)
+        counter.query_program(parse("Hep(Eric)"), key=counter.cache_key(kb.formula, 6, tolerance))
+        assert len(cache.programs) == 1
+        counter.decompose(kb.formula, 8, tolerance)  # evicts the N=6 entry
+        assert len(cache.programs) == 0
+
+    def test_program_cache_lru_bound(self):
+        cache = CompiledProgramCache(maxsize=2)
+        table = TABLE
+        for index, text in enumerate(["Hep(Eric)", "Jaun(Eric)", "Hep(Greg)"]):
+            query = parse(text)
+            cache.get_or_compile((index, "fp"), lambda q=query: compile_query(q, table))
+        assert len(cache) == 2
+
+
+class TestWeightedShardBounds:
+    @pytest.mark.parametrize(
+        "weights,num_shards",
+        [
+            ([1] * 12, 3),
+            ([100, 1, 1, 1, 1, 1, 1, 1], 4),
+            ([1, 1, 1, 1, 1, 1, 100], 4),
+            ([5, 1, 7, 3, 9, 2, 8, 4, 6, 1], 3),
+            ([2], 4),
+        ],
+    )
+    def test_partition_contract(self, weights, num_shards):
+        bounds = weighted_shard_bounds(weights, num_shards)
+        assert len(bounds) == num_shards
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(weights)
+        for (_, stop), (next_start, next_stop) in zip(bounds, bounds[1:]):
+            assert next_start == stop  # contiguous, in order
+            assert next_stop >= next_start
+
+    def test_even_weights_match_even_splits(self):
+        bounds = weighted_shard_bounds([1] * 12, 3)
+        assert bounds == [(0, 4), (4, 8), (8, 12)]
+
+    def test_skewed_weights_balance_cost_not_length(self):
+        weights = [100] + [1] * 10
+        bounds = weighted_shard_bounds(weights, 2)
+        # The heavy head gets its own short shard instead of half the items.
+        start, stop = bounds[0]
+        assert stop - start < len(weights) // 2
+
+
+class TestWorkUnitPrograms:
+    def _fixture(self):
+        kb = paper_kbs.hepatitis_simple()
+        counter = make_counter(kb.vocabulary, cache=WorldCountCache())
+        tolerance = ToleranceVector.uniform(0.1)
+        decomposition = counter.decompose(kb.formula, 8, tolerance)
+        query = parse("Hep(Eric)")
+        program = counter.query_program(query)
+        assert program is not None
+        return kb, counter, tolerance, decomposition, query, program
+
+    def _unit(self, kb, counter, tolerance, decomposition, query, program):
+        return WorkUnit(
+            engine=counter.ENGINE,
+            vocabulary=counter.vocabulary,
+            knowledge_base=kb.formula,
+            domain_size=decomposition.domain_size,
+            tolerance=tolerance,
+            extra=counter.cache_key_extra(),
+            shard_index=0,
+            num_shards=1,
+            query=query,
+            classes=decomposition.classes,
+            program=program,
+        )
+
+    def test_unit_with_program_pickles(self):
+        unit = self._unit(*self._fixture())
+        clone = pickle.loads(pickle.dumps(unit))
+        assert clone.program == unit.program
+
+    def test_shipped_program_matches_interpreted_shard(self):
+        kb, counter, tolerance, decomposition, query, program = self._fixture()
+        compiled_unit = self._unit(kb, counter, tolerance, decomposition, query, program)
+        interpreted_unit = self._unit(kb, counter, tolerance, decomposition, query, None)
+        # Run both through a pickle cycle, as the processes backend would.
+        compiled = compute_shard(pickle.loads(pickle.dumps(compiled_unit)))
+        interpreted = compute_shard(pickle.loads(pickle.dumps(interpreted_unit)))
+        assert (compiled.satisfying_kb, compiled.satisfying_both) == (
+            interpreted.satisfying_kb,
+            interpreted.satisfying_both,
+        )
+
+
+class TestCompileParity:
+    def test_counts_identical_with_and_without_compilation(self):
+        kb = paper_kbs.hepatitis_simple()
+        tolerance = ToleranceVector.uniform(0.1)
+        query = parse("Hep(Eric)")
+        compiled = make_counter(kb.vocabulary, cache=WorldCountCache())
+        interpreted = make_counter(kb.vocabulary, cache=WorldCountCache(), compile_queries=False)
+        for domain_size in (4, 8, 12):
+            left = compiled.count(query, kb.formula, domain_size, tolerance)
+            right = interpreted.count(query, kb.formula, domain_size, tolerance)
+            assert (left.satisfying_kb, left.satisfying_both) == (
+                right.satisfying_kb,
+                right.satisfying_both,
+            )
+
+    def test_engine_parity_and_identical_cache_info(self):
+        from repro.core import EngineOptions, RandomWorlds
+
+        kb = "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8"
+        results = []
+        for compile_flag in (True, False):
+            engine = RandomWorlds(
+                options=EngineOptions(domain_sizes=(6, 8), compile=compile_flag)
+            )
+            result = engine.degree_of_belief("Hep(Eric)", kb, method="counting")
+            results.append((result.value, engine.cache_info()))
+        (value_compiled, info_compiled), (value_interpreted, info_interpreted) = results
+        assert value_compiled == value_interpreted
+        assert info_compiled == info_interpreted

@@ -174,8 +174,11 @@ class TestExecutors:
     def test_resolve_backend_legacy_max_workers(self):
         assert resolve_backend(None, None) == "serial"
         assert resolve_backend(None, 1) == "serial"
-        assert resolve_backend(None, 4) == "threads"
         assert resolve_backend("processes", None) == "processes"
+        # The PR 4 deprecation completed: bare max_workers > 1 no longer
+        # implies threads — it is an error naming the explicit spelling.
+        with pytest.raises(ValueError, match='backend="threads"'):
+            resolve_backend(None, 4)
 
     def test_executor_scope_closes_owned_pools_only(self):
         with executor_scope("threads", 2) as executor:
@@ -375,11 +378,17 @@ def test_degree_of_belief_by_counting_processes_backend(shared_process_executor)
         assert parallel_curve.probabilities == serial_curve.probabilities
 
 
-def test_legacy_max_workers_still_means_threads():
+def test_legacy_max_workers_without_backend_raises():
+    """The PR 4 deprecation completed: the implied-threads spelling is gone."""
     kb = paper_kbs.hepatitis_simple()
     query = parse("Hep(Eric)")
     vocabulary = kb.vocabulary.merge(Vocabulary.from_formulas([query]))
-    threaded = counting_curve(query, kb.formula, vocabulary, (6, 8, 10), TAU, max_workers=3)
+    with pytest.raises(ValueError, match='backend="threads"'):
+        counting_curve(query, kb.formula, vocabulary, (6, 8, 10), TAU, max_workers=3)
+    # The explicit spelling still matches the serial reference exactly.
+    threaded = counting_curve(
+        query, kb.formula, vocabulary, (6, 8, 10), TAU, backend="threads", max_workers=3
+    )
     serial = counting_curve(query, kb.formula, vocabulary, (6, 8, 10), TAU)
     assert threaded.probabilities == serial.probabilities
 

@@ -1,0 +1,59 @@
+"""E25 — the static pre-flight analyzer's wall-clock budget.
+
+The analyzer's whole value proposition is answering *before* any
+enumeration: a strict-mode open must be able to refuse a pathological KB
+in milliseconds.  This benchmark sweeps ``analyze()`` (well-formedness +
+compilability + cost prediction) over every benchmark KB with its
+standard query and records the wall-clock totals in the
+``BENCH_results.json`` metrics block, so the analyzer's cost trends
+PR-over-PR.  It also gates the two properties the suite relies on: the
+benchmark KBs are free of error-level diagnostics (the repro-lint CI gate
+assumes this), and a full-suite sweep stays under an order of magnitude
+headroom of the interactive budget.
+"""
+
+import time
+
+from conftest import record_metric
+
+from repro import analysis
+from repro.workloads import paper_kbs
+
+# One full analyze() pass over all 23 KBs must stay interactive.  The
+# strict-gate acceptance budget is 50 ms per KB; the sweep bound below is
+# deliberately loose (CI machines vary) while still catching a regression
+# that makes the analyzer enumerate instead of predict.
+SUITE_BUDGET_SECONDS = 5.0
+
+
+def _sweep():
+    reports = []
+    for name, factory, query in paper_kbs.benchmark_suite():
+        reports.append((name, analysis.analyze(factory(), queries=[query])))
+    return reports
+
+
+def test_e25_analyzer_wallclock_metric(benchmark):
+    reports = _sweep()  # warm import-time caches before timing
+    benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    reports = _sweep()
+    elapsed = time.perf_counter() - start
+
+    for name, report in reports:
+        assert not report.has_errors, (
+            f"benchmark KB {name!r} has error-level diagnostics: "
+            f"{[d.code for d in report.errors]}"
+        )
+        assert report.compilability, name
+        assert report.costs, name
+    assert elapsed < SUITE_BUDGET_SECONDS, (
+        f"analyzing the {len(reports)}-KB suite took {elapsed:.2f}s; "
+        "the pre-flight analyzer must predict, not enumerate"
+    )
+
+    per_kb_ms = [report.elapsed_ms for _, report in reports]
+    record_metric("e25_analyzer_suite_seconds", round(elapsed, 6))
+    record_metric("e25_analyzer_mean_kb_ms", round(sum(per_kb_ms) / len(per_kb_ms), 3))
+    record_metric("e25_analyzer_max_kb_ms", round(max(per_kb_ms), 3))

@@ -1,0 +1,53 @@
+"""Pre-flight static analysis of knowledge bases and queries.
+
+``analyze(kb, queries=..., options=...)`` runs three passes — none of which
+constructs a single world — and returns structured, coded diagnostics:
+
+* **well-formedness** (E1xx/E2xx/W5xx): parse/vocabulary/statistics checks,
+  subsuming the session's consistency gate;
+* **compilability** (W3xx): fragment membership per query, decided by the
+  engine's own compile pass, with the exact fallback reason;
+* **cost prediction** (W4xx/E403): closed-form enumeration sizes and the
+  PR-6 shard cost model per domain size, classified cheap/heavy/oversized
+  with the engine's own skip rules.
+
+``docs/ANALYSIS.md`` is the code registry; ``repro-lint`` (:mod:`.cli`) is
+the command-line front end; ``open_session(..., analyze=...)`` and
+``POST /v1/analyze`` are the service/HTTP surfaces.
+"""
+
+from .compilability import CompilabilityVerdict, compilability_verdict
+from .cost import (
+    DEFAULT_COST_BUDGET,
+    GridPointCost,
+    composition_count,
+    feasible_class_count,
+    predict_costs,
+    predicted_shard_cost,
+)
+from .diagnostics import DIAGNOSTIC_CODES, AnalysisError, Diagnostic, SourceSpan, diagnostic
+from .report import AnalysisOptions, AnalysisReport, analyze, analyze_or_raise, query_diagnostics
+from .wellformed import consistency_diagnostics, wellformedness_diagnostics
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisOptions",
+    "AnalysisReport",
+    "CompilabilityVerdict",
+    "DEFAULT_COST_BUDGET",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "GridPointCost",
+    "SourceSpan",
+    "analyze",
+    "analyze_or_raise",
+    "compilability_verdict",
+    "composition_count",
+    "consistency_diagnostics",
+    "diagnostic",
+    "feasible_class_count",
+    "predict_costs",
+    "predicted_shard_cost",
+    "query_diagnostics",
+    "wellformedness_diagnostics",
+]

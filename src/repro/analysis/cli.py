@@ -1,0 +1,248 @@
+"""``repro-lint``: the pre-flight analyzer as a command-line lint gate.
+
+Layer contract: path walking, source extraction and exit-code policy only —
+every finding comes from :func:`repro.analysis.analyze`, so the CLI can
+never disagree with what a strict session open would reject.
+
+Two kinds of input:
+
+* **KB text files** (anything not ``.py``): the whole file is one KB,
+  newline-separated sentences with ``#`` comments, analyzed with real
+  line/column spans;
+* **Python files**: the linter walks the AST for knowledge-base call sites
+  (``KnowledgeBase.from_strings(...)``, ``.conjoin(...)``,
+  ``open_session(...)``) and bare ``parse(...)`` calls, lints every string
+  literal sentence in place, and analyzes each call site's sentences as one
+  KB — so a typo in an example or a workload definition is caught at its
+  real ``path:line:col``.
+
+Output is ruff-style, one line per finding::
+
+    examples/quickstart.py:24:9 W301 query ... is outside the compiled fragment
+
+The exit code is 1 when any **error**-level diagnostic fired (the same
+severity boundary strict sessions enforce), else 0; warnings print but do
+not fail the gate.  ``docs/ANALYSIS.md`` documents the codes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.parser import ParseError, parse
+from ..logic.syntax import Formula
+from ..logic.vocabulary import VocabularyError
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+from .report import AnalysisOptions, analyze
+
+# Call sites whose string-literal arguments are KB sentences (analyzed as
+# one KB per call), and call sites whose string literals are single
+# formulas (syntax-checked only — a query has no KB to analyze against).
+_KB_CALLEES = frozenset({"from_strings", "conjoin", "open_session"})
+_FORMULA_CALLEES = frozenset({"parse", "parse_many"})
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _string_args(call: ast.Call) -> List[Tuple[str, int, int]]:
+    """The string-literal positional args of a call, with 1-based spans."""
+    literals: List[Tuple[str, int, int]] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            literals.append((arg.value, arg.lineno, arg.col_offset + 1))
+    return literals
+
+
+def _parse_literal(
+    text: str, line: int, column: int, path: str
+) -> Tuple[Optional[Formula], Optional[Diagnostic]]:
+    """One sentence literal: its formula, or an E100 at its real location.
+
+    The span points at the opening quote plus the in-sentence offset, so a
+    mid-sentence syntax error lands on the offending token (single-line
+    literals; a multi-line literal keeps the quote's location).
+    """
+    try:
+        return parse(text), None
+    except ParseError as error:
+        offset = (error.column or 1) if "\n" not in text else 0
+        span = SourceSpan(line, column + offset, path)
+        return None, diagnostic(
+            "E100", str(error), span=span, hint="fix the sentence syntax", subject=text
+        )
+
+
+def _lint_kb_group(
+    literals: Sequence[Tuple[str, int, int]], path: str, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Analyze one call site's sentence literals as one KB."""
+    findings: List[Diagnostic] = []
+    spans: Dict[str, SourceSpan] = {}
+    formulas: List[Formula] = []
+    for text, line, column in literals:
+        formula, problem = _parse_literal(text, line, column, path)
+        if problem is not None:
+            findings.append(problem)
+            continue
+        formulas.append(formula)
+        spans.setdefault(repr(formula), SourceSpan(line, column, path))
+    if not formulas:
+        return findings
+    first_span = SourceSpan(literals[0][1], literals[0][2], path)
+    try:
+        kb = KnowledgeBase(formulas)
+    except (VocabularyError, ValueError) as error:
+        findings.append(
+            diagnostic(
+                "E102", str(error), span=first_span, hint="use each symbol with one arity only"
+            )
+        )
+        return findings
+    report = analyze(kb, options=options, span_for=lambda f: spans.get(repr(f)), path=path)
+    for finding in report.diagnostics:
+        if finding.span is None:
+            finding = Diagnostic(
+                code=finding.code,
+                severity=finding.severity,
+                message=finding.message,
+                span=first_span,
+                hint=finding.hint,
+                subject=finding.subject,
+            )
+        findings.append(finding)
+    return findings
+
+
+def _lint_python_file(path: Path, options: AnalysisOptions) -> List[Diagnostic]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        span = SourceSpan(error.lineno or 1, (error.offset or 1), str(path))
+        return [diagnostic("E100", f"python syntax error: {error.msg}", span=span)]
+    findings: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        literals = _string_args(node)
+        if not literals:
+            continue
+        if callee in _KB_CALLEES:
+            findings.extend(_lint_kb_group(literals, str(path), options))
+        elif callee in _FORMULA_CALLEES:
+            for text, line, column in literals:
+                _, problem = _parse_literal(text, line, column, str(path))
+                if problem is not None:
+                    findings.append(problem)
+    return findings
+
+
+def _lint_text_file(path: Path, options: AnalysisOptions) -> List[Diagnostic]:
+    report = analyze(path.read_text(encoding="utf-8"), options=options, path=str(path))
+    return list(report.diagnostics)
+
+
+def _expand(paths: Iterable[str]) -> List[Path]:
+    expanded: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded.extend(sorted(path.rglob("*.py")))
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser (exposed for the docs checks)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically analyze knowledge bases in KB text files and "
+        "Python sources; print ruff-style coded diagnostics and exit non-zero "
+        "on error-level findings (the codes strict sessions refuse).",
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH", help="KB text files, Python files, or directories (recursed for *.py)"
+    )
+    parser.add_argument(
+        "--domain-sizes",
+        metavar="N,N,...",
+        default=None,
+        help="comma-separated grid to cost-predict (default: the engine's)",
+    )
+    parser.add_argument(
+        "--cost-budget",
+        type=int,
+        default=None,
+        metavar="COST",
+        help="per-grid-point W402 threshold in cost-model units",
+    )
+    parser.add_argument(
+        "--require-counting",
+        action="store_true",
+        help="escalate an all-domain-sizes-oversized grid from W403 to error E403",
+    )
+    parser.add_argument(
+        "--errors-only", action="store_true", help="print only error-level findings (exit code is unchanged)"
+    )
+    return parser
+
+
+def _options_from_args(args: argparse.Namespace) -> AnalysisOptions:
+    kwargs: Dict[str, Any] = {"require_counting": args.require_counting}
+    if args.domain_sizes:
+        try:
+            sizes = tuple(int(part) for part in args.domain_sizes.split(",") if part.strip())
+        except ValueError:
+            raise SystemExit(f"repro-lint: --domain-sizes must be integers, got {args.domain_sizes!r}")
+        if not sizes or any(n < 1 for n in sizes):
+            raise SystemExit("repro-lint: --domain-sizes needs positive integers")
+        kwargs["domain_sizes"] = sizes
+    if args.cost_budget is not None:
+        if args.cost_budget < 1:
+            raise SystemExit("repro-lint: --cost-budget must be positive")
+        kwargs["cost_budget"] = args.cost_budget
+    return AnalysisOptions(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    options = _options_from_args(args)
+    errors = warnings = 0
+    for path in _expand(args.paths):
+        if not path.exists():
+            print(f"repro-lint: no such file: {path}", file=sys.stderr)
+            errors += 1
+            continue
+        if path.suffix == ".py":
+            findings = _lint_python_file(path, options)
+        else:
+            findings = _lint_text_file(path, options)
+        for finding in findings:
+            if finding.is_error:
+                errors += 1
+            else:
+                warnings += 1
+            if args.errors_only and not finding.is_error:
+                continue
+            print(finding.format(default_path=str(path)))
+    print(f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Compilability analysis: fragment membership, decided statically per query.
+
+The verdicts here are exact by construction: a unary-vocabulary query is
+passed through the *same* compile pass the engine runs
+(:func:`repro.worlds.compile.compile_query_with_reason` over the same joint
+vocabulary the engine builds), so "this query compiles" can never disagree
+with what ``compile_query`` later does.  A non-unary joint vocabulary routes
+the whole query to the brute-force counter, which has no compiled form — the
+verdict says so with its own reason.
+
+No worlds are constructed: compiling touches only the atom table (size
+``2^k`` for ``k`` unary predicates), never a composition or placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.syntax import Formula
+from ..logic.vocabulary import Vocabulary
+from ..worlds.compile import compile_query_with_reason
+from ..worlds.unary import AtomTable
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+# The reason attached to non-unary verdicts (brute-force engine, interpreted
+# evaluation); compiled-fragment reasons come verbatim from the compile pass.
+NON_UNARY_REASON = "non-unary vocabulary (brute-force enumeration, interpreted evaluation)"
+
+
+@dataclass(frozen=True)
+class CompilabilityVerdict:
+    """Fragment membership of one query against one KB's joint vocabulary."""
+
+    query: str  # canonical text (repr of the parsed formula)
+    compilable: bool
+    reason: Optional[str]  # None when compilable; the fragment-rule violation otherwise
+    unary: bool  # is the joint vocabulary unary (compiled counter at all)?
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "compilable": self.compilable,
+            "reason": self.reason,
+            "unary": self.unary,
+        }
+
+
+def compilability_verdict(query: Formula, knowledge_base: KnowledgeBase) -> CompilabilityVerdict:
+    """Decide fragment membership exactly as the engine will.
+
+    Uses the same joint vocabulary (``kb.vocabulary`` merged with the
+    query's own symbols) the engine's ``_joint_vocabulary`` builds, and the
+    same compile pass ``compile_query`` runs.
+    """
+    vocabulary = knowledge_base.vocabulary.merge(Vocabulary.from_formulas([query]))
+    if not vocabulary.is_unary:
+        return CompilabilityVerdict(repr(query), False, NON_UNARY_REASON, unary=False)
+    table = AtomTable.for_vocabulary(vocabulary)
+    compiled, reason = compile_query_with_reason(query, table)
+    return CompilabilityVerdict(repr(query), compiled is not None, reason, unary=True)
+
+
+def compilability_diagnostics(
+    queries: List[Tuple[Formula, Optional[SourceSpan]]],
+    knowledge_base: KnowledgeBase,
+) -> Tuple[List[CompilabilityVerdict], List[Diagnostic]]:
+    """Verdicts plus W301/W302 warnings for the queries outside the fragment."""
+    verdicts: List[CompilabilityVerdict] = []
+    findings: List[Diagnostic] = []
+    for query, span in queries:
+        verdict = compilability_verdict(query, knowledge_base)
+        verdicts.append(verdict)
+        if verdict.compilable:
+            continue
+        if not verdict.unary:
+            findings.append(
+                diagnostic(
+                    "W302",
+                    f"query {verdict.query} leaves the unary fragment: {verdict.reason}",
+                    span=span,
+                    hint="non-unary vocabularies enumerate whole worlds; keep domain sizes small",
+                    subject=verdict.query,
+                )
+            )
+        else:
+            findings.append(
+                diagnostic(
+                    "W301",
+                    f"query {verdict.query} is outside the compiled fragment "
+                    f"({verdict.reason}); it will take the interpreted path",
+                    span=span,
+                    hint="interpreted evaluation is exact but re-walks the query "
+                    "per class; expect it to dominate warm-query latency",
+                    subject=verdict.query,
+                )
+            )
+    return verdicts, findings

@@ -1,0 +1,124 @@
+"""The diagnostic model of the pre-flight analyzer.
+
+Layer contract: this module owns the *shape* of an analyzer finding — code,
+severity, message, source span, fix hint — and the registry of stable
+diagnostic codes.  It knows nothing about KBs or queries; the three analysis
+passes (:mod:`repro.analysis.wellformed`, :mod:`repro.analysis.compilability`,
+:mod:`repro.analysis.cost`) produce :class:`Diagnostic` objects and the
+report layer (:mod:`repro.analysis.report`) aggregates them.
+
+Codes are stable across releases (``docs/ANALYSIS.md`` is the registry's
+human form): ``Exxx`` codes are errors — the KB cannot be trusted and strict
+sessions refuse it — and ``Wxxx`` codes are warnings — the KB works but will
+surprise (interpreted fallback, heavy enumeration, dead vocabulary).  The
+hundreds digit groups by analysis: 1xx vocabulary/parse, 2xx statistics,
+3xx compilability, 4xx cost, 5xx dead vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+
+# code -> (severity, slug).  The slug is the stable kebab-case name used in
+# docs and CLI summaries; messages elaborate per finding.
+DIAGNOSTIC_CODES: Mapping[str, Tuple[str, str]] = {
+    "E100": (ERROR, "parse-error"),
+    "E101": (ERROR, "undeclared-symbol"),
+    "E102": (ERROR, "arity-mismatch"),
+    "E204": (ERROR, "empty-interval-statistic"),
+    "E205": (ERROR, "out-of-range-statistic"),
+    "E206": (ERROR, "contradictory-ground-facts"),
+    "E207": (ERROR, "nonpositive-tolerance-index"),
+    "W301": (WARNING, "query-outside-compiled-fragment"),
+    "W302": (WARNING, "non-unary-vocabulary"),
+    "W402": (WARNING, "predicted-cost-exceeds-budget"),
+    "W403": (WARNING, "all-domain-sizes-oversized"),
+    "E403": (ERROR, "counting-required-but-oversized"),
+    "W501": (WARNING, "unused-predicate"),
+    "W502": (WARNING, "unused-constant"),
+}
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based source location; ``path`` is set when a file is known."""
+
+    line: int = 1
+    column: int = 1
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"line": self.line, "column": self.column}
+        if self.path is not None:
+            payload["path"] = self.path
+        return payload
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: a coded, located, actionable message."""
+
+    code: str
+    severity: str
+    message: str
+    span: Optional[SourceSpan] = None
+    hint: Optional[str] = None
+    subject: Optional[str] = None  # the sentence/query text the finding is about
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    @property
+    def slug(self) -> str:
+        return DIAGNOSTIC_CODES[self.code][1]
+
+    def format(self, default_path: str = "<kb>") -> str:
+        """Ruff-style one-liner: ``path:line:col CODE message``."""
+        span = self.span or SourceSpan()
+        path = span.path or default_path
+        return f"{path}:{span.line}:{span.column} {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "slug": self.slug,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.to_dict()
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        return payload
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    *,
+    span: Optional[SourceSpan] = None,
+    hint: Optional[str] = None,
+    subject: Optional[str] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, pulling the severity from the registry."""
+    severity, _ = DIAGNOSTIC_CODES[code]
+    return Diagnostic(code=code, severity=severity, message=message, span=span, hint=hint, subject=subject)
+
+
+class AnalysisError(ValueError):
+    """Raised by strict-mode entry points when a report carries errors.
+
+    ``report`` is the full :class:`~repro.analysis.report.AnalysisReport`;
+    the HTTP layer serialises its diagnostics into the 422 body.
+    """
+
+    def __init__(self, message: str, report: Any) -> None:
+        super().__init__(message)
+        self.report = report

@@ -1,0 +1,274 @@
+"""The analyzer's entry point: ``analyze(kb, queries=..., options=...)``.
+
+One call runs all three passes — well-formedness (:mod:`.wellformed`),
+compilability (:mod:`.compilability`), cost prediction (:mod:`.cost`) — and
+returns an :class:`AnalysisReport` of structured diagnostics.  The whole
+pass is static: no engine is built, no class is enumerated, no world-count
+cache is touched, which is what lets strict session opens reject
+pathological KBs in milliseconds.
+
+A string KB is parsed with :func:`~repro.logic.parser.parse_many_spanned`,
+so its diagnostics carry real line/column spans; a pre-built
+:class:`~repro.core.knowledge_base.KnowledgeBase` has no source text and
+its spans stay ``None`` unless the caller supplies a ``span_for`` lookup
+(as ``repro-lint`` does for files).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.parser import ParseError, parse, parse_many_spanned
+from ..logic.syntax import Formula
+from ..logic.vocabulary import Vocabulary, VocabularyError
+from .compilability import CompilabilityVerdict, compilability_diagnostics
+from .cost import DEFAULT_COST_BUDGET, GridPointCost, predict_costs
+from .diagnostics import AnalysisError, Diagnostic, SourceSpan, diagnostic
+from .wellformed import SpanLookup, _no_span, wellformedness_diagnostics
+
+KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
+QueryLike = Union[Formula, str]
+
+# Severity sort: errors first, then warnings; stable within a severity.
+_SEVERITY_ORDER = {"error": 0, "warning": 1}
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Knobs of one analysis run (all optional; defaults match the engine).
+
+    ``declared_vocabulary`` turns on undeclared-symbol checking for KB
+    sentences (a bare KB infers its vocabulary, so nothing can be
+    undeclared without a declaration to check against);
+    ``domain_sizes`` is the grid to cost (default: the engine's);
+    ``cost_budget`` is the per-grid-point W402 threshold in cost-model
+    units; ``require_counting`` escalates an all-points-oversized grid from
+    W403 to the error E403 for callers that need the exact-counting path.
+    """
+
+    declared_vocabulary: Optional[Vocabulary] = None
+    domain_sizes: Optional[Tuple[int, ...]] = None
+    cost_budget: int = DEFAULT_COST_BUDGET
+    require_counting: bool = False
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one ``analyze`` call found, plus its own wall-clock."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    compilability: Tuple[CompilabilityVerdict, ...] = ()
+    costs: Tuple[GridPointCost, ...] = ()
+    elapsed_ms: float = 0.0
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "compilability": [v.to_dict() for v in self.compilability],
+            "costs": [c.to_dict() for c in self.costs],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    def format(self, default_path: str = "<kb>") -> str:
+        """Ruff-style one line per diagnostic plus a summary line."""
+        lines = [d.format(default_path) for d in self.diagnostics]
+        lines.append(f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+
+@dataclass
+class _SpanTable:
+    """A repr-keyed span lookup built while parsing string inputs."""
+
+    spans: Dict[str, SourceSpan] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def record(self, formula: Formula, line: int, column: int) -> None:
+        self.spans.setdefault(repr(formula), SourceSpan(line, column, self.path))
+
+    def __call__(self, formula: Formula) -> Optional[SourceSpan]:
+        return self.spans.get(repr(formula))
+
+
+def _normalise_kb(
+    knowledge_base: KnowledgeBaseLike,
+    table: _SpanTable,
+    declared_vocabulary: Optional[Vocabulary],
+) -> Tuple[Optional[KnowledgeBase], List[Diagnostic]]:
+    """A KB plus spans from its text form; E100/E102 instead of exceptions.
+
+    A declared vocabulary merges into the constructed KB (as
+    ``KnowledgeBase(..., vocabulary=...)`` would at open), so cost and
+    compilability see the same vocabulary a real session binds.
+    """
+    if isinstance(knowledge_base, KnowledgeBase):
+        return knowledge_base, []
+    if isinstance(knowledge_base, Formula):
+        formulas = [knowledge_base]
+    else:
+        try:
+            sentences = parse_many_spanned(knowledge_base)
+        except ParseError as error:
+            span = SourceSpan(error.line or 1, error.column or 1, table.path)
+            return None, [
+                diagnostic("E100", str(error), span=span, hint="fix the sentence syntax")
+            ]
+        for formula, line, column in sentences:
+            table.record(formula, line, column)
+        formulas = [formula for formula, _, _ in sentences]
+    try:
+        return KnowledgeBase(formulas, vocabulary=declared_vocabulary), []
+    except (VocabularyError, ValueError) as error:
+        # Conflicting arities (or free variables) across sentences.
+        return None, [
+            diagnostic("E102", str(error), hint="use each symbol with one arity only")
+        ]
+
+
+def _normalise_queries(
+    queries: Sequence[QueryLike], span_for: SpanLookup
+) -> Tuple[List[Tuple[Formula, Optional[SourceSpan]]], List[Diagnostic]]:
+    parsed: List[Tuple[Formula, Optional[SourceSpan]]] = []
+    findings: List[Diagnostic] = []
+    for query in queries:
+        if isinstance(query, Formula):
+            parsed.append((query, span_for(query)))
+            continue
+        try:
+            formula = parse(query)
+        except ParseError as error:
+            span = SourceSpan(error.line or 1, error.column or 1)
+            findings.append(
+                diagnostic(
+                    "E100",
+                    f"query {query!r}: {error}",
+                    span=span,
+                    hint="fix the query syntax",
+                    subject=query,
+                )
+            )
+            continue
+        parsed.append((formula, span_for(formula)))
+    return parsed, findings
+
+
+def _query_symbol_diagnostics(
+    queries: List[Tuple[Formula, Optional[SourceSpan]]], knowledge_base: KnowledgeBase
+) -> List[Diagnostic]:
+    """E101/E102 for query symbols the KB's vocabulary does not declare."""
+    from .wellformed import _symbol_diagnostics
+
+    findings: List[Diagnostic] = []
+    for query, span in queries:
+        findings.extend(_symbol_diagnostics(query, knowledge_base.vocabulary, span, "query"))
+    return findings
+
+
+def _sorted(diagnostics: List[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (
+                _SEVERITY_ORDER.get(d.severity, 2),
+                d.span.line if d.span else 0,
+                d.span.column if d.span else 0,
+                d.code,
+            ),
+        )
+    )
+
+
+def analyze(
+    knowledge_base: KnowledgeBaseLike,
+    queries: Sequence[QueryLike] = (),
+    options: Optional[AnalysisOptions] = None,
+    *,
+    span_for: Optional[SpanLookup] = None,
+    path: Optional[str] = None,
+) -> AnalysisReport:
+    """Statically analyze a KB (and optional queries) without enumerating.
+
+    Runs well-formedness, per-query compilability and closed-form cost
+    prediction; returns every finding as coded diagnostics.  Never raises
+    for problems *in* the input — they become diagnostics — and never
+    builds a world, a class, or an engine.
+    """
+    started = time.perf_counter()
+    options = options or AnalysisOptions()
+    table = _SpanTable(path=path)
+    kb, findings = _normalise_kb(knowledge_base, table, options.declared_vocabulary)
+    lookup: SpanLookup = span_for if span_for is not None else table
+    verdicts: Tuple[CompilabilityVerdict, ...] = ()
+    costs: Tuple[GridPointCost, ...] = ()
+    if kb is not None:
+        findings.extend(
+            wellformedness_diagnostics(
+                kb, declared_vocabulary=options.declared_vocabulary, span_for=lookup
+            )
+        )
+        parsed_queries, query_findings = _normalise_queries(queries, lookup)
+        findings.extend(query_findings)
+        findings.extend(_query_symbol_diagnostics(parsed_queries, kb))
+        verdict_list, fragment_findings = compilability_diagnostics(parsed_queries, kb)
+        verdicts = tuple(verdict_list)
+        findings.extend(fragment_findings)
+        cost_rows, cost_findings = predict_costs(
+            kb,
+            domain_sizes=options.domain_sizes,
+            cost_budget=options.cost_budget,
+            require_counting=options.require_counting,
+        )
+        costs = tuple(cost_rows)
+        findings.extend(cost_findings)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    return AnalysisReport(
+        diagnostics=_sorted(findings),
+        compilability=verdicts,
+        costs=costs,
+        elapsed_ms=elapsed_ms,
+    )
+
+
+def query_diagnostics(
+    knowledge_base: KnowledgeBase, query: QueryLike
+) -> List[Diagnostic]:
+    """The per-query findings a warn/strict session attaches to a response.
+
+    Parse problems (E100), symbols outside the KB's vocabulary (E101/E102)
+    and fragment fallbacks (W301/W302) — one compile pass, no enumeration.
+    """
+    parsed, findings = _normalise_queries([query], _no_span)
+    findings.extend(_query_symbol_diagnostics(parsed, knowledge_base))
+    _, fragment_findings = compilability_diagnostics(parsed, knowledge_base)
+    findings.extend(fragment_findings)
+    return list(_sorted(findings))
+
+
+def analyze_or_raise(
+    knowledge_base: KnowledgeBaseLike,
+    queries: Sequence[QueryLike] = (),
+    options: Optional[AnalysisOptions] = None,
+) -> AnalysisReport:
+    """Strict-mode helper: :func:`analyze`, raising on error-level findings."""
+    report = analyze(knowledge_base, queries, options)
+    if report.has_errors:
+        summary = "; ".join(f"{d.code} {d.message}" for d in report.errors)
+        raise AnalysisError(f"knowledge base rejected by pre-flight analysis: {summary}", report)
+    return report

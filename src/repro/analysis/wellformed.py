@@ -1,0 +1,237 @@
+"""Well-formedness analysis: the structural checks a KB must pass.
+
+Subsumes (and extends) :func:`repro.service.session.check_consistency`: the
+session's consistency gate delegates to :func:`consistency_diagnostics`, so
+the analyzer and the gate can never disagree about what "structurally
+inconsistent" means.  On top of the consistency subset this pass adds
+tolerance-subscript validation, declared-vocabulary conformance (undeclared
+symbols, arity mismatches) and dead-vocabulary warnings.
+
+Everything here is a formula walk — no worlds, no enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.knowledge_base import KnowledgeBase
+from ..logic.syntax import ApproxEq, ApproxLeq, Formula, Not, conjuncts, iter_subformulas
+from ..logic.vocabulary import Vocabulary, VocabularyError
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+# Slack accepted on statistic bounds: proportions live in [0, 1], with a
+# little headroom for tolerance-widened interval statistics.  This is the
+# canonical constant — ``repro.service.session`` imports it.
+BOUND_SLACK = 1e-9
+
+SpanLookup = Callable[[Formula], Optional[SourceSpan]]
+
+
+def _no_span(formula: Formula) -> Optional[SourceSpan]:
+    return None
+
+
+def _span_of_source(source: Formula, span_for: SpanLookup) -> Optional[SourceSpan]:
+    """The span of a (possibly merged-conjunction) statistic source."""
+    found = span_for(source)
+    if found is not None:
+        return found
+    for part in conjuncts(source):
+        found = span_for(part)
+        if found is not None:
+            return found
+    return None
+
+
+def consistency_diagnostics(
+    knowledge_base: KnowledgeBase, *, span_for: SpanLookup = _no_span
+) -> List[Diagnostic]:
+    """The structural-inconsistency subset: E204, E205, E206.
+
+    Same checks, same order and same messages as the historical
+    ``check_consistency`` — which now raises on the first of these.
+    """
+    findings: List[Diagnostic] = []
+    for statistic in knowledge_base.statistics():
+        span = _span_of_source(statistic.source, span_for)
+        if statistic.low > statistic.high + BOUND_SLACK:
+            findings.append(
+                diagnostic(
+                    "E204",
+                    f"statistic {statistic.source!r} asserts the empty interval "
+                    f"[{statistic.low}, {statistic.high}]",
+                    span=span,
+                    hint="relax one of the paired bounds so the interval is non-empty",
+                    subject=repr(statistic.source),
+                )
+            )
+        if statistic.high < -BOUND_SLACK or statistic.low > 1.0 + BOUND_SLACK:
+            findings.append(
+                diagnostic(
+                    "E205",
+                    f"statistic {statistic.source!r} places a proportion outside [0, 1]",
+                    span=span,
+                    hint="proportions are fractions of the domain; use a value in [0, 1]",
+                    subject=repr(statistic.source),
+                )
+            )
+    facts = set(knowledge_base.ground_facts())
+    for fact in knowledge_base.ground_facts():
+        if isinstance(fact, Not) and fact.operand in facts:
+            findings.append(
+                diagnostic(
+                    "E206",
+                    f"the knowledge base asserts both {fact.operand!r} and its negation",
+                    span=span_for(fact),
+                    hint="drop one of the two contradictory ground facts",
+                    subject=repr(fact),
+                )
+            )
+    return findings
+
+
+def _symbol_diagnostics(
+    sentence: Formula,
+    declared: Vocabulary,
+    span: Optional[SourceSpan],
+    role: str,
+) -> List[Diagnostic]:
+    """E101/E102 for one formula against an explicit vocabulary."""
+    findings: List[Diagnostic] = []
+    try:
+        used = Vocabulary.from_formulas([sentence])
+    except VocabularyError as error:
+        return [
+            diagnostic(
+                "E102",
+                str(error),
+                span=span,
+                hint="use each symbol with one arity only",
+                subject=repr(sentence),
+            )
+        ]
+    for name, arity in sorted(used.predicates.items()):
+        if name in declared.predicates:
+            if declared.predicates[name] != arity:
+                findings.append(
+                    diagnostic(
+                        "E102",
+                        f"{role} uses predicate {name}/{arity} but the vocabulary "
+                        f"declares {name}/{declared.predicates[name]}",
+                        span=span,
+                        hint="match the declared arity or fix the declaration",
+                        subject=repr(sentence),
+                    )
+                )
+        else:
+            findings.append(
+                diagnostic(
+                    "E101",
+                    f"{role} uses undeclared predicate {name}/{arity}",
+                    span=span,
+                    hint=f"declare {name}/{arity} in the vocabulary or fix the spelling",
+                    subject=repr(sentence),
+                )
+            )
+    for name, arity in sorted(used.functions.items()):
+        if name in declared.functions:
+            if declared.functions[name] != arity:
+                findings.append(
+                    diagnostic(
+                        "E102",
+                        f"{role} uses function {name}/{arity} but the vocabulary "
+                        f"declares {name}/{declared.functions[name]}",
+                        span=span,
+                        hint="match the declared arity or fix the declaration",
+                        subject=repr(sentence),
+                    )
+                )
+        else:
+            findings.append(
+                diagnostic(
+                    "E101",
+                    f"{role} uses undeclared function {name}/{arity}",
+                    span=span,
+                    hint=f"declare {name}/{arity} in the vocabulary or fix the spelling",
+                    subject=repr(sentence),
+                )
+            )
+    for name in sorted(used.constants):
+        if name not in declared.constants:
+            findings.append(
+                diagnostic(
+                    "E101",
+                    f"{role} uses undeclared constant {name}",
+                    span=span,
+                    hint=f"declare constant {name} in the vocabulary or fix the spelling",
+                    subject=repr(sentence),
+                )
+            )
+    return findings
+
+
+def wellformedness_diagnostics(
+    knowledge_base: KnowledgeBase,
+    *,
+    declared_vocabulary: Optional[Vocabulary] = None,
+    span_for: SpanLookup = _no_span,
+) -> List[Diagnostic]:
+    """All well-formedness findings for a KB (consistency subset first)."""
+    findings = consistency_diagnostics(knowledge_base, span_for=span_for)
+
+    # Tolerance subscripts: ``~=[i]``/``<~[i]`` index the tolerance vector;
+    # indices below 1 never receive a per-index tolerance assignment.
+    for sentence in knowledge_base.sentences:
+        span = span_for(sentence)
+        for sub in iter_subformulas(sentence):
+            if isinstance(sub, (ApproxEq, ApproxLeq)) and sub.index < 1:
+                findings.append(
+                    diagnostic(
+                        "E207",
+                        f"tolerance subscript [{sub.index}] in {sub!r} is not positive; "
+                        f"subscripts index the tolerance vector from 1",
+                        span=span,
+                        hint="use ~=[1], ~=[2], ... (or bare ~= for index 1)",
+                        subject=repr(sentence),
+                    )
+                )
+
+    # Declared-vocabulary conformance: only checkable when the caller says
+    # what the vocabulary *should* be (a bare KB's vocabulary is inferred
+    # from its sentences, so nothing can be undeclared).
+    if declared_vocabulary is not None:
+        for sentence in knowledge_base.sentences:
+            findings.extend(
+                _symbol_diagnostics(sentence, declared_vocabulary, span_for(sentence), "sentence")
+            )
+
+    # Dead vocabulary: declared symbols no sentence mentions.  An empty KB is
+    # a pure vocabulary declaration — nothing is "unused" there.
+    if knowledge_base.sentences:
+        used = Vocabulary.from_formulas(knowledge_base.sentences)
+        vocabulary = knowledge_base.vocabulary
+        for name in sorted(vocabulary.predicates):
+            if name not in used.predicates:
+                findings.append(
+                    diagnostic(
+                        "W501",
+                        f"predicate {name}/{vocabulary.predicates[name]} is declared "
+                        f"but no sentence mentions it",
+                        hint="drop it from the vocabulary, or keep it deliberately — "
+                        "random worlds is insensitive to vocabulary expansion "
+                        "but every extra unary predicate doubles the atom count",
+                        subject=name,
+                    )
+                )
+        for name in sorted(vocabulary.constants):
+            if name not in used.constants:
+                findings.append(
+                    diagnostic(
+                        "W502",
+                        f"constant {name} is declared but no sentence mentions it",
+                        hint="drop it from the vocabulary, or keep it deliberately "
+                        "(extra constants multiply the placement count)",
+                        subject=name,
+                    )
+                )
+    return findings

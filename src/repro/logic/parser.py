@@ -28,7 +28,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .syntax import (
     Atom,
@@ -61,7 +61,26 @@ from .syntax import (
 
 
 class ParseError(ValueError):
-    """Raised when the input text is not a well-formed formula."""
+    """Raised when the input text is not a well-formed formula.
+
+    Carries a best-effort source span for diagnostics: ``position`` is the
+    character offset into the parsed text and ``line``/``column`` are
+    1-based.  Any of the three may be ``None`` when the failure point is not
+    tied to a concrete token (e.g. unexpected end of input).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        position: Optional[int] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.position = position
+        self.line = line
+        self.column = column
 
 
 _TOKEN_SPEC = [
@@ -102,21 +121,33 @@ class _Token:
     kind: str
     text: str
     position: int
+    line: int = 1
+    column: int = 1
 
 
 def _tokenize(text: str) -> List[_Token]:
     tokens: List[_Token] = []
     position = 0
+    line = 1
+    line_start = 0
     while position < len(text):
         match = _MASTER_RE.match(text, position)
         if match is None:
-            raise ParseError(f"unexpected character {text[position]!r} at position {position}")
+            raise ParseError(
+                f"unexpected character {text[position]!r} at position {position}",
+                position=position,
+                line=line,
+                column=position - line_start + 1,
+            )
         kind = match.lastgroup or ""
         value = match.group()
         if kind != "WS":
             if kind == "IDENT" and value in _KEYWORDS:
                 kind = value.upper()
-            tokens.append(_Token(kind, value, position))
+            tokens.append(_Token(kind, value, position, line, position - line_start + 1))
+        if "\n" in value:
+            line += value.count("\n")
+            line_start = position + value.rfind("\n") + 1
         position = match.end()
     return tokens
 
@@ -148,7 +179,7 @@ class _Parser:
         token = self._peek()
         if token is None or token.kind != kind:
             found = token.text if token else "end of input"
-            raise ParseError(f"expected {kind} but found {found!r}")
+            raise ParseError(f"expected {kind} but found {found!r}", **_span_of(token))
         return self._advance()
 
     def _match(self, kind: str) -> Optional[_Token]:
@@ -256,7 +287,9 @@ class _Parser:
             return FALSE
         if token.kind == "IDENT":
             return self._atom_or_equality()
-        raise ParseError(f"unexpected token {token.text!r} at position {token.position}")
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}", **_span_of(token)
+        )
 
     def _atom_or_equality(self) -> Formula:
         term = self._term()
@@ -309,7 +342,8 @@ class _Parser:
             right = self._prop_sum()
             return ExactCompare(left, right, exact_ops[token.kind])
         raise ParseError(
-            f"expected a comparison operator but found {token.text!r} at position {token.position}"
+            f"expected a comparison operator but found {token.text!r} at position {token.position}",
+            **_span_of(token),
         )
 
     def _tolerance_index(self) -> int:
@@ -351,7 +385,8 @@ class _Parser:
             return inner
         raise ParseError(
             f"expected a number, %(...) proportion or parenthesized "
-            f"proportion expression but found {token.text!r}"
+            f"proportion expression but found {token.text!r}",
+            **_span_of(token),
         )
 
     def _proportion(self) -> ProportionExpr:
@@ -370,6 +405,13 @@ class _Parser:
         return CondProportion(formula, condition, tuple(variables))
 
 
+def _span_of(token: Optional[_Token]) -> dict:
+    """ParseError span kwargs for ``token`` (empty when there is no token)."""
+    if token is None:
+        return {}
+    return {"position": token.position, "line": token.line, "column": token.column}
+
+
 def _parse_number(text: str) -> Fraction:
     if "/" in text:
         numerator, denominator = text.split("/")
@@ -385,17 +427,40 @@ def parse(text: str) -> Formula:
     if not parser.at_end():
         leftover = parser._peek()
         raise ParseError(
-            f"unexpected trailing input {leftover.text!r} at position {leftover.position}"
+            f"unexpected trailing input {leftover.text!r} at position {leftover.position}",
+            **_span_of(leftover),
         )
     return formula
 
 
-def parse_many(text: str) -> List[Formula]:
-    """Parse several formulas separated by newlines (blank lines and ``#`` comments ignored)."""
-    formulas: List[Formula] = []
-    for line in text.splitlines():
-        stripped = line.strip()
+def parse_many_spanned(text: str) -> List[Tuple[Formula, int, int]]:
+    """Parse newline-separated formulas, keeping each sentence's source span.
+
+    Returns ``(formula, line, column)`` triples with 1-based line/column of
+    the first character of each sentence (blank lines and ``#`` comments are
+    skipped, as in :func:`parse_many`).  ``ParseError``\\ s raised for a
+    sentence are re-raised with their span translated to document
+    coordinates, so linters can point at the real location.
+    """
+    results: List[Tuple[Formula, int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        formulas.append(parse(stripped))
-    return formulas
+        indent = len(raw) - len(raw.lstrip())
+        try:
+            formula = parse(stripped)
+        except ParseError as error:
+            raise ParseError(
+                str(error),
+                position=error.position,
+                line=lineno,
+                column=indent + (error.column or 1),
+            ) from None
+        results.append((formula, lineno, indent + 1))
+    return results
+
+
+def parse_many(text: str) -> List[Formula]:
+    """Parse several formulas separated by newlines (blank lines and ``#`` comments ignored)."""
+    return [formula for formula, _, _ in parse_many_spanned(text)]

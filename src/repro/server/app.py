@@ -19,7 +19,14 @@ Routes (see ``docs/DEPLOYMENT.md`` for schemas and curl examples):
   order);
 * ``GET /v1/sessions/{id}`` — session metadata; ``GET .../cache`` — the
   session's ``cache_info()`` counters;
+* ``POST /v1/analyze`` — stateless pre-flight analysis of a KB (and
+  optional queries): structured diagnostics, compilability verdicts and
+  cost predictions, without opening a session;
 * ``GET /healthz`` — liveness plus the manager's counter snapshot.
+
+Opens may request ``"analyze": "warn" | "strict"``; a strict open of a KB
+with error-level diagnostics is rejected with 422 ``analysis-failed`` whose
+``error.details.diagnostics`` lists every coded finding.
 
 Built on ``http.server.ThreadingHTTPServer`` — stdlib only, one thread per
 connection, with the manager's admission bound (HTTP 429 + ``Retry-After``)
@@ -37,12 +44,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .. import __version__
+from .. import analysis as _analysis
+from ..analysis.diagnostics import AnalysisError
 from ..core.engine import RandomWorldsError
 from ..core.knowledge_base import KnowledgeBase
 from ..logic.vocabulary import Vocabulary
 from ..service.messages import QueryRequest
 from ..service.registry import UnsupportedRequest
-from ..service.session import BeliefSession
+from ..service.session import ANALYZE_MODES, BeliefSession
 from ..worlds.cache import CacheInfo
 from ..worlds.counting import InconsistentKnowledgeBase
 from .manager import (
@@ -62,6 +71,7 @@ ROUTES: Tuple[Tuple[str, str], ...] = (
     ("POST", "/v1/sessions/{id}/query"),
     ("POST", "/v1/sessions/{id}/query_batch"),
     ("GET", "/v1/sessions/{id}/cache"),
+    ("POST", "/v1/analyze"),
 )
 
 _SESSION_PATH = re.compile(r"^/v1/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/query_batch|/query|/cache)?$")
@@ -74,12 +84,20 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 class _HTTPFailure(Exception):
     """Internal: carries a ready-to-send error status/payload to the handler."""
 
-    def __init__(self, status: int, code: str, message: str, headers: Optional[Dict[str, str]] = None):
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.headers = headers or {}
+        self.details = details
 
 
 def _cache_info_payload(info: Optional[CacheInfo]) -> Optional[Dict[str, Any]]:
@@ -98,6 +116,17 @@ def _cache_info_payload(info: Optional[CacheInfo]) -> Optional[Dict[str, Any]]:
         "memo_maxsize": info.memo_maxsize,
         "memo_hit_rate": info.memo_hit_rate,
     }
+
+
+def _decode_vocabulary(spec: Any) -> Vocabulary:
+    """The wire form of an explicit vocabulary declaration."""
+    if not isinstance(spec, dict):
+        raise _HTTPFailure(400, "bad-request", "'kb.vocabulary' must be an object")
+    return Vocabulary(
+        predicates={str(k): int(v) for k, v in (spec.get("predicates") or {}).items()},
+        functions={str(k): int(v) for k, v in (spec.get("functions") or {}).items()},
+        constants=tuple(str(c) for c in (spec.get("constants") or [])),
+    )
 
 
 def _decode_kb(payload: Any) -> Any:
@@ -121,19 +150,79 @@ def _decode_kb(payload: Any) -> Any:
             raise _HTTPFailure(400, "bad-request", "'kb.sentences' must be a list of sentence strings")
         vocabulary = None
         if payload.get("vocabulary") is not None:
-            spec = payload["vocabulary"]
-            if not isinstance(spec, dict):
-                raise _HTTPFailure(400, "bad-request", "'kb.vocabulary' must be an object")
-            vocabulary = Vocabulary(
-                predicates={str(k): int(v) for k, v in (spec.get("predicates") or {}).items()},
-                functions={str(k): int(v) for k, v in (spec.get("functions") or {}).items()},
-                constants=tuple(str(c) for c in (spec.get("constants") or [])),
-            )
+            vocabulary = _decode_vocabulary(payload["vocabulary"])
         return KnowledgeBase.from_strings(*sentences, vocabulary=vocabulary)
     raise _HTTPFailure(
         400,
         "bad-request",
         "'kb' must be a string, a list of sentence strings, or a {sentences, vocabulary} object",
+    )
+
+
+def _decode_analyze_kb(payload: Any) -> Tuple[str, Optional[Vocabulary]]:
+    """The analyzer's KB decoding: keep the *text*, so spans and parse/arity
+    problems surface as coded diagnostics rather than HTTP 400s.
+
+    Accepts the same three wire forms as :func:`_decode_kb`; the object
+    form's explicit vocabulary becomes the analyzer's declared vocabulary,
+    which both turns on undeclared-symbol (E101/E102) checking and merges
+    into the costed vocabulary exactly as a real open would.
+    """
+    if isinstance(payload, str):
+        return payload, None
+    if isinstance(payload, list):
+        if not payload or not all(isinstance(sentence, str) for sentence in payload):
+            raise _HTTPFailure(400, "bad-request", "'kb' list items must be sentence strings")
+        return "\n".join(payload), None
+    if isinstance(payload, dict):
+        sentences = payload.get("sentences")
+        if not isinstance(sentences, list) or not all(isinstance(s, str) for s in sentences):
+            raise _HTTPFailure(400, "bad-request", "'kb.sentences' must be a list of sentence strings")
+        vocabulary = None
+        if payload.get("vocabulary") is not None:
+            vocabulary = _decode_vocabulary(payload["vocabulary"])
+        return "\n".join(sentences), vocabulary
+    raise _HTTPFailure(
+        400,
+        "bad-request",
+        "'kb' must be a string, a list of sentence strings, or a {sentences, vocabulary} object",
+    )
+
+
+def _decode_analysis_options(
+    payload: Any, declared_vocabulary: Optional[Vocabulary]
+) -> "_analysis.AnalysisOptions":
+    """The wire form of :class:`~repro.analysis.AnalysisOptions`."""
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise _HTTPFailure(400, "bad-request", "'options' must be an object")
+    unknown = sorted(set(payload) - {"domain_sizes", "cost_budget", "require_counting"})
+    if unknown:
+        raise _HTTPFailure(
+            400,
+            "bad-request",
+            f"unknown analysis option(s) {', '.join(map(repr, unknown))}; "
+            "expected a subset of ['cost_budget', 'domain_sizes', 'require_counting']",
+        )
+    domain_sizes = payload.get("domain_sizes")
+    if domain_sizes is not None:
+        if not isinstance(domain_sizes, list) or not all(
+            isinstance(n, int) and not isinstance(n, bool) and n > 0 for n in domain_sizes
+        ):
+            raise _HTTPFailure(400, "bad-request", "'options.domain_sizes' must be a list of positive integers")
+        domain_sizes = tuple(domain_sizes)
+    cost_budget = payload.get("cost_budget", _analysis.DEFAULT_COST_BUDGET)
+    if not isinstance(cost_budget, int) or isinstance(cost_budget, bool) or cost_budget < 1:
+        raise _HTTPFailure(400, "bad-request", "'options.cost_budget' must be a positive integer")
+    require_counting = payload.get("require_counting", False)
+    if not isinstance(require_counting, bool):
+        raise _HTTPFailure(400, "bad-request", "'options.require_counting' must be a boolean")
+    return _analysis.AnalysisOptions(
+        declared_vocabulary=declared_vocabulary,
+        domain_sizes=domain_sizes,
+        cost_budget=cost_budget,
+        require_counting=require_counting,
     )
 
 
@@ -191,11 +280,10 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
         # payload); under HTTP/1.1 keep-alive the leftover bytes would be
         # parsed as the next request, so error responses close the connection.
         self.close_connection = True
-        self._send_json(
-            failure.status,
-            {"error": {"code": failure.code, "message": failure.message}},
-            headers=failure.headers,
-        )
+        error: Dict[str, Any] = {"code": failure.code, "message": failure.message}
+        if failure.details is not None:
+            error["details"] = failure.details
+        self._send_json(failure.status, {"error": error}, headers=failure.headers)
 
     @contextmanager
     def _translating_errors(self) -> Iterator[None]:
@@ -215,6 +303,11 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
             raise _HTTPFailure(404, "expired-session", error.message)
         except UnknownSession as error:
             raise _HTTPFailure(404, "unknown-session", error.message)
+        except AnalysisError as error:
+            details = None
+            if error.report is not None:
+                details = {"diagnostics": [d.to_dict() for d in error.report.diagnostics]}
+            raise _HTTPFailure(422, "analysis-failed", str(error), details=details)
         except InconsistentKnowledgeBase as error:
             raise _HTTPFailure(422, "inconsistent-kb", str(error))
         except UnsupportedRequest as error:
@@ -247,6 +340,8 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
             with self._translating_errors():
                 if self.path == "/v1/sessions":
                     return self._handle_open()
+                if self.path == "/v1/analyze":
+                    return self._handle_analyze()
                 match = _SESSION_PATH.match(self.path)
                 if match and match.group("rest") == "/query":
                     return self._handle_query(match.group("sid"))
@@ -272,9 +367,14 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
         consistency_check = payload.get("consistency_check")
         if consistency_check is not None and not isinstance(consistency_check, bool):
             raise _HTTPFailure(400, "bad-request", "'consistency_check' must be a boolean")
+        analyze = payload.get("analyze")
+        if analyze is not None and analyze not in ANALYZE_MODES:
+            raise _HTTPFailure(
+                400, "bad-request", f"'analyze' must be one of {list(ANALYZE_MODES)}, got {analyze!r}"
+            )
         with self.manager.admit():
             entry, created = self.manager.open(
-                kb, engine_options=engine_options, consistency_check=consistency_check
+                kb, engine_options=engine_options, consistency_check=consistency_check, analyze=analyze
             )
         self._send_json(
             201 if created else 200,
@@ -301,6 +401,19 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
         with self.manager.admit(), self.manager.lease(session_id) as session:
             responses = session.submit_many(requests)
         self._send_json(200, {"responses": [response.to_dict() for response in responses]})
+
+    def _handle_analyze(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "kb" not in payload:
+            raise _HTTPFailure(400, "bad-request", "expected a JSON object with a 'kb' field")
+        kb_text, declared = _decode_analyze_kb(payload["kb"])
+        queries = payload.get("queries") or []
+        if not isinstance(queries, list) or not all(isinstance(q, str) for q in queries):
+            raise _HTTPFailure(400, "bad-request", "'queries' must be a list of query strings")
+        options = _decode_analysis_options(payload.get("options"), declared)
+        with self.manager.admit():
+            report = _analysis.analyze(kb_text, queries=queries, options=options)
+        self._send_json(200, report.to_dict())
 
     def _handle_cache(self, session_id: str) -> None:
         with self.manager.lease(session_id) as session:

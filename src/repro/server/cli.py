@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="Retry-After hint sent with 429 responses (default: %(default)s)",
     )
+    parser.add_argument(
+        "--analyze",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help="pre-flight analysis mode for new sessions: 'warn' attaches per-query "
+        "diagnostics to response metadata, 'strict' refuses KBs with error-level "
+        "diagnostics (422); per-open payloads may override (default: %(default)s)",
+    )
     add_engine_cli_arguments(parser)
     parser.add_argument("--verbose", action="store_true", help="log one line per HTTP request")
     return parser
@@ -74,6 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ttl_seconds=args.ttl if args.ttl > 0 else None,
         max_inflight=args.max_inflight,
         retry_after=args.retry_after,
+        analyze=args.analyze,
         **engine_options,
     )
     server = make_server(args.host, args.port, manager, verbose=args.verbose)

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase
 from ..core.options import EngineOptions
-from ..service.session import BeliefSession, KnowledgeBaseLike, kb_fingerprint
+from ..service.session import ANALYZE_MODES, BeliefSession, KnowledgeBaseLike, kb_fingerprint
 from ..worlds.cache import WorldCountCache
 
 # Engine options a network caller may set per open request — derived from the
@@ -142,6 +142,11 @@ class SessionManager:
     consistency_check:
         Passed to :func:`~repro.service.session.open_session` for new
         sessions (per-open payloads may override it).
+    analyze:
+        Default pre-flight analysis mode (``"off"``/``"warn"``/``"strict"``)
+        for new sessions; per-open payloads may override it.  ``"strict"``
+        makes the manager refuse to build a session over a KB with
+        error-level diagnostics (HTTP 422 upstream).
     engine_options:
         Default :class:`RandomWorlds` options for new sessions; per-open
         options override them key by key.
@@ -156,18 +161,22 @@ class SessionManager:
         retry_after: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         consistency_check: bool = True,
+        analyze: str = "off",
         **engine_options: Any,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if analyze not in ANALYZE_MODES:
+            raise ValueError(f"analyze must be one of {ANALYZE_MODES}, got {analyze!r}")
         self._max_sessions = max_sessions
         self._ttl = ttl_seconds
         self._max_inflight = max_inflight
         self._retry_after = retry_after
         self._clock = clock
         self._consistency_check = consistency_check
+        self._analyze = analyze
         self._engine_options = dict(engine_options)
         self._lock = threading.Lock()
         self._sessions: "OrderedDict[str, ManagedSession]" = OrderedDict()
@@ -218,12 +227,14 @@ class SessionManager:
         *,
         engine_options: Union[EngineOptions, Dict[str, Any], None] = None,
         consistency_check: Optional[bool] = None,
+        analyze: Optional[str] = None,
     ) -> Tuple[ManagedSession, bool]:
         """The session for a KB: the existing one, or a freshly opened one.
 
         Idempotent on the KB fingerprint — the returned ``bool`` says whether
         a session was actually created.  Engine options (a wire-shaped dict
-        or a whole :class:`~repro.core.options.EngineOptions`) only apply at
+        or a whole :class:`~repro.core.options.EngineOptions`), the
+        consistency check and the ``analyze`` mode only apply at
         creation; re-opening an existing fingerprint returns it unchanged.
         A fingerprint evicted earlier re-opens with its retained world-count
         cache, so the new session starts warm.  Concurrent opens of the same
@@ -261,7 +272,7 @@ class SessionManager:
             gate.release()
 
         try:
-            session = self._build_session(kb, fingerprint, engine_options, consistency_check)
+            session = self._build_session(kb, fingerprint, engine_options, consistency_check, analyze)
         except BaseException:
             with self._lock:
                 self._building.pop(fingerprint, None)
@@ -379,6 +390,7 @@ class SessionManager:
         fingerprint: str,
         engine_options: Union[EngineOptions, Dict[str, Any], None],
         consistency_check: Optional[bool],
+        analyze: Optional[str],
     ) -> BeliefSession:
         options = dict(self._engine_options)
         options.update(normalise_engine_options(engine_options))
@@ -387,7 +399,8 @@ class SessionManager:
         if warm_cache is not None and "cache" not in options:
             options["cache"] = warm_cache
         check = self._consistency_check if consistency_check is None else consistency_check
-        return BeliefSession(kb, consistency_check=check, **options)
+        mode = self._analyze if analyze is None else analyze
+        return BeliefSession(kb, consistency_check=check, analyze=mode, **options)
 
     def _touch_locked(self, entry: ManagedSession) -> None:
         entry.last_used_at = self._clock()

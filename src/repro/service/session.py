@@ -30,9 +30,11 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .. import analysis as _analysis
+from ..analysis.diagnostics import AnalysisError
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase
-from ..logic.syntax import Formula, Not
+from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector
 from ..worlds.cache import CacheInfo, vocabulary_fingerprint
 from ..worlds.counting import InconsistentKnowledgeBase
@@ -43,9 +45,11 @@ from .registry import SolverRegistry, default_registry
 RequestLike = Union[QueryRequest, Formula, str]
 KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
 
-# Bounds accepted by the structural consistency check: proportions live in
-# [0, 1], with a little slack for tolerance-widened interval statistics.
-_BOUND_SLACK = 1e-9
+# The pre-flight analysis modes a session accepts (see docs/ANALYSIS.md):
+# "off" skips the analyzer entirely, "warn" attaches diagnostics to the
+# session and per-query response metadata, "strict" additionally refuses
+# error-level KBs/queries with AnalysisError.
+ANALYZE_MODES = ("off", "warn", "strict")
 
 # How many derived engines (one per distinct per-request tolerance/domain
 # override pair) a session keeps warm.  Override values arrive off the wire,
@@ -61,24 +65,13 @@ def check_consistency(knowledge_base: KnowledgeBase) -> None:
     directly contradictory ground facts.  Deliberately cheap — deep
     (model-theoretic) inconsistency still surfaces as
     :class:`InconsistentKnowledgeBase` from the counting engine at query
-    time, exactly as on the legacy path.
+    time, exactly as on the legacy path.  The checks themselves live in the
+    static analyzer (:func:`repro.analysis.consistency_diagnostics` — codes
+    E204/E205/E206), so this gate and ``analyze=`` modes can never disagree;
+    the first finding raises with its message.
     """
-    for statistic in knowledge_base.statistics():
-        if statistic.low > statistic.high + _BOUND_SLACK:
-            raise InconsistentKnowledgeBase(
-                f"statistic {statistic.source!r} asserts the empty interval "
-                f"[{statistic.low}, {statistic.high}]"
-            )
-        if statistic.high < -_BOUND_SLACK or statistic.low > 1.0 + _BOUND_SLACK:
-            raise InconsistentKnowledgeBase(
-                f"statistic {statistic.source!r} places a proportion outside [0, 1]"
-            )
-    facts = set(knowledge_base.ground_facts())
-    for fact in facts:
-        if isinstance(fact, Not) and fact.operand in facts:
-            raise InconsistentKnowledgeBase(
-                f"the knowledge base asserts both {fact.operand!r} and its negation"
-            )
+    for finding in _analysis.consistency_diagnostics(knowledge_base):
+        raise InconsistentKnowledgeBase(finding.message)
 
 
 def kb_fingerprint(knowledge_base: KnowledgeBase) -> str:
@@ -109,6 +102,12 @@ class BeliefSession:
         :func:`~repro.service.registry.default_registry`.
     consistency_check:
         Run :func:`check_consistency` once at open (the default).
+    analyze:
+        Pre-flight analysis mode: ``"off"`` (default), ``"warn"`` (run
+        :func:`repro.analysis.analyze` once at open, keep the report on
+        ``session.analysis`` and attach per-query diagnostics to response
+        metadata) or ``"strict"`` (additionally refuse error-level KBs and
+        queries with :class:`~repro.analysis.AnalysisError`).
     engine_options:
         Passed to :class:`RandomWorlds` when no engine is supplied
         (``tolerances``, ``domain_sizes``, ``cache``, ``memo``, ``backend``,
@@ -123,8 +122,11 @@ class BeliefSession:
         engine: Optional[RandomWorlds] = None,
         registry: Optional[SolverRegistry] = None,
         consistency_check: bool = True,
+        analyze: str = "off",
         **engine_options: Any,
     ):
+        if analyze not in ANALYZE_MODES:
+            raise ValueError(f"analyze must be one of {ANALYZE_MODES}, got {analyze!r}")
         # One normalisation path for both surfaces: the engine's own.
         self._kb = RandomWorlds._as_knowledge_base(knowledge_base)
         self._registry = registry if registry is not None else default_registry()
@@ -137,6 +139,20 @@ class BeliefSession:
             self._owns_engine = False
         self._engine = engine
         self._fingerprint = kb_fingerprint(self._kb)
+        self._analyze_mode = analyze
+        self._analysis: Optional[_analysis.AnalysisReport] = None
+        if analyze != "off":
+            # Static only — the engine's caches stay untouched, so a strict
+            # rejection costs milliseconds and zero cache misses.
+            report = _analysis.analyze(
+                self._kb, options=_analysis.AnalysisOptions(domain_sizes=self._engine.domain_sizes)
+            )
+            self._analysis = report
+            if analyze == "strict" and report.has_errors:
+                summary = "; ".join(f"{d.code} {d.message}" for d in report.errors)
+                raise AnalysisError(
+                    f"knowledge base rejected by pre-flight analysis: {summary}", report
+                )
         if consistency_check:
             check_consistency(self._kb)
         self._derived: "OrderedDict[Tuple, RandomWorlds]" = OrderedDict()
@@ -165,6 +181,16 @@ class BeliefSession:
     def fingerprint(self) -> str:
         """The KB fingerprint computed once at open."""
         return self._fingerprint
+
+    @property
+    def analyze_mode(self) -> str:
+        """The pre-flight analysis mode this session runs ("off"/"warn"/"strict")."""
+        return self._analyze_mode
+
+    @property
+    def analysis(self) -> Optional["_analysis.AnalysisReport"]:
+        """The KB's pre-flight report (``None`` when ``analyze="off"``)."""
+        return self._analysis
 
     def cache_info(self) -> Optional[CacheInfo]:
         """Counter totals of the session's world-count cache."""
@@ -222,9 +248,34 @@ class BeliefSession:
                 self._state[key] = build()
             return self._state[key]
 
+    def _query_analysis(self, request: QueryRequest) -> Optional[List[Dict[str, Any]]]:
+        """Per-query diagnostics for warn/strict sessions (``None`` when off).
+
+        Static only (parse + symbol + compile pass — no enumeration).  In
+        strict mode an error-level finding (bad syntax, undeclared symbol)
+        refuses the query before any solver runs.
+        """
+        if self._analyze_mode == "off":
+            return None
+        findings = _analysis.query_diagnostics(self._kb, request.query)
+        if self._analyze_mode == "strict":
+            errors = [finding for finding in findings if finding.is_error]
+            if errors:
+                summary = "; ".join(f"{d.code} {d.message}" for d in errors)
+                raise AnalysisError(
+                    f"query rejected by pre-flight analysis: {summary}",
+                    _analysis.AnalysisReport(diagnostics=tuple(findings)),
+                )
+        return [finding.to_dict() for finding in findings] or None
+
     def submit(self, request: RequestLike) -> BeliefResponse:
         """Answer one request through the solver its ``method`` key names."""
         request = self._with_id(self._as_request(request))
+        analysis_notes = self._query_analysis(request)
+        if analysis_notes:
+            metadata = dict(request.metadata or {})
+            metadata["analysis"] = analysis_notes
+            request = replace(request, metadata=metadata)
         solver = self._registry.resolve(request.method)
         before = self._engine.cache_info()
         start = time.perf_counter()
@@ -300,18 +351,23 @@ def open_session(
     engine: Optional[RandomWorlds] = None,
     registry: Optional[SolverRegistry] = None,
     consistency_check: bool = True,
+    analyze: str = "off",
     **engine_options: Any,
 ) -> BeliefSession:
     """Open a :class:`BeliefSession` over a knowledge base.
 
     The KB is normalised, fingerprinted and consistency-checked here, once;
-    every later request reuses the session's warm caches.  Close the session
-    (or use it as a context manager) to release an engine-owned worker pool.
+    every later request reuses the session's warm caches.  ``analyze="warn"``
+    additionally runs the static pre-flight analyzer and attaches
+    diagnostics (``analyze="strict"`` refuses error-level KBs with
+    :class:`~repro.analysis.AnalysisError`).  Close the session (or use it
+    as a context manager) to release an engine-owned worker pool.
     """
     return BeliefSession(
         knowledge_base,
         engine=engine,
         registry=registry,
         consistency_check=consistency_check,
+        analyze=analyze,
         **engine_options,
     )

@@ -56,7 +56,7 @@ from ..logic.syntax import (
 )
 from .unary import AtomTable, UnaryStructure
 
-__all__ = ["CompiledQuery", "compile_query"]
+__all__ = ["CompiledQuery", "compile_query", "compile_query_with_reason"]
 
 
 class _NotCompilable(Exception):
@@ -366,17 +366,32 @@ class _Compiler:
         raise _NotCompilable(type(body).__name__)
 
 
-def compile_query(query: Formula, table: AtomTable) -> Optional[CompiledQuery]:
-    """Compile ``query`` against ``table``, or ``None`` outside the fragment."""
+def compile_query_with_reason(
+    query: Formula, table: AtomTable
+) -> Tuple[Optional[CompiledQuery], Optional[str]]:
+    """Compile ``query`` against ``table``, or explain why it cannot be.
+
+    Returns ``(compiled, None)`` inside the fragment and ``(None, reason)``
+    outside it, where ``reason`` is the exact fragment-rule violation the
+    compile pass tripped on.  The static analyzer's compilability verdicts
+    (``repro.analysis``) call this, so a verdict and :func:`compile_query`
+    can never disagree: they are the same pass.
+    """
     compiler = _Compiler(table)
     try:
         program = compiler.compile(query)
-    except _NotCompilable:
-        return None
-    return CompiledQuery(
+    except _NotCompilable as blocked:
+        return None, str(blocked)
+    compiled = CompiledQuery(
         table,
         tuple(compiler.constants),
         program,
         compiler.uses_occupancy,
         compiler.uses_counts,
     )
+    return compiled, None
+
+
+def compile_query(query: Formula, table: AtomTable) -> Optional[CompiledQuery]:
+    """Compile ``query`` against ``table``, or ``None`` outside the fragment."""
+    return compile_query_with_reason(query, table)[0]

@@ -123,6 +123,7 @@ SERVER_ROUTES = [
     ("POST", "/v1/sessions/{id}/query"),
     ("POST", "/v1/sessions/{id}/query_batch"),
     ("GET", "/v1/sessions/{id}/cache"),
+    ("POST", "/v1/analyze"),
 ]
 
 SOLVER_KEYS = [
@@ -182,12 +183,13 @@ SIGNATURES = {
     (service, "open_session"): (
         "(knowledge_base: 'KnowledgeBaseLike', *, engine: 'Optional[RandomWorlds]' = None, "
         "registry: 'Optional[SolverRegistry]' = None, consistency_check: 'bool' = True, "
-        "**engine_options: 'Any') -> 'BeliefSession'"
+        "analyze: 'str' = 'off', **engine_options: 'Any') -> 'BeliefSession'"
     ),
     (server.SessionManager, "open"): (
         "(self, knowledge_base: 'KnowledgeBaseLike', *, "
         "engine_options: 'Union[EngineOptions, Dict[str, Any], None]' = None, "
-        "consistency_check: 'Optional[bool]' = None) -> 'Tuple[ManagedSession, bool]'"
+        "consistency_check: 'Optional[bool]' = None, "
+        "analyze: 'Optional[str]' = None) -> 'Tuple[ManagedSession, bool]'"
     ),
     (server.SessionManager, "lease"): "(self, session_id: 'str') -> 'Iterator[BeliefSession]'",
     (server.Client, "query"): (

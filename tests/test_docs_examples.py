@@ -41,6 +41,7 @@ DOCUMENTS = [
     "README.md",
     "ROADMAP.md",
     "docs/API.md",
+    "docs/ANALYSIS.md",
     "docs/PERFORMANCE.md",
     "docs/DEPLOYMENT.md",
 ]
@@ -153,6 +154,33 @@ def _check_serve(tokens: List[str], errors: List[str]) -> None:
                 errors.append(f"repro-serve has no flag {flag!r}")
 
 
+def _lint_flags() -> set:
+    from repro.analysis.cli import build_parser as lint_parser
+
+    flags = set()
+    for action in lint_parser()._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def _check_lint(tokens: List[str], errors: List[str]) -> None:
+    flags = _lint_flags()
+    expecting_value = False
+    for token in tokens[1:]:
+        if expecting_value:
+            expecting_value = False
+            continue
+        if token.startswith("--"):
+            flag = token.split("=", 1)[0]
+            if flag not in flags:
+                errors.append(f"repro-lint has no flag {flag!r}")
+            elif "=" not in token and flag in ("--domain-sizes", "--cost-budget"):
+                expecting_value = True
+            continue
+        if "/" in token and not (REPO_ROOT / token).exists():
+            errors.append(f"documented repro-lint path {token!r} does not exist")
+
+
 def _check_curl(tokens: List[str], errors: List[str]) -> None:
     patterns = _route_patterns()
     for token in tokens[1:]:
@@ -168,6 +196,7 @@ _CHECKERS = {
     "pytest": _check_python,
     "repro-experiments": _check_experiments,
     "repro-serve": _check_serve,
+    "repro-lint": _check_lint,
     "curl": _check_curl,
     "ruff": lambda tokens, errors: None,
 }

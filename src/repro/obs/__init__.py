@@ -1,0 +1,37 @@
+"""Process-local observability for the belief service (stdlib only).
+
+Layer contract: ``repro.obs`` depends on nothing else in the package and
+knows nothing about sessions, caches or HTTP — it supplies the measurement
+primitives (:class:`MetricsRegistry` with counter/gauge/histogram families)
+that the serving layers instrument themselves with:
+
+* :mod:`repro.service.session` records per-solver submit latency, the
+  per-request cache/memo counter movement and compiled-vs-fallback
+  evaluation counts;
+* :mod:`repro.server.manager` records opens, evictions, admission
+  rejections and lease/in-flight occupancy;
+* :mod:`repro.server.app` records per-route latency and response codes,
+  and serves the registry at ``GET /metrics`` as JSON or Prometheus text.
+
+See ``docs/DEPLOYMENT.md`` ("Metrics") for the served form and examples;
+``benchmarks/bench_e26_streaming_metrics.py`` (experiment E26) records the
+histogram summaries under concurrent streaming load.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+]

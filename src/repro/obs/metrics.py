@@ -1,0 +1,371 @@
+"""A lock-cheap, dependency-free metrics registry for the serving stack.
+
+Layer contract: this module owns *measurement primitives only* — counters,
+gauges and fixed-bucket histograms, grouped into labelled families under a
+:class:`MetricsRegistry` — and knows nothing about sessions, caches or HTTP.
+The layers that serve traffic (:mod:`repro.service.session`,
+:mod:`repro.server.manager`, :mod:`repro.server.app`) instrument themselves
+against a shared registry, and ``GET /metrics`` exposes two read-only views:
+:meth:`MetricsRegistry.snapshot` (JSON) and
+:meth:`MetricsRegistry.render_prometheus` (the Prometheus text exposition
+format), so the same numbers feed dashboards and ad-hoc ``curl``.
+
+Locking is deliberately fine-grained and leaf-only: every child metric has
+its own :class:`threading.Lock` guarding a handful of integer/float updates,
+family and registry locks guard only dictionary creation, and no metric lock
+is ever held while another lock is acquired.  A scrape therefore never
+blocks an in-flight query (it reads each child under its own lock for a few
+instructions), and instrumented hot paths never contend on a global lock —
+the property the ``/metrics`` concurrency tests pin down.
+
+Histograms use fixed upper-bound buckets chosen at creation
+(:data:`DEFAULT_LATENCY_BUCKETS_MS` suits millisecond latencies): observing
+is one bisect plus three additions, and bucket counts are stored
+non-cumulatively (their sum equals the observation count) with the
+cumulative form derived only when rendering Prometheus text.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+# Upper bucket bounds (milliseconds) spanning microsecond-ish memo hits to
+# multi-second cold enumerations; the implicit +Inf bucket is always last.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (one label set of a counter family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (>= 0; counters never decrease)."""
+        if amount < 0:
+            raise ValueError(f"counters only increase; got inc({amount!r})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (one label set of a gauge family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket observations (one label set of a histogram family).
+
+    ``bucket_counts`` are *non-cumulative*: index ``i`` counts observations
+    in ``(bounds[i-1], bounds[i]]`` and the final slot is the implicit
+    ``+Inf`` bucket, so the counts always sum to :attr:`count` exactly —
+    the invariant the metrics test suite asserts under concurrent load.
+    """
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum: float = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; the last entry is ``+Inf``."""
+        with self._lock:
+            return list(self._counts)
+
+    def sample(self) -> Dict[str, Any]:
+        with self._lock:
+            counts, total, count = list(self._counts), self._sum, self._count
+        buckets = [
+            {"le": bound, "count": found} for bound, found in zip(self._bounds, counts)
+        ]
+        buckets.append({"le": "+Inf", "count": counts[-1]})
+        return {"count": count, "sum": total, "buckets": buckets}
+
+
+class MetricFamily:
+    """One named metric and its per-label-set children.
+
+    ``labels(**values)`` returns (creating on first use) the child for one
+    label-value combination; a label-less family proxies the child methods
+    (``inc``/``dec``/``set``/``observe``/``value``) directly, so
+    ``registry.counter("x").inc()`` reads naturally.
+    """
+
+    __slots__ = ("name", "help", "labelnames", "kind", "_factory", "_lock", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - prometheus terminology
+        labelnames: Tuple[str, ...],
+        factory: Callable[[], Any],
+        kind: str,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.kind = kind
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: "OrderedDict[Tuple[str, ...], Any]" = OrderedDict()
+
+    def labels(self, **labelvalues: Any) -> Any:
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._factory()
+                self._children[key] = child
+        return child
+
+    def _solo(self) -> Any:
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} requires labels {list(self.labelnames)}")
+        return self.labels()
+
+    # Label-less convenience: the family stands in for its only child.
+    def inc(self, amount: float = 1) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def samples(self) -> List[Tuple[Dict[str, str], Any]]:
+        """Every ``(labels dict, child)`` pair, in creation order."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.labelnames, key)), child) for key, child in items]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_number(bound)
+
+
+def _label_text(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels.items())
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """A named collection of metric families with two read-only exports.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent getters: asking
+    for an existing name returns the existing family (and raises if the kind
+    or label names disagree), so independent layers can share one registry
+    without coordinating creation order.  All metric names are prefixed with
+    the registry ``namespace`` (default ``"repro"``).
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        self._families: "OrderedDict[str, MetricFamily]" = OrderedDict()
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help: str,  # noqa: A002 - prometheus terminology
+        labelnames: Iterable[str],
+        factory: Callable[[], Any],
+    ) -> MetricFamily:
+        full_name = f"{self._namespace}_{name}" if self._namespace else name
+        names = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(full_name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != names:
+                    raise ValueError(
+                        f"metric {full_name!r} already registered as a {family.kind} "
+                        f"with labels {list(family.labelnames)}"
+                    )
+                return family
+            family = MetricFamily(full_name, help, names, factory, kind)
+            self._families[full_name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()  # noqa: A002
+    ) -> MetricFamily:
+        """A monotonically increasing counter family."""
+        return self._family("counter", name, help, labelnames, Counter)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()  # noqa: A002
+    ) -> MetricFamily:
+        """A gauge family (a value that can go up and down)."""
+        return self._family("gauge", name, help, labelnames, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002 - prometheus terminology
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> MetricFamily:
+        """A fixed-bucket histogram family."""
+        bounds = tuple(buckets)
+        return self._family("histogram", name, help, labelnames, lambda: Histogram(bounds))
+
+    # -- read-only exports -----------------------------------------------------
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every family as a JSON-compatible dict (histogram buckets non-cumulative)."""
+        result: Dict[str, Any] = {}
+        for family in self.families():
+            values = []
+            for labels, child in family.samples():
+                sample = child.sample()
+                sample["labels"] = labels
+                values.append(sample)
+            result[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return result
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    sample = child.sample()
+                    cumulative = 0
+                    for bucket in sample["buckets"]:
+                        cumulative += bucket["count"]
+                        bound = bucket["le"]
+                        le = bound if isinstance(bound, str) else _format_bound(bound)
+                        label_text = _label_text(labels, extra=("le", le))
+                        lines.append(f"{family.name}_bucket{label_text} {cumulative}")
+                    label_text = _label_text(labels)
+                    lines.append(f"{family.name}_sum{label_text} {_format_number(sample['sum'])}")
+                    lines.append(f"{family.name}_count{label_text} {sample['count']}")
+                else:
+                    label_text = _label_text(labels)
+                    lines.append(f"{family.name}{label_text} {_format_number(child.value)}")
+        return "\n".join(lines) + "\n"

@@ -17,12 +17,24 @@ Routes (see ``docs/DEPLOYMENT.md`` for schemas and curl examples):
 * ``POST /v1/sessions/{id}/query_batch`` — ``{"requests": [...]}`` in,
   ``{"responses": [...]}`` out via ``submit_many`` (answers in request
   order);
+* ``POST /v1/sessions/{id}/stream`` — ``{"requests": [...]}`` in, chunked
+  NDJSON out: one ``BeliefResponse`` (or per-request ``ErrorResponse``)
+  row per line, written as each answer finishes, so long workloads arrive
+  incrementally;
 * ``GET /v1/sessions/{id}`` — session metadata; ``GET .../cache`` — the
   session's ``cache_info()`` counters;
 * ``POST /v1/analyze`` — stateless pre-flight analysis of a KB (and
   optional queries): structured diagnostics, compilability verdicts and
   cost predictions, without opening a session;
-* ``GET /healthz`` — liveness plus the manager's counter snapshot.
+* ``GET /healthz`` — liveness plus the manager's counter snapshot;
+* ``GET /metrics`` — the manager's :class:`~repro.obs.MetricsRegistry` as
+  JSON, or Prometheus text with ``?format=prometheus`` (never admission
+  gated: a scrape must work while the server is overloaded).
+
+Every response is additionally recorded into the registry (per-route
+latency histogram and response-code counters); requests with truncated or
+mismatched ``Content-Length`` bodies answer a clean ``400 bad-request``
+under the per-connection socket timeout instead of stalling the thread.
 
 Opens may request ``"analyze": "warn" | "strict"``; a strict open of a KB
 with error-level diagnostics is rejected with 422 ``analysis-failed`` whose
@@ -39,9 +51,11 @@ import json
 import math
 import re
 import threading
+import time
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from .. import analysis as _analysis
@@ -66,19 +80,30 @@ from .manager import (
 # endpoint the front-end answers, as (HTTP method, path template) pairs.
 ROUTES: Tuple[Tuple[str, str], ...] = (
     ("GET", "/healthz"),
+    ("GET", "/metrics"),
     ("POST", "/v1/sessions"),
     ("GET", "/v1/sessions/{id}"),
     ("POST", "/v1/sessions/{id}/query"),
     ("POST", "/v1/sessions/{id}/query_batch"),
+    ("POST", "/v1/sessions/{id}/stream"),
     ("GET", "/v1/sessions/{id}/cache"),
     ("POST", "/v1/analyze"),
 )
 
-_SESSION_PATH = re.compile(r"^/v1/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/query_batch|/query|/cache)?$")
+_SESSION_PATH = re.compile(
+    r"^/v1/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/query_batch|/query|/cache|/stream)?$"
+)
 
 # One request body bound (16 MiB): a KB of thousands of sentences fits with
 # room to spare; anything larger is more likely a client bug than a KB.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+# Per-connection socket timeout (seconds).  A client that promises a body it
+# never finishes sending (Content-Length larger than what arrives) would
+# otherwise park a server thread on a blocking read forever; with the
+# timeout the stalled read raises, the handler answers 400 and the
+# connection closes.  Idle keep-alive connections time out the same way.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class _HTTPFailure(Exception):
@@ -253,11 +278,37 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
     def manager(self) -> SessionManager:
         return self.server.manager
 
+    def setup(self) -> None:
+        # ``StreamRequestHandler.setup`` applies ``self.timeout`` to the
+        # connection socket, so every blocking read on this connection —
+        # the request line, headers, and body — is bounded.
+        self.timeout = getattr(self.server, "request_timeout", DEFAULT_REQUEST_TIMEOUT)
+        super().setup()
+
     def _read_json(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise _HTTPFailure(400, "bad-request", f"invalid Content-Length header: {raw_length!r}")
+        if length < 0:
+            raise _HTTPFailure(400, "bad-request", f"invalid Content-Length header: {raw_length!r}")
         if length > MAX_BODY_BYTES:
             raise _HTTPFailure(413, "payload-too-large", f"request body exceeds {MAX_BODY_BYTES} bytes")
-        body = self.rfile.read(length) if length else b""
+        try:
+            body = self.rfile.read(length) if length else b""
+        except OSError:
+            # The per-connection socket timeout fired (or the peer reset):
+            # the client promised Content-Length bytes and stopped sending.
+            raise _HTTPFailure(
+                400, "bad-request", "request body could not be read (timed out or connection reset)"
+            )
+        if len(body) < length:
+            raise _HTTPFailure(
+                400,
+                "bad-request",
+                f"request body truncated: Content-Length promised {length} bytes, got {len(body)}",
+            )
         if not body:
             raise _HTTPFailure(400, "bad-request", "expected a JSON request body")
         try:
@@ -273,6 +324,7 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        self._status = status
         self.wfile.write(body)
 
     def _send_error_json(self, failure: _HTTPFailure) -> None:
@@ -280,10 +332,16 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
         # payload); under HTTP/1.1 keep-alive the leftover bytes would be
         # parsed as the next request, so error responses close the connection.
         self.close_connection = True
+        if getattr(self, "_status", 0):
+            # The response already started (a streamed body failed midway):
+            # nothing coherent can follow the bytes on the wire, so the
+            # close above is the whole error signal.
+            return
         error: Dict[str, Any] = {"code": failure.code, "message": failure.message}
         if failure.details is not None:
             error["details"] = failure.details
-        self._send_json(failure.status, {"error": error}, headers=failure.headers)
+        headers = {"Connection": "close", **(failure.headers or {})}
+        self._send_json(failure.status, {"error": error}, headers=headers)
 
     @contextmanager
     def _translating_errors(self) -> Iterator[None]:
@@ -320,43 +378,111 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
     # -- dispatch --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-        try:
-            with self._translating_errors():
-                if self.path == "/healthz":
-                    return self._handle_healthz()
-                match = _SESSION_PATH.match(self.path)
-                if match and match.group("rest") == "/cache":
-                    return self._handle_cache(match.group("sid"))
-                if match and match.group("rest") is None:
-                    return self._handle_describe(match.group("sid"))
-                raise _HTTPFailure(404, "not-found", f"no route GET {self.path}")
-        except _HTTPFailure as failure:
-            self._send_error_json(failure)
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error_json(_HTTPFailure(500, "internal", repr(error)))
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request, translating failures and recording metrics."""
+        self._status = 0
+        self._route_label = "unmatched"
+        start = time.perf_counter()
         try:
-            with self._translating_errors():
-                if self.path == "/v1/sessions":
-                    return self._handle_open()
-                if self.path == "/v1/analyze":
-                    return self._handle_analyze()
-                match = _SESSION_PATH.match(self.path)
-                if match and match.group("rest") == "/query":
-                    return self._handle_query(match.group("sid"))
-                if match and match.group("rest") == "/query_batch":
-                    return self._handle_query_batch(match.group("sid"))
-                raise _HTTPFailure(404, "not-found", f"no route POST {self.path}")
-        except _HTTPFailure as failure:
-            self._send_error_json(failure)
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error_json(_HTTPFailure(500, "internal", repr(error)))
+            try:
+                with self._translating_errors():
+                    self._route_request(method)
+            except _HTTPFailure as failure:
+                self._send_error_json(failure)
+            except Exception as error:
+                self._send_error_json(_HTTPFailure(500, "internal", repr(error)))
+        except OSError:  # pragma: no cover - client hung up mid-response
+            self.close_connection = True
+        finally:
+            self._record_route(method, (time.perf_counter() - start) * 1000.0)
+
+    def _route_request(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        match = _SESSION_PATH.match(path)
+        if method == "GET":
+            if path == "/healthz":
+                self._route_label = "/healthz"
+                return self._handle_healthz()
+            if path == "/metrics":
+                self._route_label = "/metrics"
+                return self._handle_metrics()
+            if match and match.group("rest") == "/cache":
+                self._route_label = "/v1/sessions/{id}/cache"
+                return self._handle_cache(match.group("sid"))
+            if match and match.group("rest") is None:
+                self._route_label = "/v1/sessions/{id}"
+                return self._handle_describe(match.group("sid"))
+        else:
+            if path == "/v1/sessions":
+                self._route_label = "/v1/sessions"
+                return self._handle_open()
+            if path == "/v1/analyze":
+                self._route_label = "/v1/analyze"
+                return self._handle_analyze()
+            if match and match.group("rest") == "/query":
+                self._route_label = "/v1/sessions/{id}/query"
+                return self._handle_query(match.group("sid"))
+            if match and match.group("rest") == "/query_batch":
+                self._route_label = "/v1/sessions/{id}/query_batch"
+                return self._handle_query_batch(match.group("sid"))
+            if match and match.group("rest") == "/stream":
+                self._route_label = "/v1/sessions/{id}/stream"
+                return self._handle_stream(match.group("sid"))
+        raise _HTTPFailure(404, "not-found", f"no route {method} {self.path}")
+
+    def _record_route(self, method: str, elapsed_ms: float) -> None:
+        """Per-route latency and response-code counters (never breaks serving)."""
+        try:
+            metrics = self.manager.metrics
+            if metrics is None:
+                return
+            metrics.counter(
+                "http_responses_total",
+                "responses by method, route template and status code",
+                labelnames=("method", "route", "status"),
+            ).labels(method=method, route=self._route_label, status=str(self._status or 0)).inc()
+            metrics.histogram(
+                "http_request_latency_ms",
+                "request wall-clock by method and route template, milliseconds",
+                labelnames=("method", "route"),
+            ).labels(method=method, route=self._route_label).observe(elapsed_ms)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     # -- handlers --------------------------------------------------------------
 
     def _handle_healthz(self) -> None:
         self._send_json(200, {"status": "ok", "version": __version__, **self.manager.stats()})
+
+    def _handle_metrics(self) -> None:
+        # Deliberately NOT admission-gated: an overloaded server must still
+        # answer its scrape, and the registry reads each metric under its own
+        # leaf lock, so a scrape never waits on in-flight query work.
+        registry = self.manager.metrics
+        query = parse_qs(urlsplit(self.path).query)
+        requested = (query.get("format") or [None])[0]
+        accept = self.headers.get("Accept") or ""
+        if requested == "prometheus" or (requested is None and "text/plain" in accept):
+            body = registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self._status = 200
+            self.wfile.write(body)
+            return
+        if requested not in (None, "json"):
+            raise _HTTPFailure(
+                400,
+                "bad-request",
+                f"unknown metrics format {requested!r}; expected 'json' or 'prometheus'",
+            )
+        self._send_json(200, {"metrics": registry.snapshot()})
 
     def _handle_open(self) -> None:
         payload = self._read_json()
@@ -402,6 +528,47 @@ class BeliefRequestHandler(BaseHTTPRequestHandler):
             responses = session.submit_many(requests)
         self._send_json(200, {"responses": [response.to_dict() for response in responses]})
 
+    def _handle_stream(self, session_id: str) -> None:
+        """``{"requests": [...]}`` in, chunked NDJSON out, one row per answer.
+
+        Each row is written (and flushed) as its answer finishes, so the
+        first result reaches the client while later queries are still
+        computing.  Rows are the same ``to_dict()`` JSON ``query_batch``
+        returns; a request-scoped failure mid-batch becomes an
+        ``ErrorResponse`` row (``{"error": {...}}``) and the batch
+        continues — only a session-scoped failure truncates the stream,
+        which the chunked framing surfaces as a protocol error rather than
+        a clean end.
+        """
+        payload = self._read_json()
+        if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
+            raise _HTTPFailure(400, "bad-request", "expected a JSON object with a 'requests' list")
+        requests = [_as_query_request(item) for item in payload["requests"]]
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            self._status = 200
+            try:
+                for response in session.stream(requests):
+                    self._write_chunk(json.dumps(response.to_dict()).encode("utf-8") + b"\n")
+            except Exception:
+                # Headers (and possibly rows) are already on the wire: no
+                # error body can follow.  Skipping the terminal chunk makes
+                # the truncation visible to the client.
+                self.close_connection = True
+                raise
+            self._write_chunk(b"")
+
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunk; empty data writes the terminal chunk."""
+        if data:
+            self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
+        else:
+            self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
     def _handle_analyze(self) -> None:
         payload = self._read_json()
         if not isinstance(payload, dict) or "kb" not in payload:
@@ -440,10 +607,18 @@ class BeliefHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], manager: SessionManager, *, verbose: bool = False):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: SessionManager,
+        *,
+        verbose: bool = False,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
         super().__init__(address, BeliefRequestHandler)
         self.manager = manager
         self.verbose = verbose
+        self.request_timeout = request_timeout
 
     @property
     def url(self) -> str:
@@ -458,19 +633,21 @@ def make_server(
     manager: Optional[SessionManager] = None,
     *,
     verbose: bool = False,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     **manager_options: Any,
 ) -> BeliefHTTPServer:
     """Build a ready-to-run server (``port=0`` binds an ephemeral port).
 
     Pass an existing manager, or manager keyword options
     (``max_sessions``, ``ttl_seconds``, ``max_inflight``, engine options,
-    ...) to build a private one.
+    ...) to build a private one.  ``request_timeout`` bounds every blocking
+    socket read per connection (see :data:`DEFAULT_REQUEST_TIMEOUT`).
     """
     if manager is None:
         manager = SessionManager(**manager_options)
     elif manager_options:
         raise ValueError("pass manager options or a manager instance, not both")
-    return BeliefHTTPServer((host, port), manager, verbose=verbose)
+    return BeliefHTTPServer((host, port), manager, verbose=verbose, request_timeout=request_timeout)
 
 
 @contextmanager
@@ -480,6 +657,7 @@ def serve_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     **manager_options: Any,
 ) -> Iterator[BeliefHTTPServer]:
     """Run a server on a daemon thread for the scope of a ``with`` block.
@@ -488,7 +666,9 @@ def serve_in_background(
     bind an ephemeral port, serve until the block exits, then shut down and
     close the manager (and every session it still holds).
     """
-    server = make_server(host, port, manager, verbose=verbose, **manager_options)
+    server = make_server(
+        host, port, manager, verbose=verbose, request_timeout=request_timeout, **manager_options
+    )
     thread = threading.Thread(target=server.serve_forever, name="repro-serve", daemon=True)
     thread.start()
     try:

@@ -18,7 +18,7 @@ import argparse
 from typing import List, Optional
 
 from ..core.options import add_engine_cli_arguments, engine_options_from_args
-from .app import make_server
+from .app import DEFAULT_REQUEST_TIMEOUT, make_server
 from .manager import SessionManager
 
 
@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint sent with 429 responses (default: %(default)s)",
     )
     parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=DEFAULT_REQUEST_TIMEOUT,
+        metavar="SECONDS",
+        help="per-connection socket timeout: a request body that stalls longer than "
+        "this answers 400 instead of parking the thread (default: %(default)s)",
+    )
+    parser.add_argument(
         "--analyze",
         choices=("off", "warn", "strict"),
         default="off",
@@ -85,8 +93,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         analyze=args.analyze,
         **engine_options,
     )
-    server = make_server(args.host, args.port, manager, verbose=args.verbose)
-    print(f"repro-serve listening on {server.url}  (POST /v1/sessions to begin; GET /healthz)")
+    server = make_server(
+        args.host, args.port, manager, verbose=args.verbose, request_timeout=args.request_timeout
+    )
+    print(
+        f"repro-serve listening on {server.url}  "
+        "(POST /v1/sessions to begin; GET /healthz; GET /metrics)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

@@ -24,7 +24,7 @@ import urllib.request
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..core.knowledge_base import KnowledgeBase
-from ..service.messages import BeliefResponse, QueryRequest
+from ..service.messages import BeliefResponse, ErrorResponse, QueryRequest, response_from_dict
 
 RequestLike = Union[QueryRequest, str, Dict[str, Any]]
 KnowledgeBaseWire = Union[KnowledgeBase, str, Sequence[str]]
@@ -167,10 +167,38 @@ class Client:
         )
         return [BeliefResponse.from_dict(item) for item in raw["responses"]]
 
-    def stream(self, session_id: str, requests: Iterable[RequestLike]) -> Iterator[BeliefResponse]:
-        """Lazily answer an iterable of requests, one round trip each."""
-        for request in requests:
-            yield self.query(session_id, request)
+    def stream(
+        self, session_id: str, requests: Iterable[RequestLike]
+    ) -> Iterator[Union[BeliefResponse, ErrorResponse]]:
+        """Stream a batch over ``POST .../stream``: one NDJSON row per answer.
+
+        A single round trip; rows are yielded as the server flushes them, so
+        the first answer arrives while later queries are still computing.  A
+        request-scoped failure mid-batch comes back as an
+        :class:`~repro.service.messages.ErrorResponse` row and the stream
+        continues; a pre-stream failure (unknown session, overload, bad
+        payload) raises :class:`ServerError` as usual.
+        """
+        body = json.dumps(
+            {"requests": [_request_payload(request) for request in requests]}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/sessions/{session_id}/stream",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error) from None
+        # http.client undoes the chunked transfer coding; iterating the
+        # response yields each line as soon as its chunk arrives.
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield response_from_dict(json.loads(line.decode("utf-8")))
 
     def cache_info(self, session_id: str) -> Optional[Dict[str, Any]]:
         """The session's world-count cache / query-memo counters."""

@@ -35,6 +35,8 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 from ..core.engine import RandomWorlds
 from ..core.knowledge_base import KnowledgeBase
 from ..core.options import EngineOptions
+from ..obs import MetricsRegistry
+from ..service.registry import SolverRegistry
 from ..service.session import ANALYZE_MODES, BeliefSession, KnowledgeBaseLike, kb_fingerprint
 from ..worlds.cache import WorldCountCache
 
@@ -147,6 +149,14 @@ class SessionManager:
         for new sessions; per-open payloads may override it.  ``"strict"``
         makes the manager refuse to build a session over a KB with
         error-level diagnostics (HTTP 422 upstream).
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` the manager (and every
+        session it builds, and the HTTP layer above) instruments against.
+        ``None`` (the default) creates a private registry, so ``/metrics``
+        always has something to serve.
+    solver_registry:
+        Solver registry for new sessions (``None`` uses the shared default);
+        injectable so tests can serve custom solvers over HTTP.
     engine_options:
         Default :class:`RandomWorlds` options for new sessions; per-open
         options override them key by key.
@@ -162,6 +172,8 @@ class SessionManager:
         clock: Callable[[], float] = time.monotonic,
         consistency_check: bool = True,
         analyze: str = "off",
+        metrics: Optional[MetricsRegistry] = None,
+        solver_registry: Optional[SolverRegistry] = None,
         **engine_options: Any,
     ) -> None:
         if max_sessions < 1:
@@ -189,6 +201,34 @@ class SessionManager:
         self._expired = 0
         self._rejected = 0
         self._closed = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._solver_registry = solver_registry
+        self._m_opens = self.metrics.counter(
+            "manager_session_opens_total",
+            "session opens by kind (created = new session, reopened = warm hit)",
+            labelnames=("kind",),
+        )
+        self._m_evictions = self.metrics.counter(
+            "manager_session_evictions_total",
+            "sessions evicted by reason (lru or expired)",
+            labelnames=("reason",),
+        )
+        self._m_rejections = self.metrics.counter(
+            "manager_admission_rejections_total",
+            "requests rejected by the max_inflight admission bound",
+        )
+        self._m_inflight = self.metrics.gauge(
+            "manager_inflight_requests",
+            "requests currently holding an admission slot",
+        )
+        self._m_leases = self.metrics.gauge(
+            "manager_session_leases",
+            "in-flight requests currently holding a session lease",
+        )
+        self._m_sessions = self.metrics.gauge(
+            "manager_live_sessions",
+            "sessions currently resident in the LRU",
+        )
 
     # -- admission (backpressure) ---------------------------------------------
 
@@ -208,16 +248,19 @@ class SessionManager:
         with self._lock:
             if self._inflight >= self._max_inflight:
                 self._rejected += 1
+                self._m_rejections.inc()
                 raise Overloaded(
                     f"{self._inflight} requests in flight (max_inflight={self._max_inflight})",
                     retry_after=self._retry_after,
                 )
             self._inflight += 1
+            self._m_inflight.set(self._inflight)
         try:
             yield
         finally:
             with self._lock:
                 self._inflight -= 1
+                self._m_inflight.set(self._inflight)
 
     # -- open / lookup ---------------------------------------------------------
 
@@ -255,6 +298,7 @@ class SessionManager:
                 if entry is not None:
                     self._touch_locked(entry)
                     self._reopened += 1
+                    self._m_opens.labels(kind="reopened").inc()
                 else:
                     gate = self._building.get(fingerprint)
                     if gate is None:
@@ -289,6 +333,8 @@ class SessionManager:
                 self._sessions[fingerprint] = entry
                 self._warm_caches.pop(fingerprint, None)
                 self._opened += 1
+                self._m_opens.labels(kind="created").inc()
+                self._m_sessions.set(len(self._sessions))
                 while len(self._sessions) > self._max_sessions:
                     evicted = self._evict_locked(next(iter(self._sessions)), expired=False)
                     if evicted is not None:
@@ -322,6 +368,7 @@ class SessionManager:
                 stale = self._evict_locked(session_id, expired=True)
             else:
                 entry.leases += 1
+                self._m_leases.inc()
                 self._touch_locked(entry)
         if expired:
             if stale is not None:
@@ -333,6 +380,7 @@ class SessionManager:
         finally:
             with self._lock:
                 entry.leases -= 1
+                self._m_leases.dec()
                 if entry.defunct and entry.leases == 0:
                     to_close = entry.session
             if to_close is not None:
@@ -400,7 +448,14 @@ class SessionManager:
             options["cache"] = warm_cache
         check = self._consistency_check if consistency_check is None else consistency_check
         mode = self._analyze if analyze is None else analyze
-        return BeliefSession(kb, consistency_check=check, analyze=mode, **options)
+        return BeliefSession(
+            kb,
+            registry=self._solver_registry,
+            consistency_check=check,
+            analyze=mode,
+            metrics=self.metrics,
+            **options,
+        )
 
     def _touch_locked(self, entry: ManagedSession) -> None:
         entry.last_used_at = self._clock()
@@ -435,6 +490,8 @@ class SessionManager:
         self._evicted += 1
         if expired:
             self._expired += 1
+        self._m_evictions.labels(reason="expired" if expired else "lru").inc()
+        self._m_sessions.set(len(self._sessions))
         cache = entry.session.engine.world_cache
         if cache is not None:
             self._warm_caches[session_id] = cache

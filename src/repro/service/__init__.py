@@ -19,10 +19,12 @@ from .messages import (
     SCHEMA_VERSION,
     BeliefResponse,
     CacheDelta,
+    ErrorResponse,
     Opaque,
     QueryRequest,
     decode_value,
     encode_value,
+    response_from_dict,
     result_from_dict,
     result_to_dict,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "BeliefSession",
     "CacheDelta",
     "DefaultProblem",
+    "ErrorResponse",
     "Opaque",
     "QueryRequest",
     "Solver",
@@ -56,6 +59,7 @@ __all__ = [
     "extract_default_problem",
     "kb_fingerprint",
     "open_session",
+    "response_from_dict",
     "result_from_dict",
     "result_to_dict",
 ]

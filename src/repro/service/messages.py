@@ -208,9 +208,12 @@ class QueryRequest:
 class CacheDelta:
     """World-count cache / query-memo counter movement caused by one request.
 
-    Computed from the session cache's totals immediately before and after the
-    solve; under concurrent thread fan-out the attribution between in-flight
-    requests is best-effort (the totals themselves stay exact).
+    Attribution is exact: the session installs a per-request
+    :class:`~repro.worlds.cache.CacheEventLog` around each solve (propagated
+    onto worker threads when one request fans grid points out), so a request
+    is charged precisely the events its own evaluation caused even under
+    concurrent ``submit`` calls.  :meth:`between` remains for comparing two
+    :class:`~repro.worlds.cache.CacheInfo` snapshots taken by the caller.
     """
 
     hits: int = 0
@@ -287,3 +290,58 @@ class BeliefResponse:
             cache_delta=CacheDelta.from_dict(delta) if delta is not None else None,
             metadata=decode_value(payload.get("metadata") or {}),
         )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A per-request failure inside a streamed batch.
+
+    ``BeliefSession.stream`` (and the HTTP ``/stream`` route) answers a
+    request whose evaluation failed with one of these instead of tearing
+    down the whole iterator: the remaining requests still complete in
+    submission order.  ``code`` uses the same vocabulary as the HTTP error
+    model (``bad-request``, ``query-failed``, ``unsupported-request``,
+    ``analysis-failed``, ``inconsistent-kb`` — see docs/DEPLOYMENT.md), so
+    a streamed error row and a non-streamed HTTP error describe the same
+    failure with the same words.
+    """
+
+    request_id: str
+    code: str
+    message: str
+    elapsed_ms: float = 0.0
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "error": {"code": self.code, "message": self.message},
+            "elapsed_ms": self.elapsed_ms,
+            "metadata": encode_value(dict(self.metadata)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ErrorResponse":
+        error = payload.get("error") or {}
+        return cls(
+            request_id=payload.get("request_id", ""),
+            code=error.get("code", "error"),
+            message=error.get("message", ""),
+            elapsed_ms=payload.get("elapsed_ms", 0.0),
+            metadata=decode_value(payload.get("metadata") or {}),
+        )
+
+
+def response_from_dict(payload: Mapping[str, Any]) -> Union[BeliefResponse, ErrorResponse]:
+    """Rebuild whichever response row ``payload`` serializes.
+
+    Streamed NDJSON rows interleave :class:`BeliefResponse` and
+    :class:`ErrorResponse` objects; the ``"error"`` key discriminates.
+    """
+    if "error" in payload:
+        return ErrorResponse.from_dict(payload)
+    return BeliefResponse.from_dict(payload)

@@ -32,15 +32,16 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from .. import analysis as _analysis
 from ..analysis.diagnostics import AnalysisError
-from ..core.engine import RandomWorlds
+from ..core.engine import RandomWorlds, RandomWorldsError
 from ..core.knowledge_base import KnowledgeBase
 from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector
-from ..worlds.cache import CacheInfo, vocabulary_fingerprint
+from ..obs import MetricsRegistry
+from ..worlds.cache import CacheEventLog, CacheInfo, tracking_cache_events, vocabulary_fingerprint
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.parallel import CountingExecutor, executor_scope, resolve_backend
-from .messages import BeliefResponse, CacheDelta, QueryRequest
-from .registry import SolverRegistry, default_registry
+from .messages import BeliefResponse, CacheDelta, ErrorResponse, QueryRequest
+from .registry import SolverRegistry, UnsupportedRequest, default_registry
 
 RequestLike = Union[QueryRequest, Formula, str]
 KnowledgeBaseLike = Union[KnowledgeBase, Formula, str]
@@ -56,6 +57,36 @@ ANALYZE_MODES = ("off", "warn", "strict")
 # so the map must be bounded; evicting one only loses the engine shell — the
 # world-count cache is shared and survives.
 DERIVED_ENGINE_LIMIT = 8
+
+# How BeliefSession.stream treats a request whose evaluation raises a
+# request-scoped error: "respond" (the default) yields an ErrorResponse row
+# and keeps streaming, "raise" propagates immediately (the pre-streaming
+# behaviour).  Session-scoped failures propagate under either mode.
+STREAM_ERROR_MODES = ("respond", "raise")
+
+
+def error_code_for(error: BaseException) -> Optional[str]:
+    """The wire error code for a request-scoped failure, ``None`` otherwise.
+
+    This is the same exception→code vocabulary the HTTP layer's error
+    translator uses (see docs/DEPLOYMENT.md's error model), restricted to
+    failures caused by one request: a code here means "this request was bad
+    or unanswerable, the session is fine"; ``None`` means the failure is not
+    attributable to the request (a genuine bug, a session-scoped error) and
+    must propagate.  Order matters — :class:`AnalysisError` and
+    :class:`UnsupportedRequest` subclass the broad builtins caught last.
+    """
+    if isinstance(error, AnalysisError):
+        return "analysis-failed"
+    if isinstance(error, InconsistentKnowledgeBase):
+        return "inconsistent-kb"
+    if isinstance(error, UnsupportedRequest):
+        return "unsupported-request"
+    if isinstance(error, RandomWorldsError):
+        return "query-failed"
+    if isinstance(error, (KeyError, TypeError, ValueError)):
+        return "bad-request"
+    return None
 
 
 def check_consistency(knowledge_base: KnowledgeBase) -> None:
@@ -108,6 +139,16 @@ class BeliefSession:
         ``session.analysis`` and attach per-query diagnostics to response
         metadata) or ``"strict"`` (additionally refuse error-level KBs and
         queries with :class:`~repro.analysis.AnalysisError`).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to instrument against.  When
+        supplied, every ``submit`` records its latency into
+        ``repro_session_submit_latency_ms{solver=...}``, its outcome into
+        ``repro_session_requests_total{solver=..., outcome=ok|error}``, its
+        exact per-request cache movement into
+        ``repro_session_cache_events_total{event=...}`` and its
+        compiled-vs-fallback evaluation counts into
+        ``repro_session_query_evaluations_total{mode=...}``.  ``None`` (the
+        default) records nothing.
     engine_options:
         Passed to :class:`RandomWorlds` when no engine is supplied
         (``tolerances``, ``domain_sizes``, ``cache``, ``memo``, ``backend``,
@@ -123,6 +164,7 @@ class BeliefSession:
         registry: Optional[SolverRegistry] = None,
         consistency_check: bool = True,
         analyze: str = "off",
+        metrics: Optional[MetricsRegistry] = None,
         **engine_options: Any,
     ):
         if analyze not in ANALYZE_MODES:
@@ -159,6 +201,28 @@ class BeliefSession:
         self._state: Dict[Tuple, Any] = {}
         self._lock = threading.Lock()
         self._request_ids = itertools.count(1)
+        self._metrics = metrics
+        if metrics is not None:
+            self._submit_latency = metrics.histogram(
+                "session_submit_latency_ms",
+                "submit() wall-clock per solver, milliseconds",
+                labelnames=("solver",),
+            )
+            self._requests_total = metrics.counter(
+                "session_requests_total",
+                "submit() calls by solver and outcome",
+                labelnames=("solver", "outcome"),
+            )
+            self._cache_events_total = metrics.counter(
+                "session_cache_events_total",
+                "exact per-request cache/memo/program counter movement",
+                labelnames=("event",),
+            )
+            self._evaluations_total = metrics.counter(
+                "session_query_evaluations_total",
+                "query evaluations by compiled-kernel vs interpreter fallback",
+                labelnames=("mode",),
+            )
 
     # -- introspection ---------------------------------------------------------
 
@@ -269,7 +333,15 @@ class BeliefSession:
         return [finding.to_dict() for finding in findings] or None
 
     def submit(self, request: RequestLike) -> BeliefResponse:
-        """Answer one request through the solver its ``method`` key names."""
+        """Answer one request through the solver its ``method`` key names.
+
+        The response's ``cache_delta`` is attributed exactly: the solve runs
+        under a per-request :class:`~repro.worlds.cache.CacheEventLog`
+        (propagated onto worker threads when this one request fans grid
+        points out), so concurrent ``submit`` calls never charge each other's
+        cache traffic — the racy before/after ``cache_info()`` snapshot pair
+        this replaces did.
+        """
         request = self._with_id(self._as_request(request))
         analysis_notes = self._query_analysis(request)
         if analysis_notes:
@@ -277,12 +349,26 @@ class BeliefSession:
             metadata["analysis"] = analysis_notes
             request = replace(request, metadata=metadata)
         solver = self._registry.resolve(request.method)
-        before = self._engine.cache_info()
+        log = CacheEventLog()
         start = time.perf_counter()
-        result = solver.solve(request, self)
+        try:
+            with tracking_cache_events(log):
+                result = solver.solve(request, self)
+        except Exception:
+            self._observe(solver.key, "error", (time.perf_counter() - start) * 1000.0, log)
+            raise
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        after = self._engine.cache_info()
-        delta = CacheDelta.between(before, after) if before is not None and after is not None else None
+        self._observe(solver.key, "ok", elapsed_ms, log)
+        delta = (
+            CacheDelta(
+                hits=log.hits,
+                misses=log.misses,
+                memo_hits=log.memo_hits,
+                memo_misses=log.memo_misses,
+            )
+            if self._engine.world_cache is not None
+            else None
+        )
         return BeliefResponse(
             request_id=request.request_id,
             result=result,
@@ -291,6 +377,21 @@ class BeliefSession:
             cache_delta=delta,
             metadata=request.metadata,
         )
+
+    def _observe(self, solver_key: str, outcome: str, elapsed_ms: float, log: CacheEventLog) -> None:
+        """Record one finished (or failed) submit into the metrics registry."""
+        if self._metrics is None:
+            return
+        self._submit_latency.labels(solver=solver_key).observe(elapsed_ms)
+        self._requests_total.labels(solver=solver_key, outcome=outcome).inc()
+        for event in ("hits", "misses", "memo_hits", "memo_misses"):
+            amount = getattr(log, event)
+            if amount:
+                self._cache_events_total.labels(event=event).inc(amount)
+        if log.compiled:
+            self._evaluations_total.labels(mode="compiled").inc(log.compiled)
+        if log.fallback:
+            self._evaluations_total.labels(mode="fallback").inc(log.fallback)
 
     def submit_many(
         self,
@@ -320,10 +421,40 @@ class BeliefSession:
                 return executor.map_ordered(self.submit, items)
         return [self.submit(item) for item in items]
 
-    def stream(self, requests: Iterable[RequestLike]) -> Iterator[BeliefResponse]:
-        """Lazily answer an iterable of requests on the warm session."""
+    def stream(
+        self,
+        requests: Iterable[RequestLike],
+        *,
+        on_error: str = "respond",
+    ) -> Iterator[Union[BeliefResponse, ErrorResponse]]:
+        """Lazily answer an iterable of requests on the warm session.
+
+        With ``on_error="respond"`` (the default) a request whose evaluation
+        raises a request-scoped error — unparseable query, unknown method,
+        unsupported or unanswerable request (see :func:`error_code_for`) —
+        yields an :class:`ErrorResponse` row carrying the request's id and
+        metadata, and the remaining requests still answer in submission
+        order; only failures not attributable to the request propagate.
+        ``on_error="raise"`` propagates every failure immediately.
+        """
+        if on_error not in STREAM_ERROR_MODES:
+            raise ValueError(f"on_error must be one of {STREAM_ERROR_MODES}, got {on_error!r}")
         for request in requests:
-            yield self.submit(request)
+            request = self._with_id(self._as_request(request))
+            start = time.perf_counter()
+            try:
+                yield self.submit(request)
+            except Exception as error:
+                code = error_code_for(error)
+                if on_error != "respond" or code is None:
+                    raise
+                yield ErrorResponse(
+                    request_id=request.request_id,
+                    code=code,
+                    message=str(error),
+                    elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                    metadata=request.metadata,
+                )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -352,6 +483,7 @@ def open_session(
     registry: Optional[SolverRegistry] = None,
     consistency_check: bool = True,
     analyze: str = "off",
+    metrics: Optional[MetricsRegistry] = None,
     **engine_options: Any,
 ) -> BeliefSession:
     """Open a :class:`BeliefSession` over a knowledge base.
@@ -369,5 +501,6 @@ def open_session(
         registry=registry,
         consistency_check=consistency_check,
         analyze=analyze,
+        metrics=metrics,
         **engine_options,
     )

@@ -353,6 +353,94 @@ DEFAULT_MEMO_SIZE = 4096
 _ABSENT = object()
 
 
+class CacheEventLog:
+    """A per-request tally of cache events, attributed exactly.
+
+    The cache counters above are *global* (they answer "how warm is this
+    cache"); attributing their movement to one request by snapshotting
+    ``cache_info()`` before and after races as soon as two requests run
+    concurrently — each snapshot pair absorbs whatever the other threads
+    did in between.  Instead, the serving layer installs a log for the
+    current thread (:func:`tracking_cache_events`) and every counter site
+    also records into it, so a request is charged exactly the events its
+    own evaluation caused, under any interleaving.
+
+    The log's own lock is a leaf: it is the *same object* that
+    :class:`~repro.worlds.parallel.ThreadExecutor` re-installs on its pool
+    threads when one request fans grid points out across workers, so
+    ``record`` must be safe under concurrent calls.
+    """
+
+    __slots__ = (
+        "_lock",
+        "hits",
+        "misses",
+        "memo_hits",
+        "memo_misses",
+        "program_hits",
+        "program_misses",
+        "compiled",
+        "fallback",
+    )
+
+    EVENTS = (
+        "hits",
+        "misses",
+        "memo_hits",
+        "memo_misses",
+        "program_hits",
+        "program_misses",
+        "compiled",
+        "fallback",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for event in self.EVENTS:
+            setattr(self, event, 0)
+
+    def record(self, event: str, amount: int = 1) -> None:
+        if event not in self.EVENTS:
+            raise ValueError(f"unknown cache event {event!r}")
+        with self._lock:
+            setattr(self, event, getattr(self, event) + amount)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{event}={getattr(self, event)}" for event in self.EVENTS)
+        return f"CacheEventLog({fields})"
+
+
+_ACTIVE_EVENT_LOG = threading.local()
+
+
+def active_event_log() -> Optional[CacheEventLog]:
+    """The event log installed for the current thread (``None`` outside one)."""
+    return getattr(_ACTIVE_EVENT_LOG, "log", None)
+
+
+@contextmanager
+def tracking_cache_events(log: CacheEventLog) -> Iterator[CacheEventLog]:
+    """Attribute this thread's cache events to ``log`` for the block's duration.
+
+    Re-entrant in the save/restore sense: the previous log (if any) is
+    restored on exit, so a ``submit_many`` fan-out whose pool threads each
+    install their own per-request log nests correctly.
+    """
+    previous = active_event_log()
+    _ACTIVE_EVENT_LOG.log = log
+    try:
+        yield log
+    finally:
+        _ACTIVE_EVENT_LOG.log = previous
+
+
+def _record(event: str, amount: int = 1) -> None:
+    """Record ``event`` into the current thread's log, if one is installed."""
+    log = active_event_log()
+    if log is not None:
+        log.record(event, amount)
+
+
 class QueryMemoTable:
     """A bounded LRU of per-query count results, layered on the class cache.
 
@@ -398,7 +486,9 @@ class QueryMemoTable:
             if found is not _ABSENT:
                 self._entries.move_to_end(key)
                 self._hits += 1
-            return found
+        if found is not _ABSENT:
+            _record("memo_hits")
+        return found
 
     def store(self, key: MemoKey, value: Any) -> None:
         """Insert a memo row, evicting least recently used rows beyond the bound."""
@@ -443,6 +533,7 @@ class QueryMemoTable:
                     return found
                 with self._lock:
                     self._misses += 1
+                _record("memo_misses")
                 value = compute()
                 self.store(key, value)
                 return value
@@ -535,9 +626,15 @@ class CompiledProgramCache:
             if found is not _ABSENT:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return found
+        if found is not _ABSENT:
+            _record("program_hits")
+            _record("compiled" if found is not None else "fallback")
+            return found
+        with self._lock:
             self._misses += 1
+        _record("program_misses")
         program = compile_fn()
+        _record("compiled" if program is not None else "fallback")
         with self._lock:
             self._entries[key] = program
             self._entries.move_to_end(key)
@@ -667,10 +764,11 @@ class WorldCountCache:
             found = self._entries.get(key)
             if found is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return found
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        _record("misses" if found is None else "hits")
+        return found
 
     def peek(self, key: CacheKey) -> Optional[CacheEntry]:
         """Like :meth:`lookup` but without touching the hit/miss counters."""
@@ -706,7 +804,9 @@ class WorldCountCache:
             if found is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-            return found
+        if found is not None:
+            _record("hits")
+        return found
 
     @contextmanager
     def computing(self, key: CacheKey) -> Iterator[Optional[CacheEntry]]:
@@ -755,6 +855,7 @@ class WorldCountCache:
             else:
                 with self._lock:
                     self._misses += 1
+                _record("misses")
                 yield None
         finally:
             if holding:

@@ -46,7 +46,7 @@ from ..logic.syntax import TRUE, Formula
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
 from . import counting as _counting
-from .cache import ClassDecomposition
+from .cache import ClassDecomposition, active_event_log, tracking_cache_events
 from .compile import CompiledQuery
 
 BACKENDS = ("serial", "threads", "processes")
@@ -474,6 +474,20 @@ class ThreadExecutor(CountingExecutor):
 
     def map_ordered(self, function: Callable, items: Sequence) -> List:
         if self._max_workers > 1 and len(items) > 1:
+            # When the calling thread is attributing cache events to a
+            # per-request log (one request fanning its grid points out),
+            # re-install the *same* log on the pool threads so the fanned
+            # work stays charged to the request that caused it.  When the
+            # caller has no log (e.g. submit_many fanning whole requests,
+            # where each submit installs its own), run the function as is.
+            log = active_event_log()
+            if log is not None:
+                inner = function
+
+                def function(item, _inner=inner, _log=log):
+                    with tracking_cache_events(_log):
+                        return _inner(item)
+
             return list(self._ensure_pool().map(function, items))
         return [function(item) for item in items]
 

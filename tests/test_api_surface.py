@@ -15,6 +15,7 @@ import inspect
 import json
 
 import repro.core as core
+import repro.obs as obs
 import repro.server as server
 import repro.service as service
 
@@ -27,6 +28,7 @@ SERVICE_EXPORTS = [
     "BeliefSession",
     "CacheDelta",
     "DefaultProblem",
+    "ErrorResponse",
     "Opaque",
     "QueryRequest",
     "SCHEMA_VERSION",
@@ -41,8 +43,18 @@ SERVICE_EXPORTS = [
     "extract_default_problem",
     "kb_fingerprint",
     "open_session",
+    "response_from_dict",
     "result_from_dict",
     "result_to_dict",
+]
+
+OBS_EXPORTS = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
 ]
 
 CORE_EXPORTS = [
@@ -118,10 +130,12 @@ SERVER_EXPORTS = [
 # validation along with this snapshot.
 SERVER_ROUTES = [
     ("GET", "/healthz"),
+    ("GET", "/metrics"),
     ("POST", "/v1/sessions"),
     ("GET", "/v1/sessions/{id}"),
     ("POST", "/v1/sessions/{id}/query"),
     ("POST", "/v1/sessions/{id}/query_batch"),
+    ("POST", "/v1/sessions/{id}/stream"),
     ("GET", "/v1/sessions/{id}/cache"),
     ("POST", "/v1/analyze"),
 ]
@@ -178,12 +192,14 @@ SIGNATURES = {
         "max_workers: 'Optional[int]' = None) -> 'List[BeliefResponse]'"
     ),
     (service.BeliefSession, "stream"): (
-        "(self, requests: 'Iterable[RequestLike]') -> 'Iterator[BeliefResponse]'"
+        "(self, requests: 'Iterable[RequestLike]', *, on_error: 'str' = 'respond') "
+        "-> 'Iterator[Union[BeliefResponse, ErrorResponse]]'"
     ),
     (service, "open_session"): (
         "(knowledge_base: 'KnowledgeBaseLike', *, engine: 'Optional[RandomWorlds]' = None, "
         "registry: 'Optional[SolverRegistry]' = None, consistency_check: 'bool' = True, "
-        "analyze: 'str' = 'off', **engine_options: 'Any') -> 'BeliefSession'"
+        "analyze: 'str' = 'off', metrics: 'Optional[MetricsRegistry]' = None, "
+        "**engine_options: 'Any') -> 'BeliefSession'"
     ),
     (server.SessionManager, "open"): (
         "(self, knowledge_base: 'KnowledgeBaseLike', *, "
@@ -201,12 +217,18 @@ SIGNATURES = {
     (server, "make_server"): (
         "(host: 'str' = '127.0.0.1', port: 'int' = 0, "
         "manager: 'Optional[SessionManager]' = None, *, verbose: 'bool' = False, "
+        "request_timeout: 'float' = 30.0, "
         "**manager_options: 'Any') -> 'BeliefHTTPServer'"
+    ),
+    (server.Client, "stream"): (
+        "(self, session_id: 'str', requests: 'Iterable[RequestLike]') "
+        "-> 'Iterator[Union[BeliefResponse, ErrorResponse]]'"
     ),
 }
 
 REQUEST_FIELDS = ["query", "method", "request_id", "tolerances", "domain_sizes", "metadata"]
 RESPONSE_FIELDS = ["request_id", "result", "solver", "elapsed_ms", "cache_delta", "metadata"]
+ERROR_RESPONSE_FIELDS = ["request_id", "code", "message", "elapsed_ms", "metadata"]
 RESULT_FIELDS = ["value", "interval", "exists", "method", "diagnostics", "note"]
 
 # ---------------------------------------------------------------------------
@@ -244,6 +266,11 @@ class TestExportedNames:
         for name in server.__all__:
             assert getattr(server, name) is not None
 
+    def test_obs_exports(self):
+        assert sorted(obs.__all__) == OBS_EXPORTS
+        for name in obs.__all__:
+            assert getattr(obs, name) is not None
+
     def test_server_routes(self):
         assert list(server.ROUTES) == SERVER_ROUTES
         assert server.route_paths() == [path for _, path in SERVER_ROUTES]
@@ -268,6 +295,7 @@ class TestSignatures:
     def test_message_schemas(self):
         assert list(service.QueryRequest.__dataclass_fields__) == REQUEST_FIELDS
         assert list(service.BeliefResponse.__dataclass_fields__) == RESPONSE_FIELDS
+        assert list(service.ErrorResponse.__dataclass_fields__) == ERROR_RESPONSE_FIELDS
         assert list(core.BeliefResult.__dataclass_fields__) == RESULT_FIELDS
 
 

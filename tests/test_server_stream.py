@@ -1,0 +1,228 @@
+"""The chunked NDJSON streaming route and the request-framing hardening.
+
+The identity assertion is the load-bearing one: every streamed row must be
+*byte-identical* (modulo timing fields) to the row ``query_batch`` would
+serve for the same request, Fraction diagnostics included.  The rest pins
+down the streaming-specific behaviour — first row before last answer,
+per-request error rows mid-batch — and the satellite bugfix: malformed or
+truncated request framing answers a clean ``400`` JSON error at the socket
+level, never a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core import BeliefResult
+from repro.server import Client, SessionManager, serve_in_background
+from repro.service import ErrorResponse, QueryRequest, Solver, build_default_registry
+
+HEP_KB = "Jaun(Eric) and %(Hep(x) | Jaun(x); x) ~=[1] 0.8"
+# Short enough to keep the held-open-body test fast, long enough that a
+# normal request never trips it.
+REQUEST_TIMEOUT = 2.0
+
+
+@pytest.fixture(scope="module")
+def gate():
+    """Events for the registry's 'gate' solver: set ``release`` to unpark it."""
+    return {"started": threading.Event(), "release": threading.Event()}
+
+
+@pytest.fixture(scope="module")
+def server(gate):
+    def gate_solve(request, session):
+        gate["started"].set()
+        assert gate["release"].wait(timeout=30), "test deadlock: gate never released"
+        return BeliefResult(value=1.0, method="gate")
+
+    registry = build_default_registry()
+    registry.register(Solver(key="gate", solve=gate_solve, supports=lambda request, kb: True))
+    manager = SessionManager(max_inflight=8, solver_registry=registry)
+    with serve_in_background(manager, request_timeout=REQUEST_TIMEOUT) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.url)
+
+
+@pytest.fixture(scope="module")
+def hep_session_id(client):
+    return client.open_session(HEP_KB)
+
+
+def _raw_stream_lines(server, session_id, requests):
+    """POST .../stream and return the raw NDJSON lines (undoing the chunking)."""
+    body = json.dumps({"requests": requests}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{server.url}/v1/sessions/{session_id}/stream",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        return [line for line in response.read().decode("utf-8").splitlines() if line]
+
+
+class TestStreamedRows:
+    def test_rows_are_byte_identical_to_query_batch(self, server, client, hep_session_id):
+        requests = [
+            {"query": "Hep(Eric)", "request_id": "q1"},
+            {"query": "not Hep(Eric)", "request_id": "q2"},
+            {"query": "Jaun(Eric)", "request_id": "q3"},
+        ]
+        # Warm the session so both surfaces serve from the same cache state.
+        client.query_batch(hep_session_id, requests)
+
+        batch_rows = client.call(
+            "POST", f"/v1/sessions/{hep_session_id}/query_batch", {"requests": requests}
+        )["responses"]
+        stream_rows = [
+            json.loads(line) for line in _raw_stream_lines(server, hep_session_id, requests)
+        ]
+
+        def frozen(row):
+            return json.dumps({**row, "elapsed_ms": 0.0}, sort_keys=True)
+
+        assert [frozen(row) for row in stream_rows] == [frozen(row) for row in batch_rows]
+
+    def test_client_stream_decodes_responses(self, client, hep_session_id):
+        responses = list(client.stream(hep_session_id, ["Hep(Eric)", "not Hep(Eric)"]))
+        assert [r.result.value for r in responses] == [
+            client.query(hep_session_id, q).result.value for q in ("Hep(Eric)", "not Hep(Eric)")
+        ]
+
+    def test_first_row_arrives_while_later_queries_still_run(
+        self, server, client, gate, hep_session_id
+    ):
+        requests = [
+            QueryRequest(query="Hep(Eric)", request_id="fast"),
+            QueryRequest(query="Hep(Eric)", request_id="slow", method="gate"),
+        ]
+        stream = client.stream(hep_session_id, requests)
+        first = next(stream)  # must yield before the gated query even starts
+        assert first.request_id == "fast"
+        assert not gate["release"].is_set()
+        gate["release"].set()
+        rest = list(stream)
+        assert [r.request_id for r in rest] == ["slow"]
+        assert rest[0].result.value == 1.0
+
+    def test_poisoned_query_mid_batch_streams_an_error_row(self, client, hep_session_id):
+        responses = list(
+            client.stream(
+                hep_session_id,
+                [
+                    {"query": "Hep(Eric)", "request_id": "q1"},
+                    {"query": "Hep(Eric", "request_id": "q2"},
+                    {"query": "not Hep(Eric)", "request_id": "q3"},
+                ],
+            )
+        )
+        assert [r.request_id for r in responses] == ["q1", "q2", "q3"]
+        assert isinstance(responses[1], ErrorResponse)
+        assert responses[1].code == "bad-request"
+        assert responses[0].result.value == pytest.approx(0.8)
+        assert responses[2].result.value == pytest.approx(0.2)
+
+    def test_pre_stream_failures_are_plain_http_errors(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            list(client.stream("deadbeef", ["Hep(Eric)"]))  # hex id, never opened
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown-session"
+
+    def test_stream_requires_a_requests_list(self, client, hep_session_id):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.call("POST", f"/v1/sessions/{hep_session_id}/stream", {"requests": "Hep(Eric)"})
+        assert excinfo.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Request-framing hardening (the truncated-body satellite)
+# ---------------------------------------------------------------------------
+
+
+def _raw_http(server, request_bytes, *, shutdown_write=False, timeout=30.0):
+    """Send raw bytes to the server and read the full response off the socket."""
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(request_bytes)
+        if shutdown_write:
+            sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+
+
+def _parse_response(raw):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, head.decode("latin-1"), body
+
+
+class TestRequestFraming:
+    def _assert_clean_400(self, raw, fragment):
+        status, head, body = _parse_response(raw)
+        assert status == 400, head
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "bad-request"
+        assert fragment in payload["error"]["message"]
+        assert b"Traceback" not in raw
+        assert "Connection: close" in head
+
+    def test_truncated_body_answers_400(self, server):
+        request = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            b"Host: t\r\nContent-Type: application/json\r\nContent-Length: 50\r\n\r\n"
+            b'{"'
+        )
+        raw = _raw_http(server, request, shutdown_write=True)
+        self._assert_clean_400(raw, "truncated: Content-Length promised 50 bytes, got 2")
+
+    def test_stalled_body_times_out_to_400(self, server):
+        # The body never arrives and the connection stays open: the
+        # per-connection timeout must convert the stall into a clean 400
+        # instead of parking the serving thread forever.
+        request = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            b"Host: t\r\nContent-Type: application/json\r\nContent-Length: 50\r\n\r\n"
+            b'{"kb"'
+        )
+        raw = _raw_http(server, request, timeout=REQUEST_TIMEOUT + 10)
+        self._assert_clean_400(raw, "could not be read")
+
+    def test_unparseable_content_length_answers_400(self, server):
+        request = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            b"Host: t\r\nContent-Type: application/json\r\nContent-Length: nonsense\r\n\r\n"
+        )
+        raw = _raw_http(server, request, shutdown_write=True)
+        self._assert_clean_400(raw, "Content-Length")
+
+    def test_negative_content_length_answers_400(self, server):
+        request = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            b"Host: t\r\nContent-Type: application/json\r\nContent-Length: -5\r\n\r\n"
+        )
+        raw = _raw_http(server, request, shutdown_write=True)
+        self._assert_clean_400(raw, "Content-Length")
+
+    def test_normal_requests_still_work_after_the_hardening(self, client, hep_session_id):
+        response = client.query(hep_session_id, "Hep(Eric)")
+        assert response.result.value == pytest.approx(0.8)

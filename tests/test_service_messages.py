@@ -20,10 +20,12 @@ from repro.logic.parser import parse
 from repro.service import (
     BeliefResponse,
     CacheDelta,
+    ErrorResponse,
     Opaque,
     QueryRequest,
     decode_value,
     encode_value,
+    response_from_dict,
     result_from_dict,
     result_to_dict,
 )
@@ -206,3 +208,38 @@ class TestCodecCornerCases:
         decoded = result_from_dict(json_round_trip(result_to_dict(result)))
         assert decoded == result
         assert decoded.diagnostics["curves"][0]["points"][0] == (8, 0.25)
+
+
+class TestErrorResponseCodec:
+    def test_round_trip(self):
+        response = ErrorResponse(
+            request_id="q-7",
+            code="bad-request",
+            message="could not parse 'Hep(Eric'",
+            elapsed_ms=1.5,
+            metadata={"attempt": 2, "weights": (Fraction(1, 3), Fraction(2, 3))},
+        )
+        payload = json_round_trip(response.to_dict())
+        assert payload["error"] == {"code": "bad-request", "message": "could not parse 'Hep(Eric'"}
+        decoded = ErrorResponse.from_dict(payload)
+        assert decoded == response
+
+    def test_response_from_dict_dispatches_on_error_key(self):
+        error = ErrorResponse(request_id="e", code="query-failed", message="boom")
+        belief = BeliefResponse(
+            request_id="b",
+            result=BeliefResult(value=0.5, method="maxent"),
+            solver="random-worlds",
+            elapsed_ms=0.0,
+        )
+        assert isinstance(response_from_dict(json_round_trip(error.to_dict())), ErrorResponse)
+        decoded = response_from_dict(json_round_trip(belief.to_dict()))
+        assert isinstance(decoded, BeliefResponse)
+        assert decoded.result == belief.result
+
+    def test_metadata_is_dict_coerced(self):
+        response = ErrorResponse(
+            request_id="x", code="bad-request", message="m", metadata=(("k", 1),)
+        )
+        assert response.metadata == {"k": 1}
+        assert ErrorResponse(request_id="x", code="c", message="m").metadata == {}

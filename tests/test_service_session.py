@@ -297,3 +297,107 @@ class TestLegacyThreadsRemoval:
         assert explicit.degree_of_belief_batch(queries, self.KB) == serial.degree_of_belief_batch(
             queries, self.KB
         )
+
+
+# ---------------------------------------------------------------------------
+# Per-request cache attribution under concurrency (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheDeltaAttribution:
+    def test_concurrent_submit_does_not_steal_cache_deltas(self):
+        """A blocked request must not absorb another request's cache traffic.
+
+        Regression: ``cache_delta`` used to be computed from before/after
+        ``cache_info()`` snapshots, so a request that overlapped another
+        request's cold enumeration reported *its* hits and misses.  The gate
+        solver below does no cache work at all while a cold counting query
+        runs to completion on the main thread — its delta must be all zeros.
+        """
+        import threading
+
+        from repro.core import BeliefResult
+        from repro.service import CacheDelta, Solver, build_default_registry
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def gate_solve(request, session):
+            started.set()
+            assert release.wait(timeout=30), "test deadlock: gate never released"
+            return BeliefResult(value=1.0, method="gate")
+
+        registry = build_default_registry()
+        registry.register(Solver(key="gate", solve=gate_solve, supports=lambda request, kb: True))
+        session = open_session(paper_kbs.lottery(5), registry=registry, domain_sizes=DOMAIN_SIZES)
+
+        gate_response = []
+        thread = threading.Thread(
+            target=lambda: gate_response.append(session.submit(QueryRequest(query="Winner(C)", method="gate")))
+        )
+        thread.start()
+        assert started.wait(timeout=30)
+        try:
+            # A cold enumeration completes entirely inside the gate's window.
+            cold = session.submit("Winner(C)")
+            assert cold.cache_delta is not None and cold.cache_delta.misses > 0
+        finally:
+            release.set()
+            thread.join(timeout=30)
+        assert gate_response and gate_response[0].cache_delta == CacheDelta()
+
+
+# ---------------------------------------------------------------------------
+# Streaming with per-request error responses
+# ---------------------------------------------------------------------------
+
+
+class TestStreamErrorHandling:
+    def test_poisoned_query_mid_batch_yields_error_response(self):
+        from repro.service import ErrorResponse
+
+        session = open_session(paper_kbs.hepatitis_simple())
+        requests = [
+            QueryRequest(query="Hep(Eric)", request_id="q1"),
+            QueryRequest(query="Hep(Eric", request_id="q2"),  # unbalanced: parse error
+            QueryRequest(query="not Hep(Eric)", request_id="q3"),
+        ]
+        responses = list(session.stream(requests))
+        assert [type(r).__name__ for r in responses] == [
+            "BeliefResponse", "ErrorResponse", "BeliefResponse",
+        ]
+        assert [r.request_id for r in responses] == ["q1", "q2", "q3"]
+        poisoned = responses[1]
+        assert isinstance(poisoned, ErrorResponse)
+        assert poisoned.code == "bad-request"
+        assert poisoned.message
+        # The healthy neighbours answered exactly as they would solo.
+        assert responses[0].result == session.submit("Hep(Eric)").result
+        assert responses[2].result == session.submit("not Hep(Eric)").result
+
+    def test_on_error_raise_propagates(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        stream = session.stream(["Hep(Eric)", "Hep(Eric"], on_error="raise")
+        assert next(stream).result.value is not None
+        with pytest.raises(Exception):
+            next(stream)
+
+    def test_unknown_on_error_mode_rejected(self):
+        session = open_session(paper_kbs.hepatitis_simple())
+        with pytest.raises(ValueError, match="on_error"):
+            list(session.stream(["Hep(Eric)"], on_error="ignore"))
+
+    def test_unexpected_errors_propagate_even_when_responding(self):
+        from repro.service import Solver, build_default_registry
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_solve(request, session):
+            raise Boom("not a request-scoped failure")
+
+        registry = build_default_registry()
+        registry.register(Solver(key="boom", solve=exploding_solve, supports=lambda request, kb: True))
+        session = open_session(paper_kbs.hepatitis_simple(), registry=registry)
+        with pytest.raises(Boom):
+            list(session.stream([QueryRequest(query="Hep(Eric)", method="boom")]))

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -37,7 +38,7 @@ from ..core.knowledge_base import KnowledgeBase
 from ..logic.parser import ParseError, parse
 from ..logic.syntax import Formula
 from ..logic.vocabulary import VocabularyError
-from .diagnostics import Diagnostic, SourceSpan, diagnostic
+from .diagnostics import Diagnostic, SourceSpan, diagnostic, json_object
 from .report import AnalysisOptions, analyze
 
 # Call sites whose string-literal arguments are KB sentences (analyzed as
@@ -198,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--errors-only", action="store_true", help="print only error-level findings (exit code is unchanged)"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="text = ruff-style lines; json = one diagnostic object per line on "
+        "stdout (the summary moves to stderr; see docs/ANALYSIS.md for the schema)",
+    )
     return parser
 
 
@@ -239,8 +248,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 warnings += 1
             if args.errors_only and not finding.is_error:
                 continue
-            print(finding.format(default_path=str(path)))
-    print(f"{errors} error(s), {warnings} warning(s)")
+            if args.format == "json":
+                print(json.dumps(json_object(finding, default_path=str(path)), sort_keys=True))
+            else:
+                print(finding.format(default_path=str(path)))
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    print(summary, file=sys.stderr if args.format == "json" else sys.stdout)
     return 1 if errors else 0
 
 

@@ -13,6 +13,12 @@ sessions refuse it — and ``Wxxx`` codes are warnings — the KB works but will
 surprise (interpreted fallback, heavy enumeration, dead vocabulary).  The
 hundreds digit groups by analysis: 1xx vocabulary/parse, 2xx statistics,
 3xx compilability, 4xx cost, 5xx dead vocabulary.
+
+The registry is extensible: the code-level analyzers in :mod:`repro.statics`
+(lock discipline ``C6xx``/``C7xx``, exactness ``X00x`` — see
+``docs/CONCURRENCY.md``) register their codes through :func:`register_codes`
+so every linter in the repo shares one :class:`Diagnostic` shape, one severity
+vocabulary and one ``--format json`` schema.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ WARNING = "warning"
 
 # code -> (severity, slug).  The slug is the stable kebab-case name used in
 # docs and CLI summaries; messages elaborate per finding.
-DIAGNOSTIC_CODES: Mapping[str, Tuple[str, str]] = {
+DIAGNOSTIC_CODES: Dict[str, Tuple[str, str]] = {
     "E100": (ERROR, "parse-error"),
     "E101": (ERROR, "undeclared-symbol"),
     "E102": (ERROR, "arity-mismatch"),
@@ -41,6 +47,25 @@ DIAGNOSTIC_CODES: Mapping[str, Tuple[str, str]] = {
     "W501": (WARNING, "unused-predicate"),
     "W502": (WARNING, "unused-constant"),
 }
+
+
+def register_codes(codes: Mapping[str, Tuple[str, str]]) -> None:
+    """Register additional stable diagnostic codes (idempotent).
+
+    Code-level analyzer packages call this at import time so their findings
+    share the KB analyzer's :class:`Diagnostic` model and registry.  Codes
+    are append-only: re-registering an identical ``(severity, slug)`` pair is
+    a no-op, while redefining an existing code differently raises — two
+    linters may never disagree about what a code means.
+    """
+    for code, (severity, slug) in codes.items():
+        existing = DIAGNOSTIC_CODES.get(code)
+        if existing is not None and existing != (severity, slug):
+            raise ValueError(
+                f"diagnostic code {code!r} already registered as {existing}, "
+                f"refusing to redefine it as {(severity, slug)}"
+            )
+        DIAGNOSTIC_CODES[code] = (severity, slug)
 
 
 @dataclass(frozen=True)
@@ -97,6 +122,31 @@ class Diagnostic:
         if self.subject is not None:
             payload["subject"] = self.subject
         return payload
+
+
+def json_object(finding: Diagnostic, default_path: str = "<kb>") -> Dict[str, Any]:
+    """The ``--format json`` shape shared by every linter CLI.
+
+    One flat object per finding — ``path``/``line``/``col`` always present
+    (span flattened, ``default_path`` filling a pathless span), then
+    ``code``/``severity``/``slug``/``message`` and, when set, ``hint`` and
+    ``subject``.  ``docs/ANALYSIS.md`` documents the schema.
+    """
+    span = finding.span or SourceSpan()
+    payload: Dict[str, Any] = {
+        "path": span.path or default_path,
+        "line": span.line,
+        "col": span.column,
+        "code": finding.code,
+        "severity": finding.severity,
+        "slug": finding.slug,
+        "message": finding.message,
+    }
+    if finding.hint is not None:
+        payload["hint"] = finding.hint
+    if finding.subject is not None:
+        payload["subject"] = finding.subject
+    return payload
 
 
 def diagnostic(

@@ -21,7 +21,6 @@ engine records which path produced the value so experiments can compare them.
 from __future__ import annotations
 
 import math
-import threading
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -32,6 +31,7 @@ from ..logic.tolerance import ToleranceVector, default_sequence
 from ..logic.vocabulary import Vocabulary
 from ..maxent.beliefs import degree_of_belief_maxent
 from ..maxent.solver import MaxEntInfeasible
+from ..statics.runtime import named_lock
 from ..worlds.cache import (
     DEFAULT_MEMO_SIZE,
     CacheInfo,
@@ -223,7 +223,7 @@ class RandomWorlds:
         self._max_workers = max_workers
         self._owned_executor: Optional[CountingExecutor] = None
         self._sessions: "OrderedDict" = OrderedDict()
-        self._sessions_lock = threading.Lock()
+        self._sessions_lock = named_lock("RandomWorlds._sessions_lock")
 
     # -- normalisation ---------------------------------------------------------
 

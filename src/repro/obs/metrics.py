@@ -27,10 +27,11 @@ cumulative form derived only when rendering Prometheus text.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..statics.runtime import named_lock
 
 # Upper bucket bounds (milliseconds) spanning microsecond-ish memo hits to
 # multi-second cold enumerations; the implicit +Inf bucket is always last.
@@ -48,7 +49,7 @@ class Counter:
     kind = "counter"
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("Counter._lock")
         self._value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -75,7 +76,7 @@ class Gauge:
     kind = "gauge"
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("Gauge._lock")
         self._value: float = 0
 
     def set(self, value: float) -> None:
@@ -118,7 +119,7 @@ class Histogram:
             raise ValueError("a histogram needs at least one bucket bound")
         if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
-        self._lock = threading.Lock()
+        self._lock = named_lock("Histogram._lock")
         self._bounds = bounds
         self._counts = [0] * (len(bounds) + 1)
         self._sum: float = 0.0
@@ -184,7 +185,7 @@ class MetricFamily:
         self.labelnames = labelnames
         self.kind = kind
         self._factory = factory
-        self._lock = threading.Lock()
+        self._lock = named_lock("MetricFamily._lock")
         self._children: "OrderedDict[Tuple[str, ...], Any]" = OrderedDict()
 
     def labels(self, **labelvalues: Any) -> Any:
@@ -270,7 +271,7 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str = "repro") -> None:
         self._namespace = namespace
-        self._lock = threading.Lock()
+        self._lock = named_lock("MetricsRegistry._lock")
         self._families: "OrderedDict[str, MetricFamily]" = OrderedDict()
 
     @property

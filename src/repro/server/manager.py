@@ -38,6 +38,7 @@ from ..core.options import EngineOptions
 from ..obs import MetricsRegistry
 from ..service.registry import SolverRegistry
 from ..service.session import ANALYZE_MODES, BeliefSession, KnowledgeBaseLike, kb_fingerprint
+from ..statics.runtime import named_lock
 from ..worlds.cache import WorldCountCache
 
 # Engine options a network caller may set per open request — derived from the
@@ -190,7 +191,7 @@ class SessionManager:
         self._consistency_check = consistency_check
         self._analyze = analyze
         self._engine_options = dict(engine_options)
-        self._lock = threading.Lock()
+        self._lock = named_lock("SessionManager._lock")
         self._sessions: "OrderedDict[str, ManagedSession]" = OrderedDict()
         self._warm_caches: "OrderedDict[str, WorldCountCache]" = OrderedDict()
         self._building: Dict[str, threading.Lock] = {}
@@ -302,6 +303,10 @@ class SessionManager:
                 else:
                     gate = self._building.get(fingerprint)
                     if gate is None:
+                        # Deliberately a plain, unnamed lock outside
+                        # LOCK_ORDER: acquired here before publication (a
+                        # fresh, uncontended lock — the acquire cannot
+                        # block) and thereafter only ever awaited bare.
                         gate = threading.Lock()
                         gate.acquire()
                         self._building[fingerprint] = gate

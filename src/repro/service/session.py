@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -37,6 +36,7 @@ from ..core.knowledge_base import KnowledgeBase
 from ..logic.syntax import Formula
 from ..logic.tolerance import ToleranceVector
 from ..obs import MetricsRegistry
+from ..statics.runtime import named_lock
 from ..worlds.cache import CacheEventLog, CacheInfo, tracking_cache_events, vocabulary_fingerprint
 from ..worlds.counting import InconsistentKnowledgeBase
 from ..worlds.parallel import CountingExecutor, executor_scope, resolve_backend
@@ -199,7 +199,7 @@ class BeliefSession:
             check_consistency(self._kb)
         self._derived: "OrderedDict[Tuple, RandomWorlds]" = OrderedDict()
         self._state: Dict[Tuple, Any] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("BeliefSession._lock")
         self._request_ids = itertools.count(1)
         self._metrics = metrics
         if metrics is not None:
@@ -305,12 +305,22 @@ class BeliefSession:
             return derived
 
     def solver_state(self, solver_key: str, state_key: Any, build: Callable[[], Any]) -> Any:
-        """Per-session memo for solver-owned warm state (built once per key)."""
+        """Per-session memo for solver-owned warm state (built once per key).
+
+        ``build`` runs *outside* the session lock: it is arbitrary solver
+        code, and a build that re-enters the session (or takes long enough
+        to matter) must not hold up — or deadlock on — the non-reentrant
+        lock.  Concurrent first calls may therefore build twice; the first
+        store wins and the duplicate is discarded, which is sound because
+        solver state is a pure function of the KB and the key.
+        """
         key = (solver_key, state_key)
         with self._lock:
-            if key not in self._state:
-                self._state[key] = build()
-            return self._state[key]
+            if key in self._state:
+                return self._state[key]
+        built = build()
+        with self._lock:
+            return self._state.setdefault(key, built)
 
     def _query_analysis(self, request: QueryRequest) -> Optional[List[Dict[str, Any]]]:
         """Per-query diagnostics for warn/strict sessions (``None`` when off).

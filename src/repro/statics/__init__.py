@@ -1,0 +1,65 @@
+"""Code-level static analysis and runtime concurrency sanitizing.
+
+Where :mod:`repro.analysis` analyzes *knowledge bases*, this package
+analyzes *the code itself*:
+
+- :mod:`repro.statics.order` — the declared ``LOCK_ORDER`` hierarchy;
+- :mod:`repro.statics.runtime` — ``named_lock`` / ``InstrumentedLock`` /
+  the process-wide ``LockGraph`` sanitizer (``pytest --lock-graph``);
+- :mod:`repro.statics.locks` — the AST lock-discipline analyzer (C6xx/C7xx);
+- :mod:`repro.statics.exactness` — the X00x exactness checks;
+- :mod:`repro.statics.cli` — the ``repro-lint-code`` entry point.
+
+The analyzer halves are loaded lazily (PEP 562): the hot serving modules
+import :func:`named_lock` from here at startup, and eagerly importing
+:mod:`.locks` would pull :mod:`repro.analysis` → :mod:`repro.core` →
+:mod:`repro.worlds.cache`, which itself imports this package — a cycle.
+Only the dependency-free ``order``/``runtime`` pair loads at import time.
+"""
+
+from __future__ import annotations
+
+from .order import LOCK_ORDER  # noqa: F401
+from .runtime import (  # noqa: F401
+    GLOBAL_LOCK_GRAPH,
+    InstrumentedLock,
+    LockGraph,
+    enable_lock_graph,
+    lock_graph_enabled,
+    named_lock,
+    verify_lock_graph,
+)
+
+_LAZY = {
+    "LockLinter": "locks",
+    "lint_paths": "locks",
+    "lint_source": "locks",
+    "exactness_diagnostics": "exactness",
+}
+
+__all__ = [
+    "GLOBAL_LOCK_GRAPH",
+    "InstrumentedLock",
+    "LOCK_ORDER",
+    "LockGraph",
+    "LockLinter",
+    "enable_lock_graph",
+    "exactness_diagnostics",
+    "lint_paths",
+    "lint_source",
+    "lock_graph_enabled",
+    "named_lock",
+    "verify_lock_graph",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.statics' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

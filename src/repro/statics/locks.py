@@ -1,0 +1,729 @@
+"""AST-based lock-discipline analyzer: the static half of the sanitizer.
+
+Layer contract: this module turns Python source into coded
+:class:`~repro.analysis.diagnostics.Diagnostic` findings about lock usage.
+It shares the KB analyzer's diagnostic model and registry (C6xx errors,
+C7xx warnings — registered below via
+:func:`~repro.analysis.diagnostics.register_codes`) and checks against the
+declared hierarchy in :mod:`repro.statics.order`; it never executes the code
+it analyzes (that is :mod:`repro.statics.runtime`'s job).
+
+The analysis is two-phase over a whole corpus:
+
+1. **Discovery** — every ``self.attr = threading.Lock()`` / ``RLock()`` /
+   ``named_lock("...")`` assignment (and module-level equivalents) names a
+   lock.  ``named_lock`` string literals are canonical; otherwise the name
+   is ``ClassName.attr``.
+2. **Checking** — every function is walked with a held-lock stack tracked
+   through nested ``with`` statements.  A ``with`` on ``self.attr`` resolves
+   through the enclosing class; an attribute on any other receiver resolves
+   only when the attribute name maps to exactly one discovered lock
+   corpus-wide (how ``entry.lock`` resolves to ``_InFlight.lock``).
+   Methods named ``*_locked`` — the repo convention for helpers that
+   require the caller to hold the class lock — are analyzed as if the class
+   lock were held on entry.
+
+Checks (each suppressible on its line with ``# lock-ok[CODE]: reason``,
+mirroring the exactness lint's ``# exact-ok``):
+
+- **C601** blocking call under a held lock: ``.join()`` (timeout/zero-arg
+  form, so ``str.join`` stays quiet), ``.close()``, socket/file I/O,
+  executor/solver dispatch, bare ``open``/``input``/``sleep``, and calls
+  through a *parameter* of the enclosing function (a user callback — the
+  class of bug PR 5 fixed in ``SessionManager``).
+- **C602** cycle in the static lock-order graph built from nested
+  acquisitions — one diagnostic per strongly connected component.
+- **C603** a nested acquisition that inverts (or ties) the declared
+  ``LOCK_ORDER`` ranks.
+- **C604** a lock held across ``yield`` in a generator (``@contextmanager``
+  functions are exempt — holding across the wrapped ``yield`` is their job).
+- **C701** a field written under the class lock in some methods but
+  read/written bare in others (guard inference — the class of bug PR 8
+  fixed in ``cache_info``).
+- **C702** a ``# lock-ok`` suppression with no reason (not itself
+  suppressible).
+
+Known limits, by design: explicit ``.acquire()``/``.release()`` pairs are
+not tracked (the repo's only such sites manage their own ``holding`` flags),
+and cross-function propagation is limited to the ``*_locked`` naming
+convention — the runtime sanitizer covers the dynamic composition the AST
+cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    SourceSpan,
+    diagnostic,
+    register_codes,
+)
+from .order import LOCK_ORDER, rank_of
+
+register_codes(
+    {
+        "C601": (ERROR, "blocking-call-under-lock"),
+        "C602": (ERROR, "lock-order-cycle"),
+        "C603": (ERROR, "lock-order-inversion"),
+        "C604": (ERROR, "lock-held-across-yield"),
+        "C701": (WARNING, "unguarded-shared-field"),
+        "C702": (WARNING, "suppression-without-reason"),
+    }
+)
+
+# Attribute calls that block the calling thread: worker/pool joins and
+# teardown, socket and file I/O, futures, sleeps.
+_BLOCKING_ATTRS = {
+    "accept",
+    "close",
+    "connect",
+    "flush",
+    "read",
+    "readline",
+    "recv",
+    "result",
+    "send",
+    "sendall",
+    "shutdown",
+    "sleep",
+    "write",
+}
+# Solver / executor dispatch: arbitrary user work runs inside.
+_DISPATCH_ATTRS = {"dispatch", "solve", "submit", "submit_many"}
+# Bare names that block.
+_BLOCKING_NAMES = {"input", "open", "sleep"}
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*lock-ok(?:\[(?P<codes>[A-Z0-9,\s]+)\])?(?::\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class _Suppression:
+    codes: Optional[Set[str]]  # None = all lock codes
+    reason: Optional[str]
+    column: int
+
+
+@dataclass
+class _FieldAccess:
+    method: str
+    is_write: bool
+    held: Tuple[str, ...]
+    span: SourceSpan
+
+
+@dataclass
+class _Module:
+    path: str
+    tree: ast.Module
+    # attr name -> canonical lock name, for `self.X` in this module's classes
+    class_locks: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    # module-level bare name -> canonical lock name
+    module_locks: Dict[str, str] = field(default_factory=dict)
+    suppressions: Dict[int, _Suppression] = field(default_factory=dict)
+
+
+@dataclass
+class _Ctx:
+    module: _Module
+    class_name: Optional[str]
+    func_name: str
+    params: Set[str]
+    held: List[str]
+    aliases: Dict[str, str]
+    is_contextmanager: bool
+
+
+def _is_lock_constructor(value: ast.AST) -> Tuple[bool, Optional[str]]:
+    """Whether ``value`` constructs a lock; the named_lock literal if any."""
+    if not isinstance(value, ast.Call):
+        return False, None
+    func = value.func
+    name = None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name in {"Lock", "RLock"}:
+        return True, None
+    if name == "named_lock":
+        if value.args and isinstance(value.args[0], ast.Constant) and isinstance(value.args[0].value, str):
+            return True, value.args[0].value
+        return True, None
+    return False, None
+
+
+def _span(node: ast.AST, path: str) -> SourceSpan:
+    return SourceSpan(line=node.lineno, column=node.col_offset + 1, path=path)
+
+
+def _decorator_is_contextmanager(func: ast.AST) -> bool:
+    decorators = getattr(func, "decorator_list", [])
+    for decorator in decorators:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        try:
+            text = ast.unparse(target)
+        except Exception:
+            continue
+        if text.endswith("contextmanager"):
+            return True
+    return False
+
+
+class LockLinter:
+    """Corpus-wide lock-discipline analysis producing coded diagnostics.
+
+    Feed it sources with :meth:`add_source` / :meth:`add_path`, then call
+    :meth:`run`.  ``order`` defaults to the repo's declared
+    :data:`~repro.statics.order.LOCK_ORDER`; the fixture tests inject their
+    own manifests.
+    """
+
+    def __init__(self, order: Optional[Mapping[str, int]] = None) -> None:
+        self._order = LOCK_ORDER if order is None else order
+        self._modules: List[_Module] = []
+        # attr name -> set of canonical lock names, corpus-wide (for the
+        # unique-attribute resolution of non-self receivers).
+        self._attr_locks: Dict[str, Set[str]] = {}
+        # (held, acquired) -> first acquisition span, corpus-wide.
+        self._edges: Dict[Tuple[str, str], SourceSpan] = {}
+        # (class, attr) -> accesses, for guard inference.
+        self._fields: Dict[Tuple[str, str], List[_FieldAccess]] = {}
+        self._findings: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------ input
+
+    def add_source(self, source: str, path: str) -> None:
+        tree = ast.parse(source, filename=path)
+        module = _Module(path=path, tree=tree)
+        # Scan real COMMENT tokens (not docstrings that merely mention the
+        # marker) for suppressions.
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError):
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            codes_text = match.group("codes")
+            codes = (
+                {code.strip() for code in codes_text.split(",") if code.strip()}
+                if codes_text
+                else None
+            )
+            module.suppressions[token.start[0]] = _Suppression(
+                codes=codes,
+                reason=match.group("reason"),
+                column=token.start[1] + match.start() + 1,
+            )
+        self._modules.append(module)
+
+    def add_path(self, path: "str | Path") -> None:
+        file_path = Path(path)
+        self.add_source(file_path.read_text(encoding="utf-8"), str(file_path))
+
+    # ------------------------------------------------------------------ phases
+
+    def _discover(self, module: _Module) -> None:
+        """Phase 1: name every lock the module constructs."""
+
+        def note_class_lock(class_name: str, attr: str, literal: Optional[str]) -> None:
+            canonical = literal if literal is not None else f"{class_name}.{attr}"
+            module.class_locks[(class_name, attr)] = canonical
+            self._attr_locks.setdefault(attr, set()).add(canonical)
+
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                is_lock, literal = _is_lock_constructor(node.value)
+                if is_lock and isinstance(target, ast.Name):
+                    module.module_locks[target.id] = literal if literal is not None else target.id
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in ast.walk(node):
+                value = getattr(statement, "value", None)
+                if value is None:
+                    continue
+                is_lock, literal = _is_lock_constructor(value)
+                if not is_lock:
+                    continue
+                targets: List[ast.AST] = []
+                if isinstance(statement, ast.Assign):
+                    targets = list(statement.targets)
+                elif isinstance(statement, ast.AnnAssign):
+                    targets = [statement.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        note_class_lock(node.name, target.attr, literal)
+                    elif isinstance(target, ast.Name):
+                        note_class_lock(node.name, target.id, literal)
+
+    def _class_lock_names(self, module: _Module, class_name: str) -> List[str]:
+        return [
+            name
+            for (owner, _attr), name in module.class_locks.items()
+            if owner == class_name
+        ]
+
+    def _entry_locks_for(self, module: _Module, class_name: Optional[str], func_name: str) -> List[str]:
+        """Locks assumed held on entry: the ``*_locked`` convention."""
+        if class_name is None or not func_name.endswith("_locked"):
+            return []
+        preferred = module.class_locks.get((class_name, "_lock"))
+        if preferred is not None:
+            return [preferred]
+        return sorted(self._class_lock_names(module, class_name))
+
+    def _resolve_lock(self, expr: ast.AST, ctx: _Ctx) -> Optional[str]:
+        """The canonical name of the lock ``expr`` denotes, if any."""
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            receiver, attr = expr.value.id, expr.attr
+            if receiver == "self" and ctx.class_name is not None:
+                direct = ctx.module.class_locks.get((ctx.class_name, attr))
+                if direct is not None:
+                    return direct
+            candidates = self._attr_locks.get(attr, set())
+            if len(candidates) == 1:
+                return next(iter(candidates))
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in ctx.aliases:
+                return ctx.aliases[expr.id]
+            return ctx.module.module_locks.get(expr.id)
+        return None
+
+    # -------------------------------------------------------------- the walk
+
+    def _scan_functions(self, module: _Module) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(module, None, node)
+            elif isinstance(node, ast.ClassDef):
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(module, node.name, member)
+
+    def _scan_function(
+        self,
+        module: _Module,
+        class_name: Optional[str],
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> None:
+        args = func.args
+        params = {
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if arg.arg != "self"
+        }
+        ctx = _Ctx(
+            module=module,
+            class_name=class_name,
+            func_name=func.name,
+            params=params,
+            held=self._entry_locks_for(module, class_name, func.name),
+            aliases={},
+            is_contextmanager=_decorator_is_contextmanager(func),
+        )
+        for statement in func.body:
+            self._scan_node(statement, ctx)
+
+    def _scan_node(self, node: ast.AST, ctx: _Ctx) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            # Nested defs run later, on their own thread-of-control: a fresh
+            # scan (without the enclosing held stack) would be unsound in the
+            # other direction, so nested functions simply aren't tracked.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in node.items:
+                self._scan_node(item.context_expr, ctx)
+                name = self._resolve_lock(item.context_expr, ctx)
+                if name is not None:
+                    span = _span(item.context_expr, ctx.module.path)
+                    for held_name in ctx.held:
+                        self._edges.setdefault((held_name, name), span)
+                    ctx.held.append(name)
+                    pushed += 1
+            for statement in node.body:
+                self._scan_node(statement, ctx)
+            for _ in range(pushed):
+                ctx.held.pop()
+            return
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            alias = self._resolve_lock(node.value, ctx)
+            if alias is not None:
+                ctx.aliases[node.targets[0].id] = alias
+        if isinstance(node, ast.Call):
+            self._check_call(node, ctx)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            self._check_yield(node, ctx)
+        elif isinstance(node, ast.Attribute):
+            self._note_field_access(node, node.ctx, ctx)
+        elif isinstance(node, (ast.Subscript,)) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if isinstance(node.value, ast.Attribute):
+                self._note_field_access(node.value, node.ctx, ctx)
+        for child in ast.iter_child_nodes(node):
+            self._scan_node(child, ctx)
+
+    # ------------------------------------------------------------ the checks
+
+    def _check_call(self, node: ast.Call, ctx: _Ctx) -> None:
+        if not ctx.held:
+            return
+        reason = self._blocking_reason(node, ctx)
+        if reason is None:
+            return
+        try:
+            callee = ast.unparse(node.func)
+        except Exception:
+            callee = "<call>"
+        self._findings.append(
+            diagnostic(
+                "C601",
+                f"{reason} `{callee}(...)` while holding {ctx.held[-1]}",
+                span=_span(node, ctx.module.path),
+                hint="move the call outside the lock, or annotate `# lock-ok[C601]: <reason>`",
+                subject=f"{ctx.class_name + '.' if ctx.class_name else ''}{ctx.func_name}",
+            )
+        )
+
+    def _blocking_reason(self, node: ast.Call, ctx: _Ctx) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr == "join":
+                # str.join(iterable) takes one non-numeric argument; thread
+                # and pool joins take none, a numeric timeout, or timeout=.
+                timeout_kw = any(kw.arg == "timeout" for kw in node.keywords)
+                numeric_arg = (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, (int, float))
+                )
+                if not node.args and not node.keywords or timeout_kw or numeric_arg:
+                    return "blocking join"
+                return None
+            if attr in _BLOCKING_ATTRS:
+                return "blocking call"
+            if attr in _DISPATCH_ATTRS:
+                return "solver/executor dispatch"
+            return None
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_NAMES:
+                return "blocking call"
+            if func.id in ctx.params:
+                return "call through parameter (user callback)"
+        return None
+
+    def _check_yield(self, node: ast.AST, ctx: _Ctx) -> None:
+        if not ctx.held or ctx.is_contextmanager:
+            return
+        self._findings.append(
+            diagnostic(
+                "C604",
+                f"generator yields while holding {ctx.held[-1]}; the lock stays "
+                "held for as long as the consumer pauses",
+                span=_span(node, ctx.module.path),
+                hint="snapshot under the lock, then yield outside it",
+                subject=f"{ctx.class_name + '.' if ctx.class_name else ''}{ctx.func_name}",
+            )
+        )
+
+    def _note_field_access(self, node: ast.Attribute, access_ctx: ast.AST, ctx: _Ctx) -> None:
+        if ctx.class_name is None or ctx.func_name == "__init__":
+            return
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        attr = node.attr
+        if (ctx.class_name, attr) in ctx.module.class_locks or attr.startswith("__"):
+            return
+        self._fields.setdefault((ctx.class_name, attr), []).append(
+            _FieldAccess(
+                method=ctx.func_name,
+                is_write=isinstance(access_ctx, (ast.Store, ast.Del)),
+                held=tuple(ctx.held),
+                span=_span(node, ctx.module.path),
+            )
+        )
+
+    # -------------------------------------------------------- corpus checks
+
+    def _guard_inference(self) -> None:
+        for (class_name, attr), accesses in sorted(self._fields.items()):
+            guards = {
+                lock
+                for access in accesses
+                if access.is_write
+                for lock in access.held
+            }
+            if not guards:
+                continue
+            bare = [
+                access
+                for access in accesses
+                if not access.held and not access.method.endswith("_locked")
+            ]
+            if not bare:
+                continue
+            first = min(bare, key=lambda access: (access.span.path or "", access.span.line, access.span.column))
+            guard_list = ", ".join(sorted(guards))
+            self._findings.append(
+                diagnostic(
+                    "C701",
+                    f"field {class_name}.{attr} is written under {guard_list} "
+                    f"but accessed without it in {first.method}()",
+                    span=first.span,
+                    hint="take the guarding lock (or rename the method *_locked if the caller holds it)",
+                    subject=f"{class_name}.{attr}",
+                )
+            )
+
+    def _order_checks(self) -> None:
+        # C603: a nested acquisition that inverts or ties declared ranks.
+        for (held, acquired), span in sorted(
+            self._edges.items(), key=lambda item: ((item[1].path or ""), item[1].line, item[1].column)
+        ):
+            if held == acquired:
+                continue  # the self-edge is reported as a C602 cycle
+            held_rank = rank_of(held, self._order)
+            acquired_rank = rank_of(acquired, self._order)
+            if held_rank is None or acquired_rank is None:
+                continue
+            if held_rank > acquired_rank:
+                self._findings.append(
+                    diagnostic(
+                        "C603",
+                        f"acquiring {acquired} (rank {acquired_rank}) while holding "
+                        f"{held} (rank {held_rank}) inverts LOCK_ORDER",
+                        span=span,
+                        hint="acquire in declared order, or restructure to drop the outer lock first",
+                    )
+                )
+            elif held_rank == acquired_rank:
+                self._findings.append(
+                    diagnostic(
+                        "C603",
+                        f"acquiring {acquired} while holding {held}: same-rank locks "
+                        f"(rank {held_rank}) must never nest",
+                        span=span,
+                        hint="same-rank locks are leaves; never nest them",
+                    )
+                )
+
+        # C602: cycles.  One diagnostic per strongly connected component,
+        # anchored at the component's source-order-last acquisition edge so
+        # the finding is deterministic and fires exactly once.
+        for component in self._cyclic_components():
+            component_edges = [
+                ((held, acquired), span)
+                for (held, acquired), span in self._edges.items()
+                if held in component and acquired in component
+            ]
+            (held, acquired), span = max(
+                component_edges,
+                key=lambda item: ((item[1].path or ""), item[1].line, item[1].column),
+            )
+            cycle = self._cycle_path(held, acquired, component)
+            self._findings.append(
+                diagnostic(
+                    "C602",
+                    "lock-order cycle: " + " -> ".join(cycle),
+                    span=span,
+                    hint="break the cycle by acquiring these locks in one global order",
+                )
+            )
+
+    def _cyclic_components(self) -> List[Set[str]]:
+        """Strongly connected components that contain a cycle (Tarjan)."""
+        adjacency: Dict[str, List[str]] = {}
+        for held, acquired in self._edges:
+            adjacency.setdefault(held, []).append(acquired)
+            adjacency.setdefault(acquired, [])
+        index_of: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        components: List[Set[str]] = []
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan: (node, iterator position) frames.
+            work = [(node, 0)]
+            while work:
+                current, position = work.pop()
+                if position == 0:
+                    index_of[current] = low[current] = counter[0]
+                    counter[0] += 1
+                    stack.append(current)
+                    on_stack.add(current)
+                recurse = False
+                targets = adjacency[current]
+                for offset in range(position, len(targets)):
+                    target = targets[offset]
+                    if target not in index_of:
+                        work.append((current, offset + 1))
+                        work.append((target, 0))
+                        recurse = True
+                        break
+                    if target in on_stack:
+                        low[current] = min(low[current], index_of[target])
+                if recurse:
+                    continue
+                if low[current] == index_of[current]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == current:
+                            break
+                    if len(component) > 1 or (current, current) in self._edges:
+                        components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[current])
+
+        for node in sorted(adjacency):
+            if node not in index_of:
+                strongconnect(node)
+        return components
+
+    def _cycle_path(self, held: str, acquired: str, component: Set[str]) -> List[str]:
+        """A concrete cycle through the anchor edge: held -> acquired -> ... -> held."""
+        if held == acquired:
+            return [held, held]
+        # BFS from `acquired` back to `held` inside the component.
+        parents: Dict[str, str] = {}
+        frontier = [acquired]
+        seen = {acquired}
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for source, target in self._edges:
+                    if source != node or target not in component or target in seen:
+                        continue
+                    parents[target] = node
+                    if target == held:
+                        chain = [held]
+                        while chain[-1] != acquired:
+                            chain.append(parents[chain[-1]])
+                        chain.reverse()  # acquired, ..., held
+                        return [held, *chain]
+                    seen.add(target)
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return [held, acquired, held]
+
+    def _suppression_findings(self) -> None:
+        for module in self._modules:
+            for line, suppression in sorted(module.suppressions.items()):
+                if suppression.reason:
+                    continue
+                self._findings.append(
+                    diagnostic(
+                        "C702",
+                        "lock-ok suppression without a reason",
+                        span=SourceSpan(line=line, column=suppression.column, path=module.path),
+                        hint="write `# lock-ok[CODE]: <why this is safe>`",
+                    )
+                )
+
+    # ---------------------------------------------------------------- output
+
+    def run(self) -> List[Diagnostic]:
+        self._attr_locks.clear()
+        self._edges.clear()
+        self._fields.clear()
+        self._findings.clear()
+        for module in self._modules:
+            self._discover(module)
+        for module in self._modules:
+            self._scan_functions(module)
+        self._guard_inference()
+        self._order_checks()
+        self._suppression_findings()
+        suppressions = {
+            module.path: module.suppressions for module in self._modules
+        }
+        kept: List[Diagnostic] = []
+        for finding in self._findings:
+            span = finding.span or SourceSpan()
+            per_file = suppressions.get(span.path or "", {})
+            suppression = per_file.get(span.line)
+            if (
+                finding.code != "C702"
+                and suppression is not None
+                and (suppression.codes is None or finding.code in suppression.codes)
+            ):
+                continue
+            kept.append(finding)
+        kept.sort(
+            key=lambda finding: (
+                (finding.span.path if finding.span else "") or "",
+                finding.span.line if finding.span else 0,
+                finding.span.column if finding.span else 0,
+                finding.code,
+            )
+        )
+        return kept
+
+    def edges(self) -> Dict[Tuple[str, str], SourceSpan]:
+        """The static lock-order graph (populated by :meth:`run`)."""
+        return dict(self._edges)
+
+
+def lint_source(
+    source: str, path: str = "<source>", order: Optional[Mapping[str, int]] = None
+) -> List[Diagnostic]:
+    """Analyze one source string (the fixture-test entry point)."""
+    linter = LockLinter(order=order)
+    linter.add_source(source, path)
+    return linter.run()
+
+
+def iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Sequence["str | Path"], order: Optional[Mapping[str, int]] = None
+) -> List[Diagnostic]:
+    """Analyze every Python file under ``paths`` as one corpus."""
+    linter = LockLinter(order=order)
+    for file_path in iter_python_files(paths):
+        linter.add_path(file_path)
+    return linter.run()
+
+
+__all__ = [
+    "LockLinter",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

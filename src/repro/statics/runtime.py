@@ -1,0 +1,275 @@
+"""Opt-in runtime lock-graph sanitizer: named locks, observed edges, checks.
+
+Layer contract: this module owns the *runtime* half of the concurrency
+discipline — :func:`named_lock` (the factory every lock site in the serving
+stack constructs its lock through), :class:`InstrumentedLock` (a
+``threading.Lock`` wrapper that records acquisition edges) and the
+process-wide :class:`LockGraph`.  It imports only the standard library plus
+the declarative order manifest (:mod:`repro.statics.order`), so the hot
+modules that call :func:`named_lock` (``worlds/cache.py``,
+``service/session.py``, ``server/manager.py``, ``core/engine.py``,
+``obs/metrics.py``) pay no import weight and — when the sanitizer is off,
+the default — zero runtime overhead: :func:`named_lock` then returns a plain
+``threading.Lock``.
+
+Enabled via ``REPRO_LOCK_GRAPH=1`` in the environment or ``pytest
+--lock-graph`` (see ``tests/conftest.py``), the sanitizer records, per
+thread, the stack of held named locks; every acquisition while other locks
+are held adds ``held -> acquired`` edges to the global graph.  At teardown
+the suite asserts the observed graph is acyclic and that every observed edge
+is covered by the declared :data:`~repro.statics.order.LOCK_ORDER` — the
+runtime complement of the static analyzer, catching the cross-object
+acquisitions (a method call under a lock into another class that locks) that
+AST analysis cannot see.  ``docs/CONCURRENCY.md`` documents how the two
+halves fit together.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from .order import LOCK_ORDER, order_violations
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled = os.environ.get("REPRO_LOCK_GRAPH", "").strip().lower() in _TRUTHY
+
+# Per-thread stack of held named locks (names, in acquisition order).
+_HELD = threading.local()
+
+
+def lock_graph_enabled() -> bool:
+    """Whether :func:`named_lock` currently builds instrumented locks."""
+    return _enabled
+
+
+def enable_lock_graph(enabled: bool = True) -> None:
+    """Turn the sanitizer on (or off) for locks created *from now on*.
+
+    Existing plain locks are not retrofitted, so enable before the objects
+    under test are constructed — the pytest hook does this in
+    ``pytest_configure``, ahead of every fixture.
+    """
+    global _enabled
+    _enabled = enabled
+
+
+def _acquire_site() -> Tuple[str, int]:
+    """The first caller frame outside this module (a real acquisition site,
+    not ``InstrumentedLock.__enter__``)."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:
+        return ("<unknown>", 0)
+    return (frame.f_code.co_filename, frame.f_lineno)
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+class LockGraph:
+    """The process-wide record of observed lock-acquisition edges.
+
+    An edge ``(held, acquired)`` means some thread acquired ``acquired``
+    while holding ``held``; the first acquisition site (file, line) is kept
+    per edge so a violation report points at real code.  The graph's own
+    lock is internal bookkeeping, deliberately not itself instrumented.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def record(self, held: List[str], acquired: str, site: Tuple[str, int]) -> None:
+        if not held:
+            return
+        with self._lock:
+            for name in held:
+                self._edges.setdefault((name, acquired), site)
+
+    def edges(self) -> Dict[Tuple[str, str], Tuple[str, int]]:
+        """A snapshot of every observed edge and its first acquisition site."""
+        with self._lock:
+            return dict(self._edges)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._edges.clear()
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary cycle reachable in the observed graph.
+
+        Iterative DFS with the classic white/grey/black colouring; each cycle
+        is reported once, as the node path that closes it (first node
+        repeated last).  An acyclic observed graph — the sanitizer's core
+        assertion — returns ``[]``.
+        """
+        adjacency: Dict[str, List[str]] = {}
+        for held, acquired in self.edges():
+            adjacency.setdefault(held, []).append(acquired)
+            adjacency.setdefault(acquired, [])
+        for targets in adjacency.values():
+            targets.sort()
+        colour: Dict[str, int] = {node: 0 for node in adjacency}  # 0 white, 1 grey, 2 black
+        found: List[List[str]] = []
+        for root in sorted(adjacency):
+            if colour[root]:
+                continue
+            path: List[str] = []
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                node, index = stack.pop()
+                if index == 0:
+                    colour[node] = 1
+                    path.append(node)
+                targets = adjacency[node]
+                advanced = False
+                for position in range(index, len(targets)):
+                    target = targets[position]
+                    if colour[target] == 1:
+                        cycle = path[path.index(target):] + [target]
+                        if cycle not in found:
+                            found.append(cycle)
+                        continue
+                    if colour[target] == 0:
+                        stack.append((node, position + 1))
+                        stack.append((target, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = 2
+                    path.pop()
+        return found
+
+    def check(self, order: Optional[Mapping[str, int]] = None) -> List[str]:
+        """Every violated invariant as a message; empty means all clear.
+
+        Two families of problem: a cycle in the observed graph (a potential
+        deadlock two suites away from happening) and an observed edge the
+        declared order does not cover — either direction of drift between
+        code and manifest fails.
+        """
+        problems = [
+            "observed lock-acquisition cycle: " + " -> ".join(cycle) for cycle in self.cycles()
+        ]
+        edges = self.edges()
+        for message in order_violations(sorted(edges), LOCK_ORDER if order is None else order):
+            problems.append(message)
+        return problems
+
+    def report(self, order: Optional[Mapping[str, int]] = None) -> str:
+        """A human-readable summary: every edge with its site, then problems."""
+        edges = self.edges()
+        lines = [f"lock graph: {len(edges)} observed acquisition edge(s)"]
+        for (held, acquired), (filename, lineno) in sorted(edges.items()):
+            lines.append(f"  {held} -> {acquired}  (first at {filename}:{lineno})")
+        problems = self.check(order)
+        if problems:
+            lines.append(f"{len(problems)} violation(s):")
+            lines.extend(f"  {problem}" for problem in problems)
+        else:
+            lines.append("acyclic and covered by the declared LOCK_ORDER")
+        return "\n".join(lines)
+
+
+# The process-wide graph every InstrumentedLock records into.
+GLOBAL_LOCK_GRAPH = LockGraph()
+
+
+class InstrumentedLock:
+    """A ``threading.Lock`` that records who it nests under.
+
+    Same blocking semantics as the lock it wraps; on every successful
+    acquisition it appends itself to the thread's held stack and records one
+    edge per lock already held.  Used only when the sanitizer is enabled, so
+    the serving hot paths never pay for the bookkeeping in production.
+    """
+
+    __slots__ = ("name", "_lock", "_graph")
+
+    def __init__(self, name: str, graph: Optional[LockGraph] = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._graph = graph if graph is not None else GLOBAL_LOCK_GRAPH
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            stack = _held_stack()
+            self._graph.record(list(stack), self.name, _acquire_site())
+            stack.append(self.name)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Remove the most recent hold of this name; out-of-order releases
+        # (legal for threading.Lock) still keep the rest of the stack intact.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == self.name:
+                del stack[index]
+                break
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"InstrumentedLock({self.name!r}, locked={self.locked()})"
+
+
+def named_lock(name: str):
+    """The lock for one named site of the declared hierarchy.
+
+    The single constructor every lock in the serving stack goes through:
+    plain ``threading.Lock`` normally (zero overhead, indistinguishable from
+    before), an :class:`InstrumentedLock` recording into the global graph
+    when the sanitizer is enabled.  ``name`` is the site's identity in
+    :data:`~repro.statics.order.LOCK_ORDER` and in every report.
+    """
+    if _enabled:
+        return InstrumentedLock(name)
+    return threading.Lock()
+
+
+def verify_lock_graph(
+    order: Optional[Mapping[str, int]] = None,
+) -> Tuple[Dict[Tuple[str, str], Tuple[str, int]], List[str]]:
+    """The observed edges and every violation against the declared order."""
+    return GLOBAL_LOCK_GRAPH.edges(), GLOBAL_LOCK_GRAPH.check(order)
+
+
+def observed_lock_names() -> Set[str]:
+    """Every lock name that participated in at least one observed edge."""
+    names: Set[str] = set()
+    for held, acquired in GLOBAL_LOCK_GRAPH.edges():
+        names.add(held)
+        names.add(acquired)
+    return names
+
+
+__all__ = [
+    "GLOBAL_LOCK_GRAPH",
+    "InstrumentedLock",
+    "LOCK_ORDER",
+    "LockGraph",
+    "enable_lock_graph",
+    "lock_graph_enabled",
+    "named_lock",
+    "observed_lock_names",
+    "verify_lock_graph",
+]

@@ -63,6 +63,7 @@ from ..logic.syntax import (
 )
 from ..logic.tolerance import ToleranceVector
 from ..logic.vocabulary import Vocabulary
+from ..statics.runtime import named_lock
 
 
 def vocabulary_fingerprint(vocabulary: Vocabulary) -> Tuple:
@@ -337,8 +338,8 @@ class _InFlight:
 
     __slots__ = ("lock", "waiters")
 
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
+    def __init__(self, name: str = "_InFlight.lock") -> None:
+        self.lock = named_lock(name)
         self.waiters = 0
 
 
@@ -395,7 +396,7 @@ class CacheEventLog:
     )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("CacheEventLog._lock")
         for event in self.EVENTS:
             setattr(self, event, 0)
 
@@ -470,7 +471,7 @@ class QueryMemoTable:
         self._maxsize = maxsize
         self._entries: "OrderedDict[MemoKey, Any]" = OrderedDict()
         self._parents: dict[CacheKey, set] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("QueryMemoTable._lock")
         self._inflight: dict[MemoKey, _InFlight] = {}
         self._hits = 0
         self._misses = 0
@@ -500,9 +501,9 @@ class QueryMemoTable:
             if self._maxsize is not None:
                 while len(self._entries) > self._maxsize:
                     evicted_key, _ = self._entries.popitem(last=False)
-                    self._unindex(evicted_key)
+                    self._unindex_locked(evicted_key)
 
-    def _unindex(self, key: MemoKey) -> None:
+    def _unindex_locked(self, key: MemoKey) -> None:
         rows = self._parents.get(key[0])
         if rows is not None:
             rows.discard(key)
@@ -523,7 +524,7 @@ class QueryMemoTable:
         with self._lock:
             entry = self._inflight.get(key)
             if entry is None:
-                entry = _InFlight()
+                entry = _InFlight("QueryMemoTable._inflight")
                 self._inflight[key] = entry
             entry.waiters += 1
         try:
@@ -534,7 +535,7 @@ class QueryMemoTable:
                 with self._lock:
                     self._misses += 1
                 _record("memo_misses")
-                value = compute()
+                value = compute()  # lock-ok[C601]: entry.lock exists to serialise exactly this compute; only same-key callers wait on it
                 self.store(key, value)
                 return value
         finally:
@@ -566,11 +567,13 @@ class QueryMemoTable:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def __len__(self) -> int:
         with self._lock:
@@ -581,10 +584,11 @@ class QueryMemoTable:
             return key in self._entries
 
     def __repr__(self) -> str:
-        return (
-            f"QueryMemoTable(entries={len(self)}, hits={self._hits}, "
-            f"misses={self._misses}, maxsize={self._maxsize})"
-        )
+        with self._lock:
+            return (
+                f"QueryMemoTable(entries={len(self._entries)}, hits={self._hits}, "
+                f"misses={self._misses}, maxsize={self._maxsize})"
+            )
 
 
 # A compiled program's identity: the parent decomposition's cache key plus
@@ -615,7 +619,7 @@ class CompiledProgramCache:
             raise ValueError("maxsize must be positive (or None for unbounded)")
         self._maxsize = maxsize
         self._entries: "OrderedDict[ProgramKey, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = named_lock("CompiledProgramCache._lock")
         self._hits = 0
         self._misses = 0
 
@@ -678,10 +682,11 @@ class CompiledProgramCache:
             return key in self._entries
 
     def __repr__(self) -> str:
-        return (
-            f"CompiledProgramCache(entries={len(self)}, hits={self._hits}, "
-            f"misses={self._misses}, maxsize={self._maxsize})"
-        )
+        with self._lock:
+            return (
+                f"CompiledProgramCache(entries={len(self._entries)}, hits={self._hits}, "
+                f"misses={self._misses}, maxsize={self._maxsize})"
+            )
 
 
 class WorldCountCache:
@@ -737,7 +742,7 @@ class WorldCountCache:
         self._programs = CompiledProgramCache()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._total_classes = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("WorldCountCache._lock")
         self._inflight: dict[CacheKey, _InFlight] = {}
         self._hits = 0
         self._misses = 0
@@ -833,7 +838,7 @@ class WorldCountCache:
         with self._lock:
             entry = self._inflight.get(key)
             if entry is None:
-                entry = _InFlight()
+                entry = _InFlight("WorldCountCache._inflight")
                 self._inflight[key] = entry
             entry.waiters += 1
         holding = False
@@ -980,11 +985,13 @@ class WorldCountCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def __len__(self) -> int:
         with self._lock:

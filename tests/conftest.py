@@ -53,6 +53,35 @@ def pytest_addoption(parser) -> None:
         default=2,
         help="worker-pool width used by the cross-backend equality suite",
     )
+    parser.addoption(
+        "--lock-graph",
+        action="store_true",
+        default=False,
+        help="instrument every named lock and, at session teardown, fail the "
+        "run unless the observed acquisition graph is acyclic and covered by "
+        "the declared LOCK_ORDER (see docs/CONCURRENCY.md)",
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--lock-graph") or os.environ.get("REPRO_LOCK_GRAPH"):
+        # Enable before any fixture constructs the objects under test:
+        # named_lock() only instruments locks created after this point.
+        from repro.statics.runtime import enable_lock_graph
+
+        enable_lock_graph()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    from repro.statics.runtime import GLOBAL_LOCK_GRAPH, lock_graph_enabled
+
+    if not lock_graph_enabled():
+        return
+    problems = GLOBAL_LOCK_GRAPH.check()
+    report = GLOBAL_LOCK_GRAPH.report()
+    print(f"\n{report}")
+    if problems:
+        session.exitstatus = 1
 
 
 def pytest_generate_tests(metafunc) -> None:

@@ -42,6 +42,7 @@ DOCUMENTS = [
     "ROADMAP.md",
     "docs/API.md",
     "docs/ANALYSIS.md",
+    "docs/CONCURRENCY.md",
     "docs/PERFORMANCE.md",
     "docs/DEPLOYMENT.md",
 ]
@@ -181,6 +182,34 @@ def _check_lint(tokens: List[str], errors: List[str]) -> None:
             errors.append(f"documented repro-lint path {token!r} does not exist")
 
 
+def _lint_code_flags() -> set:
+    from repro.statics.cli import build_parser as lint_code_parser
+
+    flags = set()
+    for action in lint_code_parser()._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def _check_lint_code(tokens: List[str], errors: List[str]) -> None:
+    flags = _lint_code_flags()
+    expecting_value = False
+    for token in tokens[1:]:
+        if expecting_value:
+            expecting_value = False
+            continue
+        if token.startswith("--"):
+            flag = token.split("=", 1)[0]
+            if flag not in flags:
+                errors.append(f"repro-lint-code has no flag {flag!r}")
+            elif "=" not in token and flag == "--format":
+                expecting_value = True
+            continue
+        # Every positional is a path for this CLI.
+        if not (REPO_ROOT / token).exists():
+            errors.append(f"documented repro-lint-code path {token!r} does not exist")
+
+
 def _check_curl(tokens: List[str], errors: List[str]) -> None:
     patterns = _route_patterns()
     for token in tokens[1:]:
@@ -197,6 +226,7 @@ _CHECKERS = {
     "repro-experiments": _check_experiments,
     "repro-serve": _check_serve,
     "repro-lint": _check_lint,
+    "repro-lint-code": _check_lint_code,
     "curl": _check_curl,
     "ruff": lambda tokens, errors: None,
 }

@@ -1,144 +1,26 @@
 #!/usr/bin/env python
-"""Exactness lint: keep float contamination out of the counting hot paths.
+"""Exactness lint — thin shim over :mod:`repro.statics.exactness`.
 
-The whole point of the worlds layer is that degrees of belief are *exact*
-rationals — every count is an ``int``, every proportion a ``Fraction`` —
-so a stray ``float(...)`` coercion or float-literal arithmetic inside the
-enumeration/counting hot paths silently trades correctness for nothing.
-This checker walks the AST of the hot-path modules and flags:
-
-* ``float(...)`` calls;
-* float literals used in arithmetic (``x * 0.5`` on a Fraction yields a
-  float, poisoning everything downstream).
-
-Lines that are deliberate (formatting a diagnostic, a documented boundary)
-carry an ``# exact-ok`` comment and are skipped.  Modules that *own* the
-float boundary by design — ``limits.py`` (extrapolation), ``degrees.py``
-(reporting) — are not hot paths and are not checked.
-
-A second pass flags the retired ``max_workers=N`` (N > 1) spelling without
-an explicit ``backend=`` in the same call — in Python sources under
-``src/`` and ``examples/`` and in fenced ``python`` blocks of the Markdown
-docs — since ``EngineOptions`` now rejects it at runtime.
-
-Exit code 1 when anything fired (CI runs this next to ``repro-lint``).
+The checks (X001 float contamination in the counting hot paths, X002 the
+retired bare ``max_workers=N`` spelling) moved into the code-analyzer
+framework and now also run as a pass of ``repro-lint-code``.  This script
+keeps the historical entry point, output format and exit code:
+``relpath:line:col X00n message`` lines plus the
+``N exactness violation(s)`` summary, exit 1 when anything fired.
 """
 
 from __future__ import annotations
 
-import ast
-import re
+import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
 REPO = Path(__file__).resolve().parent.parent
 
-# The counting hot paths: float-free by contract.
-HOT_PATHS = [
-    REPO / "src/repro/worlds/counting.py",
-    REPO / "src/repro/worlds/cache.py",
-    REPO / "src/repro/worlds/compile.py",
-    REPO / "src/repro/worlds/parallel.py",
-]
-
-# Where the retired bare-max_workers spelling is checked.
-WORKER_SOURCE_ROOTS = [REPO / "src", REPO / "examples"]
-DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
-
-EXACT_OK = "# exact-ok"
-
-_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
-_DOC_WORKERS = re.compile(r"max_workers\s*=\s*(\d+)")
-
-
-def _ok_lines(source: str) -> set:
-    return {
-        lineno
-        for lineno, line in enumerate(source.splitlines(), start=1)
-        if EXACT_OK in line
-    }
-
-
-def _float_violations(path: Path) -> Iterator[Tuple[int, int, str]]:
-    source = path.read_text(encoding="utf-8")
-    waived = _ok_lines(source)
-    tree = ast.parse(source, filename=str(path))
-    for node in ast.walk(tree):
-        if getattr(node, "lineno", None) in waived:
-            continue
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "float"
-        ):
-            yield node.lineno, node.col_offset + 1, (
-                "float() coercion in a counting hot path; keep Fractions exact "
-                "(or mark a deliberate boundary with '# exact-ok')"
-            )
-        elif isinstance(node, ast.BinOp):
-            for side in (node.left, node.right):
-                if isinstance(side, ast.Constant) and isinstance(side.value, float):
-                    yield side.lineno, side.col_offset + 1, (
-                        f"float literal {side.value!r} in arithmetic in a counting "
-                        "hot path; use Fraction (or mark with '# exact-ok')"
-                    )
-
-
-def _worker_violations(path: Path) -> Iterator[Tuple[int, int, str]]:
-    source = path.read_text(encoding="utf-8")
-    waived = _ok_lines(source)
-    tree = ast.parse(source, filename=str(path))
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        keywords = {kw.arg for kw in node.keywords if kw.arg}
-        if "backend" in keywords or "options" in keywords:
-            continue
-        for kw in node.keywords:
-            if kw.arg != "max_workers" or kw.lineno in waived:
-                continue
-            value = kw.value
-            if isinstance(value, ast.Constant) and isinstance(value.value, int) and value.value > 1:
-                yield kw.lineno, kw.col_offset + 1, (
-                    f"bare max_workers={value.value} without an explicit backend= "
-                    "(the implied-threads spelling is retired); pass "
-                    "backend=\"threads\" alongside it"
-                )
-
-
-def _doc_violations(path: Path) -> Iterator[Tuple[int, int, str]]:
-    text = path.read_text(encoding="utf-8")
-    for fence in _FENCE.finditer(text):
-        block = fence.group(1)
-        if "backend" in block:
-            continue
-        for match in _DOC_WORKERS.finditer(block):
-            if int(match.group(1)) <= 1:
-                continue
-            line = text.count("\n", 0, fence.start(1) + match.start()) + 1
-            yield line, 1, (
-                f"fenced python block sets max_workers={match.group(1)} without "
-                "backend=; documented examples must use the explicit spelling"
-            )
-
-
-def main() -> int:
-    violations: List[str] = []
-    for path in HOT_PATHS:
-        for line, column, message in _float_violations(path):
-            violations.append(f"{path.relative_to(REPO)}:{line}:{column} X001 {message}")
-    for root in WORKER_SOURCE_ROOTS:
-        for path in sorted(root.rglob("*.py")):
-            for line, column, message in _worker_violations(path):
-                violations.append(f"{path.relative_to(REPO)}:{line}:{column} X002 {message}")
-    for path in DOC_FILES:
-        for line, column, message in _doc_violations(path):
-            violations.append(f"{path.relative_to(REPO)}:{line}:{column} X002 {message}")
-    for violation in violations:
-        print(violation)
-    print(f"{len(violations)} exactness violation(s)")
-    return 1 if violations else 0
-
+try:
+    from repro.statics.exactness import main
+except ImportError:  # running from a checkout without the package installed
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.statics.exactness import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(REPO))

@@ -1,0 +1,63 @@
+"""E28 — record/replay traffic harness: identity and throughput over HTTP.
+
+The serving claim the traffic harness exists to gate: a recorded
+mixed-tenant trace replayed against a live ``repro-serve`` endpoint
+reproduces every recorded answer *Fraction-identically* (volatile timing
+and cache counters aside), including injected mid-stream ``ErrorResponse``
+rows — while the per-session memo keeps sustained replay throughput in
+request-per-millisecond territory once each KB's unique queries are warm.
+
+The trace is synthesized from the seeded scenario corpus with the
+in-process oracle attached, so the replay compares two independently
+constructed engine stacks (oracle session vs. served session) across the
+wire codec.  Throughput and identity counts land in the
+``BENCH_results.json`` metrics block so the serving path trends
+PR-over-PR.
+"""
+
+import time
+
+from conftest import record_metric
+
+from repro.server import Client, SessionManager, serve_in_background
+from repro.traffic import replay_trace, synthesize_trace
+
+# >= 1000 individual query requests, several tenants sharing zipf-skewed
+# corpus KBs, a malformed request injected into ~15% of streams.  Small
+# domain schedule keeps the unique-query warmup in analytic/maxent
+# territory; everything after is memo hits on both sides.
+REQUESTS = 1000
+TENANTS = 4
+KBS = 5
+SEED = 28
+ENGINE = {"domain_sizes": [6, 8]}
+
+
+def test_e28_replay_identity_and_throughput(benchmark):
+    synth_start = time.perf_counter()
+    trace = synthesize_trace(
+        requests=REQUESTS, tenants=TENANTS, kbs=KBS, seed=SEED, engine=ENGINE
+    )
+    synth_elapsed = time.perf_counter() - synth_start
+
+    with serve_in_background(SessionManager(max_sessions=KBS + 2)) as server:
+        client = Client(server.url)
+        report = benchmark.pedantic(
+            lambda: replay_trace(trace, client), rounds=1, iterations=1
+        )
+
+    assert report.ok, [mismatch.describe() for mismatch in report.mismatches[:5]]
+    assert report.requests >= REQUESTS
+    assert report.verified == report.requests  # the oracle answered everything
+    assert report.identical == report.verified  # 100% Fraction-identity
+    assert report.identity_ratio == 1.0
+    assert report.opens == KBS
+
+    record_metric("e28_trace_requests", report.requests)
+    record_metric("e28_trace_events", report.events)
+    record_metric("e28_replay_verified", report.verified)
+    record_metric("e28_replay_identical", report.identical)
+    record_metric("e28_replay_identity_ratio", report.identity_ratio)
+    record_metric("e28_replay_wall_seconds", round(report.wall_s, 6))
+    record_metric("e28_replay_requests_per_second", round(report.requests_per_second, 3))
+    record_metric("e28_synth_seconds", round(synth_elapsed, 6))

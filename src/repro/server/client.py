@@ -27,7 +27,7 @@ from ..core.knowledge_base import KnowledgeBase
 from ..service.messages import BeliefResponse, ErrorResponse, QueryRequest, response_from_dict
 
 RequestLike = Union[QueryRequest, str, Dict[str, Any]]
-KnowledgeBaseWire = Union[KnowledgeBase, str, Sequence[str]]
+KnowledgeBaseWire = Union[KnowledgeBase, str, Sequence[str], Dict[str, Any]]
 
 
 class ServerError(RuntimeError):
@@ -52,9 +52,12 @@ def kb_payload(knowledge_base: KnowledgeBaseWire) -> Union[str, List[str], Dict[
     A :class:`KnowledgeBase` is sent as its sentences' textual forms plus its
     explicit vocabulary — reprs re-parse and the vocabulary rides along, so
     the server reconstructs an identical KB (same fingerprint, even for
-    symbols no sentence mentions).  Strings and sentence lists pass through
+    symbols no sentence mentions).  Strings, sentence lists and dictionaries
+    already in wire form (a recorded trace's ``kb`` payload) pass through
     unchanged.
     """
+    if isinstance(knowledge_base, dict):
+        return dict(knowledge_base)
     if isinstance(knowledge_base, KnowledgeBase):
         vocabulary = knowledge_base.vocabulary
         return {

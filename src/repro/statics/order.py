@@ -16,6 +16,8 @@ and every order-respecting execution deadlock-free.  Locks that share a rank
 The hierarchy, top (outermost) to bottom (leaf), mirrors the serving layers
 — ``docs/CONCURRENCY.md`` is the human-form table:
 
+0. the traffic recorder's event sink (outermost: it wraps whole serving
+   calls and its lock guards only the event list, never nesting),
 1. the HTTP session manager,
 2. the engine's shim-session map,
 3. the belief session's derived-engine/solver state,
@@ -42,6 +44,7 @@ from typing import Iterable, List, Mapping, Optional, Tuple
 # a given ``entry.lock`` belongs to), ranked between the two runtime names it
 # covers so either view refines the same order.
 LOCK_ORDER: Mapping[str, int] = {
+    "TraceRecorder._lock": 5,
     "SessionManager._lock": 10,
     "RandomWorlds._sessions_lock": 20,
     "BeliefSession._lock": 30,

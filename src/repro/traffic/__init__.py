@@ -1,0 +1,33 @@
+"""Record/replay traffic harness for the serving layer.
+
+Layer contract: this package owns *traffic* — the NDJSON trace format
+(:mod:`~repro.traffic.trace`), recorders that capture live
+:class:`~repro.server.client.Client` / :class:`~repro.service.session.BeliefSession`
+interactions (:mod:`~repro.traffic.record`), a synthesizer that emits
+mixed-tenant traces from the scenario corpus (:mod:`~repro.traffic.synth`)
+and a replayer that drives ``repro-serve`` or an in-process
+:class:`~repro.server.manager.SessionManager` at configurable pacing while
+verifying every replayed answer against the recorded/oracle one
+(:mod:`~repro.traffic.replay`).  It performs no inference of its own and
+adds nothing to the wire format — every payload it writes is exactly a
+:mod:`repro.service.messages` ``to_dict()``.
+
+The ``repro-traffic`` console script (:mod:`~repro.traffic.cli`) exposes
+``record``, ``synth`` and ``replay``; experiment E28
+(``benchmarks/bench_e28_traffic_replay.py``) gates replay identity and
+throughput.  See docs/WORKLOADS.md for the trace schema.
+"""
+
+from .record import RecordingClient, RecordingSession, TraceRecorder, record_script
+from .replay import InProcessTarget, ReplayMismatch, ReplayReport, replay_trace, strip_volatile
+from .synth import MALFORMED_QUERY, synthesize_trace
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    dump_line,
+    load_line,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,188 @@
+"""The ``repro-traffic`` console entry point: ``synth`` / ``record`` / ``replay``.
+
+Layer contract: flag parsing and file plumbing only — every subcommand maps
+onto one public function of this package (:func:`synthesize_trace`,
+:class:`~repro.traffic.record.RecordingClient` over a replay, and
+:func:`~repro.traffic.replay.replay_trace`), so the CLI adds no traffic
+semantics of its own.  Targets are either a live ``repro-serve`` URL
+(``--url``) or an ephemeral in-process manager (``--in-process``, the
+default).  ``docs/WORKLOADS.md`` documents the workflows; the
+docs-freshness suite validates its examples against this parser.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from .record import record_script
+from .replay import InProcessTarget, replay_trace
+from .synth import synthesize_trace
+from .trace import read_trace, write_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-traffic`` argument parser (exposed for the docs checks)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Synthesize, record and replay serving traffic as NDJSON traces.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synth = commands.add_parser(
+        "synth",
+        help="emit a mixed-tenant trace from the scenario corpus",
+        description="Synthesize a deterministic mixed-tenant trace from the seeded "
+        "scenario corpus; with the oracle on (default), every request carries the "
+        "exact in-process answer a replay can verify against.",
+    )
+    synth.add_argument("--out", default="-", metavar="FILE", help="output path ('-' = stdout)")
+    synth.add_argument("--requests", type=int, default=100, help="minimum total query requests (default: %(default)s)")
+    synth.add_argument("--tenants", type=int, default=3, help="number of tenants (default: %(default)s)")
+    synth.add_argument("--kbs", type=int, default=6, help="distinct corpus KBs (default: %(default)s)")
+    synth.add_argument(
+        "--families", nargs="*", default=None, metavar="NAME",
+        help="corpus families to draw from (default: all)",
+    )
+    synth.add_argument("--seed", type=int, default=0, help="corpus/trace seed (default: %(default)s)")
+    synth.add_argument("--zipf", type=float, default=1.1, help="KB popularity skew (default: %(default)s)")
+    synth.add_argument("--batch-size", type=int, default=4, help="max batch/stream length (default: %(default)s)")
+    synth.add_argument(
+        "--error-rate", type=float, default=0.15,
+        help="probability a stream carries one malformed request (default: %(default)s)",
+    )
+    synth.add_argument(
+        "--gap-ms", type=float, default=5.0,
+        help="mean inter-event gap in the recorded timeline (default: %(default)s)",
+    )
+    synth.add_argument(
+        "--no-oracle", action="store_true",
+        help="emit a script (no recorded answers; touches no engine)",
+    )
+    synth.add_argument(
+        "--domain-sizes", default=None, metavar="N,N,...",
+        help="engine domain-size schedule stamped onto open events",
+    )
+
+    record = commands.add_parser(
+        "record",
+        help="execute a script trace against a target, recording the answers",
+        description="Execute a script trace (requests without responses) against a "
+        "target, recording every answer; the output is a recording the replayer "
+        "can verify against.",
+    )
+    record.add_argument("trace", help="input script trace (NDJSON)")
+    record.add_argument("--out", default="-", metavar="FILE", help="output path ('-' = stdout)")
+    _add_target_arguments(record)
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a trace against a target, verifying response identity",
+        description="Replay a recorded trace against a target — each tenant's events "
+        "in order, tenants concurrently — verifying every replayed answer is "
+        "Fraction-identical to the recorded one; prints a JSON report and exits "
+        "non-zero on any mismatch.",
+    )
+    replay.add_argument("trace", help="input trace (NDJSON)")
+    replay.add_argument(
+        "--pace", type=float, default=None, metavar="FACTOR",
+        help="speed factor against the recorded timeline (default: as fast as possible)",
+    )
+    replay.add_argument(
+        "--serial", action="store_true",
+        help="replay tenants one after another instead of concurrently",
+    )
+    replay.add_argument("--no-verify", action="store_true", help="execute without comparing against recorded answers")
+    _add_target_arguments(replay)
+    return parser
+
+
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    target = parser.add_mutually_exclusive_group()
+    target.add_argument("--url", default=None, help="base URL of a running repro-serve instance")
+    target.add_argument(
+        "--in-process",
+        action="store_true",
+        help="drive an ephemeral in-process session manager (the default)",
+    )
+
+
+def _make_target(args: argparse.Namespace) -> Any:
+    if args.url:
+        from ..server.client import Client
+
+        return Client(args.url)
+    return InProcessTarget()
+
+
+def _write_events(args: argparse.Namespace, events: List[Any]) -> None:
+    if args.out == "-":
+        write_trace(sys.stdout, events)
+    else:
+        write_trace(args.out, events)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "synth":
+        engine = None
+        if args.domain_sizes:
+            try:
+                engine = {"domain_sizes": [int(n) for n in args.domain_sizes.split(",") if n.strip()]}
+            except ValueError:
+                parser.error(f"--domain-sizes must be comma-separated integers, got {args.domain_sizes!r}")
+        try:
+            events = synthesize_trace(
+                requests=args.requests,
+                tenants=args.tenants,
+                kbs=args.kbs,
+                families=args.families or None,
+                seed=args.seed,
+                zipf=args.zipf,
+                batch_size=args.batch_size,
+                error_rate=args.error_rate,
+                gap_ms=args.gap_ms,
+                oracle=not args.no_oracle,
+                engine=engine,
+            )
+        except (KeyError, ValueError) as error:
+            parser.error(str(error))
+        _write_events(args, events)
+        return 0
+
+    events = read_trace(args.trace)
+
+    if args.command == "record":
+        target = _make_target(args)
+        try:
+            recording = record_script(events, target)
+        finally:
+            if isinstance(target, InProcessTarget):
+                target.close()
+        _write_events(args, recording)
+        return 0
+
+    # replay
+    target = _make_target(args)
+    try:
+        report = replay_trace(
+            events,
+            target,
+            pace=args.pace,
+            concurrent_tenants=not args.serial,
+            verify=not args.no_verify,
+        )
+    finally:
+        if isinstance(target, InProcessTarget):
+            target.close()
+    json.dump(report.to_dict(), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

@@ -1,0 +1,337 @@
+"""Replay a recorded trace against a serving target, verifying identity.
+
+The replayer drives either a live ``repro-serve`` endpoint (any object with
+the :class:`~repro.server.client.Client` verbs) or an in-process
+:class:`~repro.server.manager.SessionManager` wrapped in
+:class:`InProcessTarget`.  Opens happen serially in trace order (sessions
+are fingerprint-idempotent, so a shared KB opens once); request events then
+replay per tenant — each tenant's events in recorded order, tenants
+concurrently when asked — at configurable pacing.
+
+Verification is codec-level: every replayed response's ``to_dict()`` must
+equal the recorded one after :func:`strip_volatile` drops wall-clock timing
+(and, by default, cache counters, which depend on arrival interleaving).
+Result payloads carry tagged exact-Fraction encodings, so a match means the
+replayed probability is *Fraction-identical* to the recorded one, not
+merely close.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..service.messages import QueryRequest
+from .trace import TraceEvent
+
+_VOLATILE_KEYS = ("elapsed_ms",)
+
+
+def strip_volatile(row: Mapping[str, Any], *, keep_cache_delta: bool = False) -> Dict[str, Any]:
+    """A response row without the fields that legitimately differ on replay.
+
+    ``elapsed_ms`` is wall-clock and always dropped.  ``cache_delta``
+    depends on which request of a session got there first — identical
+    traffic replayed with different interleaving attributes hits and misses
+    differently — so it is dropped too unless ``keep_cache_delta`` pins it
+    (meaningful only for strictly serial replays).
+    """
+    stripped = {key: value for key, value in row.items() if key not in _VOLATILE_KEYS}
+    if not keep_cache_delta:
+        stripped.pop("cache_delta", None)
+    return stripped
+
+
+@dataclass(frozen=True)
+class ReplayMismatch:
+    """One replayed response that differs from the recorded one."""
+
+    tenant: str
+    session: str
+    kind: str
+    request_id: str
+    expected: Mapping[str, Any]
+    actual: Mapping[str, Any]
+
+    def describe(self) -> str:
+        return (
+            f"[{self.tenant}] {self.kind} {self.request_id!r} on session "
+            f"{self.session}: replayed response differs from recorded"
+        )
+
+
+@dataclass
+class ReplayReport:
+    """What a replay did and how faithfully the target reproduced it.
+
+    ``requests`` counts individual query requests executed; ``verified``
+    those that had a recorded answer to compare against; ``identical`` the
+    verified ones that matched after :func:`strip_volatile`.
+    """
+
+    events: int = 0
+    opens: int = 0
+    requests: int = 0
+    verified: int = 0
+    identical: int = 0
+    wall_s: float = 0.0
+    mismatches: List[ReplayMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def identity_ratio(self) -> float:
+        return self.identical / self.verified if self.verified else 1.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": self.events,
+            "opens": self.opens,
+            "requests": self.requests,
+            "verified": self.verified,
+            "identical": self.identical,
+            "identity_ratio": self.identity_ratio,
+            "wall_s": self.wall_s,
+            "requests_per_second": self.requests_per_second,
+            "mismatches": [mismatch.describe() for mismatch in self.mismatches],
+        }
+
+
+class InProcessTarget:
+    """Client-verb adapter over an in-process :class:`SessionManager`.
+
+    Speaks exactly the verbs the replayer (and :class:`RecordingClient`)
+    use — ``open_session_info`` / ``query`` / ``query_batch`` / ``stream``
+    — against a manager in this process, decoding KB wire payloads with the
+    same helper the HTTP route uses.  Owns the manager it creates (use as a
+    context manager), borrows one passed in.
+    """
+
+    def __init__(self, manager: Optional[Any] = None, **manager_options: Any):
+        from ..server.manager import SessionManager
+
+        self._owns = manager is None
+        self.manager = SessionManager(**manager_options) if manager is None else manager
+
+    def open_session_info(
+        self,
+        knowledge_base: Any,
+        *,
+        engine: Optional[Dict[str, Any]] = None,
+        consistency_check: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        from ..server.app import _decode_kb
+
+        entry, created = self.manager.open(
+            _decode_kb(knowledge_base),
+            engine_options=engine,
+            consistency_check=consistency_check,
+        )
+        return {"session_id": entry.session_id, "created": created}
+
+    def open_session(self, knowledge_base: Any, **options: Any) -> str:
+        return self.open_session_info(knowledge_base, **options)["session_id"]
+
+    def query(self, session_id: str, request: Any):
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            return session.submit(request)
+
+    def query_batch(self, session_id: str, requests: Sequence[Any]) -> List[Any]:
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            return session.submit_many(list(requests))
+
+    def stream(self, session_id: str, requests: Sequence[Any]):
+        with self.manager.admit(), self.manager.lease(session_id) as session:
+            yield from session.stream(list(requests), on_error="respond")
+
+    def close(self) -> None:
+        if self._owns:
+            self.manager.close()
+
+    def __enter__(self) -> "InProcessTarget":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _request_rows(event: TraceEvent) -> List[Mapping[str, Any]]:
+    if event.kind == "query":
+        return [event.payload["request"]]
+    return list(event.payload.get("requests", ()))
+
+
+def _recorded_rows(event: TraceEvent) -> Optional[List[Mapping[str, Any]]]:
+    if event.kind == "query":
+        response = event.payload.get("response")
+        return None if response is None else [response]
+    responses = event.payload.get("responses")
+    return None if responses is None else list(responses)
+
+
+@dataclass
+class _TenantTally:
+    """One replay thread's private counters, merged into the report after join."""
+
+    requests: int = 0
+    verified: int = 0
+    identical: int = 0
+    mismatches: List[ReplayMismatch] = field(default_factory=list)
+
+
+def _replay_event(
+    event: TraceEvent,
+    target: Any,
+    session_id: str,
+    tally: _TenantTally,
+    *,
+    verify: bool,
+    keep_cache_delta: bool,
+) -> None:
+    requests = [QueryRequest.from_dict(row) for row in _request_rows(event)]
+    if event.kind == "query":
+        responses = [target.query(session_id, requests[0])]
+    elif event.kind == "query_batch":
+        responses = list(target.query_batch(session_id, requests))
+    else:
+        responses = list(target.stream(session_id, requests))
+    tally.requests += len(requests)
+    recorded = _recorded_rows(event) if verify else None
+    if recorded is None:
+        return
+    replayed = [response.to_dict() for response in responses]
+    # Compare positionally; a row-count difference marks every recorded row.
+    for position, expected in enumerate(recorded):
+        tally.verified += 1
+        actual = replayed[position] if position < len(replayed) else {}
+        if strip_volatile(expected, keep_cache_delta=keep_cache_delta) == strip_volatile(
+            actual, keep_cache_delta=keep_cache_delta
+        ):
+            tally.identical += 1
+        else:
+            tally.mismatches.append(
+                ReplayMismatch(
+                    tenant=event.tenant,
+                    session=event.session,
+                    kind=event.kind,
+                    request_id=str(expected.get("request_id", "")),
+                    expected=expected,
+                    actual=actual,
+                )
+            )
+
+
+def replay_trace(
+    events: Sequence[TraceEvent],
+    target: Any,
+    *,
+    pace: Optional[float] = None,
+    concurrent_tenants: bool = True,
+    verify: bool = True,
+    keep_cache_delta: bool = False,
+) -> ReplayReport:
+    """Replay a trace against a target and report identity and throughput.
+
+    Parameters
+    ----------
+    events:
+        The trace, in recorded order (``open`` events must precede the
+        requests that use their session, as recorders guarantee).
+    target:
+        Anything with the client verbs — a
+        :class:`~repro.server.client.Client`, an :class:`InProcessTarget`,
+        or a :class:`~repro.traffic.record.RecordingClient` wrapping either
+        (re-recording while replaying).
+    pace:
+        ``None`` replays as fast as possible; a float is a speed factor
+        against the recorded ``at_ms`` timeline (``1.0`` = recorded pacing,
+        ``10.0`` = ten times faster).
+    concurrent_tenants:
+        Replay each tenant on its own thread (the default).  Each tenant's
+        events stay in recorded order either way.
+    verify:
+        Compare replayed responses against recorded ones where present.
+        Script traces (no recorded responses) simply execute.
+    keep_cache_delta:
+        Also require recorded cache counters to match — meaningful only
+        for serial replays of serially recorded traces.
+    """
+    report = ReplayReport()
+    report.events = len(events)
+    started = time.perf_counter()
+
+    # Serial pre-pass: open every session in trace order.  Opens are
+    # idempotent on the KB fingerprint, so one open per recorded session
+    # reference suffices; the map is then read-only for the request phase.
+    session_map: Dict[str, str] = {}
+    per_tenant: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        if event.kind == "open":
+            if event.session not in session_map:
+                engine = event.payload.get("engine")
+                session_map[event.session] = target.open_session(
+                    event.payload["kb"], engine=dict(engine) if engine else None
+                )
+                report.opens += 1
+        else:
+            per_tenant.setdefault(event.tenant, []).append(event)
+
+    def run_tenant(tenant_events: List[TraceEvent]) -> _TenantTally:
+        tally = _TenantTally()
+        for event in tenant_events:
+            if pace is not None and pace > 0:
+                due = started + (event.at_ms / 1000.0) / pace
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            session_id = session_map.get(event.session, event.session)
+            _replay_event(
+                event,
+                target,
+                session_id,
+                tally,
+                verify=verify,
+                keep_cache_delta=keep_cache_delta,
+            )
+        return tally
+
+    tenant_batches = list(per_tenant.values())
+    tallies: List[_TenantTally] = [_TenantTally() for _ in tenant_batches]
+    if concurrent_tenants and len(tenant_batches) > 1:
+        errors: List[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                tallies[index] = run_tenant(tenant_batches[index])
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,), name=f"replay-{index}")
+            for index in range(len(tenant_batches))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+    else:
+        for index, tenant_events in enumerate(tenant_batches):
+            tallies[index] = run_tenant(tenant_events)
+
+    for tally in tallies:
+        report.requests += tally.requests
+        report.verified += tally.verified
+        report.identical += tally.identical
+        report.mismatches.extend(tally.mismatches)
+    report.wall_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,203 @@
+"""Synthesize mixed-tenant serving traffic from the scenario corpus.
+
+:func:`synthesize_trace` emits a deterministic NDJSON-ready event list: a
+handful of corpus KBs shared by several tenants, popularity skewed by a
+zipf law (rank ``r`` drawn with weight ``1/(r+1)**zipf``), verbs mixed
+between single queries, batches and streams, and — at a configurable rate
+— one malformed query injected mid-stream so a replay exercises the
+``ErrorResponse`` row path.  Request ids are caller-chosen
+(``{tenant}-{n}``), which the service echoes verbatim, so identity holds
+even when a replayer runs tenants concurrently.
+
+With ``oracle=True`` (the default) every request event also carries the
+answer a fresh in-process :class:`~repro.service.session.BeliefSession`
+gives — exact-Fraction payloads a replay can verify against byte for byte
+(volatile fields aside).  With ``oracle=False`` the output is a *script*
+(no responses) and the function touches no engine at all, so the event
+stream is byte-deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..service.messages import QueryRequest
+from ..workloads.corpus import Scenario, sample
+from .trace import TraceEvent
+
+# A query no parser accepts: injected mid-stream to exercise the
+# ErrorResponse row path on record and replay.
+MALFORMED_QUERY = ")("
+
+_KIND_WEIGHTS = {"query": 6, "query_batch": 2, "stream": 2}
+
+
+def _zipf_pick(rng: random.Random, scenarios: Sequence[Scenario], zipf: float) -> Scenario:
+    weights = [1.0 / (rank + 1) ** zipf for rank in range(len(scenarios))]
+    return rng.choices(scenarios, weights=weights, k=1)[0]
+
+
+def synthesize_trace(
+    *,
+    requests: int = 100,
+    tenants: int = 3,
+    kbs: int = 6,
+    families: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    zipf: float = 1.1,
+    mix: Optional[Mapping[str, float]] = None,
+    batch_size: int = 4,
+    error_rate: float = 0.15,
+    gap_ms: float = 5.0,
+    oracle: bool = True,
+    engine: Optional[Mapping[str, Any]] = None,
+) -> List[TraceEvent]:
+    """A mixed-tenant trace of at least ``requests`` query requests.
+
+    Parameters
+    ----------
+    requests:
+        Minimum total number of individual query requests across all
+        events (a batch of 4 counts as 4); generation stops at the first
+        event that reaches it.
+    tenants / kbs / families / seed:
+        ``tenants`` round-robin tenant labels over ``kbs`` corpus
+        scenarios drawn by :func:`repro.workloads.corpus.sample` from
+        ``families`` (default: all) — everything keyed off ``seed``.
+    zipf:
+        Popularity skew across the KB ranks; 0 is uniform.
+    mix:
+        Relative weights for the ``query`` / ``query_batch`` / ``stream``
+        verbs (default 6/2/2).
+    batch_size:
+        Upper bound on batch and stream lengths (drawn from 2..batch_size).
+    error_rate:
+        Probability a stream event carries one malformed request.
+    gap_ms:
+        Mean inter-event gap; ``at_ms`` advances by a deterministic
+        exponential draw per event, so a paced replay reproduces the
+        arrival process.
+    oracle:
+        Attach exact recorded answers (opens one in-process session per
+        scenario).  ``False`` emits a script instead.
+    engine:
+        Wire-shaped engine options stamped onto every ``open`` event and
+        used by the oracle sessions, so replay targets build identical
+        engines (e.g. ``{"domain_sizes": [6, 8]}``).
+    """
+    if requests < 1:
+        raise ValueError("requests must be at least 1")
+    if tenants < 1:
+        raise ValueError("tenants must be at least 1")
+    if batch_size < 2:
+        raise ValueError("batch_size must be at least 2")
+    weights = dict(_KIND_WEIGHTS if mix is None else mix)
+    unknown = sorted(set(weights) - set(_KIND_WEIGHTS))
+    if unknown:
+        raise ValueError(f"unknown mix kind(s): {', '.join(unknown)}")
+    kinds = [kind for kind in _KIND_WEIGHTS if weights.get(kind, 0) > 0]
+    kind_weights = [float(weights[kind]) for kind in kinds]
+    if not kinds:
+        raise ValueError("mix must give at least one verb a positive weight")
+
+    rng = random.Random(f"synth:{seed}")
+    scenarios = sample(kbs, families=families, seed=seed)
+
+    sessions: Dict[str, Any] = {}
+    try:
+        if oracle:
+            from ..server.manager import normalise_engine_options
+            from ..service.session import open_session
+
+            options = normalise_engine_options(dict(engine) if engine else None)
+            for scenario in scenarios:
+                sessions[scenario.fingerprint] = open_session(
+                    scenario.knowledge_base, **options
+                )
+
+        events: List[TraceEvent] = []
+        opened: set = set()
+        counters = {f"tenant{i}": 0 for i in range(tenants)}
+        tenant_names = sorted(counters)
+        at_ms = 0.0
+        emitted = 0
+        turn = 0
+
+        def next_request(tenant: str, scenario: Scenario, malformed: bool = False) -> QueryRequest:
+            counters[tenant] += 1
+            query = MALFORMED_QUERY if malformed else rng.choice(scenario.queries)
+            return QueryRequest(query=query, request_id=f"{tenant}-{counters[tenant]}")
+
+        while emitted < requests:
+            tenant = tenant_names[turn % tenants]
+            turn += 1
+            scenario = _zipf_pick(rng, scenarios, zipf)
+            at_ms += rng.expovariate(1.0 / gap_ms) if gap_ms > 0 else 0.0
+            if scenario.fingerprint not in opened:
+                opened.add(scenario.fingerprint)
+                payload: Dict[str, Any] = {"kb": _kb_payload(scenario)}
+                if engine:
+                    payload["engine"] = dict(engine)
+                events.append(
+                    TraceEvent(
+                        kind="open",
+                        tenant=tenant,
+                        at_ms=at_ms,
+                        session=scenario.fingerprint,
+                        payload=payload,
+                    )
+                )
+                at_ms += rng.expovariate(1.0 / gap_ms) if gap_ms > 0 else 0.0
+            kind = rng.choices(kinds, weights=kind_weights, k=1)[0]
+            session = sessions.get(scenario.fingerprint)
+            if kind == "query":
+                request = next_request(tenant, scenario)
+                payload = {"request": request.to_dict()}
+                if session is not None:
+                    payload["response"] = session.submit(request).to_dict()
+                emitted += 1
+            elif kind == "query_batch":
+                batch = [
+                    next_request(tenant, scenario)
+                    for _ in range(rng.randint(2, batch_size))
+                ]
+                payload = {"requests": [request.to_dict() for request in batch]}
+                if session is not None:
+                    payload["responses"] = [
+                        response.to_dict() for response in session.submit_many(batch)
+                    ]
+                emitted += len(batch)
+            else:
+                batch = [
+                    next_request(tenant, scenario)
+                    for _ in range(rng.randint(2, batch_size))
+                ]
+                if rng.random() < error_rate:
+                    slot = rng.randrange(len(batch))
+                    batch[slot] = next_request(tenant, scenario, malformed=True)
+                payload = {"requests": [request.to_dict() for request in batch]}
+                if session is not None:
+                    payload["responses"] = [
+                        row.to_dict() for row in session.stream(batch, on_error="respond")
+                    ]
+                emitted += len(batch)
+            events.append(
+                TraceEvent(
+                    kind=kind,
+                    tenant=tenant,
+                    at_ms=at_ms,
+                    session=scenario.fingerprint,
+                    payload=payload,
+                )
+            )
+        return events
+    finally:
+        for session in sessions.values():
+            session.close()
+
+
+def _kb_payload(scenario: Scenario) -> Any:
+    from ..server.client import kb_payload
+
+    return kb_payload(scenario.knowledge_base)

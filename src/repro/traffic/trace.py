@@ -1,0 +1,131 @@
+"""The NDJSON trace format: one serving-layer event per line.
+
+A trace is a sequence of :class:`TraceEvent` rows, one JSON object per
+line, ordered by ``at_ms`` (milliseconds relative to the start of the
+trace).  Four kinds mirror the serving verbs:
+
+``open``
+    ``{"kind": "open", "tenant", "at_ms", "session", "kb", "engine"?}`` —
+    the KB in its wire form (:func:`repro.server.client.kb_payload`), plus
+    optional wire engine options.  ``session`` is the *recorded* session
+    reference; the replayer maps it to whatever id the target assigns.
+``query``
+    one :class:`~repro.service.messages.QueryRequest` ``to_dict()`` under
+    ``"request"``, and — when the trace carries answers — the recorded
+    :class:`~repro.service.messages.BeliefResponse` under ``"response"``.
+``query_batch``
+    ``"requests"`` / ``"responses"`` lists, responses in request order.
+``stream``
+    ``"requests"`` plus ``"responses"`` rows in arrival order; rows may be
+    ``ErrorResponse`` payloads mid-stream (the ``"error"`` key
+    discriminates, exactly as on the NDJSON streaming route).
+
+A trace whose request events carry no ``response`` is a **script** (a
+workload to execute — what ``repro-traffic synth --no-oracle`` emits and
+``repro-traffic record`` consumes); one with responses is a **recording**
+the replayer can verify against.  Serialization is byte-deterministic:
+:func:`dump_line` sorts keys, so identical events always produce identical
+bytes (the determinism tests and the corpus fingerprints rely on it).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterable, List, Mapping, Union
+
+TRACE_SCHEMA_VERSION = 1
+
+EVENT_KINDS = ("open", "query", "query_batch", "stream")
+
+# The flattened-row keys owned by the event envelope; everything else in a
+# row is kind-specific payload.
+_ENVELOPE_KEYS = ("schema", "kind", "tenant", "at_ms", "session")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One serving-layer event: envelope fields plus kind-specific payload.
+
+    ``payload`` holds the kind-specific keys (``kb``/``engine`` for opens,
+    ``request``/``response`` for queries, ``requests``/``responses`` for
+    batches and streams) exactly as they serialize — JSON-compatible
+    primitives only, so a round trip through :func:`dump_line` /
+    :func:`load_line` is the identity.
+    """
+
+    kind: str
+    tenant: str
+    at_ms: float
+    session: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got {self.kind!r}")
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "at_ms": self.at_ms,
+            "session": self.session,
+        }
+        for key, value in self.payload.items():
+            if key in _ENVELOPE_KEYS:
+                raise ValueError(f"payload key {key!r} collides with the event envelope")
+            row[key] = value
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            kind=row["kind"],
+            tenant=row.get("tenant", "default"),
+            at_ms=float(row.get("at_ms", 0.0)),
+            session=row.get("session", ""),
+            payload={key: value for key, value in row.items() if key not in _ENVELOPE_KEYS},
+        )
+
+
+def dump_line(event: TraceEvent) -> str:
+    """One NDJSON line (no trailing newline), byte-deterministic."""
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def load_line(line: Union[str, bytes]) -> TraceEvent:
+    """Invert :func:`dump_line`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    return TraceEvent.from_dict(json.loads(line))
+
+
+def write_trace(target: Union[str, IO[str]], events: Iterable[TraceEvent]) -> int:
+    """Write events as NDJSON to a path or text handle; returns the row count."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_trace(handle, events)
+    count = 0
+    for event in events:
+        target.write(dump_line(event))
+        target.write("\n")
+        count += 1
+    return count
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Read an NDJSON trace from a path, text handle, or NDJSON string."""
+    if isinstance(source, str):
+        if "\n" in source or source.strip().startswith("{"):
+            return read_trace(io.StringIO(source))
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace(handle)
+    events = []
+    for line in source:
+        line = line.strip()
+        if line:
+            events.append(load_line(line))
+    return events

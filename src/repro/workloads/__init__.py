@@ -1,6 +1,22 @@
-"""Workloads: the paper's knowledge bases and parametric generators."""
+"""Workloads: the paper's knowledge bases, parametric generators, and the corpus.
+
+The scenario corpus (:mod:`~repro.workloads.corpus`) is the seeded registry
+of generated KB families the fuzzed metamorphic suite and the traffic
+synthesizer (:mod:`repro.traffic`) both draw from; see docs/WORKLOADS.md.
+"""
 
 from . import paper_kbs
+from .corpus import (
+    Expectation,
+    Knob,
+    Scenario,
+    ScenarioFamily,
+    build,
+    families,
+    family,
+    family_names,
+    sample,
+)
 from .generators import (
     GeneratedDirectInference,
     competing_classes_kb,

@@ -1,0 +1,444 @@
+"""The seeded scenario corpus: knob-sized KB families beyond the paper's 23.
+
+The ROADMAP's production story needs arbitrary workloads, not just the
+hand-crafted benchmark KBs.  This module is a registry of **scenario
+families** — deep and branching taxonomies, diagnosis networks, lottery
+variants, competing-reference-class grids, and adversarial
+near-inconsistent KBs — each of which turns ``(seed, knobs)`` into a frozen
+:class:`Scenario`: a knowledge base, a set of representative query texts,
+and (where one of the paper's theorems predicts the answer) exact
+:class:`~fractions.Fraction` expectations.
+
+Determinism contract: ``build(family, seed, **knobs)`` is **byte
+deterministic** — the same arguments always produce the identical sentence
+reprs and therefore the identical KB fingerprint, across processes and
+Python versions (only :class:`random.Random`, seeded from the family name
+and seed, is consulted).  Distinct seeds always produce distinct
+fingerprints: every family mints its query individual's constant from the
+seed (``Holder17``, ``Case3``, ...), the way distinct tenants name distinct
+individuals.  Statistic values are drawn from exact rational grids and
+emitted as ``num/den`` literals, so the parsed KBs carry exact
+``Fraction`` statistics — no float rounding anywhere.
+
+The metamorphic law suite (``tests/test_metamorphic_laws.py``) fuzzes the
+probability-law oracle over this corpus via hypothesis, sized by the
+``--corpus-examples`` pytest knob; the traffic synthesizer
+(:mod:`repro.traffic.synth`) draws mixed-tenant query streams from it.
+See docs/WORKLOADS.md for the family registry and knob tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.knowledge_base import KnowledgeBase
+from .generators import competing_classes_kb, lottery_kb, taxonomy_chain
+
+__all__ = [
+    "Expectation",
+    "Knob",
+    "Scenario",
+    "ScenarioFamily",
+    "build",
+    "default_knobs",
+    "families",
+    "family",
+    "family_names",
+    "sample",
+]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """A theory-predicted answer for one of a scenario's queries.
+
+    ``value`` is the exact predicted degree of belief and ``source`` names
+    the theorem (or closed form) that predicts it — e.g. ``"direct
+    inference (Theorem 5.6)"``.  Expectations describe the *limiting*
+    degree of belief; finite-grid counting approximates it, the analytic
+    engine paths hit it exactly.
+    """
+
+    query: str
+    value: Fraction
+    source: str
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One frozen, reproducible workload: a KB plus representative queries.
+
+    ``knobs`` and ``expectations`` are tuples (not dicts) so the scenario is
+    immutable end to end; use :meth:`knob` / :meth:`expectation_for` for
+    keyed access.  ``fingerprint`` is the KB fingerprint
+    (:func:`repro.service.kb_fingerprint`), the corpus's identity key.
+    ``min_domain`` is the smallest domain size at which the KB is
+    satisfiable (the lottery needs at least its ticket count); smaller grid
+    points are well-defined but conditioned on an empty set of worlds.
+    """
+
+    family: str
+    seed: int
+    knobs: Tuple[Tuple[str, int], ...]
+    knowledge_base: KnowledgeBase
+    queries: Tuple[str, ...]
+    expectations: Tuple[Expectation, ...] = ()
+    fingerprint: str = ""
+    min_domain: int = 1
+
+    def knob(self, name: str) -> int:
+        for key, value in self.knobs:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def expectation_for(self, query: str) -> Optional[Expectation]:
+        for expectation in self.expectations:
+            if expectation.query == query:
+                return expectation
+        return None
+
+    def __repr__(self) -> str:
+        knobs = ", ".join(f"{k}={v}" for k, v in self.knobs)
+        return f"Scenario({self.family}, seed={self.seed}, {knobs}, fingerprint={self.fingerprint!r})"
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One integer-sized dial of a family, with its inclusive sampling range."""
+
+    name: str
+    default: int
+    low: int
+    high: int
+
+
+# A family builder receives the seeded rng and the resolved knob values and
+# returns (sentences, queries, expectations, min_domain).
+_Draft = Tuple[List[str], List[str], List[Expectation], int]
+_Builder = Callable[[random.Random, Dict[str, int]], _Draft]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A registered generator of scenarios: knobs + a seeded builder."""
+
+    name: str
+    description: str
+    knobs: Tuple[Knob, ...]
+    builder: _Builder = field(repr=False)
+
+    def knob_defaults(self) -> Dict[str, int]:
+        return {knob.name: knob.default for knob in self.knobs}
+
+
+def _value(rng: random.Random, denominator: int = 64) -> Fraction:
+    """An exact statistic value strictly inside (0, 1) on a rational grid."""
+    return Fraction(rng.randrange(1, denominator), denominator)
+
+
+def _dempster(weights: Sequence[Fraction]) -> Fraction:
+    """Dempster's rule in exact Fractions (the Theorem 5.26 combination)."""
+    agree = Fraction(1)
+    disagree = Fraction(1)
+    for weight in weights:
+        agree *= weight
+        disagree *= 1 - weight
+    return agree / (agree + disagree)
+
+
+# -- the families ------------------------------------------------------------
+
+
+def _deep_taxonomy(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    depth = knobs["depth"]
+    constant = f"Instance{rng.randrange(10_000)}"
+    values = [_value(rng) for _ in range(depth)]
+    kb, query = taxonomy_chain(depth, values=values, constant=constant)
+    sentences = [repr(sentence) for sentence in kb.sentences]
+    queries = [repr(query), f"not {query!r}", f"Class{depth - 1}({constant})"]
+    expectations = [
+        Expectation(repr(query), values[0], "minimal reference class (Theorem 5.16)"),
+        Expectation(f"not {query!r}", 1 - values[0], "complement of Theorem 5.16"),
+        Expectation(f"Class{depth - 1}({constant})", Fraction(1), "entailed by the subset chain"),
+    ]
+    return sentences, queries, expectations, 1
+
+
+def _branching_taxonomy(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    # Two levels, deliberately: depth is deep_taxonomy's dimension, and a
+    # three-level tree at branching 3 already pushes the maxent fallback
+    # (for the negated/membership queries) past seconds per query — far too
+    # slow for a fuzz corpus.  Width is this family's dimension.
+    depth, branching = 2, knobs["branching"]
+    constant = f"Leaf{rng.randrange(10_000)}"
+    sentences: List[str] = []
+    # Level 0 is the root class; each node at level L has `branching`
+    # children at level L+1.  The individual sits in the first leaf, so its
+    # reference-class chain is the leftmost path.
+    index = 1
+    level_nodes = [["N0"]]
+    values: Dict[str, Fraction] = {"N0": _value(rng)}
+    sentences.append(f"%(Prop(x) | N0(x); x) ~=[{index}] {values['N0']}")
+    for level in range(1, depth):
+        nodes: List[str] = []
+        for parent in level_nodes[level - 1]:
+            for child_id in range(branching):
+                node = f"{parent}_{child_id}"
+                nodes.append(node)
+                index += 1
+                values[node] = _value(rng)
+                sentences.append(f"%(Prop(x) | {node}(x); x) ~=[{index}] {values[node]}")
+                sentences.append(f"forall x. ({node}(x) -> {parent}(x))")
+        level_nodes.append(nodes)
+    leaf = level_nodes[-1][0]
+    sentences.append(f"{leaf}({constant})")
+    queries = [f"Prop({constant})", f"not Prop({constant})", f"N0({constant})"]
+    expectations = [
+        Expectation(f"Prop({constant})", values[leaf], "minimal reference class (Theorem 5.16)"),
+        Expectation(f"N0({constant})", Fraction(1), "entailed by the subset tree"),
+    ]
+    return sentences, queries, expectations, 1
+
+
+def _diagnosis_network(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    diseases, symptoms = knobs["diseases"], knobs["symptoms"]
+    patient = f"Case{rng.randrange(10_000)}"
+    sentences: List[str] = []
+    index = 0
+    # Conditional statistics ||Symptom_j(x) | Disease_i(x)||: every disease
+    # explains every symptom with its own exact rate.
+    table: Dict[Tuple[int, int], Fraction] = {}
+    for i in range(diseases):
+        for j in range(symptoms):
+            index += 1
+            rate = _value(rng)
+            table[(i, j)] = rate
+            sentences.append(f"%(Sym{j}(x) | Dis{i}(x); x) ~=[{index}] {rate}")
+    diagnosed = rng.randrange(diseases)
+    sentences.append(f"Dis{diagnosed}({patient})")
+    queries = [f"Sym{j}({patient})" for j in range(symptoms)]
+    queries.append(f"Dis{diagnosed}({patient})")
+    # The patient provably belongs to exactly one disease class, so direct
+    # inference (Theorem 5.6) predicts each symptom's rate for that disease.
+    expectations = [
+        Expectation(f"Sym{j}({patient})", table[(diagnosed, j)], "direct inference (Theorem 5.6)")
+        for j in range(symptoms)
+    ]
+    return sentences, queries, expectations, 1
+
+
+def _lottery(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    tickets = knobs["tickets"]
+    holder = f"Holder{rng.randrange(10_000)}"
+    kb = lottery_kb(tickets, constant=holder)
+    sentences = [repr(sentence) for sentence in kb.sentences]
+    queries = [f"Winner({holder})", f"not Winner({holder})", f"Ticket({holder})"]
+    expectations = [
+        Expectation(f"Winner({holder})", Fraction(1, tickets), "lottery (Section 5.5)"),
+        Expectation(f"not Winner({holder})", 1 - Fraction(1, tickets), "lottery (Section 5.5)"),
+    ]
+    return sentences, queries, expectations, tickets
+
+
+def _competing_grid(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    classes = knobs["classes"]
+    subject = f"Subject{rng.randrange(10_000)}"
+    weights = [_value(rng) for _ in range(classes)]
+    kb, query = competing_classes_kb(weights, constant=subject, declare_overlap=True)
+    sentences = [repr(sentence) for sentence in kb.sentences]
+    # No negated query here: `not P(c)` has no analytic pattern over the
+    # declared-overlap KB and the maxent fallback is seconds-per-query (and
+    # gives up entirely at three classes) — membership is the cheap probe.
+    # The membership probe itself only survives two classes: the declared
+    # `exists[1]` overlaps put the KB outside every analytic pattern, so at
+    # three classes `Class0(c)` needs brute force, which stops being
+    # feasible above tiny domains.
+    queries = [repr(query)]
+    expectations = [
+        Expectation(repr(query), _dempster(weights), "evidence combination (Theorem 5.26)"),
+    ]
+    if classes == 2:
+        queries.append(f"Class0({subject})")
+        expectations.append(
+            Expectation(f"Class0({subject})", Fraction(1), "asserted ground fact")
+        )
+    return sentences, queries, expectations, 1
+
+
+def _near_inconsistent(rng: random.Random, knobs: Dict[str, int]) -> _Draft:
+    pairs, band = knobs["pairs"], knobs["band"]
+    constant = f"Edge{rng.randrange(10_000)}"
+    # Each pair pins the same conditional proportion twice, `1/band` apart:
+    # the KB stays structurally well-formed (every statistic has a point
+    # value in (0, 1)) but the set of worlds satisfying both copies shrinks
+    # toward empty as `band` grows and the tolerances tighten — exactly the
+    # adversarial regime where undefined grid points and empty
+    # KB-satisfying classes must still obey the probability laws.
+    sentences: List[str] = []
+    index = 0
+    for pair in range(pairs):
+        low = Fraction(rng.randrange(1, band - 1), band)
+        high = low + Fraction(1, band)
+        index += 1
+        sentences.append(f"%(P{pair}(x) | Q{pair}(x); x) ~=[{index}] {low}")
+        index += 1
+        sentences.append(f"%(P{pair}(x) | Q{pair}(x); x) ~=[{index}] {high}")
+    sentences.append(f"Q0({constant})")
+    queries = [f"P0({constant})", f"not P0({constant})", f"Q0({constant})"]
+    return sentences, queries, [], 1
+
+
+_FAMILIES: "Dict[str, ScenarioFamily]" = {}
+
+
+def _register(name: str, description: str, knobs: Sequence[Knob], builder: _Builder) -> None:
+    _FAMILIES[name] = ScenarioFamily(name, description, tuple(knobs), builder)
+
+
+_register(
+    "deep_taxonomy",
+    "a subset chain Class0 ⊂ ... ⊂ Class(depth-1), one statistic per level",
+    [Knob("depth", 4, 2, 6)],
+    _deep_taxonomy,
+)
+_register(
+    "branching_taxonomy",
+    "a root class with `branching` subset children, one statistic per node, "
+    "the individual in the first child",
+    [Knob("branching", 2, 2, 4)],
+    _branching_taxonomy,
+)
+_register(
+    "diagnosis_network",
+    "diseases x symptoms with one conditional statistic per pair, one diagnosed case",
+    [Knob("diseases", 2, 1, 3), Knob("symptoms", 2, 1, 3)],
+    _diagnosis_network,
+)
+_register(
+    "lottery",
+    "exists! winner over exists[tickets] ticket holders, one of them named",
+    [Knob("tickets", 4, 2, 6)],
+    _lottery,
+)
+_register(
+    "competing_grid",
+    "m reference classes with declared one-member overlaps competing on one property",
+    [Knob("classes", 2, 2, 3)],
+    _competing_grid,
+)
+_register(
+    "near_inconsistent",
+    "pairs of statistics pinning the same proportion 1/band apart: bands shrink toward empty",
+    [Knob("pairs", 2, 1, 3), Knob("band", 64, 8, 512)],
+    _near_inconsistent,
+)
+
+
+def families() -> Tuple[ScenarioFamily, ...]:
+    """Every registered family, in registration order."""
+    return tuple(_FAMILIES.values())
+
+
+def family_names() -> Tuple[str, ...]:
+    """The registered family names, in registration order."""
+    return tuple(_FAMILIES)
+
+
+def family(name: str) -> ScenarioFamily:
+    """The registered family, or ``KeyError`` with the known names."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario family {name!r}; known: {family_names()}") from None
+
+
+def default_knobs(name: str) -> Dict[str, int]:
+    """The default knob values of a family (a fresh dict)."""
+    return family(name).knob_defaults()
+
+
+def build(name: str, seed: int, **knobs: int) -> Scenario:
+    """Build the scenario for ``(family, seed, knobs)`` — byte deterministic.
+
+    Unknown knob names and out-of-range values raise ``ValueError`` (the
+    ranges are the family's published sampling ranges, see
+    :class:`Knob`).  Omitted knobs take their defaults.
+    """
+    spec = family(name)
+    resolved = spec.knob_defaults()
+    known = set(resolved)
+    unknown = sorted(set(knobs) - known)
+    if unknown:
+        raise ValueError(f"unknown knob(s) {unknown} for family {name!r}; known: {sorted(known)}")
+    resolved.update(knobs)
+    for knob in spec.knobs:
+        value = resolved[knob.name]
+        if not knob.low <= value <= knob.high:
+            raise ValueError(
+                f"{name}.{knob.name}={value} outside the sampling range [{knob.low}, {knob.high}]"
+            )
+    rng = random.Random(f"{name}:{seed}")
+    sentences, queries, expectations, min_domain = spec.builder(rng, resolved)
+    knowledge_base = KnowledgeBase.from_strings(*sentences)
+    # Imported here: repro.service pulls in the engine stack, which the
+    # corpus itself does not need until a scenario is actually built.
+    from ..service.session import kb_fingerprint
+
+    return Scenario(
+        family=name,
+        seed=seed,
+        knobs=tuple(sorted(resolved.items())),
+        knowledge_base=knowledge_base,
+        queries=tuple(queries),
+        expectations=tuple(expectations),
+        fingerprint=kb_fingerprint(knowledge_base),
+        min_domain=min_domain,
+    )
+
+
+def sample(
+    count: int,
+    *,
+    families: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    knob_overrides: Optional[Mapping[str, Mapping[str, int]]] = None,
+) -> List[Scenario]:
+    """``count`` scenarios with pairwise-distinct KB fingerprints.
+
+    Families are cycled round-robin; knob values are drawn from each
+    family's published ranges by a rng derived from ``seed``, so the whole
+    sample is deterministic.  ``knob_overrides`` pins named knobs per
+    family (``{"lottery": {"tickets": 5}}``).  This is the deterministic
+    backbone of the CI fuzz leg: ``--corpus-examples N`` runs the
+    probability-law oracle over exactly ``sample(N)``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    names = list(families) if families is not None else list(family_names())
+    for name in names:
+        family(name)  # validate early
+    overrides = knob_overrides or {}
+    scenarios: List[Scenario] = []
+    seen: set = set()
+    next_seed = seed
+    attempts = 0
+    while len(scenarios) < count:
+        attempts += 1
+        if attempts > max(count, 1) * 20:  # pragma: no cover - defensive
+            raise RuntimeError("could not assemble enough distinct scenarios")
+        name = names[(next_seed - seed) % len(names)]
+        spec = family(name)
+        knob_rng = random.Random(f"sample:{name}:{next_seed}")
+        knobs = {knob.name: knob_rng.randint(knob.low, knob.high) for knob in spec.knobs}
+        knobs.update(overrides.get(name, {}))
+        scenario = build(name, next_seed, **knobs)
+        next_seed += 1
+        if scenario.fingerprint in seen:
+            continue
+        seen.add(scenario.fingerprint)
+        scenarios.append(scenario)
+    return scenarios

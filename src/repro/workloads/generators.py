@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.knowledge_base import KnowledgeBase
-from ..logic.builder import predicates, statistic, var
 from ..logic.parser import parse
 from ..logic.syntax import Formula
 
@@ -41,15 +40,18 @@ def direct_inference_instance(
 
     Distractor statistics talk about predicates unrelated to the query, so
     Theorem 5.6 predicts the degree of belief equals ``value`` regardless of
-    how many there are.
+    how many there are.  ``seed`` shuffles which distractor predicate carries
+    which value (and therefore the KB's sentence order); ``None`` keeps the
+    distractors in input order.  Same seed, same KB — byte-deterministically.
     """
-    rng = random.Random(seed)
-    x = var("x")
     sentences: List[str] = [
-        f"Class0(%s)" % constant,
+        f"Class0({constant})",
         f"%(Prop0(x) | Class0(x); x) ~=[1] {value}",
     ]
-    for position, distractor in enumerate(distractor_values, start=1):
+    distractors = list(distractor_values)
+    if seed is not None:
+        random.Random(seed).shuffle(distractors)
+    for position, distractor in enumerate(distractors, start=1):
         index = position + 1
         sentences.append(
             f"%(Prop{position}(x) | Class{position}(x); x) ~=[{index}] {distractor}"

@@ -61,6 +61,41 @@ def pytest_addoption(parser) -> None:
         "run unless the observed acquisition graph is acyclic and covered by "
         "the declared LOCK_ORDER (see docs/CONCURRENCY.md)",
     )
+    parser.addoption(
+        "--corpus-examples",
+        action="store",
+        type=int,
+        default=25,
+        help="distinct corpus-generated KBs the corpus-marked metamorphic "
+        "tests sweep (deterministic sample; CI's fuzz leg raises this to 200+)",
+    )
+
+
+def exhaustive_counting_domain(
+    vocabulary,
+    *,
+    sizes=(6, 5, 4, 3, 2, 1),
+    unary_budget: int = 5_000,
+    brute_budget: int = 3_000,
+):
+    """Largest domain size the exhaustive counting oracle can afford, or None.
+
+    The metamorphic law suite's oracle is exhaustive enumeration, so its
+    feasible region is narrower than the engine's (which has analytic
+    paths): a depth-6 taxonomy serves fine but its 2**7 atom classes are
+    outside any enumeration budget.  Shared by the law suite and the
+    corpus sampling below so both agree on what "checkable" means.
+    """
+    from repro.core.engine import _unary_class_count
+    from repro.worlds.enumeration import world_space_size
+
+    for domain_size in sizes:
+        if vocabulary.is_unary:
+            if _unary_class_count(vocabulary, domain_size) <= unary_budget:
+                return domain_size
+        elif world_space_size(vocabulary, domain_size) <= brute_budget:
+            return domain_size
+    return None
 
 
 def pytest_configure(config) -> None:
@@ -89,6 +124,30 @@ def pytest_generate_tests(metafunc) -> None:
         selected = metafunc.config.getoption("--backend")
         backends = [selected] if selected else ["serial", "threads", "processes"]
         metafunc.parametrize("counting_backend", backends)
+    if "corpus_scenario" in metafunc.fixturenames:
+        # A deterministic sample of pairwise-distinct corpus KBs: the sweep
+        # size is exactly --corpus-examples, not "however many hypothesis
+        # happened to draw", so CI can demand a concrete KB count.
+        from repro.workloads.corpus import sample
+
+        count = metafunc.config.getoption("--corpus-examples")
+        # Oversample, then keep the first `count` scenarios the exhaustive
+        # counting oracle can afford — corpus corners like depth-6
+        # taxonomies are engine-servable but uncheckable by enumeration.
+        drawn = sample(2 * count + 8)
+        scenarios = [
+            scenario
+            for scenario in drawn
+            if exhaustive_counting_domain(scenario.knowledge_base.vocabulary) is not None
+        ][:count]
+        assert len(scenarios) == count, (
+            "oversampling did not yield enough counting-feasible corpus scenarios"
+        )
+        metafunc.parametrize(
+            "corpus_scenario",
+            scenarios,
+            ids=[f"{s.family}-{s.seed}-{s.fingerprint[:8]}" for s in scenarios],
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,164 @@
+"""The scenario corpus: determinism, distinctness, analyzability, theory.
+
+Four claims, each load-bearing for the fuzz suites and the traffic harness:
+
+* byte-determinism — same (family, seed, knobs), same scenario, down to the
+  KB fingerprint and the serialized sentences;
+* distinctness — different seeds give different KBs (the traffic
+  synthesizer and ``--corpus-examples`` both count *distinct* KBs);
+* analyzability — every generated KB passes the static pre-flight analyzer
+  with no error-level diagnostics (the corpus must never emit garbage);
+* theory — where a scenario carries an expectation (Theorems 5.6/5.16/5.26,
+  the lottery), the engine's answer matches it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import analyze
+from repro.workloads.corpus import Knob, build, families, family, family_names, sample
+
+pytestmark = pytest.mark.corpus
+
+# A bounded knob grid per family: every knob's low/default/high plus the
+# full product when it stays small (near_inconsistent's band range alone is
+# 505 values — corners are what break, sweeping them all buys nothing).
+def _knob_grid(knobs):
+    axes = [sorted({knob.low, knob.default, knob.high}) for knob in knobs]
+    return list(itertools.product(*axes))
+
+
+def _grid_cases():
+    cases = []
+    for fam in families():
+        for combo in _knob_grid(fam.knobs):
+            cases.append((fam.name, {knob.name: value for knob, value in zip(fam.knobs, combo)}))
+    return cases
+
+
+_GRID = _grid_cases()
+_GRID_IDS = [f"{name}-{'-'.join(map(str, knobs.values())) or 'default'}" for name, knobs in _GRID]
+
+
+@pytest.mark.parametrize("name, knobs", _GRID, ids=_GRID_IDS)
+def test_same_seed_rebuilds_the_identical_scenario(name, knobs):
+    first = build(name, seed=5, **knobs)
+    second = build(name, seed=5, **knobs)
+    assert first.fingerprint == second.fingerprint
+    assert [repr(s) for s in first.knowledge_base.sentences] == [
+        repr(s) for s in second.knowledge_base.sentences
+    ]
+    assert first.queries == second.queries
+    assert first.expectations == second.expectations
+    assert first.knobs == second.knobs
+
+
+@pytest.mark.parametrize("name, knobs", _GRID, ids=_GRID_IDS)
+def test_distinct_seeds_give_distinct_kbs(name, knobs):
+    fingerprints = {build(name, seed=seed, **knobs).fingerprint for seed in range(6)}
+    assert len(fingerprints) == 6
+
+
+@pytest.mark.parametrize("name, knobs", _GRID, ids=_GRID_IDS)
+def test_every_generated_kb_analyzes_clean(name, knobs):
+    scenario = build(name, seed=2, **knobs)
+    report = analyze(scenario.knowledge_base)
+    errors = [d for d in report.diagnostics if d.severity == "error"]
+    assert errors == [], [d.message for d in errors]
+
+
+def test_expectations_match_the_engine():
+    """Every theory-predicted expectation is what the engine answers.
+
+    One session per default-knob scenario; expectations compare as floats
+    against the exact expected Fraction (the engine's belief values come
+    back as floats at the service surface).
+    """
+    from repro.service.session import open_session
+
+    checked = 0
+    for name in family_names():
+        scenario = build(name, seed=1)
+        with open_session(scenario.knowledge_base, domain_sizes=[6, 8]) as session:
+            for expectation in scenario.expectations:
+                response = session.submit(expectation.query)
+                assert response.result.value == pytest.approx(
+                    float(expectation.value), abs=1e-3
+                ), f"{name}: {expectation.query} ({expectation.source})"
+                checked += 1
+    assert checked >= 8  # most families predict something
+
+
+def test_sample_returns_exactly_n_distinct_scenarios():
+    scenarios = sample(40, seed=9)
+    assert len(scenarios) == 40
+    assert len({s.fingerprint for s in scenarios}) == 40
+    assert {s.family for s in scenarios} == set(family_names())
+
+
+def test_sample_is_deterministic():
+    first = [(s.family, s.seed, s.knobs, s.fingerprint) for s in sample(15, seed=4)]
+    second = [(s.family, s.seed, s.knobs, s.fingerprint) for s in sample(15, seed=4)]
+    assert first == second
+
+
+def test_sample_respects_family_restriction():
+    scenarios = sample(8, families=["lottery", "deep_taxonomy"], seed=0)
+    assert {s.family for s in scenarios} == {"lottery", "deep_taxonomy"}
+
+
+def test_build_rejects_unknown_and_out_of_range_knobs():
+    with pytest.raises(KeyError):
+        family("no_such_family")
+    with pytest.raises(ValueError):
+        build("lottery", 0, no_such_knob=3)
+    with pytest.raises(ValueError):
+        build("lottery", 0, tickets=99)
+
+
+def test_scenario_accessors():
+    scenario = build("lottery", 3, tickets=5)
+    assert scenario.knob("tickets") == 5
+    assert scenario.min_domain == 5
+    winner = scenario.queries[0]
+    expectation = scenario.expectation_for(winner)
+    assert expectation is not None and expectation.value == Fraction(1, 5)
+    assert scenario.expectation_for("NotAQuery(X)") is None
+
+
+def test_every_query_evaluates_on_default_and_corner_scenarios():
+    """No scenario ships a query its own KB cannot answer.
+
+    The traffic synthesizer submits scenario queries verbatim; a query that
+    raises would turn into spurious replay errors, so the corpus contract is
+    that every listed query evaluates (defined or not) without raising.
+    Covers the default knobs and the all-knobs-high corner of every family
+    — the corner is where fallback solvers historically gave up; the full
+    knob grid through the service layer is minutes of maxent, so the
+    breadth sweep stays with the counting-level law tests.  The domain
+    sizes match the traffic harness's default engine — [4, 6] would let a
+    query sneak through on brute force that larger domains cannot afford.
+    """
+    from repro.service.session import open_session
+
+    for fam in families():
+        for knobs in (
+            {knob.name: knob.default for knob in fam.knobs},
+            {knob.name: knob.high for knob in fam.knobs},
+        ):
+            scenario = build(fam.name, seed=7, **knobs)
+            with open_session(scenario.knowledge_base, domain_sizes=[6, 8]) as session:
+                for query in scenario.queries:
+                    session.submit(query)  # must not raise
+
+
+def test_knob_metadata_is_well_formed():
+    for fam in families():
+        assert fam.name in family_names()
+        for knob in fam.knobs:
+            assert isinstance(knob, Knob)
+            assert knob.low <= knob.default <= knob.high

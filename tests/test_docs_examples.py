@@ -45,6 +45,7 @@ DOCUMENTS = [
     "docs/CONCURRENCY.md",
     "docs/PERFORMANCE.md",
     "docs/DEPLOYMENT.md",
+    "docs/WORKLOADS.md",
 ]
 
 _FENCE = re.compile(r"^```(?P<info>[^\n`]*)\n(?P<body>.*?)^```\s*$", re.S | re.M)
@@ -210,6 +211,22 @@ def _check_lint_code(tokens: List[str], errors: List[str]) -> None:
             errors.append(f"documented repro-lint-code path {token!r} does not exist")
 
 
+def _check_traffic(tokens: List[str], errors: List[str]) -> None:
+    """Validate a documented ``repro-traffic`` invocation against its parser.
+
+    The real parser does the work: subcommand, flags and value arity all
+    come from ``repro.traffic.cli.build_parser``, so a renamed flag breaks
+    the docs build.  Positional trace files are workflow placeholders
+    (``trace.ndjson``), not repo paths, so existence is not checked.
+    """
+    from repro.traffic.cli import build_parser as traffic_parser
+
+    try:
+        traffic_parser().parse_args(tokens[1:])
+    except SystemExit:
+        errors.append(f"repro-traffic rejects documented invocation: {' '.join(tokens)!r}")
+
+
 def _check_curl(tokens: List[str], errors: List[str]) -> None:
     patterns = _route_patterns()
     for token in tokens[1:]:
@@ -227,6 +244,7 @@ _CHECKERS = {
     "repro-serve": _check_serve,
     "repro-lint": _check_lint,
     "repro-lint-code": _check_lint_code,
+    "repro-traffic": _check_traffic,
     "curl": _check_curl,
     "ruff": lambda tokens, errors: None,
 }

@@ -25,7 +25,8 @@ import itertools
 from fractions import Fraction
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from conftest import exhaustive_counting_domain
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 from test_worlds_cache import BENCHMARK_KBS
 
@@ -35,7 +36,6 @@ from repro.logic.tolerance import ToleranceVector
 from repro.logic.vocabulary import Vocabulary
 from repro.worlds.cache import WorldCountCache
 from repro.worlds.counting import make_counter
-from repro.worlds.enumeration import world_space_size
 
 pytestmark = pytest.mark.metamorphic
 
@@ -51,15 +51,11 @@ BRUTE_WORLD_BUDGET = 3_000
 
 
 def _metamorphic_domain_size(vocabulary: Vocabulary) -> int:
-    from repro.core.engine import _unary_class_count
-
-    for domain_size in (6, 5, 4, 3, 2, 1):
-        if vocabulary.is_unary:
-            if _unary_class_count(vocabulary, domain_size) <= UNARY_CLASS_BUDGET:
-                return domain_size
-        elif world_space_size(vocabulary, domain_size) <= BRUTE_WORLD_BUDGET:
-            return domain_size
-    raise AssertionError(f"no feasible domain size for {vocabulary!r}")
+    domain_size = exhaustive_counting_domain(
+        vocabulary, unary_budget=UNARY_CLASS_BUDGET, brute_budget=BRUTE_WORLD_BUDGET
+    )
+    assert domain_size is not None, f"no feasible domain size for {vocabulary!r}"
+    return domain_size
 
 
 def _atom_pool(vocabulary: Vocabulary) -> list:
@@ -171,6 +167,104 @@ def test_probability_laws_hold_on_every_kb(counting_backend, memo, executor_for,
         assert r_and.probability <= min(r_phi.probability, r_psi.probability)
         assert r_taut.probability == Fraction(1)
         assert r_contra.probability == Fraction(0)
+
+
+# --------------------------------------------------------------------------
+# Corpus fuzz: the same probability-law oracle over *generated* KBs.
+#
+# Two sweeps share the oracle body.  The parametrized sweep runs the laws on
+# exactly ``--corpus-examples`` pairwise-distinct scenarios (a deterministic
+# sample, so CI can demand a concrete KB count); the hypothesis sweep draws
+# (family, seed, knobs) freely, covering knob corners and seeds the sample
+# never visits.  Both carry the ``corpus`` marker on top of ``metamorphic``,
+# so ``-m "metamorphic and not corpus"`` keeps the benchmark-KB suite intact
+# while CI sizes the corpus leg separately.
+# --------------------------------------------------------------------------
+
+# Counter contexts per scenario fingerprint: the decomposition is enumerated
+# once per generated KB, later law examples only evaluate queries.
+_CORPUS_CONTEXTS: dict = {}
+
+
+def _corpus_context(scenario):
+    found = _CORPUS_CONTEXTS.get(scenario.fingerprint)
+    if found is None:
+        kb = scenario.knowledge_base
+        domain_size = _metamorphic_domain_size(kb.vocabulary)
+        counter = make_counter(kb.vocabulary, cache=WorldCountCache(memo=True))
+        found = (kb.formula, domain_size, counter)
+        _CORPUS_CONTEXTS[scenario.fingerprint] = found
+    return found
+
+
+def _assert_probability_laws(scenario, data):
+    kb_formula, domain_size, counter = _corpus_context(scenario)
+    strategy = _query_strategy(counter.vocabulary)
+    phi = data.draw(strategy, label="phi")
+    psi = data.draw(strategy, label="psi")
+    for n in {max(1, domain_size - 1), domain_size}:
+        queries = [phi, Not(phi), psi, conj(phi, psi), disj(phi, Not(phi)), conj(phi, Not(phi))]
+        results = [counter.count(query, kb_formula, n, TAU) for query in queries]
+        r_phi, r_not_phi, r_psi, r_and, r_taut, r_contra = results
+        assert (
+            r_phi.satisfying_kb
+            == r_not_phi.satisfying_kb
+            == r_psi.satisfying_kb
+            == r_and.satisfying_kb
+        )
+        if not r_phi.is_defined:
+            continue  # no world of this size satisfies the KB: undefined point
+        for result in results:
+            assert isinstance(result.probability, Fraction)
+        assert r_phi.probability + r_not_phi.probability == Fraction(1)
+        assert r_and.probability <= min(r_phi.probability, r_psi.probability)
+        assert r_taut.probability == Fraction(1)
+        assert r_contra.probability == Fraction(0)
+
+
+@pytest.mark.corpus
+@given(data=st.data())
+@settings(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_probability_laws_hold_on_corpus_kbs(corpus_scenario, data):
+    """The probability laws hold on every sampled corpus KB.
+
+    ``corpus_scenario`` parametrizes over exactly ``--corpus-examples``
+    distinct generated KBs; hypothesis then fuzzes queries per KB.
+    """
+    _assert_probability_laws(corpus_scenario, data)
+
+
+@st.composite
+def _corpus_coordinates(draw):
+    from repro.workloads.corpus import family, family_names
+
+    chosen = family(draw(st.sampled_from(family_names())))
+    knobs = {knob.name: draw(st.integers(knob.low, knob.high)) for knob in chosen.knobs}
+    seed = draw(st.integers(min_value=0, max_value=9_999))
+    return chosen.name, seed, knobs
+
+
+@pytest.mark.corpus
+@given(coordinates=_corpus_coordinates(), data=st.data())
+@settings(
+    deadline=None,
+    max_examples=75,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_probability_laws_hold_on_drawn_scenarios(coordinates, data):
+    """Free (family, seed, knobs) draws: knob corners the sample never visits."""
+    from repro.workloads.corpus import build
+
+    name, seed, knobs = coordinates
+    scenario = build(name, seed, **knobs)
+    # A few knob corners (e.g. depth-6 taxonomies) are engine-servable but
+    # outside every exhaustive-enumeration budget; this oracle is exhaustive.
+    assume(exhaustive_counting_domain(scenario.knowledge_base.vocabulary) is not None)
+    _assert_probability_laws(scenario, data)
 
 
 @pytest.mark.parametrize("memo", [True, False], ids=["memo", "memoless"])

@@ -1,0 +1,349 @@
+"""The traffic harness: trace codec, recorders, synthesizer, replayer, CLI.
+
+The load-bearing claim is *round-trip identity*: record -> NDJSON ->
+replay reproduces the same request ids, the same ordering per tenant, and
+``BeliefResponse`` payloads identical at the codec level (``elapsed_ms``
+and cache counters excepted) — including an ``ErrorResponse`` row
+mid-stream.  Everything runs on small corpus KBs with small domains so the
+suite stays in seconds.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.service.messages import QueryRequest, response_from_dict
+from repro.service.session import open_session
+from repro.traffic import (
+    MALFORMED_QUERY,
+    InProcessTarget,
+    RecordingClient,
+    RecordingSession,
+    TraceEvent,
+    TraceRecorder,
+    dump_line,
+    load_line,
+    read_trace,
+    record_script,
+    replay_trace,
+    strip_volatile,
+    synthesize_trace,
+    write_trace,
+)
+from repro.traffic.cli import build_parser, main
+from repro.workloads.corpus import build
+
+ENGINE = {"domain_sizes": [6, 8]}
+
+
+# -- the NDJSON codec --------------------------------------------------------
+
+
+def test_trace_event_round_trips_and_is_byte_deterministic():
+    event = TraceEvent(
+        kind="query",
+        tenant="tenant1",
+        at_ms=12.5,
+        session="abc123",
+        payload={"request": {"query": "P(C)", "request_id": "tenant1-1"}},
+    )
+    line = dump_line(event)
+    assert dump_line(load_line(line)) == line
+    assert dump_line(load_line(line.encode("utf-8"))) == line
+    # envelope keys first-class, payload flattened into the row
+    row = json.loads(line)
+    assert row["kind"] == "query" and row["tenant"] == "tenant1"
+    assert row["request"]["request_id"] == "tenant1-1"
+
+
+def test_trace_event_rejects_bad_kind_and_envelope_collisions():
+    with pytest.raises(ValueError):
+        TraceEvent(kind="nonsense", tenant="t", at_ms=0.0, session="s")
+    event = TraceEvent(kind="open", tenant="t", at_ms=0.0, session="s", payload={"kind": "x"})
+    with pytest.raises(ValueError):
+        event.to_dict()
+
+
+def test_write_and_read_trace_through_path_handle_and_string(tmp_path):
+    events = [
+        TraceEvent(kind="open", tenant="t0", at_ms=0.0, session="s", payload={"kb": "P(C)"}),
+        TraceEvent(kind="query", tenant="t0", at_ms=1.0, session="s", payload={"request": {"query": "P(C)"}}),
+    ]
+    path = str(tmp_path / "trace.ndjson")
+    assert write_trace(path, events) == 2
+    assert [dump_line(e) for e in read_trace(path)] == [dump_line(e) for e in events]
+    handle = io.StringIO()
+    write_trace(handle, events)
+    assert [dump_line(e) for e in read_trace(handle.getvalue())] == [dump_line(e) for e in events]
+
+
+def test_strip_volatile_drops_timing_and_cache_counters():
+    row = {"request_id": "a", "elapsed_ms": 3.5, "cache_delta": {"hits": 1}, "result": {"value": 0.5}}
+    stripped = strip_volatile(row)
+    assert "elapsed_ms" not in stripped and "cache_delta" not in stripped
+    assert stripped["result"] == {"value": 0.5}
+    assert "cache_delta" in strip_volatile(row, keep_cache_delta=True)
+
+
+# -- recorders ---------------------------------------------------------------
+
+
+def _scenario_session(seed=0):
+    scenario = build("lottery", seed, tickets=4)
+    return scenario, open_session(scenario.knowledge_base, domain_sizes=[6, 8])
+
+
+def test_recording_session_captures_all_verbs_in_order():
+    scenario, session = _scenario_session()
+    recorder = TraceRecorder()
+    with session:
+        recording = RecordingSession(session, recorder, tenant="alice")
+        first = recording.submit(QueryRequest(query=scenario.queries[0], request_id="alice-1"))
+        recording.submit_many([QueryRequest(query=q) for q in scenario.queries[:2]])
+        rows = list(recording.stream([scenario.queries[0], MALFORMED_QUERY]))
+    events = recorder.events()
+    assert [e.kind for e in events] == ["open", "query", "query_batch", "stream"]
+    assert all(e.tenant == "alice" for e in events)
+    assert all(e.session == session.fingerprint for e in events)
+    # timestamps are relative and non-decreasing
+    assert events[0].at_ms >= 0.0
+    assert all(a.at_ms <= b.at_ms for a, b in zip(events, events[1:]))
+    # the recorded response is the codec form of the returned one
+    assert events[1].payload["response"] == first.to_dict()
+    # the malformed query landed as an ErrorResponse row mid-stream
+    stream_rows = events[3].payload["responses"]
+    assert [("error" in row) for row in stream_rows] == [False, True]
+    assert stream_rows == [row.to_dict() for row in rows]
+
+
+def test_recorder_len_and_injectable_clock():
+    recorder = TraceRecorder(clock=iter([10.0, 10.25, 10.5]).__next__)
+    recorder.record("open", "t", "s", kb="P(C)")
+    recorder.record("query", "t", "s", request={"query": "P(C)"})
+    assert len(recorder) == 2
+    assert [e.at_ms for e in recorder.events()] == [250.0, 500.0]
+
+
+# -- record -> NDJSON -> replay round trip -----------------------------------
+
+
+def test_record_replay_round_trip_preserves_ids_order_and_payloads(tmp_path):
+    """The tentpole identity claim, including an ErrorResponse mid-stream."""
+    script = synthesize_trace(
+        requests=18, tenants=2, kbs=2, seed=13, oracle=False, engine=ENGINE, error_rate=1.0
+    )
+    assert any(e.kind == "stream" for e in script)
+    with InProcessTarget() as target:
+        recording = record_script(script, target)
+    # some stream carries the injected malformed request -> error row
+    error_rows = [
+        row
+        for event in recording
+        if event.kind == "stream"
+        for row in event.payload["responses"]
+        if "error" in row
+    ]
+    assert error_rows, "expected at least one ErrorResponse row mid-stream"
+    assert all(row["error"]["code"] for row in error_rows)
+
+    path = str(tmp_path / "recording.ndjson")
+    write_trace(path, recording)
+    reloaded = read_trace(path)
+    assert [dump_line(e) for e in reloaded] == [dump_line(e) for e in recording]
+
+    # replay against a FRESH target: every response byte-identical modulo
+    # volatile fields, ids echoed, per-tenant order preserved by construction
+    with InProcessTarget() as fresh:
+        report = replay_trace(reloaded, fresh)
+    assert report.ok, [m.describe() for m in report.mismatches[:3]]
+    assert report.verified >= 18
+    assert report.identical == report.verified
+    assert report.identity_ratio == 1.0
+
+    # request ids survive the trip verbatim
+    script_ids = [
+        row["request_id"]
+        for event in script
+        if event.kind != "open"
+        for row in (event.payload.get("requests") or [event.payload["request"]])
+    ]
+    recorded_ids = [
+        row["request_id"]
+        for event in recording
+        if event.kind != "open"
+        for row in (event.payload.get("requests") or [event.payload["request"]])
+    ]
+    assert recorded_ids == script_ids
+
+
+def test_replay_detects_a_tampered_response():
+    events = synthesize_trace(
+        requests=4, tenants=1, kbs=1, seed=2, engine=ENGINE, mix={"query": 1}
+    )
+    tampered = next(e for e in events if e.kind == "query")
+    tampered.payload["response"]["result"]["value"] = 0.123456789
+    with InProcessTarget() as target:
+        report = replay_trace(events, target)
+    assert not report.ok
+    assert report.identical == report.verified - 1
+    mismatch = report.mismatches[0]
+    assert mismatch.request_id == tampered.payload["request"]["request_id"]
+
+
+def test_replay_script_without_responses_just_executes():
+    script = synthesize_trace(requests=6, tenants=2, kbs=1, seed=3, oracle=False, engine=ENGINE)
+    with InProcessTarget() as target:
+        report = replay_trace(script, target)
+    assert report.ok and report.verified == 0 and report.requests >= 6
+
+
+def test_synthesize_trace_is_deterministic_and_oracle_free_without_oracle():
+    first = [dump_line(e) for e in synthesize_trace(requests=20, seed=5, oracle=False)]
+    second = [dump_line(e) for e in synthesize_trace(requests=20, seed=5, oracle=False)]
+    assert first == second
+    # the oracle adds responses but draws nothing from the rng: the request
+    # skeleton (ids, queries, kinds, timestamps) is identical either way
+    with_oracle = synthesize_trace(requests=20, seed=5, engine=ENGINE)
+    skeleton = [
+        (e.kind, e.tenant, e.at_ms, [r["request_id"] for r in (e.payload.get("requests") or [])])
+        for e in with_oracle
+    ]
+    skeleton_free = [
+        (e.kind, e.tenant, e.at_ms, [r["request_id"] for r in (e.payload.get("requests") or [])])
+        for e in (load_line(line) for line in first)
+    ]
+    assert skeleton == skeleton_free
+
+
+def test_synthesize_trace_validates_arguments():
+    with pytest.raises(ValueError):
+        synthesize_trace(requests=0)
+    with pytest.raises(ValueError):
+        synthesize_trace(tenants=0)
+    with pytest.raises(ValueError):
+        synthesize_trace(batch_size=1)
+    with pytest.raises(ValueError):
+        synthesize_trace(mix={"nonsense": 1})
+    with pytest.raises(KeyError):
+        synthesize_trace(families=["no_such_family"], oracle=False)
+
+
+# -- recording over HTTP -----------------------------------------------------
+
+
+def test_recording_client_records_live_http_traffic_and_replays():
+    from repro.server.app import serve_in_background
+    from repro.server.client import Client
+    from repro.server.manager import SessionManager
+
+    scenario = build("diagnosis_network", 4)
+    recorder = TraceRecorder()
+    # Explicit request ids: the service echoes them verbatim, so identity
+    # holds even replaying against the SAME server (whose id counter has
+    # already advanced past the recording).
+    with serve_in_background(SessionManager(domain_sizes=[6, 8])) as server:
+        client = RecordingClient(Client(server.url), recorder, tenant="wire")
+        session_id = client.open_session(
+            scenario.knowledge_base, engine={"domain_sizes": [6, 8]}
+        )
+        client.query(session_id, QueryRequest(query=scenario.queries[0], request_id="wire-1"))
+        client.query_batch(
+            session_id,
+            [
+                QueryRequest(query=q, request_id=f"wire-b{i}")
+                for i, q in enumerate(scenario.queries[:2])
+            ],
+        )
+        rows = list(
+            client.stream(
+                session_id,
+                [
+                    QueryRequest(query=scenario.queries[0], request_id="wire-s0"),
+                    QueryRequest(query=MALFORMED_QUERY, request_id="wire-s1"),
+                ],
+            )
+        )
+        assert [("error" in row.to_dict()) for row in rows] == [False, True]
+
+        # the recorded trace replays 1:1 against the same live server
+        report = replay_trace(recorder.events(), Client(server.url))
+        assert report.ok, [m.describe() for m in report.mismatches[:3]]
+        assert report.verified == 5  # 1 query + 2 batch + 2 stream rows
+        assert report.identical == 5
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+def test_cli_parser_covers_the_three_subcommands():
+    parser = build_parser()
+    synth = parser.parse_args(["synth", "--requests", "9", "--no-oracle", "--out", "x.ndjson"])
+    assert synth.command == "synth" and synth.requests == 9 and synth.no_oracle
+    record = parser.parse_args(["record", "in.ndjson", "--out", "out.ndjson"])
+    assert record.command == "record" and record.trace == "in.ndjson"
+    replay = parser.parse_args(["replay", "rec.ndjson", "--pace", "2.0", "--serial"])
+    assert replay.command == "replay" and replay.pace == 2.0 and replay.serial
+
+
+def test_cli_synth_record_replay_end_to_end(tmp_path, capsys):
+    script = str(tmp_path / "script.ndjson")
+    recording = str(tmp_path / "recording.ndjson")
+    assert (
+        main(
+            [
+                "synth",
+                "--requests", "8",
+                "--kbs", "2",
+                "--seed", "6",
+                "--no-oracle",
+                "--domain-sizes", "6,8",
+                "--out", script,
+            ]
+        )
+        == 0
+    )
+    script_events = read_trace(script)
+    assert all("response" not in e.payload and "responses" not in e.payload for e in script_events)
+
+    assert main(["record", script, "--out", recording]) == 0
+    recorded_events = read_trace(recording)
+    assert any("response" in e.payload or "responses" in e.payload for e in recorded_events)
+
+    assert main(["replay", recording]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["mismatches"] == [] and report["identical"] == report["verified"] > 0
+
+
+def test_cli_replay_exits_nonzero_on_mismatch(tmp_path, capsys):
+    events = synthesize_trace(
+        requests=4, tenants=1, kbs=1, seed=2, engine=ENGINE, mix={"query": 1}
+    )
+    tampered = next(e for e in events if e.kind == "query")
+    tampered.payload["response"]["result"]["value"] = 0.987654321
+    path = str(tmp_path / "tampered.ndjson")
+    write_trace(path, events)
+    assert main(["replay", path]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["mismatches"]
+
+
+def test_cli_rejects_bad_domain_sizes(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["synth", "--no-oracle", "--domain-sizes", "a,b", "--out", str(tmp_path / "x")])
+
+
+# -- replayed rows decode back to real dataclasses ---------------------------
+
+
+def test_recorded_rows_decode_through_the_service_codec():
+    events = synthesize_trace(requests=8, tenants=1, kbs=1, seed=1, engine=ENGINE, error_rate=1.0)
+    for event in events:
+        if event.kind == "open":
+            continue
+        rows = event.payload.get("responses") or [event.payload["response"]]
+        for row in rows:
+            decoded = response_from_dict(row)
+            assert decoded.to_dict() == row

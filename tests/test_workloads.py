@@ -77,6 +77,29 @@ class TestGenerators:
         assert parse("Class0(C0)") in instance.knowledge_base
         assert len(instance.knowledge_base.statistics()) == 3
 
+    def test_direct_inference_instance_seed_is_deterministic(self):
+        """Regression: the seed must drive the shuffle, not process state.
+
+        Same seed, same sentence list byte for byte; the seed permutes which
+        distractor predicate carries which value; ``seed=None`` keeps the
+        distractors in input order.
+        """
+        values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+        first = direct_inference_instance(0.3, values, seed=11)
+        second = direct_inference_instance(0.3, values, seed=11)
+        assert [repr(s) for s in first.knowledge_base.sentences] == [
+            repr(s) for s in second.knowledge_base.sentences
+        ]
+        shuffles = {
+            tuple(repr(s) for s in direct_inference_instance(0.3, values, seed=seed).knowledge_base.sentences)
+            for seed in range(5)
+        }
+        assert len(shuffles) > 1  # the seed really permutes the distractors
+        unshuffled = direct_inference_instance(0.3, values)
+        reprs = [repr(s) for s in unshuffled.knowledge_base.sentences]
+        for value in values:  # input order preserved without a seed
+            assert str(value) in reprs[values.index(value) + 2]
+
     def test_taxonomy_chain_structure(self):
         kb, query = taxonomy_chain(3)
         assert query == parse("Prop(Instance)")
